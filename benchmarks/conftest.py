@@ -1,0 +1,30 @@
+"""Shared configuration of the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures (see
+DESIGN.md for the experiment index) and asserts the qualitative claims — who
+wins, by roughly what factor, where the crossovers fall — rather than the
+absolute numbers, which depend on the emulated substrates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "paper_figure(name): benchmark regenerating a paper figure/table"
+    )
+
+
+@pytest.fixture(scope="session")
+def reporter():
+    """Print a labelled block so benchmark output can be read side by side."""
+
+    def _print(title: str, lines: list[str]) -> None:
+        print()
+        print(f"==== {title} ====")
+        for line in lines:
+            print(line)
+
+    return _print

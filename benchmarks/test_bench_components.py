@@ -1,0 +1,69 @@
+"""Micro-benchmarks of the main computational kernels.
+
+These do not map to a paper figure; they track the cost of the building
+blocks so regressions in the substrates (wavelet transform, CS decoding,
+packet-level simulation, hardware emulation) are visible next to the
+experiment-level numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression.cs_compressor import CSCompressor
+from repro.compression.dwt_compressor import DWTCompressor
+from repro.compression.wavelet import Wavelet, wavedec, waverec
+from repro.hwemu.node import ShimmerNodeEmulator
+from repro.mac802154.config import Ieee802154MacConfig
+from repro.netsim.network import StarNetworkScenario
+from repro.shimmer.platform import ShimmerNodeConfig
+from repro.signals.ecg import SyntheticECG
+from repro.signals.windowing import split_windows
+
+
+@pytest.fixture(scope="module")
+def ecg_window():
+    record = SyntheticECG(seed=4).generate_quantized(2.0)
+    return split_windows(record.samples_mv, 256)[0]
+
+
+def test_wavelet_roundtrip_speed(benchmark, ecg_window):
+    wavelet = Wavelet.build("db4")
+
+    def roundtrip():
+        return waverec(wavedec(ecg_window, wavelet, 4), wavelet)
+
+    reconstructed = benchmark(roundtrip)
+    np.testing.assert_allclose(reconstructed, ecg_window, atol=1e-8)
+
+
+def test_dwt_compression_speed(benchmark, ecg_window):
+    compressor = DWTCompressor(compression_ratio=0.3, window_size=256)
+    result = benchmark(compressor.compress, ecg_window)
+    assert result.payload_bytes > 0
+
+
+def test_cs_reconstruction_speed(benchmark, ecg_window):
+    compressor = CSCompressor(compression_ratio=0.3, window_size=256)
+    compressed = compressor.compress(ecg_window)
+    reconstructed = benchmark(compressor.decompress, compressed)
+    assert np.all(np.isfinite(reconstructed))
+
+
+def test_hardware_emulation_speed(benchmark):
+    emulator = ShimmerNodeEmulator()
+    config = ShimmerNodeConfig(0.3, 8e6)
+    mac = Ieee802154MacConfig()
+    measurement = benchmark(emulator.measure, "dwt", config, mac)
+    assert measurement.total_w > 0
+
+
+def test_packet_level_simulation_speed(benchmark):
+    mac = Ieee802154MacConfig(80, 4, 4)
+
+    def simulate():
+        return StarNetworkScenario([112.5] * 4, mac, duration_s=30.0).run()
+
+    result = benchmark.pedantic(simulate, rounds=3, iterations=1)
+    assert result.stats.total_packets_delivered > 0

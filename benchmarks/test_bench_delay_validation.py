@@ -1,0 +1,45 @@
+"""Benchmark TAB-DELAY — delay bound versus packet-level simulation (§5.1).
+
+Runs the 130-configuration validation campaign of Section 5.1: random
+realistic output streams and MAC configurations, simulated with the
+packet-level simulator, compared against the worst-case bound of
+equation (9).  Claims checked:
+
+* the bound is never violated by the simulated average delay,
+* the average overestimation stays moderate (paper: below 100 ms).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.delay_validation import run_delay_validation
+
+
+@pytest.mark.paper_figure("delay-validation")
+def test_delay_bound_validation(benchmark, reporter):
+    result = benchmark.pedantic(
+        run_delay_validation,
+        kwargs={"n_configurations": 130, "duration_s": 40.0, "seed": 1},
+        rounds=1,
+        iterations=1,
+    )
+
+    lines = [
+        f"configurations simulated: {len(result.records)}",
+        f"bound violations: {result.violations} (expected 0)",
+        f"average overestimation: {result.average_overestimation_s * 1e3:.1f} ms "
+        "(paper: < 100 ms)",
+    ]
+    for record in result.records[:5]:
+        lines.append(
+            f"  {record.n_nodes} nodes, SO={record.superframe_order}/BO={record.beacon_order}, "
+            f"payload={record.payload_bytes}B: sim={record.simulated_mean_delay_s * 1e3:6.1f} ms, "
+            f"bound={record.model_bound_s * 1e3:6.1f} ms"
+        )
+    reporter("Delay validation - equation (9) vs simulation", lines)
+
+    # --- paper claims -----------------------------------------------------
+    assert len(result.records) == 130
+    assert result.violations == 0
+    assert 0.0 < result.average_overestimation_s < 0.150

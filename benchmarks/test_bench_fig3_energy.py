@@ -1,0 +1,54 @@
+"""Benchmark FIG3 — node energy estimation accuracy (paper Figure 3).
+
+Regenerates the 16-configuration sweep (DWT/CS x {1, 8} MHz x four
+compression ratios), comparing the analytical estimate of equations (3)-(7)
+with the emulated measurement, and checks the paper's claims:
+
+* estimation error below ~2 % on every feasible configuration
+  (paper: max 1.74 %),
+* DWT estimated more accurately than CS (paper: 0.13 % vs 0.88 %),
+* DWT infeasible at 1 MHz, feasible at 8 MHz,
+* energy grows with compression ratio and with frequency.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig3_node_energy import run_fig3
+
+
+@pytest.mark.paper_figure("figure-3")
+def test_fig3_node_energy_accuracy(benchmark, reporter):
+    result = benchmark.pedantic(run_fig3, rounds=3, iterations=1)
+
+    lines = []
+    for record in result.records:
+        status = f"{record.error_percent:.2f}%" if record.feasible else "infeasible"
+        lines.append(
+            f"{record.application.upper():3s} {record.frequency_hz / 1e6:3.0f} MHz "
+            f"CR={record.compression_ratio:.2f}  "
+            f"measured={record.measured_mj_per_s:6.3f} mJ/s  "
+            f"estimated={record.estimated_mj_per_s:6.3f} mJ/s  {status}"
+        )
+    lines.append(
+        f"average error: DWT {result.average_error_percent('dwt'):.2f}% "
+        f"(paper 0.13%), CS {result.average_error_percent('cs'):.2f}% (paper 0.88%)"
+    )
+    lines.append(f"maximum error: {result.max_error_percent:.2f}% (paper 1.74%)")
+    reporter("Figure 3 - node energy estimation", lines)
+
+    # --- paper claims -----------------------------------------------------
+    assert result.max_error_percent < 2.5
+    assert result.average_error_percent("dwt") < result.average_error_percent("cs")
+    infeasible = result.infeasible_configurations()
+    assert infeasible and all(
+        r.application == "dwt" and r.frequency_hz == 1e6 for r in infeasible
+    )
+    for application in ("dwt", "cs"):
+        series = [
+            r.estimated_mj_per_s
+            for r in result.records_for(application)
+            if r.frequency_hz == 8e6
+        ]
+        assert series == sorted(series), "energy must grow with the compression ratio"

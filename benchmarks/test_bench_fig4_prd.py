@@ -1,0 +1,49 @@
+"""Benchmark FIG4 — PRD estimation accuracy (paper Figure 4).
+
+Measures the PRD of both compression applications over the CR sweep with the
+real compression/reconstruction pipelines on synthetic ECG, fits the 5th-order
+polynomials and checks the paper's claims:
+
+* PRD decreases as CR grows for both applications,
+* CS PRD is above DWT PRD at every ratio,
+* the polynomial estimate tracks the measurement closely
+  (paper: 0.46 % DWT, 0.92 % CS; our CS decoder is noisier on short synthetic
+  records, so its bound is looser).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig4_prd import run_fig4
+
+
+@pytest.mark.paper_figure("figure-4")
+def test_fig4_prd_estimation(benchmark, reporter):
+    result = benchmark.pedantic(
+        run_fig4, kwargs={"duration_s": 16.0}, rounds=1, iterations=1
+    )
+
+    lines = []
+    for record in result.records:
+        lines.append(
+            f"{record.application.upper():3s} CR={record.compression_ratio:.2f}  "
+            f"measured PRD={record.measured_prd:6.2f}  "
+            f"estimated PRD={record.estimated_prd:6.2f}  "
+            f"error={record.error_percent:.2f}%"
+        )
+    lines.append(
+        f"average error: DWT {result.average_error_percent('dwt'):.2f}% "
+        f"(paper 0.46%), CS {result.average_error_percent('cs'):.2f}% (paper 0.92%)"
+    )
+    reporter("Figure 4 - PRD estimation", lines)
+
+    # --- paper claims -----------------------------------------------------
+    dwt = result.records_for("dwt")
+    cs = result.records_for("cs")
+    assert dwt[0].measured_prd > dwt[-1].measured_prd
+    assert cs[0].measured_prd > cs[-1].measured_prd
+    for dwt_record, cs_record in zip(dwt, cs):
+        assert cs_record.measured_prd > dwt_record.measured_prd
+    assert result.average_error_percent("dwt") < 1.0
+    assert result.average_error_percent("cs") < 8.0

@@ -1,0 +1,59 @@
+"""Benchmark FIG5 — Pareto trade-offs and the energy/delay baseline (Figure 5).
+
+Runs the case-study design-space exploration with the full three-metric model
+and with the energy/delay-only baseline, then compares the detected trade-off
+sets.  Claims checked:
+
+* the full-model exploration exposes a rich trade-off front,
+* the baseline contributes only a small fraction of the combined front
+  (paper: ~7 %),
+* NSGA-II and multi-objective simulated annealing produce fronts of similar
+  quality (paper: "no relevant difference").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig5_pareto import run_fig5
+
+
+@pytest.mark.paper_figure("figure-5")
+def test_fig5_tradeoff_detection(benchmark, reporter):
+    result = benchmark.pedantic(
+        run_fig5,
+        kwargs={
+            "population_size": 48,
+            "generations": 30,
+            "annealing_iterations": 1500,
+            "seed": 3,
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    projections = result.projections
+    lines = [
+        f"full-model Pareto front size: {len(result.full_model_front)}",
+        f"baseline front size: {len(result.baseline_front_full_objectives)}",
+        f"baseline share of the combined front: {result.baseline_coverage * 100:.1f}% (paper ~7%)",
+        f"NSGA-II vs annealing hypervolume gap: {result.algorithm_hypervolume_gap * 100:.1f}%",
+        "energy-PRD projection extremes: "
+        f"energy {min(p[0] for p in projections['energy-prd']) * 1e3:.2f}-"
+        f"{max(p[0] for p in projections['energy-prd']) * 1e3:.2f} mJ/s, "
+        f"PRD {min(p[1] for p in projections['energy-prd']):.1f}-"
+        f"{max(p[1] for p in projections['energy-prd']):.1f}",
+    ]
+    reporter("Figure 5 - trade-off detection", lines)
+
+    # --- paper claims -----------------------------------------------------
+    assert len(result.full_model_front) >= 30
+    assert result.baseline_coverage < 0.20
+    assert result.algorithm_hypervolume_gap < 0.40
+    # The front must genuinely span all three dimensions.
+    energies = [p[0] for p in result.full_model_front]
+    qualities = [p[1] for p in result.full_model_front]
+    delays = [p[2] for p in result.full_model_front]
+    assert max(energies) > min(energies) * 1.02
+    assert max(qualities) > min(qualities) * 1.5
+    assert max(delays) > min(delays) * 1.5

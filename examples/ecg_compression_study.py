@@ -1,0 +1,73 @@
+"""Compare the two on-node ECG compressors on synthetic signals.
+
+The script generates a synthetic ECG record, compresses it with both the
+DWT-thresholding compressor and the compressed-sensing encoder over a sweep of
+compression ratios, reconstructs the signal and reports PRD, SNR and the
+estimated node-level cost (duty cycle at 8 MHz and transmitted bytes) — the
+information a designer needs to pick the per-node application and compression
+ratio before running the full design-space exploration.
+
+Run with::
+
+    python examples/ecg_compression_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression import CSCompressor, DWTCompressor
+from repro.shimmer import ShimmerNodeConfig, build_application
+from repro.signals import SyntheticECG, prd, snr_db, split_windows
+
+
+def main() -> None:
+    record = SyntheticECG(seed=42, heart_rate_bpm=68.0).generate_quantized(16.0)
+    windows = split_windows(record.samples_mv, 256)
+    print(
+        f"generated {record.duration_s:.0f} s of ECG at {record.sampling_rate_hz:.0f} Hz "
+        f"({len(windows)} windows of 256 samples)"
+    )
+
+    applications = {
+        "dwt": build_application("dwt"),
+        "cs": build_application("cs"),
+    }
+
+    print()
+    header = (
+        f"{'app':4s} {'CR':>5s} {'PRD %':>8s} {'SNR dB':>8s} "
+        f"{'bytes/s':>8s} {'duty@8MHz':>10s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for ratio in (0.17, 0.23, 0.29, 0.35, 0.38):
+        for kind in ("dwt", "cs"):
+            if kind == "dwt":
+                compressor = DWTCompressor(compression_ratio=ratio, window_size=256)
+            else:
+                compressor = CSCompressor(compression_ratio=ratio, window_size=256)
+            reconstructed = np.concatenate(
+                [compressor.decompress(compressor.compress(window)) for window in windows]
+            )
+            original = np.concatenate(list(windows))
+            config = ShimmerNodeConfig(ratio, 8e6)
+            usage = applications[kind].resource_usage(375.0, config)
+            output_rate = applications[kind].output_stream_bytes_per_second(375.0, config)
+            print(
+                f"{kind.upper():4s} {ratio:5.2f} {prd(original, reconstructed):8.2f} "
+                f"{snr_db(original, reconstructed):8.2f} {output_rate:8.1f} "
+                f"{usage.duty_cycle * 100:9.1f}%"
+            )
+
+    print()
+    print(
+        "Take-away: the DWT reaches diagnostic quality (PRD < 9%) at every ratio\n"
+        "but needs the microcontroller at full speed, while compressed sensing is\n"
+        "an order of magnitude cheaper to run and trades that for reconstruction\n"
+        "quality — exactly the energy/quality tension the DSE explores."
+    )
+
+
+if __name__ == "__main__":
+    main()

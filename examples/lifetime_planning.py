@@ -1,0 +1,73 @@
+"""Project node lifetimes for a hospital deployment.
+
+The energy metric optimised by the DSE is an average power; what a deployment
+team actually schedules is battery replacement.  This script sweeps the
+per-node configurations of the case study, converts the model's energy
+estimates into expected lifetimes on the Shimmer's 280 mAh cell, and prints a
+maintenance-oriented summary (which node runs out first, how much lifetime a
+lower compression ratio buys, what the DWT/CS split costs).
+
+Run with::
+
+    python examples/lifetime_planning.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.casestudy import DEFAULT_MAC_CONFIG
+from repro.experiments.fig3_node_energy import estimate_node_energy
+from repro.shimmer import BatteryModel, ShimmerNodeConfig
+
+
+def main() -> None:
+    battery = BatteryModel()
+    print(
+        f"battery: {battery.capacity_mah:.0f} mAh at {battery.nominal_voltage_v:.1f} V "
+        f"({battery.usable_energy_j:.0f} J usable after converter losses)"
+    )
+    print()
+
+    header = (
+        f"{'app':4s} {'CR':>5s} {'f MHz':>6s} {'power mJ/s':>11s} "
+        f"{'lifetime h':>11s} {'lifetime d':>11s} {'feasible':>9s}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    worst: tuple[str, float] | None = None
+    best: tuple[str, float] | None = None
+    for application in ("dwt", "cs"):
+        for frequency_hz in (1e6, 4e6, 8e6):
+            for ratio in (0.17, 0.29, 0.38):
+                config = ShimmerNodeConfig(ratio, frequency_hz)
+                energy_w, _, schedulable = estimate_node_energy(
+                    application, config, DEFAULT_MAC_CONFIG
+                )
+                if schedulable:
+                    hours = battery.lifetime_hours(energy_w)
+                    label = f"{application}@CR{ratio}/{frequency_hz / 1e6:.0f}MHz"
+                    if worst is None or hours < worst[1]:
+                        worst = (label, hours)
+                    if best is None or hours > best[1]:
+                        best = (label, hours)
+                    lifetime = f"{hours:11.1f} {hours / 24:11.1f}"
+                else:
+                    lifetime = f"{'-':>11s} {'-':>11s}"
+                print(
+                    f"{application.upper():4s} {ratio:5.2f} {frequency_hz / 1e6:6.0f} "
+                    f"{energy_w * 1e3:11.3f} {lifetime} {str(schedulable):>9s}"
+                )
+
+    assert worst is not None and best is not None
+    print()
+    print(f"shortest-lived feasible configuration : {worst[0]} ({worst[1] / 24:.1f} days)")
+    print(f"longest-lived feasible configuration  : {best[0]} ({best[1] / 24:.1f} days)")
+    print(
+        "replacement planning is driven by the DWT nodes: the network-level\n"
+        "balance term of equation (8) exists precisely to keep this spread in\n"
+        "check during the exploration."
+    )
+
+
+if __name__ == "__main__":
+    main()

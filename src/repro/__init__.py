@@ -1,0 +1,35 @@
+"""repro — model-based design exploration of energy-performance trade-offs for WSNs.
+
+Reproduction of Beretta, Rincón, Khaled, Grassi, Rana and Atienza, *Design
+Exploration of Energy-Performance Trade-Offs for Wireless Sensor Networks*,
+DAC 2012.
+
+The package is organised in three tiers:
+
+* substrates — synthetic ECG generation (:mod:`repro.signals`), the DWT and
+  compressed-sensing firmware algorithms (:mod:`repro.compression`), the
+  Shimmer hardware characterisation (:mod:`repro.shimmer`), a component-level
+  hardware emulator standing in for the measurement bench
+  (:mod:`repro.hwemu`) and a packet-level discrete-event network simulator
+  standing in for Castalia (:mod:`repro.netsim`);
+* the paper's contribution — the system-level analytical model
+  (:mod:`repro.core`) and its IEEE 802.15.4 instantiation
+  (:mod:`repro.mac802154`);
+* the exploration layer — multi-objective search algorithms and Pareto
+  utilities (:mod:`repro.dse`) and the experiment drivers regenerating every
+  table and figure of the paper (:mod:`repro.experiments`).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "mac802154",
+    "shimmer",
+    "signals",
+    "compression",
+    "hwemu",
+    "netsim",
+    "dse",
+    "experiments",
+]

@@ -1,0 +1,59 @@
+"""ECG compression applications (node firmware substrate).
+
+The case study nodes run one of two compression algorithms before
+transmission:
+
+* **DWT compression** — a multi-level discrete wavelet transform followed by
+  retention of a fixed percentage of the largest coefficients (Benzid et
+  al. [23]).
+* **Compressed sensing (CS)** — random sub-Nyquist projections with a sparse
+  binary sensing matrix; the coordinator reconstructs the signal by sparse
+  recovery in the wavelet domain (Mamaghanian et al. [13]).
+
+Everything here is implemented from scratch on top of numpy: the wavelet
+filter banks, the sensing matrices, and the reconstruction solvers (orthogonal
+matching pursuit and FISTA).  The :mod:`repro.compression.cycle_counts` module
+provides the MSP430 cycle/memory accounting used by the hardware emulator and
+by the analytical resource-usage functions.
+"""
+
+from repro.compression.base import CompressionResult, Compressor
+from repro.compression.wavelet import Wavelet, wavedec, waverec, dwt, idwt
+from repro.compression.dwt_compressor import DWTCompressor
+from repro.compression.sensing_matrix import (
+    bernoulli_matrix,
+    gaussian_matrix,
+    sparse_binary_matrix,
+)
+from repro.compression.cs_compressor import CSCompressor
+from repro.compression.omp import orthogonal_matching_pursuit
+from repro.compression.ista import fista, reweighted_basis_pursuit, soft_threshold
+from repro.compression.cycle_counts import (
+    CycleCount,
+    dwt_cycle_count,
+    cs_cycle_count,
+    MSP430CostModel,
+)
+
+__all__ = [
+    "CompressionResult",
+    "Compressor",
+    "Wavelet",
+    "wavedec",
+    "waverec",
+    "dwt",
+    "idwt",
+    "DWTCompressor",
+    "bernoulli_matrix",
+    "gaussian_matrix",
+    "sparse_binary_matrix",
+    "CSCompressor",
+    "orthogonal_matching_pursuit",
+    "fista",
+    "reweighted_basis_pursuit",
+    "soft_threshold",
+    "CycleCount",
+    "dwt_cycle_count",
+    "cs_cycle_count",
+    "MSP430CostModel",
+]

@@ -1,0 +1,81 @@
+"""Common interface of the on-node compression applications."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["CompressionResult", "Compressor"]
+
+
+@dataclass
+class CompressionResult:
+    """Outcome of compressing one window of samples.
+
+    Attributes:
+        payload: the values that would be transmitted to the coordinator.
+        payload_bytes: size of the transmitted payload in bytes, using the
+            node's native sample width.
+        original_bytes: size of the uncompressed window in bytes.
+        metadata: algorithm-specific side information needed by the decoder
+            (e.g. coefficient indices or the sensing-matrix seed).  In the
+            real system this is either negligible or agreed upon offline, so
+            it is not counted against the payload size.
+    """
+
+    payload: np.ndarray
+    payload_bytes: int
+    original_bytes: int
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def achieved_cr(self) -> float:
+        """Achieved compression ratio (output bytes / input bytes)."""
+        return self.payload_bytes / self.original_bytes
+
+
+class Compressor(abc.ABC):
+    """Abstract window-based compressor.
+
+    A compressor processes fixed-size windows of quantised ECG samples and
+    produces a reduced payload; the matching :meth:`decompress` reproduces an
+    approximation of the original window (executed by the coordinator).
+    """
+
+    #: number of samples processed per window
+    window_size: int
+    #: bytes used to represent one sample / payload value on the radio link
+    sample_width_bytes: int = 2
+
+    @abc.abstractmethod
+    def compress(self, window: np.ndarray) -> CompressionResult:
+        """Compress one window of ``window_size`` samples."""
+
+    @abc.abstractmethod
+    def decompress(self, result: CompressionResult) -> np.ndarray:
+        """Reconstruct the window from a :class:`CompressionResult`."""
+
+    def roundtrip(self, window: np.ndarray) -> tuple[CompressionResult, np.ndarray]:
+        """Compress then immediately reconstruct a window."""
+        result = self.compress(window)
+        return result, self.decompress(result)
+
+    def compress_record(self, samples: np.ndarray) -> list[CompressionResult]:
+        """Compress an arbitrary-length record window by window."""
+        from repro.signals.windowing import split_windows
+
+        windows = split_windows(np.asarray(samples, dtype=float), self.window_size)
+        return [self.compress(window) for window in windows]
+
+    def _validate_window(self, window: np.ndarray) -> np.ndarray:
+        window = np.asarray(window, dtype=float)
+        if window.ndim != 1:
+            raise ValueError("window must be one-dimensional")
+        if len(window) != self.window_size:
+            raise ValueError(
+                f"window must contain {self.window_size} samples, got {len(window)}"
+            )
+        return window

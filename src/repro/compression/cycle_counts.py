@@ -1,0 +1,190 @@
+"""MSP430 cycle and memory accounting of the compression firmware.
+
+The analytical node model of the paper characterises each application by the
+resource-usage vector ``u = (Duty_app, M_app, gamma_app)`` — microcontroller
+duty cycle, memory footprint and memory accesses.  The original authors
+obtained those numbers by profiling the Shimmer firmware; since that firmware
+is not available, this module provides an instruction-level cost model of the
+two algorithms (DWT thresholding and sparse-binary compressed sensing) on an
+MSP430-class microcontroller *without* hardware multiplier, calibrated so that
+the resulting duty cycles match the figures published in the paper
+(``Duty_DWT ~= 2265.6 / f_kHz`` and ``Duty_CS ~= 388.8 / f_kHz``).
+
+The cost model is used in two places:
+
+* the hardware emulator (:mod:`repro.hwemu`) executes it directly and adds
+  the second-order effects (interrupt servicing, packet handling) the
+  analytical model neglects;
+* the Shimmer application models (:mod:`repro.shimmer.applications`) derive
+  their constant duty-cycle coefficients by profiling this model at a
+  reference configuration, exactly as the paper's authors derived theirs from
+  firmware measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "MSP430CostModel",
+    "CycleCount",
+    "dwt_cycle_count",
+    "cs_cycle_count",
+    "cycles_per_second",
+]
+
+
+@dataclass(frozen=True)
+class MSP430CostModel:
+    """Per-operation cycle costs of an MSP430-class core.
+
+    The default values model an MSP430F1611 running fixed-point (Q15) code
+    with software multiplication, which dominates the DWT cost.
+    """
+
+    #: cycles for one Q15 multiply-accumulate (software multiply + scaling)
+    mac_q15_cycles: int = 540
+    #: cycles for one 16-bit add/accumulate including index fetch
+    add16_cycles: int = 90
+    #: cycles for one compare-and-swap step during coefficient selection
+    compare_cycles: int = 60
+    #: per-sample acquisition overhead (ADC ISR, buffering, framing)
+    per_sample_cycles: int = 380
+    #: cycles to pack one output value into the transmit buffer
+    pack_cycles: int = 35
+    #: fixed per-window control overhead (function calls, window management)
+    window_control_cycles: int = 20_000
+
+    def __post_init__(self) -> None:
+        for name in (
+            "mac_q15_cycles",
+            "add16_cycles",
+            "compare_cycles",
+            "per_sample_cycles",
+            "pack_cycles",
+            "window_control_cycles",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} cannot be negative")
+
+
+@dataclass(frozen=True)
+class CycleCount:
+    """Resource usage of processing one compression window.
+
+    Attributes:
+        cycles: microcontroller cycles consumed per window.
+        memory_accesses: number of RAM read/write accesses per window.
+        memory_bytes: peak RAM footprint in bytes (buffers + constants).
+    """
+
+    cycles: float
+    memory_accesses: float
+    memory_bytes: float
+
+    def scaled(self, factor: float) -> "CycleCount":
+        """Return a copy with cycles and accesses scaled by ``factor``."""
+        return CycleCount(
+            cycles=self.cycles * factor,
+            memory_accesses=self.memory_accesses * factor,
+            memory_bytes=self.memory_bytes,
+        )
+
+
+def _dwt_mac_count(window_size: int, levels: int, filter_length: int) -> int:
+    """Multiply-accumulate count of a periodised multi-level DWT."""
+    macs = 0
+    current = window_size
+    for _ in range(levels):
+        macs += current * filter_length
+        current //= 2
+    return macs
+
+
+def dwt_cycle_count(
+    window_size: int = 256,
+    levels: int = 4,
+    filter_length: int = 8,
+    compression_ratio: float = 0.275,
+    cost_model: MSP430CostModel | None = None,
+) -> CycleCount:
+    """Cycle/memory cost of the DWT-thresholding compressor for one window."""
+    if window_size <= 0 or window_size % (2**levels) != 0:
+        raise ValueError("window_size must be positive and divisible by 2**levels")
+    if not 0.0 < compression_ratio <= 1.0:
+        raise ValueError("compression_ratio must be in (0, 1]")
+    cost = cost_model if cost_model is not None else MSP430CostModel()
+
+    macs = _dwt_mac_count(window_size, levels, filter_length)
+    kept = max(1, round(compression_ratio * window_size))
+    # Coefficient selection is a full sort (N log2 N compare/swap steps).
+    selection_steps = window_size * max(1, window_size.bit_length() - 1)
+
+    cycles = (
+        macs * cost.mac_q15_cycles
+        + selection_steps * cost.compare_cycles
+        + window_size * cost.per_sample_cycles
+        + kept * cost.pack_cycles
+        + cost.window_control_cycles
+    )
+    # Each MAC touches a sample and a filter coefficient; every level writes
+    # its outputs back; the selection pass re-reads all coefficients.
+    memory_accesses = macs * 2 + 2 * window_size * levels + selection_steps
+    memory_bytes = (
+        2 * window_size * 2  # input + working buffer (16-bit samples)
+        + kept * 4  # retained values + significance map
+        + filter_length * 2 * 2  # filter tap tables (lo + hi)
+        + 800  # stack frames, globals, TinyOS-style task bookkeeping
+    )
+    return CycleCount(float(cycles), float(memory_accesses), float(memory_bytes))
+
+
+def cs_cycle_count(
+    window_size: int = 256,
+    compression_ratio: float = 0.275,
+    nonzeros_per_column: int = 12,
+    cost_model: MSP430CostModel | None = None,
+) -> CycleCount:
+    """Cycle/memory cost of the sparse-binary CS encoder for one window."""
+    if window_size <= 0:
+        raise ValueError("window_size must be positive")
+    if not 0.0 < compression_ratio <= 1.0:
+        raise ValueError("compression_ratio must be in (0, 1]")
+    if nonzeros_per_column <= 0:
+        raise ValueError("nonzeros_per_column must be positive")
+    cost = cost_model if cost_model is not None else MSP430CostModel()
+
+    measurements = max(1, round(compression_ratio * window_size))
+    # Sparse binary sensing: each input sample is accumulated into
+    # `nonzeros_per_column` measurement registers — additions only.
+    adds = window_size * nonzeros_per_column
+
+    cycles = (
+        adds * cost.add16_cycles
+        + window_size * cost.per_sample_cycles
+        + measurements * cost.pack_cycles
+        + cost.window_control_cycles
+    )
+    memory_accesses = adds * 2 + window_size + measurements
+    memory_bytes = (
+        window_size * 2  # input buffer
+        + measurements * 4  # 32-bit accumulators
+        + window_size  # row-index look-up table (regenerated per column)
+        + 700  # stack frames and globals
+    )
+    return CycleCount(float(cycles), float(memory_accesses), float(memory_bytes))
+
+
+def cycles_per_second(
+    count: CycleCount, window_size: int, sampling_rate_hz: float
+) -> CycleCount:
+    """Convert a per-window :class:`CycleCount` to a per-second rate.
+
+    ``windows per second = sampling_rate_hz / window_size`` — the node must on
+    average process exactly as many windows as it acquires.
+    """
+    if window_size <= 0:
+        raise ValueError("window_size must be positive")
+    if sampling_rate_hz <= 0:
+        raise ValueError("sampling_rate_hz must be positive")
+    return count.scaled(sampling_rate_hz / window_size)

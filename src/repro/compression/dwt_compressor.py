@@ -1,0 +1,95 @@
+"""Wavelet-thresholding ECG compressor (Benzid et al. [23]).
+
+The compressor transforms each window with a multi-level orthonormal DWT and
+keeps only a fixed percentage of the coefficients — the ones with the largest
+magnitude — so that the transmitted stream is ``CR`` times the input stream.
+The positions of the retained coefficients are carried as metadata (in the
+real firmware they are run-length encoded into a small significance map whose
+cost is absorbed by the MAC packetization overhead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.compression.base import CompressionResult, Compressor
+from repro.compression.wavelet import (
+    Wavelet,
+    flatten_coefficients,
+    unflatten_coefficients,
+    wavedec,
+    waverec,
+)
+
+__all__ = ["DWTCompressor"]
+
+
+@dataclass
+class DWTCompressor(Compressor):
+    """Fixed-percentage wavelet coefficient compressor.
+
+    Args:
+        compression_ratio: fraction of the input stream that is transmitted
+            (``phi_out = phi_in * CR``), i.e. the fraction of wavelet
+            coefficients retained.
+        window_size: samples per compression window; must be divisible by
+            ``2 ** levels``.
+        levels: number of DWT decomposition levels.
+        wavelet_name: filter family used by the transform.
+        sample_width_bytes: bytes per transmitted coefficient.
+    """
+
+    compression_ratio: float = 0.25
+    window_size: int = 256
+    levels: int = 4
+    wavelet_name: str = "db4"
+    sample_width_bytes: int = 2
+    _wavelet: Wavelet = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.compression_ratio <= 1.0:
+            raise ValueError("compression_ratio must be in (0, 1]")
+        if self.window_size <= 0 or self.window_size % (2**self.levels) != 0:
+            raise ValueError(
+                "window_size must be positive and divisible by 2**levels"
+            )
+        self._wavelet = Wavelet.build(self.wavelet_name)
+
+    @property
+    def retained_coefficients(self) -> int:
+        """Number of wavelet coefficients kept per window."""
+        return max(1, int(round(self.compression_ratio * self.window_size)))
+
+    def compress(self, window: np.ndarray) -> CompressionResult:
+        """Transform the window and keep the largest coefficients."""
+        window = self._validate_window(window)
+        bands = wavedec(window, self._wavelet, self.levels)
+        flat, lengths = flatten_coefficients(bands)
+        keep = self.retained_coefficients
+        # Indices of the `keep` largest-magnitude coefficients, reported in
+        # ascending index order so the decoder sees a canonical layout.
+        order = np.argsort(np.abs(flat))[::-1][:keep]
+        order = np.sort(order)
+        payload = flat[order]
+        return CompressionResult(
+            payload=payload,
+            payload_bytes=keep * self.sample_width_bytes,
+            original_bytes=self.window_size * self.sample_width_bytes,
+            metadata={
+                "indices": order,
+                "band_lengths": lengths,
+                "window_size": self.window_size,
+            },
+        )
+
+    def decompress(self, result: CompressionResult) -> np.ndarray:
+        """Re-insert the retained coefficients and invert the transform."""
+        indices = np.asarray(result.metadata["indices"], dtype=int)
+        lengths = list(result.metadata["band_lengths"])
+        window_size = int(result.metadata["window_size"])
+        flat = np.zeros(window_size)
+        flat[indices] = np.asarray(result.payload, dtype=float)
+        bands = unflatten_coefficients(flat, lengths)
+        return waverec(bands, self._wavelet)

@@ -1,0 +1,179 @@
+"""Iterative shrinkage-thresholding (ISTA/FISTA) sparse-recovery solvers.
+
+FISTA solves the (optionally weighted) LASSO problem
+
+    minimise  0.5 * ||y - A x||_2^2  +  lambda * sum_i w_i |x_i|
+
+and is the default reconstruction back-end of the compressed-sensing decoder:
+ECG windows are only *compressible* (not exactly sparse) in the wavelet
+domain, and an l1 formulation with
+
+* a zero weight on the coarse approximation band (those coefficients are
+  dense by nature and should not be penalised),
+* a couple of reweighting rounds (Candes-Wakin-Boyd iterative reweighting),
+* a final least-squares debiasing on the detected support,
+
+recovers them far more reliably than a plain greedy pursuit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["soft_threshold", "fista", "reweighted_basis_pursuit"]
+
+
+def soft_threshold(values: np.ndarray, threshold: float | np.ndarray) -> np.ndarray:
+    """Element-wise soft-thresholding operator (scalar or per-element)."""
+    values = np.asarray(values, dtype=float)
+    threshold = np.asarray(threshold, dtype=float)
+    if np.any(threshold < 0):
+        raise ValueError("threshold cannot be negative")
+    return np.sign(values) * np.maximum(np.abs(values) - threshold, 0.0)
+
+
+def fista(
+    operator: np.ndarray,
+    measurements: np.ndarray,
+    regularization: float,
+    weights: np.ndarray | None = None,
+    max_iterations: int = 300,
+    tolerance: float = 1e-7,
+    initial: np.ndarray | None = None,
+) -> np.ndarray:
+    """Solve the weighted LASSO problem with accelerated proximal gradient.
+
+    Args:
+        operator: matrix ``A`` of shape ``(n_measurements, n_unknowns)``.
+        measurements: vector ``y``.
+        regularization: the l1 penalty weight ``lambda``.
+        weights: optional per-coefficient penalty weights ``w_i`` (default:
+            all ones).  A zero weight leaves the coefficient unpenalised.
+        max_iterations: iteration budget.
+        tolerance: stop once the relative change of the iterate drops below
+            this value.
+        initial: optional warm-start vector.
+
+    Returns:
+        The estimated coefficient vector.
+    """
+    operator = np.asarray(operator, dtype=float)
+    measurements = np.asarray(measurements, dtype=float)
+    if operator.ndim != 2:
+        raise ValueError("operator must be a 2-D matrix")
+    n_measurements, n_unknowns = operator.shape
+    if measurements.shape != (n_measurements,):
+        raise ValueError("measurements length does not match the operator")
+    if regularization < 0:
+        raise ValueError("regularization cannot be negative")
+    if max_iterations <= 0:
+        raise ValueError("max_iterations must be positive")
+    if weights is None:
+        weights = np.ones(n_unknowns)
+    else:
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (n_unknowns,):
+            raise ValueError("weights must have one entry per unknown")
+        if np.any(weights < 0):
+            raise ValueError("weights cannot be negative")
+
+    # Lipschitz constant of the gradient of the data term.
+    lipschitz = float(np.linalg.norm(operator, ord=2) ** 2)
+    if lipschitz == 0.0:
+        return np.zeros(n_unknowns)
+    step = 1.0 / lipschitz
+    thresholds = regularization * step * weights
+
+    estimate = (
+        np.zeros(n_unknowns) if initial is None else np.asarray(initial, dtype=float).copy()
+    )
+    momentum_point = estimate.copy()
+    momentum = 1.0
+    for _ in range(max_iterations):
+        gradient = operator.T @ (operator @ momentum_point - measurements)
+        candidate = soft_threshold(momentum_point - step * gradient, thresholds)
+        next_momentum = 0.5 * (1.0 + np.sqrt(1.0 + 4.0 * momentum**2))
+        momentum_point = candidate + ((momentum - 1.0) / next_momentum) * (
+            candidate - estimate
+        )
+        change = np.linalg.norm(candidate - estimate)
+        scale = max(np.linalg.norm(estimate), 1e-12)
+        estimate = candidate
+        momentum = next_momentum
+        if change / scale < tolerance:
+            break
+    return estimate
+
+
+def reweighted_basis_pursuit(
+    operator: np.ndarray,
+    measurements: np.ndarray,
+    penalty_weights: np.ndarray | None = None,
+    regularization_fraction: float = 0.02,
+    reweighting_rounds: int = 3,
+    iterations_per_round: int = 250,
+    debias: bool = True,
+) -> np.ndarray:
+    """Reweighted l1 recovery with optional support debiasing.
+
+    Args:
+        operator: the measurement-domain dictionary ``A = Phi @ Psi``.
+        measurements: the compressed measurements ``y``.
+        penalty_weights: base penalty weights (zero entries are never
+            penalised — used for the dense approximation band).
+        regularization_fraction: ``lambda`` as a fraction of
+            ``max |A^T y|``.
+        reweighting_rounds: total number of l1 solves; rounds after the first
+            use Candes-Wakin-Boyd reweighting ``w_i <- w_i / (|x_i|/eps + 1)``.
+        iterations_per_round: FISTA iteration budget per round.
+        debias: re-fit the detected support by least squares at the end.
+
+    Returns:
+        The recovered coefficient vector.
+    """
+    operator = np.asarray(operator, dtype=float)
+    measurements = np.asarray(measurements, dtype=float)
+    if reweighting_rounds < 1:
+        raise ValueError("reweighting_rounds must be at least 1")
+    if not 0.0 < regularization_fraction < 1.0:
+        raise ValueError("regularization_fraction must be in (0, 1)")
+    n_unknowns = operator.shape[1]
+    base_weights = (
+        np.ones(n_unknowns)
+        if penalty_weights is None
+        else np.asarray(penalty_weights, dtype=float)
+    )
+
+    correlation_scale = float(np.max(np.abs(operator.T @ measurements))) if measurements.size else 0.0
+    if correlation_scale == 0.0:
+        return np.zeros(n_unknowns)
+    regularization = regularization_fraction * correlation_scale
+
+    estimate = fista(
+        operator,
+        measurements,
+        regularization,
+        weights=base_weights,
+        max_iterations=iterations_per_round,
+    )
+    for _ in range(reweighting_rounds - 1):
+        epsilon = 0.1 * float(np.max(np.abs(estimate))) + 1e-9
+        reweighted = base_weights / (np.abs(estimate) / epsilon + 1.0)
+        estimate = fista(
+            operator,
+            measurements,
+            regularization,
+            weights=reweighted,
+            max_iterations=iterations_per_round,
+            initial=estimate,
+        )
+
+    if debias:
+        magnitude = np.abs(estimate)
+        support = magnitude > 1e-3 * float(np.max(magnitude)) if magnitude.size else magnitude > 0
+        if 0 < int(np.sum(support)) <= len(measurements):
+            solution, *_ = np.linalg.lstsq(operator[:, support], measurements, rcond=None)
+            debiased = np.zeros_like(estimate)
+            debiased[support] = solution
+            estimate = debiased
+    return estimate

@@ -1,0 +1,73 @@
+"""Orthogonal matching pursuit (OMP) sparse-recovery solver.
+
+OMP greedily selects the dictionary atom most correlated with the current
+residual, then re-fits all selected atoms by least squares.  It is the
+reference reconstruction algorithm for the compressed-sensing application at
+the coordinator side.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["orthogonal_matching_pursuit"]
+
+
+def orthogonal_matching_pursuit(
+    dictionary: np.ndarray,
+    measurements: np.ndarray,
+    max_atoms: int,
+    residual_tolerance: float = 1e-6,
+) -> np.ndarray:
+    """Solve ``measurements ~= dictionary @ x`` with ``x`` sparse.
+
+    Args:
+        dictionary: matrix of shape ``(n_measurements, n_atoms)``.
+        measurements: vector of length ``n_measurements``.
+        max_atoms: maximum number of atoms (non-zeros) to select.
+        residual_tolerance: stop early once the relative residual norm drops
+            below this value.
+
+    Returns:
+        The sparse coefficient vector of length ``n_atoms``.
+    """
+    dictionary = np.asarray(dictionary, dtype=float)
+    measurements = np.asarray(measurements, dtype=float)
+    if dictionary.ndim != 2:
+        raise ValueError("dictionary must be a 2-D matrix")
+    n_measurements, n_atoms = dictionary.shape
+    if measurements.shape != (n_measurements,):
+        raise ValueError(
+            f"measurements must have length {n_measurements}, got {measurements.shape}"
+        )
+    if max_atoms <= 0:
+        raise ValueError("max_atoms must be positive")
+    max_atoms = min(max_atoms, n_measurements, n_atoms)
+
+    column_norms = np.linalg.norm(dictionary, axis=0)
+    # Guard against all-zero atoms so the correlation step never divides by 0.
+    safe_norms = np.where(column_norms > 0.0, column_norms, 1.0)
+
+    residual = measurements.copy()
+    measurement_norm = float(np.linalg.norm(measurements))
+    if measurement_norm == 0.0:
+        return np.zeros(n_atoms)
+
+    selected: list[int] = []
+    coefficients = np.zeros(n_atoms)
+    for _ in range(max_atoms):
+        correlations = np.abs(dictionary.T @ residual) / safe_norms
+        correlations[selected] = -np.inf
+        best_atom = int(np.argmax(correlations))
+        if not np.isfinite(correlations[best_atom]) or correlations[best_atom] <= 0.0:
+            break
+        selected.append(best_atom)
+        submatrix = dictionary[:, selected]
+        solution, *_ = np.linalg.lstsq(submatrix, measurements, rcond=None)
+        residual = measurements - submatrix @ solution
+        if np.linalg.norm(residual) / measurement_norm < residual_tolerance:
+            break
+
+    if selected:
+        coefficients[selected] = solution
+    return coefficients

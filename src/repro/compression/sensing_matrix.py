@@ -1,0 +1,77 @@
+"""Sensing matrices for compressed sensing acquisition.
+
+Three families are provided:
+
+* dense Gaussian matrices (the textbook choice),
+* dense Bernoulli ±1 matrices (cheap to apply with add/subtract only),
+* sparse binary matrices with a fixed number of non-zero entries per column,
+  which is what embedded CS implementations for ECG actually use because a
+  matrix-vector product then reduces to a handful of additions per sample.
+
+All constructors are deterministic for a given seed, which is what allows the
+node and the coordinator to agree on the matrix without transmitting it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["gaussian_matrix", "bernoulli_matrix", "sparse_binary_matrix"]
+
+
+def _validate_shape(n_measurements: int, n_samples: int) -> None:
+    if n_measurements <= 0 or n_samples <= 0:
+        raise ValueError("matrix dimensions must be positive")
+    if n_measurements > n_samples:
+        raise ValueError(
+            "compressed sensing requires fewer measurements than samples "
+            f"(got {n_measurements} x {n_samples})"
+        )
+
+
+def gaussian_matrix(
+    n_measurements: int, n_samples: int, seed: int = 0
+) -> np.ndarray:
+    """I.i.d. Gaussian sensing matrix with unit-norm expected columns."""
+    _validate_shape(n_measurements, n_samples)
+    rng = np.random.default_rng(seed)
+    return rng.normal(0.0, 1.0 / np.sqrt(n_measurements), size=(n_measurements, n_samples))
+
+
+def bernoulli_matrix(
+    n_measurements: int, n_samples: int, seed: int = 0
+) -> np.ndarray:
+    """Random ±1 sensing matrix scaled to near-orthonormal rows."""
+    _validate_shape(n_measurements, n_samples)
+    rng = np.random.default_rng(seed)
+    signs = rng.integers(0, 2, size=(n_measurements, n_samples)) * 2 - 1
+    return signs / np.sqrt(n_measurements)
+
+
+def sparse_binary_matrix(
+    n_measurements: int,
+    n_samples: int,
+    nonzeros_per_column: int = 12,
+    seed: int = 0,
+) -> np.ndarray:
+    """Sparse binary sensing matrix (fixed non-zeros per column).
+
+    Each column has exactly ``nonzeros_per_column`` entries equal to
+    ``1 / sqrt(nonzeros_per_column)`` at uniformly drawn row positions.  This
+    is the construction used by the embedded CS ECG implementation the paper
+    builds on, because applying it costs only additions.
+    """
+    _validate_shape(n_measurements, n_samples)
+    if nonzeros_per_column <= 0:
+        raise ValueError("nonzeros_per_column must be positive")
+    if nonzeros_per_column > n_measurements:
+        raise ValueError(
+            "nonzeros_per_column cannot exceed the number of measurements"
+        )
+    rng = np.random.default_rng(seed)
+    matrix = np.zeros((n_measurements, n_samples))
+    value = 1.0 / np.sqrt(nonzeros_per_column)
+    for column in range(n_samples):
+        rows = rng.choice(n_measurements, size=nonzeros_per_column, replace=False)
+        matrix[rows, column] = value
+    return matrix

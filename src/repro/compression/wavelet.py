@@ -1,0 +1,229 @@
+"""Discrete wavelet transform implemented from scratch.
+
+The transform uses orthonormal filter banks with periodic (circular) signal
+extension, which makes the analysis operator an orthogonal matrix: perfect
+reconstruction is obtained by applying the transposed operator, and Parseval's
+identity holds exactly.  This is the variant typically used in embedded ECG
+compression because it keeps the number of coefficients equal to the number of
+samples.
+
+Supported wavelet families: Haar, Daubechies-2, Daubechies-4 and Symlet-4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Wavelet", "dwt", "idwt", "wavedec", "waverec", "max_levels"]
+
+_SQRT2 = float(np.sqrt(2.0))
+
+# Orthonormal low-pass (scaling) filter coefficients.  The high-pass filter is
+# derived through the quadrature-mirror relation.
+_LOWPASS_FILTERS: dict[str, tuple[float, ...]] = {
+    "haar": (1.0 / _SQRT2, 1.0 / _SQRT2),
+    "db2": (
+        (1.0 + np.sqrt(3.0)) / (4.0 * _SQRT2),
+        (3.0 + np.sqrt(3.0)) / (4.0 * _SQRT2),
+        (3.0 - np.sqrt(3.0)) / (4.0 * _SQRT2),
+        (1.0 - np.sqrt(3.0)) / (4.0 * _SQRT2),
+    ),
+    "db4": (
+        0.23037781330885523,
+        0.7148465705525415,
+        0.6308807679295904,
+        -0.02798376941698385,
+        -0.18703481171888114,
+        0.030841381835986965,
+        0.032883011666982945,
+        -0.010597401784997278,
+    ),
+    "sym4": (
+        -0.07576571478927333,
+        -0.02963552764599851,
+        0.49761866763201545,
+        0.8037387518059161,
+        0.29785779560527736,
+        -0.09921954357684722,
+        -0.012603967262037833,
+        0.0322231006040427,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class Wavelet:
+    """An orthonormal wavelet filter pair.
+
+    Attributes:
+        name: family name (``haar``, ``db2``, ``db4``, ``sym4``).
+        lowpass: decomposition low-pass filter.
+        highpass: decomposition high-pass filter (quadrature mirror).
+    """
+
+    name: str
+    lowpass: np.ndarray
+    highpass: np.ndarray
+
+    @classmethod
+    def build(cls, name: str) -> "Wavelet":
+        """Construct a wavelet by family name."""
+        key = name.lower()
+        if key not in _LOWPASS_FILTERS:
+            raise ValueError(
+                f"unknown wavelet '{name}'; available: {sorted(_LOWPASS_FILTERS)}"
+            )
+        lowpass = np.asarray(_LOWPASS_FILTERS[key], dtype=float)
+        # Quadrature mirror: g[k] = (-1)^k * h[L-1-k]
+        signs = np.array([(-1.0) ** k for k in range(len(lowpass))])
+        highpass = signs * lowpass[::-1]
+        return cls(name=key, lowpass=lowpass, highpass=highpass)
+
+    @property
+    def filter_length(self) -> int:
+        """Number of taps of the filters."""
+        return len(self.lowpass)
+
+
+def max_levels(n_samples: int) -> int:
+    """Maximum number of dyadic decomposition levels for ``n_samples``."""
+    if n_samples <= 0:
+        raise ValueError("n_samples must be positive")
+    levels = 0
+    while n_samples % 2 == 0 and n_samples > 1:
+        levels += 1
+        n_samples //= 2
+    return levels
+
+
+def _analysis_indices(n_samples: int, filter_length: int) -> np.ndarray:
+    """Index matrix of shape ``(n_samples // 2, filter_length)``.
+
+    Row ``k`` holds the circular sample indices ``(2k + m) mod N`` touched by
+    output coefficient ``k``.
+    """
+    half = n_samples // 2
+    base = 2 * np.arange(half)[:, None] + np.arange(filter_length)[None, :]
+    return base % n_samples
+
+
+def dwt(signal: np.ndarray, wavelet: Wavelet) -> tuple[np.ndarray, np.ndarray]:
+    """Single-level periodised DWT.
+
+    Returns the approximation and detail coefficient arrays, each of length
+    ``len(signal) // 2``.  The signal length must be even.
+    """
+    signal = np.asarray(signal, dtype=float)
+    if signal.ndim != 1:
+        raise ValueError("signal must be one-dimensional")
+    if len(signal) < 2 or len(signal) % 2 != 0:
+        raise ValueError("signal length must be even and at least 2")
+    indices = _analysis_indices(len(signal), wavelet.filter_length)
+    gathered = signal[indices]
+    approx = gathered @ wavelet.lowpass
+    detail = gathered @ wavelet.highpass
+    return approx, detail
+
+
+def idwt(approx: np.ndarray, detail: np.ndarray, wavelet: Wavelet) -> np.ndarray:
+    """Single-level inverse of :func:`dwt` (exact for orthonormal filters)."""
+    approx = np.asarray(approx, dtype=float)
+    detail = np.asarray(detail, dtype=float)
+    if approx.shape != detail.shape:
+        raise ValueError("approximation and detail must have the same length")
+    n_samples = 2 * len(approx)
+    indices = _analysis_indices(n_samples, wavelet.filter_length)
+    signal = np.zeros(n_samples)
+    # Transpose of the analysis operator: scatter-add each coefficient's
+    # contribution back onto the circular sample positions it was drawn from.
+    contribution = (
+        approx[:, None] * wavelet.lowpass[None, :]
+        + detail[:, None] * wavelet.highpass[None, :]
+    )
+    np.add.at(signal, indices.ravel(), contribution.ravel())
+    return signal
+
+
+def wavedec(
+    signal: np.ndarray, wavelet: Wavelet, levels: int
+) -> list[np.ndarray]:
+    """Multi-level decomposition.
+
+    Returns ``[a_L, d_L, d_{L-1}, ..., d_1]`` following the usual coarse-to-
+    fine ordering.  The signal length must be divisible by ``2**levels``.
+    """
+    signal = np.asarray(signal, dtype=float)
+    if levels <= 0:
+        raise ValueError("levels must be a positive integer")
+    if len(signal) % (2**levels) != 0:
+        raise ValueError(
+            f"signal length {len(signal)} is not divisible by 2**{levels}"
+        )
+    details: list[np.ndarray] = []
+    approx = signal
+    for _ in range(levels):
+        approx, detail = dwt(approx, wavelet)
+        details.append(detail)
+    return [approx] + details[::-1]
+
+
+def waverec(coefficients: list[np.ndarray], wavelet: Wavelet) -> np.ndarray:
+    """Inverse of :func:`wavedec`."""
+    if len(coefficients) < 2:
+        raise ValueError("need at least one approximation and one detail band")
+    approx = np.asarray(coefficients[0], dtype=float)
+    for detail in coefficients[1:]:
+        detail = np.asarray(detail, dtype=float)
+        if len(detail) != len(approx):
+            raise ValueError("inconsistent coefficient band lengths")
+        approx = idwt(approx, detail, wavelet)
+    return approx
+
+
+def flatten_coefficients(coefficients: list[np.ndarray]) -> tuple[np.ndarray, list[int]]:
+    """Concatenate coefficient bands into a single vector.
+
+    Returns the flat vector and the band lengths needed by
+    :func:`unflatten_coefficients`.
+    """
+    lengths = [len(band) for band in coefficients]
+    return np.concatenate([np.asarray(band, dtype=float) for band in coefficients]), lengths
+
+
+def unflatten_coefficients(
+    flat: np.ndarray, lengths: list[int]
+) -> list[np.ndarray]:
+    """Inverse of :func:`flatten_coefficients`."""
+    flat = np.asarray(flat, dtype=float)
+    if len(flat) != sum(lengths):
+        raise ValueError("flat vector length does not match band lengths")
+    bands: list[np.ndarray] = []
+    start = 0
+    for length in lengths:
+        bands.append(flat[start : start + length])
+        start += length
+    return bands
+
+
+def wavelet_synthesis_matrix(
+    n_samples: int, wavelet: Wavelet, levels: int
+) -> np.ndarray:
+    """Dense synthesis matrix ``Psi`` such that ``x = Psi @ coeffs``.
+
+    ``coeffs`` follows the :func:`wavedec` flattened ordering.  The matrix is
+    orthogonal, and is the sparsifying dictionary used by the compressed-
+    sensing reconstruction.
+    """
+    if n_samples <= 0:
+        raise ValueError("n_samples must be positive")
+    identity = np.eye(n_samples)
+    columns = []
+    lengths = [len(band) for band in wavedec(identity[0], wavelet, levels)]
+    for basis_index in range(n_samples):
+        unit = np.zeros(n_samples)
+        unit[basis_index] = 1.0
+        bands = unflatten_coefficients(unit, lengths)
+        columns.append(waverec(bands, wavelet))
+    return np.stack(columns, axis=1)

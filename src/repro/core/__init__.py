@@ -1,0 +1,72 @@
+"""System-level analytical WBSN model (the paper's contribution).
+
+This package implements the multi-layer analytical model of Section 3 of the
+paper:
+
+* :mod:`repro.core.node_model` — the node-level energy equations (3)-(7),
+* :mod:`repro.core.application` — the application abstraction ``(h, k, e)``,
+* :mod:`repro.core.mac_abstraction` — the MAC-layer abstraction
+  (data/control/timing overheads and time discretisation),
+* :mod:`repro.core.slot_assignment` — the transmission-interval assignment
+  problem, equations (1)-(2),
+* :mod:`repro.core.delay` — worst-case and average-case delay models
+  (equation (9) and variants),
+* :mod:`repro.core.metrics` — the balanced network-level objective functions,
+  equation (8),
+* :mod:`repro.core.evaluator` — the full-network evaluation used by the DSE,
+* :mod:`repro.core.baseline` — the state-of-the-art energy/delay-only model
+  used as the comparison baseline in Figure 5.
+
+The model is deliberately platform-agnostic: the IEEE 802.15.4 and Shimmer
+instantiations live in :mod:`repro.mac802154` and :mod:`repro.shimmer`.
+"""
+
+from repro.core.application import ApplicationModel, ResourceUsage
+from repro.core.node_model import (
+    MemoryModel,
+    MicrocontrollerModel,
+    NodeEnergyBreakdown,
+    NodeEnergyModel,
+    RadioLinkModel,
+    SensorModel,
+)
+from repro.core.mac_abstraction import MACProtocolModel, MACQuantities
+from repro.core.slot_assignment import SlotAssignment, assign_transmission_intervals
+from repro.core.delay import worst_case_tdma_delay, average_case_tdma_delay
+from repro.core.metrics import (
+    NetworkObjectives,
+    balanced_aggregate,
+    network_delay_metric,
+)
+from repro.core.evaluator import (
+    NodeDescription,
+    NodeEvaluation,
+    NetworkEvaluation,
+    WBSNEvaluator,
+)
+from repro.core.baseline import EnergyDelayBaselineEvaluator
+
+__all__ = [
+    "ApplicationModel",
+    "ResourceUsage",
+    "SensorModel",
+    "MicrocontrollerModel",
+    "MemoryModel",
+    "RadioLinkModel",
+    "NodeEnergyModel",
+    "NodeEnergyBreakdown",
+    "MACProtocolModel",
+    "MACQuantities",
+    "SlotAssignment",
+    "assign_transmission_intervals",
+    "worst_case_tdma_delay",
+    "average_case_tdma_delay",
+    "NetworkObjectives",
+    "balanced_aggregate",
+    "network_delay_metric",
+    "NodeDescription",
+    "NodeEvaluation",
+    "NetworkEvaluation",
+    "WBSNEvaluator",
+    "EnergyDelayBaselineEvaluator",
+]

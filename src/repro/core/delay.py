@@ -1,0 +1,116 @@
+"""Delay models for TDMA-style channel access (equation (9) and variants).
+
+The paper notes that a general delay function cannot be defined — it depends
+on the MAC and on the traffic pattern — but for the uniform-rate traffic
+produced by the compression applications it derives a worst-case bound
+(equation (9), based on Koubaa et al. [17]): a sample generated right after
+the node's transmission opportunity has to wait for the transmission intervals
+of all the other nodes plus the control/inactive periods of every recurrence
+interval (superframe) spanned.
+
+This module provides that worst-case bound and an average-case variant used by
+the ablation benchmark; both are expressed in terms of generic per-recurrence
+quantities so that any TDMA-like protocol can reuse them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["worst_case_tdma_delay", "average_case_tdma_delay", "per_node_delays"]
+
+
+def worst_case_tdma_delay(
+    own_slots: int,
+    other_slots_total: int,
+    slot_duration_s: float,
+    slots_per_recurrence: int,
+    control_time_per_recurrence_s: float,
+) -> float:
+    """Worst-case data delay of one node (equation (9)).
+
+    Args:
+        own_slots: slots assigned to the node under analysis in each
+            recurrence interval (must be at least 1 for the node to ever
+            transmit).
+        other_slots_total: total slots assigned to all the *other* nodes per
+            recurrence interval.
+        slot_duration_s: duration of one slot (the base time unit ``delta``).
+        slots_per_recurrence: number of assignable slots per recurrence
+            interval (7 GTSs per superframe for IEEE 802.15.4).
+        control_time_per_recurrence_s: channel time per recurrence interval
+            that is not available to the data slots (beacon, contention access
+            period, inactive period and unused slots) — ``Delta_control``.
+
+    Returns:
+        The worst-case delay in seconds.  When the node has no slot the delay
+        is infinite.
+    """
+    if own_slots < 0 or other_slots_total < 0:
+        raise ValueError("slot counts cannot be negative")
+    if slot_duration_s <= 0:
+        raise ValueError("slot_duration_s must be positive")
+    if slots_per_recurrence <= 0:
+        raise ValueError("slots_per_recurrence must be positive")
+    if control_time_per_recurrence_s < 0:
+        raise ValueError("control_time_per_recurrence_s cannot be negative")
+    if own_slots == 0:
+        return math.inf
+
+    waiting_for_others = other_slots_total * slot_duration_s
+    # Every recurrence interval spanned while waiting also contributes its
+    # control/inactive time.  At least one interval is always spanned: the
+    # data must wait for the next beacon even if no other node transmits.
+    recurrences_spanned = max(1, math.ceil(other_slots_total / slots_per_recurrence))
+    return waiting_for_others + recurrences_spanned * control_time_per_recurrence_s
+
+
+def average_case_tdma_delay(
+    own_slots: int,
+    other_slots_total: int,
+    slot_duration_s: float,
+    slots_per_recurrence: int,
+    control_time_per_recurrence_s: float,
+) -> float:
+    """Average-case variant of :func:`worst_case_tdma_delay`.
+
+    Under uniform-rate traffic the generation instant is uniformly distributed
+    over the recurrence interval, so the expected wait is roughly half the
+    worst case.  This variant is not used by the paper's evaluation but is
+    exercised by the delay-model ablation benchmark.
+    """
+    worst = worst_case_tdma_delay(
+        own_slots,
+        other_slots_total,
+        slot_duration_s,
+        slots_per_recurrence,
+        control_time_per_recurrence_s,
+    )
+    if math.isinf(worst):
+        return worst
+    return 0.5 * worst
+
+
+def per_node_delays(
+    slot_counts: Sequence[int],
+    slot_duration_s: float,
+    slots_per_recurrence: int,
+    control_time_per_recurrence_s: float,
+    worst_case: bool = True,
+) -> list[float]:
+    """Evaluate the delay bound for every node of a slot assignment."""
+    total_slots = sum(slot_counts)
+    delay_function = worst_case_tdma_delay if worst_case else average_case_tdma_delay
+    delays = []
+    for own in slot_counts:
+        delays.append(
+            delay_function(
+                own,
+                total_slots - own,
+                slot_duration_s,
+                slots_per_recurrence,
+                control_time_per_recurrence_s,
+            )
+        )
+    return delays

@@ -1,0 +1,268 @@
+"""Full-network, system-level evaluation of a WBSN configuration.
+
+The :class:`WBSNEvaluator` glues together the application models, the node
+energy model, the MAC abstraction, the slot-assignment problem and the delay
+model, and produces the three network-level objectives (energy, application
+quality, delay) for a candidate configuration ``(chi_node^(1..N), chi_mac)``.
+This is the fast evaluation routine that the design-space exploration calls
+thousands of times per second in place of a packet-level simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Literal, Sequence
+
+from repro.core.application import ApplicationModel, ResourceUsage
+from repro.core.mac_abstraction import MACProtocolModel, MACQuantities
+from repro.core.metrics import (
+    NetworkObjectives,
+    balanced_aggregate,
+    network_delay_metric,
+)
+from repro.core.node_model import NodeEnergyBreakdown, NodeEnergyModel
+from repro.core.slot_assignment import SlotAssignment, assign_transmission_intervals
+
+__all__ = [
+    "NodeDescription",
+    "NodeEvaluation",
+    "NetworkEvaluation",
+    "WBSNEvaluator",
+]
+
+
+@dataclass(frozen=True)
+class NodeDescription:
+    """Static description of one node of the network under design.
+
+    The description captures everything that does *not* change during the
+    exploration: which application the node runs, which platform it is built
+    on, and the characteristics of the sensed signal.  The tunable knobs live
+    in the per-node configuration ``chi_node`` passed to
+    :meth:`WBSNEvaluator.evaluate`.
+
+    Attributes:
+        name: node identifier used in reports.
+        application: the ``(h, k, e)`` application model.
+        energy_model: the platform energy model (equations (3)-(7)).
+        sampling_rate_hz: sensing frequency ``f_s``.
+        sample_width_bytes: bytes produced per sample by the A/D converter
+            (``L_adc``).
+    """
+
+    name: str
+    application: ApplicationModel
+    energy_model: NodeEnergyModel
+    sampling_rate_hz: float
+    sample_width_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.sampling_rate_hz <= 0:
+            raise ValueError("sampling_rate_hz must be positive")
+        if self.sample_width_bytes <= 0:
+            raise ValueError("sample_width_bytes must be positive")
+
+    @property
+    def input_stream_bytes_per_second(self) -> float:
+        """``phi_in = f_s * L_adc`` in bytes per second."""
+        return self.sampling_rate_hz * self.sample_width_bytes
+
+
+@dataclass(frozen=True)
+class NodeEvaluation:
+    """Model outputs for one node under a candidate configuration."""
+
+    name: str
+    application_name: str
+    node_config: Any
+    output_stream_bytes_per_second: float
+    usage: ResourceUsage
+    quality_loss: float
+    mac_quantities: MACQuantities
+    energy: NodeEnergyBreakdown
+    schedulable: bool
+    fits_memory: bool
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the node-level constraints are satisfied."""
+        return self.schedulable and self.fits_memory
+
+
+@dataclass(frozen=True)
+class NetworkEvaluation:
+    """Model outputs for the whole network under a candidate configuration."""
+
+    nodes: tuple[NodeEvaluation, ...]
+    assignment: SlotAssignment
+    delays_s: tuple[float, ...]
+    objectives: NetworkObjectives
+    feasible: bool
+    violations: tuple[str, ...]
+
+    @property
+    def node_energies_w(self) -> tuple[float, ...]:
+        """Per-node total consumption, in watt."""
+        return tuple(node.energy.total_w for node in self.nodes)
+
+    @property
+    def node_quality_losses(self) -> tuple[float, ...]:
+        """Per-node application quality loss (PRD for the case study)."""
+        return tuple(node.quality_loss for node in self.nodes)
+
+
+class WBSNEvaluator:
+    """System-level evaluator of WBSN configurations.
+
+    Args:
+        nodes: static description of every node in the network.
+        mac_protocol: analytical model of the MAC protocol in use.
+        theta: balance weight of equation (8), shared by the energy and the
+            quality metrics.
+        delay_mode: how per-node delays are aggregated (``"max"`` follows the
+            conservative reading of the paper, ``"mean"`` is available for
+            ablations).
+        worst_case_delay: use the worst-case bound of equation (9) (default)
+            or the average-case variant.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[NodeDescription],
+        mac_protocol: MACProtocolModel,
+        theta: float = 1.0,
+        delay_mode: Literal["max", "mean"] = "max",
+        worst_case_delay: bool = True,
+    ) -> None:
+        if not nodes:
+            raise ValueError("the network must contain at least one node")
+        if theta < 0:
+            raise ValueError("theta cannot be negative")
+        self.nodes = tuple(nodes)
+        self.mac_protocol = mac_protocol
+        self.theta = theta
+        self.delay_mode = delay_mode
+        self.worst_case_delay = worst_case_delay
+
+    # ------------------------------------------------------------------ API
+
+    def evaluate(
+        self, node_configs: Sequence[Any], mac_config: Any
+    ) -> NetworkEvaluation:
+        """Evaluate a full candidate configuration.
+
+        Args:
+            node_configs: one ``chi_node`` per node, in the same order as the
+                node descriptions.  Each configuration object must expose a
+                ``microcontroller_frequency_hz`` attribute (the platform
+                packages provide suitable dataclasses).
+            mac_config: the ``chi_mac`` protocol configuration.
+
+        Returns:
+            The complete :class:`NetworkEvaluation`, including infeasible
+            candidates (flagged through ``feasible`` and ``violations``) so
+            that the DSE can still rank them.
+        """
+        if len(node_configs) != len(self.nodes):
+            raise ValueError(
+                f"expected {len(self.nodes)} node configurations, "
+                f"got {len(node_configs)}"
+            )
+        self.mac_protocol.validate_config(mac_config)
+
+        violations: list[str] = []
+        node_evaluations: list[NodeEvaluation] = []
+        required_times: list[float] = []
+        for description, node_config in zip(self.nodes, node_configs):
+            evaluation, required_time = self._evaluate_node(
+                description, node_config, mac_config
+            )
+            node_evaluations.append(evaluation)
+            required_times.append(required_time)
+            if not evaluation.schedulable:
+                violations.append(
+                    f"{description.name}: application duty cycle exceeds 100% "
+                    f"({evaluation.usage.duty_cycle:.2f})"
+                )
+            if not evaluation.fits_memory:
+                violations.append(
+                    f"{description.name}: application footprint exceeds the RAM"
+                )
+
+        assignment = assign_transmission_intervals(
+            required_times,
+            base_time_unit_s=self.mac_protocol.base_time_unit_s(mac_config),
+            control_time_per_second=self.mac_protocol.control_time_per_second(
+                mac_config
+            ),
+            max_assignable_time_per_second=(
+                self.mac_protocol.max_assignable_time_per_second(mac_config)
+            ),
+        )
+        if not assignment.feasible:
+            violations.append(
+                "MAC: transmission intervals exceed the assignable channel time "
+                f"(slack {assignment.slack_s * 1e3:.2f} ms/s)"
+            )
+
+        delays = tuple(
+            self.mac_protocol.worst_case_delays(assignment.slot_counts, mac_config)
+        )
+        objectives = NetworkObjectives(
+            energy_w=balanced_aggregate(
+                [node.energy.total_w for node in node_evaluations], self.theta
+            ),
+            quality_loss=balanced_aggregate(
+                [node.quality_loss for node in node_evaluations], self.theta
+            ),
+            delay_s=network_delay_metric(delays, self.delay_mode),
+        )
+        return NetworkEvaluation(
+            nodes=tuple(node_evaluations),
+            assignment=assignment,
+            delays_s=delays,
+            objectives=objectives,
+            feasible=not violations,
+            violations=tuple(violations),
+        )
+
+    def objective_vector(self, evaluation: NetworkEvaluation) -> tuple[float, ...]:
+        """Objective vector used by the DSE (energy, quality, delay)."""
+        return evaluation.objectives.as_tuple()
+
+    # ------------------------------------------------------------- internals
+
+    def _evaluate_node(
+        self, description: NodeDescription, node_config: Any, mac_config: Any
+    ) -> tuple[NodeEvaluation, float]:
+        application = description.application
+        application.validate_config(node_config)
+        phi_in = description.input_stream_bytes_per_second
+        phi_out = application.output_stream_bytes_per_second(phi_in, node_config)
+        usage = application.resource_usage(phi_in, node_config)
+        quality = application.quality_loss(phi_in, node_config)
+        mac_quantities = self.mac_protocol.per_node_quantities(phi_out, mac_config)
+        frequency_hz = float(getattr(node_config, "microcontroller_frequency_hz"))
+        energy = description.energy_model.evaluate(
+            sampling_rate_hz=description.sampling_rate_hz,
+            microcontroller_frequency_hz=frequency_hz,
+            usage=usage,
+            output_stream_bytes_per_second=phi_out,
+            mac=mac_quantities,
+        )
+        required_time = description.energy_model.radio.transmission_time_s(
+            phi_out + mac_quantities.data_overhead_bytes_per_second
+        )
+        evaluation = NodeEvaluation(
+            name=description.name,
+            application_name=application.name,
+            node_config=node_config,
+            output_stream_bytes_per_second=phi_out,
+            usage=usage,
+            quality_loss=quality,
+            mac_quantities=mac_quantities,
+            energy=energy,
+            schedulable=usage.is_schedulable,
+            fits_memory=description.energy_model.fits_in_memory(usage),
+        )
+        return evaluation, required_time

@@ -1,0 +1,96 @@
+"""MAC-layer abstraction of the network model (Section 3.2).
+
+The paper abstracts any (TDMA-like) MAC protocol by four quantities, all
+functions of the node output stream ``phi_out`` and of the protocol
+configuration ``chi_mac``:
+
+* the data overhead ``Omega(phi_out, chi_mac)`` — packet headers and framing,
+* the control overheads ``Psi_c->n`` and ``Psi_n->c`` — control traffic
+  received from / sent to the coordinator,
+* the timing overhead ``Delta_control(chi_mac)`` — the fraction of each second
+  during which the channel is unavailable for data,
+* the base time unit ``delta`` — the granularity at which transmission
+  intervals can be assigned.
+
+Concrete protocols (IEEE 802.15.4 beacon-enabled mode, the CSMA/CA adaptation)
+implement :class:`MACProtocolModel`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+__all__ = ["MACQuantities", "MACProtocolModel"]
+
+
+@dataclass(frozen=True)
+class MACQuantities:
+    """The per-node MAC abstraction evaluated for a concrete configuration.
+
+    Attributes:
+        data_overhead_bytes_per_second: ``Omega(phi_out, chi_mac)``.
+        control_coordinator_to_node_bytes_per_second: ``Psi_c->n(chi_mac)``.
+        control_node_to_coordinator_bytes_per_second: ``Psi_n->c(chi_mac)``.
+    """
+
+    data_overhead_bytes_per_second: float
+    control_coordinator_to_node_bytes_per_second: float
+    control_node_to_coordinator_bytes_per_second: float
+
+    def __post_init__(self) -> None:
+        if (
+            min(
+                self.data_overhead_bytes_per_second,
+                self.control_coordinator_to_node_bytes_per_second,
+                self.control_node_to_coordinator_bytes_per_second,
+            )
+            < 0
+        ):
+            raise ValueError("MAC overheads cannot be negative")
+
+
+class MACProtocolModel(abc.ABC):
+    """Abstract analytical model of a MAC protocol."""
+
+    #: human-readable protocol name
+    name: str = "abstract-mac"
+
+    @abc.abstractmethod
+    def per_node_quantities(
+        self, output_stream_bytes_per_second: float, mac_config: Any
+    ) -> MACQuantities:
+        """Evaluate ``Omega`` and ``Psi`` for one node."""
+
+    @abc.abstractmethod
+    def base_time_unit_s(self, mac_config: Any) -> float:
+        """``delta``: the granularity of transmission-interval assignment."""
+
+    @abc.abstractmethod
+    def control_time_per_second(self, mac_config: Any) -> float:
+        """``Delta_control``: channel time unavailable for data, per second."""
+
+    @abc.abstractmethod
+    def max_assignable_time_per_second(self, mac_config: Any) -> float:
+        """Protocol cap on the total assignable transmission time per second.
+
+        For beacon-enabled IEEE 802.15.4 this is ``7/16 * SD / BI`` (at most
+        seven guaranteed time slots per superframe).
+        """
+
+    @abc.abstractmethod
+    def worst_case_delays(
+        self,
+        slot_counts: Sequence[int],
+        mac_config: Any,
+    ) -> list[float]:
+        """Per-node worst-case data delay for a given slot assignment.
+
+        The default network model cannot define the delay function in general
+        (it depends on the traffic pattern); concrete protocols implement the
+        appropriate bound — equation (9) for the 802.15.4 case study.
+        """
+
+    def validate_config(self, mac_config: Any) -> None:
+        """Optional hook to reject malformed MAC configurations early."""

@@ -1,0 +1,81 @@
+"""System-level evaluation metrics (Section 3.4, equation (8)).
+
+The network-level objectives combine the per-node metrics into a single
+figure per dimension while penalising unbalanced designs: equation (8)
+defines the network energy as the mean node consumption plus ``theta`` times
+its sample standard deviation, and the paper applies the same construction to
+the application-quality (PRD) metric.  The delay dimension is aggregated with
+the maximum (or mean) of the per-node delay bounds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Literal, Sequence
+
+__all__ = ["balanced_aggregate", "network_delay_metric", "NetworkObjectives"]
+
+
+def balanced_aggregate(values: Sequence[float], theta: float = 1.0) -> float:
+    """Mean plus ``theta`` times the sample standard deviation (equation (8)).
+
+    Args:
+        values: per-node metric values (energy in W, PRD in percent, ...).
+        theta: non-negative weight of the balance term; ``theta = 0`` reduces
+            the metric to the plain average.
+
+    Returns:
+        The balanced aggregate.  A single-node network has no imbalance, so
+        the standard-deviation term is zero by definition.
+    """
+    if theta < 0:
+        raise ValueError("theta cannot be negative")
+    values = list(values)
+    if not values:
+        raise ValueError("values must not be empty")
+    count = len(values)
+    mean = sum(values) / count
+    if count == 1 or theta == 0.0:
+        return mean
+    variance = sum((value - mean) ** 2 for value in values) / (count - 1)
+    return mean + theta * math.sqrt(variance)
+
+
+def network_delay_metric(
+    delays_s: Sequence[float], mode: Literal["max", "mean"] = "max"
+) -> float:
+    """Aggregate the per-node delay bounds into a network-level metric."""
+    delays = list(delays_s)
+    if not delays:
+        raise ValueError("delays_s must not be empty")
+    if mode == "max":
+        return max(delays)
+    if mode == "mean":
+        return sum(delays) / len(delays)
+    raise ValueError("mode must be 'max' or 'mean'")
+
+
+@dataclass(frozen=True)
+class NetworkObjectives:
+    """The three system-level objectives explored by the DSE.
+
+    Attributes:
+        energy_w: balanced network energy metric (equation (8)), in watt.
+        quality_loss: balanced network application-quality metric (PRD for
+            the ECG case study), in percent.
+        delay_s: network delay metric, in seconds.
+    """
+
+    energy_w: float
+    quality_loss: float
+    delay_s: float
+
+    @property
+    def energy_mj_per_s(self) -> float:
+        """Energy metric in the mJ/s unit used by the paper's plots."""
+        return self.energy_w * 1e3
+
+    def as_tuple(self) -> tuple[float, float, float]:
+        """Objective vector (energy, quality, delay), all to be minimised."""
+        return (self.energy_w, self.quality_loss, self.delay_s)

@@ -1,0 +1,43 @@
+"""Exhaustive enumeration of small design spaces.
+
+The full case-study space exceeds tens of millions of configurations, but
+restricted spaces (e.g. a single node, or shared per-node settings) can be
+enumerated exactly; the resulting true Pareto front is used by the unit tests
+and by the algorithm-quality ablation to check that the heuristics do not miss
+large parts of the front.
+"""
+
+from __future__ import annotations
+
+from repro.dse.pareto import pareto_front_indices
+from repro.dse.problem import EvaluatedDesign, OptimizationProblem
+
+__all__ = ["ExhaustiveSearch"]
+
+
+class ExhaustiveSearch:
+    """Evaluates every configuration of the design space."""
+
+    def __init__(
+        self, problem: OptimizationProblem, max_configurations: int = 200_000
+    ) -> None:
+        if max_configurations <= 0:
+            raise ValueError("max_configurations must be positive")
+        self.problem = problem
+        self.max_configurations = max_configurations
+
+    def run(self) -> list[EvaluatedDesign]:
+        """Enumerate the space and return the feasible non-dominated designs."""
+        size = self.problem.space.size
+        if size > self.max_configurations:
+            raise ValueError(
+                f"the design space holds {size} configurations, above the "
+                f"exhaustive-search limit of {self.max_configurations}"
+            )
+        evaluated = [
+            self.problem.evaluate(genotype)
+            for genotype in self.problem.space.enumerate_genotypes()
+        ]
+        feasible = [design for design in evaluated if design.feasible] or evaluated
+        front = pareto_front_indices([design.objectives for design in feasible])
+        return [feasible[index] for index in front]

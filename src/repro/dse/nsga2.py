@@ -1,0 +1,177 @@
+"""NSGA-II multi-objective genetic algorithm.
+
+The paper employs genetic algorithms (among others) for the exploration; this
+is a standard NSGA-II implementation operating on the integer genotypes of a
+:class:`~repro.dse.space.DesignSpace`: constrained binary-tournament
+selection, uniform crossover, random-reset mutation, fast non-dominated
+sorting and crowding-distance truncation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dse.pareto import crowding_distance, non_dominated_sort, pareto_front_indices
+from repro.dse.problem import EvaluatedDesign, OptimizationProblem
+
+__all__ = ["Nsga2Settings", "Nsga2"]
+
+
+@dataclass(frozen=True)
+class Nsga2Settings:
+    """Hyper-parameters of the genetic algorithm.
+
+    Attributes:
+        population_size: individuals per generation.
+        generations: number of generations after the initial population.
+        crossover_probability: probability of recombining a pair of parents.
+        mutation_rate: per-gene random-reset probability.
+        seed: random seed (the whole run is deterministic for a given seed).
+    """
+
+    population_size: int = 60
+    generations: int = 40
+    crossover_probability: float = 0.9
+    mutation_rate: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.population_size < 4:
+            raise ValueError("population_size must be at least 4")
+        if self.generations < 0:
+            raise ValueError("generations cannot be negative")
+        if not 0.0 <= self.crossover_probability <= 1.0:
+            raise ValueError("crossover_probability must be in [0, 1]")
+        if not 0.0 <= self.mutation_rate <= 1.0:
+            raise ValueError("mutation_rate must be in [0, 1]")
+
+
+class Nsga2:
+    """NSGA-II over a discrete design space."""
+
+    def __init__(
+        self, problem: OptimizationProblem, settings: Nsga2Settings | None = None
+    ) -> None:
+        self.problem = problem
+        self.settings = settings if settings is not None else Nsga2Settings()
+        self._rng = np.random.default_rng(self.settings.seed)
+        self._cache: dict[tuple[int, ...], EvaluatedDesign] = {}
+
+    # ------------------------------------------------------------------ API
+
+    def run(self) -> list[EvaluatedDesign]:
+        """Run the optimisation and return the final non-dominated set."""
+        population = self._initial_population()
+        for _ in range(self.settings.generations):
+            offspring = self._make_offspring(population)
+            population = self._environmental_selection(population + offspring)
+        front = pareto_front_indices([design.objectives for design in population])
+        return [population[index] for index in front]
+
+    # ------------------------------------------------------------- internals
+
+    def _evaluate(self, genotype: tuple[int, ...]) -> EvaluatedDesign:
+        if genotype not in self._cache:
+            self._cache[genotype] = self.problem.evaluate(genotype)
+        return self._cache[genotype]
+
+    def _initial_population(self) -> list[EvaluatedDesign]:
+        population = []
+        for _ in range(self.settings.population_size):
+            genotype = self.problem.space.random_genotype(self._rng)
+            population.append(self._evaluate(genotype))
+        return population
+
+    def _ranks_and_crowding(
+        self, population: list[EvaluatedDesign]
+    ) -> tuple[list[int], list[float]]:
+        objectives = [design.objectives for design in population]
+        fronts = non_dominated_sort(objectives)
+        ranks = [0] * len(population)
+        crowding = [0.0] * len(population)
+        for rank, front in enumerate(fronts):
+            front_distances = crowding_distance([objectives[i] for i in front])
+            for position, index in enumerate(front):
+                ranks[index] = rank
+                crowding[index] = front_distances[position]
+        return ranks, crowding
+
+    def _tournament(
+        self,
+        population: list[EvaluatedDesign],
+        ranks: list[int],
+        crowding: list[float],
+    ) -> EvaluatedDesign:
+        first, second = self._rng.integers(0, len(population), size=2)
+        # Constrained tournament: feasible beats infeasible, then rank, then
+        # crowding distance.
+        def key(index: int) -> tuple[int, int, float]:
+            design = population[index]
+            return (0 if design.feasible else 1, ranks[index], -crowding[index])
+
+        winner = first if key(int(first)) <= key(int(second)) else second
+        return population[int(winner)]
+
+    def _crossover(
+        self, parent_a: tuple[int, ...], parent_b: tuple[int, ...]
+    ) -> tuple[int, ...]:
+        if self._rng.random() > self.settings.crossover_probability:
+            return parent_a
+        mask = self._rng.random(len(parent_a)) < 0.5
+        child = [
+            gene_a if use_a else gene_b
+            for gene_a, gene_b, use_a in zip(parent_a, parent_b, mask)
+        ]
+        return tuple(child)
+
+    def _make_offspring(
+        self, population: list[EvaluatedDesign]
+    ) -> list[EvaluatedDesign]:
+        ranks, crowding = self._ranks_and_crowding(population)
+        offspring = []
+        for _ in range(self.settings.population_size):
+            parent_a = self._tournament(population, ranks, crowding)
+            parent_b = self._tournament(population, ranks, crowding)
+            child = self._crossover(parent_a.genotype, parent_b.genotype)
+            child = self.problem.space.mutate_genotype(
+                child, self._rng, self.settings.mutation_rate
+            )
+            offspring.append(self._evaluate(child))
+        return offspring
+
+    def _environmental_selection(
+        self, combined: list[EvaluatedDesign]
+    ) -> list[EvaluatedDesign]:
+        # Duplicate genotypes quickly take over an elitist population on a
+        # discrete space; keeping a single copy of each preserves diversity.
+        unique: dict[tuple[int, ...], EvaluatedDesign] = {}
+        for design in combined:
+            unique.setdefault(design.genotype, design)
+        combined = list(unique.values())
+        if len(combined) < self.settings.population_size:
+            while len(combined) < self.settings.population_size:
+                genotype = self.problem.space.random_genotype(self._rng)
+                if genotype in unique:
+                    continue
+                design = self._evaluate(genotype)
+                unique[genotype] = design
+                combined.append(design)
+
+        objectives = [design.objectives for design in combined]
+        fronts = non_dominated_sort(objectives)
+        survivors: list[EvaluatedDesign] = []
+        for front in fronts:
+            if len(survivors) + len(front) <= self.settings.population_size:
+                survivors.extend(combined[i] for i in front)
+                continue
+            # Partial front: keep the most spread-out individuals.
+            distances = crowding_distance([objectives[i] for i in front])
+            order = sorted(
+                range(len(front)), key=lambda pos: distances[pos], reverse=True
+            )
+            remaining = self.settings.population_size - len(survivors)
+            survivors.extend(combined[front[pos]] for pos in order[:remaining])
+            break
+        return survivors

@@ -1,0 +1,211 @@
+"""Pareto-dominance utilities.
+
+All objectives are minimised.  The helpers operate on plain sequences of
+objective vectors so they can be reused by every search algorithm and by the
+front-comparison experiments (Figure 5).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "dominates",
+    "pareto_front_indices",
+    "non_dominated_sort",
+    "crowding_distance",
+    "hypervolume",
+    "front_coverage",
+    "front_contribution",
+]
+
+
+def dominates(first: Sequence[float], second: Sequence[float]) -> bool:
+    """Whether objective vector ``first`` Pareto-dominates ``second``."""
+    if len(first) != len(second):
+        raise ValueError("objective vectors must have the same length")
+    at_least_one_better = False
+    for a, b in zip(first, second):
+        if a > b:
+            return False
+        if a < b:
+            at_least_one_better = True
+    return at_least_one_better
+
+
+def pareto_front_indices(objectives: Sequence[Sequence[float]]) -> list[int]:
+    """Indices of the non-dominated points of a set."""
+    points = [tuple(point) for point in objectives]
+    front: list[int] = []
+    for index, candidate in enumerate(points):
+        dominated = False
+        for other_index, other in enumerate(points):
+            if other_index == index:
+                continue
+            if dominates(other, candidate):
+                dominated = True
+                break
+            if other == candidate and other_index < index:
+                # Keep only the first occurrence of duplicated points.
+                dominated = True
+                break
+        if not dominated:
+            front.append(index)
+    return front
+
+
+def non_dominated_sort(objectives: Sequence[Sequence[float]]) -> list[list[int]]:
+    """Fast non-dominated sorting (Deb et al.), returning fronts of indices."""
+    count = len(objectives)
+    dominated_by: list[list[int]] = [[] for _ in range(count)]
+    domination_count = [0] * count
+    fronts: list[list[int]] = [[]]
+
+    for p in range(count):
+        for q in range(count):
+            if p == q:
+                continue
+            if dominates(objectives[p], objectives[q]):
+                dominated_by[p].append(q)
+            elif dominates(objectives[q], objectives[p]):
+                domination_count[p] += 1
+        if domination_count[p] == 0:
+            fronts[0].append(p)
+
+    current = 0
+    while fronts[current]:
+        next_front: list[int] = []
+        for p in fronts[current]:
+            for q in dominated_by[p]:
+                domination_count[q] -= 1
+                if domination_count[q] == 0:
+                    next_front.append(q)
+        current += 1
+        fronts.append(next_front)
+    return [front for front in fronts if front]
+
+
+def crowding_distance(objectives: Sequence[Sequence[float]]) -> list[float]:
+    """Crowding distance of each point of one front (larger is better)."""
+    count = len(objectives)
+    if count == 0:
+        return []
+    matrix = np.asarray(objectives, dtype=float)
+    distances = np.zeros(count)
+    for column in range(matrix.shape[1]):
+        order = np.argsort(matrix[:, column], kind="stable")
+        column_values = matrix[order, column]
+        span = column_values[-1] - column_values[0]
+        distances[order[0]] = np.inf
+        distances[order[-1]] = np.inf
+        if span <= 0 or count < 3:
+            continue
+        distances[order[1:-1]] += (column_values[2:] - column_values[:-2]) / span
+    return distances.tolist()
+
+
+def hypervolume(
+    objectives: Sequence[Sequence[float]], reference: Sequence[float]
+) -> float:
+    """Hypervolume dominated by a front with respect to a reference point.
+
+    The implementation recursively slices along the last objective, which is
+    exact and fast enough for the two- and three-objective fronts produced by
+    the case study.
+    """
+    points = [tuple(float(v) for v in point) for point in objectives]
+    reference = tuple(float(v) for v in reference)
+    if not points:
+        return 0.0
+    dimension = len(reference)
+    if any(len(point) != dimension for point in points):
+        raise ValueError("points and reference must have the same dimension")
+    # Clip away points that do not dominate the reference point at all.
+    points = [
+        point for point in points if all(p < r for p, r in zip(point, reference))
+    ]
+    if not points:
+        return 0.0
+    front = [points[i] for i in pareto_front_indices(points)]
+
+    if dimension == 1:
+        return reference[0] - min(point[0] for point in front)
+
+    # Sort by the last objective and accumulate slice volumes.
+    front.sort(key=lambda point: point[-1])
+    volume = 0.0
+    previous_last = reference[-1]
+    for index in range(len(front) - 1, -1, -1):
+        point = front[index]
+        slab_height = previous_last - point[-1]
+        if slab_height > 0:
+            slice_points = [p[:-1] for p in front[: index + 1]]
+            volume += slab_height * hypervolume(slice_points, reference[:-1])
+            previous_last = point[-1]
+    return volume
+
+
+def front_coverage(
+    reference_front: Sequence[Sequence[float]],
+    candidate_front: Sequence[Sequence[float]],
+    relative_tolerance: float = 1e-3,
+) -> float:
+    """Fraction of the reference front recovered by the candidate front.
+
+    A reference point counts as recovered when the candidate front contains a
+    point that is equal to it (within the relative tolerance) or dominates it.
+    This is the metric behind the paper's observation that the energy/delay
+    baseline only finds about 7 % of the trade-offs exposed by the proposed
+    three-metric model.
+    """
+    reference = [tuple(float(v) for v in point) for point in reference_front]
+    candidates = [tuple(float(v) for v in point) for point in candidate_front]
+    if not reference:
+        raise ValueError("the reference front must not be empty")
+    if not candidates:
+        return 0.0
+
+    def recovered(point: tuple[float, ...]) -> bool:
+        for candidate in candidates:
+            if len(candidate) != len(point):
+                raise ValueError("fronts must share the objective dimension")
+            close = all(
+                abs(c - p) <= relative_tolerance * max(abs(p), 1e-12)
+                for c, p in zip(candidate, point)
+            )
+            if close or dominates(candidate, point):
+                return True
+        return False
+
+    found = sum(1 for point in reference if recovered(point))
+    return found / len(reference)
+
+
+def front_contribution(
+    reference_front: Sequence[Sequence[float]],
+    candidate_front: Sequence[Sequence[float]],
+) -> float:
+    """Share of the combined Pareto front contributed by the candidate set.
+
+    Both sets are merged, the joint non-dominated front is extracted, and the
+    function returns the fraction of that front that originates from the
+    candidate set.  This is the quantity behind the paper's Figure 5 remark
+    that the energy/delay baseline only contributes about 7 % of the
+    trade-offs detected by the proposed three-metric model: the baseline's
+    designs are valid trade-offs, but they are few compared with the full
+    front.
+    """
+    reference = [tuple(float(v) for v in point) for point in reference_front]
+    candidates = [tuple(float(v) for v in point) for point in candidate_front]
+    if not reference and not candidates:
+        raise ValueError("at least one front must be non-empty")
+    combined = reference + candidates
+    joint = pareto_front_indices(combined)
+    if not joint:
+        return 0.0
+    # Points present in both sets are credited to the reference set (they are
+    # "found" either way); only genuinely candidate-originated points count.
+    candidate_points = sum(1 for index in joint if index >= len(reference))
+    return candidate_points / len(joint)

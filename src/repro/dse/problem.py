@@ -1,0 +1,182 @@
+"""Optimisation-problem layer bridging the design space and the evaluator."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.core.baseline import EnergyDelayBaselineEvaluator
+from repro.core.evaluator import NetworkEvaluation, WBSNEvaluator
+from repro.dse.space import DesignSpace, ParameterDomain
+from repro.mac802154.config import Ieee802154MacConfig
+from repro.shimmer.platform import ShimmerNodeConfig
+
+__all__ = ["EvaluatedDesign", "OptimizationProblem", "WbsnDseProblem"]
+
+#: Default compression-ratio grid explored by the case study (Figure 3/4 sweep).
+DEFAULT_COMPRESSION_RATIOS: tuple[float, ...] = (
+    0.17,
+    0.20,
+    0.23,
+    0.26,
+    0.29,
+    0.32,
+    0.35,
+    0.38,
+)
+
+#: Default MSP430 clock frequencies selectable on the Shimmer platform.
+DEFAULT_FREQUENCIES_HZ: tuple[float, ...] = (1e6, 2e6, 4e6, 8e6)
+
+#: Default MAC payload sizes explored by the DSE.
+DEFAULT_PAYLOAD_BYTES: tuple[int, ...] = (40, 60, 80, 100)
+
+#: Default (superframe order, beacon order) pairs explored by the DSE.
+DEFAULT_ORDER_PAIRS: tuple[tuple[int, int], ...] = (
+    (3, 3),
+    (3, 4),
+    (4, 4),
+    (4, 5),
+    (5, 5),
+    (4, 6),
+    (5, 6),
+    (6, 6),
+)
+
+
+@dataclass(frozen=True)
+class EvaluatedDesign:
+    """One evaluated candidate.
+
+    Attributes:
+        genotype: the encoded configuration.
+        objectives: the objective vector (all components to be minimised).
+        feasible: whether every model constraint is satisfied.
+        phenotype: the decoded configuration (node configs and MAC config).
+    """
+
+    genotype: tuple[int, ...]
+    objectives: tuple[float, ...]
+    feasible: bool
+    phenotype: dict[str, Any]
+
+
+class OptimizationProblem(abc.ABC):
+    """A minimisation problem over a discrete design space."""
+
+    #: the underlying design space
+    space: DesignSpace
+    #: number of objective components returned by :meth:`evaluate`
+    n_objectives: int
+
+    @abc.abstractmethod
+    def evaluate(self, genotype: Sequence[int]) -> EvaluatedDesign:
+        """Evaluate one candidate configuration."""
+
+
+class WbsnDseProblem(OptimizationProblem):
+    """The case-study exploration problem of Section 5.2.
+
+    The tunable parameters are, per node, the compression ratio and the
+    microcontroller frequency, plus the shared MAC payload size and
+    superframe/beacon orders.  The objective vector is produced by the
+    supplied evaluator: three components (energy, PRD, delay) with the full
+    model, two (energy, delay) with the baseline model.
+
+    Args:
+        evaluator: a :class:`~repro.core.evaluator.WBSNEvaluator` or
+            :class:`~repro.core.baseline.EnergyDelayBaselineEvaluator`.
+        compression_ratios: admissible per-node compression ratios.
+        frequencies_hz: admissible per-node microcontroller frequencies.
+        payload_bytes: admissible MAC payload sizes.
+        order_pairs: admissible ``(superframe order, beacon order)`` pairs.
+        infeasibility_penalty: constant added to every objective of an
+            infeasible candidate so that unconstrained algorithms still rank
+            them behind feasible ones.
+        record_evaluations: keep every evaluated design in :attr:`history`
+            (used by the Figure 5 experiment to extract the overall
+            non-dominated set seen during a run).
+    """
+
+    def __init__(
+        self,
+        evaluator: WBSNEvaluator | EnergyDelayBaselineEvaluator,
+        compression_ratios: Sequence[float] = DEFAULT_COMPRESSION_RATIOS,
+        frequencies_hz: Sequence[float] = DEFAULT_FREQUENCIES_HZ,
+        payload_bytes: Sequence[int] = DEFAULT_PAYLOAD_BYTES,
+        order_pairs: Sequence[tuple[int, int]] = DEFAULT_ORDER_PAIRS,
+        infeasibility_penalty: float = 1e3,
+        record_evaluations: bool = False,
+    ) -> None:
+        self.evaluator = evaluator
+        self.n_nodes = len(evaluator.nodes)
+        self.compression_ratios = tuple(compression_ratios)
+        self.frequencies_hz = tuple(frequencies_hz)
+        self.payload_bytes = tuple(payload_bytes)
+        self.order_pairs = tuple(order_pairs)
+        self.infeasibility_penalty = infeasibility_penalty
+        self.record_evaluations = record_evaluations
+        self.history: list[EvaluatedDesign] = []
+        self.evaluations = 0
+
+        domains: list[ParameterDomain] = []
+        for index in range(self.n_nodes):
+            domains.append(
+                ParameterDomain(f"node-{index}.compression_ratio", self.compression_ratios)
+            )
+            domains.append(
+                ParameterDomain(f"node-{index}.frequency_hz", self.frequencies_hz)
+            )
+        domains.append(ParameterDomain("mac.payload_bytes", self.payload_bytes))
+        domains.append(ParameterDomain("mac.orders", self.order_pairs))
+        self.space = DesignSpace(domains)
+
+        probe = self.decode(tuple(0 for _ in range(len(self.space))))
+        evaluation = self.evaluator.evaluate(*probe)
+        self.n_objectives = len(self.evaluator.objective_vector(evaluation))
+
+    # ------------------------------------------------------------------ API
+
+    def decode(
+        self, genotype: Sequence[int]
+    ) -> tuple[list[ShimmerNodeConfig], Ieee802154MacConfig]:
+        """Decode a genotype into node configurations and a MAC configuration."""
+        values = self.space.decode(genotype)
+        node_configs = [
+            ShimmerNodeConfig(
+                compression_ratio=values[f"node-{index}.compression_ratio"],
+                microcontroller_frequency_hz=values[f"node-{index}.frequency_hz"],
+            )
+            for index in range(self.n_nodes)
+        ]
+        superframe_order, beacon_order = values["mac.orders"]
+        mac_config = Ieee802154MacConfig(
+            payload_bytes=values["mac.payload_bytes"],
+            superframe_order=superframe_order,
+            beacon_order=beacon_order,
+        )
+        return node_configs, mac_config
+
+    def evaluate(self, genotype: Sequence[int]) -> EvaluatedDesign:
+        """Evaluate one candidate with the underlying system-level model."""
+        node_configs, mac_config = self.decode(genotype)
+        evaluation: NetworkEvaluation = self.evaluator.evaluate(node_configs, mac_config)
+        self.evaluations += 1
+        objectives = tuple(self.evaluator.objective_vector(evaluation))
+        if not evaluation.feasible:
+            objectives = tuple(
+                value + self.infeasibility_penalty for value in objectives
+            )
+        design = EvaluatedDesign(
+            genotype=self.space.validate_genotype(genotype),
+            objectives=objectives,
+            feasible=evaluation.feasible,
+            phenotype={
+                "node_configs": tuple(node_configs),
+                "mac_config": mac_config,
+            },
+        )
+        if self.record_evaluations:
+            self.history.append(design)
+        return design

@@ -1,0 +1,42 @@
+"""Uniform random search baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dse.pareto import pareto_front_indices
+from repro.dse.problem import EvaluatedDesign, OptimizationProblem
+
+__all__ = ["RandomSearch"]
+
+
+class RandomSearch:
+    """Samples the design space uniformly and keeps the non-dominated set.
+
+    Random search is the sanity baseline of the DSE comparison: any guided
+    algorithm driven by the same evaluation budget should dominate (or at
+    least match) its front.
+    """
+
+    def __init__(
+        self, problem: OptimizationProblem, samples: int = 2000, seed: int = 0
+    ) -> None:
+        if samples <= 0:
+            raise ValueError("samples must be positive")
+        self.problem = problem
+        self.samples = samples
+        self._rng = np.random.default_rng(seed)
+
+    def run(self) -> list[EvaluatedDesign]:
+        """Sample the space and return the feasible non-dominated designs."""
+        evaluated: list[EvaluatedDesign] = []
+        seen: set[tuple[int, ...]] = set()
+        for _ in range(self.samples):
+            genotype = self.problem.space.random_genotype(self._rng)
+            if genotype in seen:
+                continue
+            seen.add(genotype)
+            evaluated.append(self.problem.evaluate(genotype))
+        feasible = [design for design in evaluated if design.feasible] or evaluated
+        front = pareto_front_indices([design.objectives for design in feasible])
+        return [feasible[index] for index in front]

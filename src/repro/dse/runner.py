@@ -1,0 +1,63 @@
+"""Thin orchestration layer around the search algorithms."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.dse.problem import EvaluatedDesign, OptimizationProblem
+
+__all__ = ["SearchAlgorithm", "DseResult", "run_algorithm"]
+
+
+class SearchAlgorithm(Protocol):
+    """Anything with a ``run() -> list[EvaluatedDesign]`` method."""
+
+    problem: OptimizationProblem
+
+    def run(self) -> list[EvaluatedDesign]:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass(frozen=True)
+class DseResult:
+    """Outcome of one exploration run.
+
+    Attributes:
+        front: the non-dominated designs returned by the algorithm.
+        evaluations: number of model evaluations consumed.
+        wall_clock_s: host time spent by the run.
+        evaluations_per_second: effective evaluation throughput.
+    """
+
+    front: tuple[EvaluatedDesign, ...]
+    evaluations: int
+    wall_clock_s: float
+
+    @property
+    def evaluations_per_second(self) -> float:
+        """Model evaluations per second achieved during the run."""
+        if self.wall_clock_s <= 0:
+            return float("inf")
+        return self.evaluations / self.wall_clock_s
+
+    @property
+    def objective_vectors(self) -> list[tuple[float, ...]]:
+        """Objective vectors of the returned front."""
+        return [design.objectives for design in self.front]
+
+
+def run_algorithm(algorithm: SearchAlgorithm) -> DseResult:
+    """Run a search algorithm and record its cost."""
+    problem = algorithm.problem
+    evaluations_before = getattr(problem, "evaluations", 0)
+    started = time.perf_counter()
+    front = algorithm.run()
+    wall_clock = time.perf_counter() - started
+    evaluations = getattr(problem, "evaluations", 0) - evaluations_before
+    return DseResult(
+        front=tuple(front),
+        evaluations=evaluations,
+        wall_clock_s=wall_clock,
+    )

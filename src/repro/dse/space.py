@@ -1,0 +1,125 @@
+"""Discrete parameter domains and design spaces.
+
+A design space is an ordered list of named parameter domains, each holding the
+discrete values a parameter can take.  Candidates are encoded as genotypes —
+tuples of indices, one per domain — which is what the search algorithms
+manipulate; the problem layer decodes genotypes into configuration objects.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["ParameterDomain", "DesignSpace"]
+
+
+@dataclass(frozen=True)
+class ParameterDomain:
+    """One tunable parameter and its admissible values.
+
+    Attributes:
+        name: parameter identifier (e.g. ``"node-2.compression_ratio"``).
+        values: ordered tuple of admissible values.
+    """
+
+    name: str
+    values: tuple[Any, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("the parameter needs a non-empty name")
+        if len(self.values) == 0:
+            raise ValueError(f"domain '{self.name}' must contain at least one value")
+
+    @property
+    def cardinality(self) -> int:
+        """Number of admissible values."""
+        return len(self.values)
+
+    def value_at(self, index: int) -> Any:
+        """The value encoded by ``index``."""
+        if not 0 <= index < len(self.values):
+            raise IndexError(
+                f"index {index} out of range for domain '{self.name}' "
+                f"({len(self.values)} values)"
+            )
+        return self.values[index]
+
+
+class DesignSpace:
+    """An ordered collection of parameter domains."""
+
+    def __init__(self, domains: Sequence[ParameterDomain]) -> None:
+        if not domains:
+            raise ValueError("the design space needs at least one domain")
+        names = [domain.name for domain in domains]
+        if len(set(names)) != len(names):
+            raise ValueError("parameter names must be unique")
+        self.domains = tuple(domains)
+
+    def __len__(self) -> int:
+        return len(self.domains)
+
+    @property
+    def size(self) -> int:
+        """Total number of distinct configurations in the space."""
+        return math.prod(domain.cardinality for domain in self.domains)
+
+    def validate_genotype(self, genotype: Sequence[int]) -> tuple[int, ...]:
+        """Check a genotype against the domain cardinalities."""
+        if len(genotype) != len(self.domains):
+            raise ValueError(
+                f"genotype must have {len(self.domains)} genes, got {len(genotype)}"
+            )
+        for gene, domain in zip(genotype, self.domains):
+            if not 0 <= gene < domain.cardinality:
+                raise ValueError(
+                    f"gene {gene} out of range for domain '{domain.name}'"
+                )
+        return tuple(int(gene) for gene in genotype)
+
+    def decode(self, genotype: Sequence[int]) -> dict[str, Any]:
+        """Map a genotype to a ``{parameter name: value}`` dictionary."""
+        genotype = self.validate_genotype(genotype)
+        return {
+            domain.name: domain.value_at(gene)
+            for gene, domain in zip(genotype, self.domains)
+        }
+
+    def random_genotype(self, rng: np.random.Generator) -> tuple[int, ...]:
+        """Draw a uniformly random genotype."""
+        return tuple(
+            int(rng.integers(0, domain.cardinality)) for domain in self.domains
+        )
+
+    def mutate_genotype(
+        self,
+        genotype: Sequence[int],
+        rng: np.random.Generator,
+        mutation_rate: float,
+    ) -> tuple[int, ...]:
+        """Random-reset mutation: each gene is redrawn with ``mutation_rate``."""
+        if not 0.0 <= mutation_rate <= 1.0:
+            raise ValueError("mutation_rate must be in [0, 1]")
+        genotype = list(self.validate_genotype(genotype))
+        for position, domain in enumerate(self.domains):
+            if domain.cardinality > 1 and rng.random() < mutation_rate:
+                genotype[position] = int(rng.integers(0, domain.cardinality))
+        return tuple(genotype)
+
+    def enumerate_genotypes(self) -> Iterator[tuple[int, ...]]:
+        """Yield every genotype of the space (use only for small spaces)."""
+        def recurse(prefix: list[int], position: int) -> Iterator[tuple[int, ...]]:
+            if position == len(self.domains):
+                yield tuple(prefix)
+                return
+            for index in range(self.domains[position].cardinality):
+                prefix.append(index)
+                yield from recurse(prefix, position + 1)
+                prefix.pop()
+
+        yield from recurse([], 0)

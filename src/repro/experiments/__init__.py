@@ -1,0 +1,27 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+Each module exposes a ``run_*`` function returning a structured result object
+and a ``main()`` entry point that prints the corresponding table, so every
+experiment can be reproduced from the command line, e.g.::
+
+    python -m repro.experiments.fig3_node_energy
+    python -m repro.experiments.fig4_prd
+    python -m repro.experiments.delay_validation
+    python -m repro.experiments.dse_speed
+    python -m repro.experiments.fig5_pareto
+
+The benchmark suite (``benchmarks/``) wraps the same functions with
+pytest-benchmark so the numbers land next to the timing data.
+"""
+
+from repro.experiments.casestudy import (
+    DEFAULT_MAC_CONFIG,
+    build_case_study_evaluator,
+    build_baseline_evaluator,
+)
+
+__all__ = [
+    "DEFAULT_MAC_CONFIG",
+    "build_case_study_evaluator",
+    "build_baseline_evaluator",
+]

@@ -1,0 +1,122 @@
+"""Section 5.2 — evaluation speed: analytical model versus network simulation.
+
+The paper reports that one Castalia simulation of the case study takes 5 to
+10 minutes whereas the analytical model is evaluated roughly 4800 times per
+second — about six orders of magnitude faster per configuration.  This
+experiment measures both sides with the reproduction's own substrates: the
+model evaluation throughput of the case-study evaluator, and the wall-clock
+time of a packet-level simulation long enough to produce statistically
+meaningful delay figures.  The claim that must hold is the *shape*: the model
+is several orders of magnitude faster per evaluated configuration (the exact
+ratio depends on how heavy the reference simulator is — our from-scratch
+simulator is considerably lighter than Castalia).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.experiments.casestudy import DEFAULT_MAC_CONFIG, build_case_study_evaluator
+from repro.mac802154.config import Ieee802154MacConfig
+from repro.netsim.network import StarNetworkScenario
+from repro.shimmer.platform import (
+    ECG_SAMPLING_RATE_HZ,
+    SAMPLE_WIDTH_BYTES,
+    ShimmerNodeConfig,
+)
+
+__all__ = ["DseSpeedResult", "run_dse_speed", "main"]
+
+
+@dataclass(frozen=True)
+class DseSpeedResult:
+    """Timing comparison between the model and the packet-level simulator."""
+
+    model_evaluations: int
+    model_wall_clock_s: float
+    simulated_seconds: float
+    simulation_wall_clock_s: float
+    simulation_events: int
+
+    @property
+    def model_evaluations_per_second(self) -> float:
+        """Analytical evaluations per second of wall-clock time."""
+        return self.model_evaluations / self.model_wall_clock_s
+
+    @property
+    def speedup(self) -> float:
+        """Wall-clock ratio between one simulation and one model evaluation."""
+        per_evaluation = self.model_wall_clock_s / self.model_evaluations
+        return self.simulation_wall_clock_s / per_evaluation
+
+    @property
+    def speedup_orders_of_magnitude(self) -> float:
+        """The speed-up expressed in orders of magnitude."""
+        import math
+
+        return math.log10(self.speedup)
+
+
+def run_dse_speed(
+    model_evaluations: int = 2000,
+    simulated_seconds: float = 1800.0,
+    compression_ratio: float = 0.3,
+    frequency_hz: float = 8e6,
+    mac_config: Ieee802154MacConfig = DEFAULT_MAC_CONFIG,
+) -> DseSpeedResult:
+    """Measure the model throughput and the cost of one network simulation."""
+    if model_evaluations <= 0:
+        raise ValueError("model_evaluations must be positive")
+    evaluator = build_case_study_evaluator()
+    node_configs = [
+        ShimmerNodeConfig(compression_ratio, frequency_hz)
+        for _ in range(len(evaluator.nodes))
+    ]
+
+    started = time.perf_counter()
+    for _ in range(model_evaluations):
+        evaluator.evaluate(node_configs, mac_config)
+    model_wall_clock = time.perf_counter() - started
+
+    output_stream = ECG_SAMPLING_RATE_HZ * SAMPLE_WIDTH_BYTES * compression_ratio
+    scenario = StarNetworkScenario(
+        [output_stream] * len(evaluator.nodes),
+        mac_config,
+        duration_s=simulated_seconds,
+    )
+    simulation = scenario.run()
+
+    return DseSpeedResult(
+        model_evaluations=model_evaluations,
+        model_wall_clock_s=model_wall_clock,
+        simulated_seconds=simulated_seconds,
+        simulation_wall_clock_s=simulation.wall_clock_s,
+        simulation_events=simulation.events_dispatched,
+    )
+
+
+def main() -> DseSpeedResult:
+    """Print the speed comparison."""
+    result = run_dse_speed()
+    print("Evaluation speed — analytical model vs packet-level simulation")
+    print(
+        f"model: {result.model_evaluations} evaluations in "
+        f"{result.model_wall_clock_s:.2f} s "
+        f"({result.model_evaluations_per_second:.0f} evaluations/s; paper: ~4800/s)"
+    )
+    print(
+        f"simulation: {result.simulated_seconds:.0f} simulated seconds in "
+        f"{result.simulation_wall_clock_s:.2f} s wall-clock "
+        f"({result.simulation_events} events)"
+    )
+    print(
+        f"per-configuration speed-up: {result.speedup:.0f}x "
+        f"(~{result.speedup_orders_of_magnitude:.1f} orders of magnitude; "
+        "paper: ~6 orders against Castalia)"
+    )
+    return result
+
+
+if __name__ == "__main__":
+    main()

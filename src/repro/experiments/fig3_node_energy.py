@@ -1,0 +1,192 @@
+"""Figure 3 — node energy consumption: analytical estimate versus measurement.
+
+The paper sweeps realistic node configurations (microcontroller frequency in
+{1, 8} MHz, compression ratio in {0.17, 0.23, 0.32, 0.38}) for both the DWT
+and the CS applications, and compares the energy estimated by equations
+(3)-(7) with measurements on the real node.  Here the measurement bench is
+the hardware emulator of :mod:`repro.hwemu`; the claims that must hold are:
+
+* the estimation error stays below ~2 % for every feasible configuration,
+* the DWT error is smaller than the CS error on average,
+* the model predicts that the DWT cannot complete in real time at 1 MHz
+  (duty cycle above 100 %),
+* the consumption grows with both the compression ratio and the frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Sequence
+
+from repro.experiments.casestudy import DEFAULT_MAC_CONFIG
+from repro.experiments.reporting import format_table, percentage_error
+from repro.hwemu.node import ShimmerNodeEmulator
+from repro.mac802154.config import Ieee802154MacConfig
+from repro.mac802154.model import BeaconEnabledMacModel
+from repro.shimmer.applications import build_application
+from repro.shimmer.platform import (
+    ECG_SAMPLING_RATE_HZ,
+    SAMPLE_WIDTH_BYTES,
+    ShimmerNodeConfig,
+    ShimmerPlatform,
+)
+
+__all__ = ["Fig3Record", "Fig3Result", "estimate_node_energy", "run_fig3", "main"]
+
+#: Frequencies swept by the paper's Figure 3.
+FIG3_FREQUENCIES_HZ: tuple[float, ...] = (1e6, 8e6)
+
+#: Compression ratios swept by the paper's Figure 3.
+FIG3_COMPRESSION_RATIOS: tuple[float, ...] = (0.17, 0.23, 0.32, 0.38)
+
+
+@dataclass(frozen=True)
+class Fig3Record:
+    """One node configuration of the Figure 3 sweep."""
+
+    application: str
+    frequency_hz: float
+    compression_ratio: float
+    measured_mj_per_s: float
+    estimated_mj_per_s: float
+    estimated_duty_cycle: float
+    feasible: bool
+
+    @property
+    def error_percent(self) -> float:
+        """Relative estimation error against the measurement."""
+        return percentage_error(self.estimated_mj_per_s, self.measured_mj_per_s)
+
+
+@dataclass(frozen=True)
+class Fig3Result:
+    """Complete Figure 3 data set."""
+
+    records: tuple[Fig3Record, ...]
+
+    def records_for(self, application: str) -> list[Fig3Record]:
+        """Records of one application."""
+        return [r for r in self.records if r.application == application]
+
+    def average_error_percent(self, application: str) -> float:
+        """Average estimation error over the feasible configurations."""
+        errors = [r.error_percent for r in self.records_for(application) if r.feasible]
+        if not errors:
+            raise ValueError(f"no feasible configuration for '{application}'")
+        return sum(errors) / len(errors)
+
+    @property
+    def max_error_percent(self) -> float:
+        """Maximum estimation error over all feasible configurations."""
+        return max(r.error_percent for r in self.records if r.feasible)
+
+    def infeasible_configurations(self) -> list[Fig3Record]:
+        """Configurations the model flags as not schedulable."""
+        return [r for r in self.records if not r.feasible]
+
+
+def estimate_node_energy(
+    application: Literal["dwt", "cs"],
+    node_config: ShimmerNodeConfig,
+    mac_config: Ieee802154MacConfig = DEFAULT_MAC_CONFIG,
+    platform: ShimmerPlatform | None = None,
+) -> tuple[float, float, bool]:
+    """Analytical node energy (equations (3)-(7)) for one configuration.
+
+    Returns ``(energy_w, duty_cycle, schedulable)``.
+    """
+    platform = platform if platform is not None else ShimmerPlatform()
+    application_model = build_application(application, msp430=platform.msp430)
+    energy_model = platform.energy_model()
+    mac_model = BeaconEnabledMacModel()
+
+    phi_in = ECG_SAMPLING_RATE_HZ * SAMPLE_WIDTH_BYTES
+    phi_out = application_model.output_stream_bytes_per_second(phi_in, node_config)
+    usage = application_model.resource_usage(phi_in, node_config)
+    quantities = mac_model.per_node_quantities(phi_out, mac_config)
+    breakdown = energy_model.evaluate(
+        sampling_rate_hz=ECG_SAMPLING_RATE_HZ,
+        microcontroller_frequency_hz=node_config.microcontroller_frequency_hz,
+        usage=usage,
+        output_stream_bytes_per_second=phi_out,
+        mac=quantities,
+    )
+    return breakdown.total_w, usage.duty_cycle, usage.is_schedulable
+
+
+def run_fig3(
+    frequencies_hz: Sequence[float] = FIG3_FREQUENCIES_HZ,
+    compression_ratios: Sequence[float] = FIG3_COMPRESSION_RATIOS,
+    mac_config: Ieee802154MacConfig = DEFAULT_MAC_CONFIG,
+    platform: ShimmerPlatform | None = None,
+) -> Fig3Result:
+    """Regenerate the Figure 3 sweep (model versus emulated measurement)."""
+    platform = platform if platform is not None else ShimmerPlatform()
+    emulator = ShimmerNodeEmulator(platform=platform)
+    records: list[Fig3Record] = []
+    for application in ("dwt", "cs"):
+        for frequency_hz in frequencies_hz:
+            for ratio in compression_ratios:
+                node_config = ShimmerNodeConfig(
+                    compression_ratio=ratio,
+                    microcontroller_frequency_hz=frequency_hz,
+                )
+                measurement = emulator.measure(application, node_config, mac_config)
+                estimated_w, duty, schedulable = estimate_node_energy(
+                    application, node_config, mac_config, platform
+                )
+                records.append(
+                    Fig3Record(
+                        application=application,
+                        frequency_hz=frequency_hz,
+                        compression_ratio=ratio,
+                        measured_mj_per_s=measurement.total_mj_per_s,
+                        estimated_mj_per_s=estimated_w * 1e3,
+                        estimated_duty_cycle=duty,
+                        feasible=schedulable and measurement.feasible,
+                    )
+                )
+    return Fig3Result(records=tuple(records))
+
+
+def main() -> Fig3Result:
+    """Print the Figure 3 table."""
+    result = run_fig3()
+    rows = []
+    for record in result.records:
+        rows.append(
+            [
+                record.application.upper(),
+                f"{record.frequency_hz / 1e6:.0f} MHz",
+                f"{record.compression_ratio:.2f}",
+                f"{record.measured_mj_per_s:.3f}" if record.feasible else "n/a",
+                f"{record.estimated_mj_per_s:.3f}",
+                f"{record.estimated_duty_cycle * 100:.0f}%",
+                f"{record.error_percent:.2f}%" if record.feasible else "infeasible",
+            ]
+        )
+    print("Figure 3 — node energy per second: estimated vs measured")
+    print(
+        format_table(
+            ["app", "f_uC", "CR", "measured mJ/s", "estimated mJ/s", "duty", "error"],
+            rows,
+        )
+    )
+    for application in ("dwt", "cs"):
+        print(
+            f"average error ({application.upper()}): "
+            f"{result.average_error_percent(application):.2f}%"
+        )
+    print(f"maximum error: {result.max_error_percent:.2f}%")
+    print(
+        "infeasible configurations (duty cycle > 100%): "
+        + ", ".join(
+            f"{r.application.upper()}@{r.frequency_hz / 1e6:.0f}MHz/CR={r.compression_ratio}"
+            for r in result.infeasible_configurations()
+        )
+    )
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,128 @@
+"""Figure 4 — application quality (PRD): polynomial estimate versus measurement.
+
+The model estimates the PRD with a 5th-order polynomial of the compression
+ratio, fitted to measured data; the actual PRD can only be obtained by
+reconstructing the compressed ECG.  This experiment measures the PRD over the
+Figure 4 compression-ratio sweep using the real compression/reconstruction
+pipelines on synthetic ECG, fits the polynomials, and reports the estimation
+error.  The claims that must hold:
+
+* the PRD decreases monotonically (up to measurement noise) as CR grows,
+* the CS PRD is higher than the DWT PRD at every compression ratio,
+* the polynomial estimate tracks the measurement within a few percent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.experiments.reporting import format_table, percentage_error
+from repro.hwemu.measurement import measure_prd
+from repro.shimmer.prd_fit import PrdPolynomial, fit_prd_polynomial
+
+__all__ = ["Fig4Record", "Fig4Result", "run_fig4", "main"]
+
+#: Compression ratios swept by the paper's Figure 4.
+FIG4_COMPRESSION_RATIOS: tuple[float, ...] = (
+    0.17,
+    0.20,
+    0.23,
+    0.26,
+    0.29,
+    0.32,
+    0.35,
+    0.38,
+)
+
+
+@dataclass(frozen=True)
+class Fig4Record:
+    """One (application, compression ratio) point of the Figure 4 sweep."""
+
+    application: str
+    compression_ratio: float
+    measured_prd: float
+    estimated_prd: float
+
+    @property
+    def error_percent(self) -> float:
+        """Relative estimation error of the polynomial fit."""
+        return percentage_error(self.estimated_prd, self.measured_prd)
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    """Complete Figure 4 data set."""
+
+    records: tuple[Fig4Record, ...]
+    polynomials: dict[str, PrdPolynomial]
+
+    def records_for(self, application: str) -> list[Fig4Record]:
+        """Records of one application, ordered by compression ratio."""
+        return sorted(
+            (r for r in self.records if r.application == application),
+            key=lambda r: r.compression_ratio,
+        )
+
+    def average_error_percent(self, application: str) -> float:
+        """Average estimation error of one application."""
+        errors = [r.error_percent for r in self.records_for(application)]
+        return sum(errors) / len(errors)
+
+
+def run_fig4(
+    compression_ratios: Sequence[float] = FIG4_COMPRESSION_RATIOS,
+    duration_s: float = 24.0,
+    seed: int = 7,
+    polynomial_degree: int = 5,
+) -> Fig4Result:
+    """Regenerate the Figure 4 sweep (polynomial estimate versus measurement)."""
+    records: list[Fig4Record] = []
+    polynomials: dict[str, PrdPolynomial] = {}
+    for application in ("dwt", "cs"):
+        measured = [
+            measure_prd(application, ratio, duration_s=duration_s, seed=seed)
+            for ratio in compression_ratios
+        ]
+        polynomial = fit_prd_polynomial(
+            compression_ratios, measured, degree=polynomial_degree
+        )
+        polynomials[application] = polynomial
+        for ratio, value in zip(compression_ratios, measured):
+            records.append(
+                Fig4Record(
+                    application=application,
+                    compression_ratio=ratio,
+                    measured_prd=value,
+                    estimated_prd=polynomial(ratio),
+                )
+            )
+    return Fig4Result(records=tuple(records), polynomials=polynomials)
+
+
+def main() -> Fig4Result:
+    """Print the Figure 4 table."""
+    result = run_fig4()
+    rows = [
+        [
+            record.application.upper(),
+            f"{record.compression_ratio:.2f}",
+            f"{record.measured_prd:.2f}",
+            f"{record.estimated_prd:.2f}",
+            f"{record.error_percent:.2f}%",
+        ]
+        for record in result.records
+    ]
+    print("Figure 4 — PRD versus compression ratio: estimated vs measured")
+    print(format_table(["app", "CR", "measured PRD", "estimated PRD", "error"], rows))
+    for application in ("dwt", "cs"):
+        print(
+            f"average error ({application.upper()}): "
+            f"{result.average_error_percent(application):.2f}%"
+        )
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""Small formatting helpers shared by the experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["percentage_error", "format_table"]
+
+
+def percentage_error(estimated: float, reference: float) -> float:
+    """Absolute relative error of an estimate, in percent."""
+    if reference == 0:
+        raise ValueError("reference value must be non-zero")
+    return abs(estimated - reference) / abs(reference) * 100.0
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render a fixed-width text table (used by the experiment CLIs)."""
+    columns = [list(map(str, column)) for column in zip(headers, *rows)]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(str(cell).ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)

@@ -1,0 +1,32 @@
+"""ECG front-end and A/D converter emulation."""
+
+from __future__ import annotations
+
+from repro.shimmer.adc import AdcFrontEndParameters
+
+__all__ = ["AdcFrontEndEmulator"]
+
+
+class AdcFrontEndEmulator:
+    """Emulates the analogue front-end and the SAR converter.
+
+    Compared with the analytical model of equation (3), the emulator adds the
+    reference-settling non-linearity of the converter at full resolution.
+    """
+
+    def __init__(self, parameters: AdcFrontEndParameters | None = None) -> None:
+        self.parameters = (
+            parameters if parameters is not None else AdcFrontEndParameters()
+        )
+
+    def average_power_w(self, sampling_rate_hz: float) -> float:
+        """Average front-end power at the given sampling frequency."""
+        if sampling_rate_hz < 0:
+            raise ValueError("sampling_rate_hz cannot be negative")
+        params = self.parameters
+        conversion_power = (
+            sampling_rate_hz
+            * params.conversion_energy_j
+            * (1.0 + params.nonlinearity_fraction)
+        )
+        return params.transducer_power_w + conversion_power + params.static_power_w

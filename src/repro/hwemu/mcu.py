@@ -1,0 +1,67 @@
+"""Microcontroller emulation (cycle-accounting with second-order effects)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compression.cycle_counts import CycleCount
+from repro.shimmer.msp430 import Msp430Parameters
+
+__all__ = ["McuActivity", "McuEmulator"]
+
+
+@dataclass(frozen=True)
+class McuActivity:
+    """Emulated microcontroller activity over one second of operation.
+
+    Attributes:
+        busy_fraction: fraction of the second spent executing (may exceed 1
+            when the workload cannot complete in real time).
+        average_power_w: average power including the sleep floor.
+        schedulable: whether the workload fits within the second.
+    """
+
+    busy_fraction: float
+    average_power_w: float
+    schedulable: bool
+
+
+class McuEmulator:
+    """Emulates the MSP430 executing a per-second cycle budget."""
+
+    def __init__(self, parameters: Msp430Parameters | None = None) -> None:
+        self.parameters = parameters if parameters is not None else Msp430Parameters()
+
+    def active_power_w(self, frequency_hz: float) -> float:
+        """Active power including the DCO frequency non-linearity."""
+        params = self.parameters
+        first_order = params.active_power_w(frequency_hz)
+        nonlinearity = 1.0 + params.dco_nonlinearity_per_hz * frequency_hz
+        return first_order * nonlinearity
+
+    def run(self, per_second: CycleCount, frequency_hz: float) -> McuActivity:
+        """Emulate one second of execution of the given cycle budget.
+
+        Args:
+            per_second: cycle budget per second of signal (algorithm cycles,
+                before the firmware overhead).
+            frequency_hz: MSP430 clock frequency.
+        """
+        if frequency_hz <= 0:
+            raise ValueError("frequency_hz must be positive")
+        params = self.parameters
+        effective_cycles = per_second.cycles * (1.0 + params.isr_overhead_fraction)
+        busy_fraction = effective_cycles / frequency_hz
+        schedulable = busy_fraction <= 1.0
+
+        active_time = min(busy_fraction, 1.0)
+        sleep_time = max(0.0, 1.0 - active_time)
+        average_power = (
+            active_time * self.active_power_w(frequency_hz)
+            + sleep_time * params.sleep_power_w
+        )
+        return McuActivity(
+            busy_fraction=busy_fraction,
+            average_power_w=average_power,
+            schedulable=schedulable,
+        )

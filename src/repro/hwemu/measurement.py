@@ -1,0 +1,117 @@
+"""Measurement campaigns: emulated energy sweeps and real PRD measurements.
+
+This module plays the role of the experimental campaign of Section 5.1: it
+produces the "real" data points against which the analytical estimations of
+Figures 3 and 4 are compared.
+
+* Energy measurements come from the node hardware emulator
+  (:class:`repro.hwemu.node.ShimmerNodeEmulator`).
+* PRD measurements come from actually compressing and reconstructing a
+  synthetic ECG record with the algorithms of :mod:`repro.compression`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Literal, Sequence
+
+import numpy as np
+
+from repro.compression.cs_compressor import CSCompressor
+from repro.compression.dwt_compressor import DWTCompressor
+from repro.hwemu.node import EnergyMeasurement, ShimmerNodeEmulator
+from repro.mac802154.config import Ieee802154MacConfig
+from repro.shimmer.platform import ShimmerNodeConfig
+from repro.signals.ecg import SyntheticECG
+from repro.signals.quality import prd
+from repro.signals.windowing import split_windows
+
+__all__ = ["measure_prd", "MeasurementCampaign"]
+
+
+def measure_prd(
+    application: Literal["dwt", "cs"],
+    compression_ratio: float,
+    duration_s: float = 8.0,
+    window_size: int = 256,
+    seed: int = 7,
+    solver: Literal["omp", "fista"] = "fista",
+) -> float:
+    """Measure the PRD of one compression configuration on synthetic ECG.
+
+    The signal is generated, quantised by the 12-bit front-end, compressed
+    window by window, reconstructed, and compared against the quantised
+    original — the procedure that the paper can only perform offline and that
+    motivates the polynomial estimation used during the DSE.
+    """
+    if application not in ("dwt", "cs"):
+        raise ValueError("application must be 'dwt' or 'cs'")
+    generator = SyntheticECG(seed=seed)
+    record = generator.generate_quantized(duration_s)
+    windows = split_windows(record.samples_mv, window_size)
+
+    if application == "dwt":
+        compressor = DWTCompressor(
+            compression_ratio=compression_ratio, window_size=window_size
+        )
+    else:
+        compressor = CSCompressor(
+            compression_ratio=compression_ratio,
+            window_size=window_size,
+            solver=solver,
+            seed=seed,
+        )
+
+    reconstructed = np.concatenate(
+        [compressor.decompress(compressor.compress(window)) for window in windows]
+    )
+    original = np.concatenate(list(windows))
+    return prd(original, reconstructed)
+
+
+@dataclass
+class MeasurementCampaign:
+    """A batch of emulated measurements over a configuration sweep.
+
+    Attributes:
+        emulator: the node hardware emulator acting as the measurement bench.
+        mac_config: MAC configuration under which the energy is measured.
+    """
+
+    emulator: ShimmerNodeEmulator = field(default_factory=ShimmerNodeEmulator)
+    mac_config: Ieee802154MacConfig = field(default_factory=Ieee802154MacConfig)
+
+    def measure_energy_sweep(
+        self,
+        application: Literal["dwt", "cs"],
+        compression_ratios: Sequence[float],
+        frequencies_hz: Sequence[float],
+    ) -> list[EnergyMeasurement]:
+        """Measure every (CR, frequency) combination for one application."""
+        measurements: list[EnergyMeasurement] = []
+        for frequency_hz in frequencies_hz:
+            for ratio in compression_ratios:
+                config = ShimmerNodeConfig(
+                    compression_ratio=ratio,
+                    microcontroller_frequency_hz=frequency_hz,
+                )
+                measurements.append(
+                    self.emulator.measure(application, config, self.mac_config)
+                )
+        return measurements
+
+    def measure_prd_sweep(
+        self,
+        application: Literal["dwt", "cs"],
+        compression_ratios: Iterable[float],
+        duration_s: float = 8.0,
+        seed: int = 7,
+    ) -> list[tuple[float, float]]:
+        """Measure the PRD over a compression-ratio sweep.
+
+        Returns a list of ``(compression_ratio, prd_percent)`` pairs.
+        """
+        return [
+            (ratio, measure_prd(application, ratio, duration_s=duration_s, seed=seed))
+            for ratio in compression_ratios
+        ]

@@ -1,0 +1,82 @@
+"""Radio emulation (per-packet accounting with PHY and turnaround effects)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mac802154.config import Ieee802154MacConfig
+from repro.mac802154.constants import ACK_BYTES, MAC_OVERHEAD_BYTES
+from repro.shimmer.cc2420 import Cc2420Parameters
+
+__all__ = ["RadioActivity", "RadioEmulator"]
+
+
+@dataclass(frozen=True)
+class RadioActivity:
+    """Emulated radio activity over one second of operation.
+
+    Attributes:
+        frames_per_second: data frames transmitted per second.
+        tx_time_s: time spent in transmit mode per second.
+        rx_time_s: time spent in receive mode per second.
+        average_power_w: average radio power.
+    """
+
+    frames_per_second: float
+    tx_time_s: float
+    rx_time_s: float
+    average_power_w: float
+
+
+class RadioEmulator:
+    """Emulates the CC2420 exchanging the node's traffic with the coordinator.
+
+    The emulator charges, per data frame: the PHY preamble and header, the MAC
+    header and checksum, the payload, the RX/TX turnaround and the reception
+    of the acknowledgement; per beacon interval it charges the beacon
+    reception plus the listening guard the firmware opens before the expected
+    beacon arrival.
+    """
+
+    def __init__(self, parameters: Cc2420Parameters | None = None) -> None:
+        self.parameters = parameters if parameters is not None else Cc2420Parameters()
+
+    def run(
+        self,
+        output_stream_bytes_per_second: float,
+        mac_config: Ieee802154MacConfig,
+    ) -> RadioActivity:
+        """Emulate one second of radio activity for the given output stream."""
+        if output_stream_bytes_per_second < 0:
+            raise ValueError("output stream cannot be negative")
+        params = self.parameters
+        bit_time = 8.0 / params.bit_rate_bps
+
+        frames = output_stream_bytes_per_second / mac_config.payload_bytes
+        frame_bytes = (
+            mac_config.payload_bytes + MAC_OVERHEAD_BYTES + params.phy_overhead_bytes
+        )
+        tx_time = frames * frame_bytes * bit_time
+        turnaround_time = frames * params.turnaround_time_s
+
+        ack_bytes = ACK_BYTES + params.phy_overhead_bytes
+        beacons = mac_config.superframes_per_second
+        beacon_bytes = mac_config.beacon_bytes + params.phy_overhead_bytes
+        rx_time = (
+            frames * ack_bytes * bit_time
+            + beacons * beacon_bytes * bit_time
+            + beacons * params.beacon_guard_time_s
+        )
+
+        idle_power = params.supply_voltage_v * params.idle_current_a
+        average_power = (
+            tx_time * params.tx_power_w
+            + rx_time * params.rx_power_w
+            + turnaround_time * idle_power
+        )
+        return RadioActivity(
+            frames_per_second=frames,
+            tx_time_s=tx_time,
+            rx_time_s=rx_time,
+            average_power_w=average_power,
+        )

@@ -1,0 +1,36 @@
+"""On-chip SRAM emulation."""
+
+from __future__ import annotations
+
+from repro.shimmer.memory import SramParameters
+
+__all__ = ["SramEmulator"]
+
+
+class SramEmulator:
+    """Emulates the 10 kB SRAM serving the compression workload.
+
+    Compared with the analytical model of equation (5), the emulator applies
+    the retention-leakage derating observed at body temperature.
+    """
+
+    def __init__(self, parameters: SramParameters | None = None) -> None:
+        self.parameters = parameters if parameters is not None else SramParameters()
+
+    def average_power_w(
+        self, accesses_per_second: float, footprint_bytes: float
+    ) -> float:
+        """Average SRAM power for the given access rate and footprint."""
+        if accesses_per_second < 0 or footprint_bytes < 0:
+            raise ValueError("access rate and footprint cannot be negative")
+        params = self.parameters
+        active_fraction = min(1.0, accesses_per_second * params.access_time_s)
+        dynamic = active_fraction * params.access_power_w
+        leakage = (
+            (1.0 - active_fraction)
+            * 8.0
+            * footprint_bytes
+            * params.leakage_per_bit_w
+            * (1.0 + params.retention_derating)
+        )
+        return dynamic + leakage

@@ -1,0 +1,70 @@
+"""The IEEE 802.15.4 MAC configuration ``chi_mac`` of the case study.
+
+Following Section 4.2, the tunable MAC parameters are the data-frame payload
+size, the superframe order and the beacon order; the per-node transmission
+intervals are derived from these through the assignment problem of
+equations (1)-(2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mac802154.constants import DEFAULT_BEACON_BYTES, MAX_MAC_PAYLOAD_BYTES
+from repro.mac802154.superframe import (
+    beacon_interval_s,
+    slot_duration_s,
+    superframe_duration_s,
+    validate_orders,
+)
+
+__all__ = ["Ieee802154MacConfig"]
+
+
+@dataclass(frozen=True)
+class Ieee802154MacConfig:
+    """``chi_mac = {L_payload, SFO, BCO}`` for the beacon-enabled MAC.
+
+    Attributes:
+        payload_bytes: MAC payload carried by each data frame (``L_payload``).
+        superframe_order: the superframe order SO (written SFO in the paper).
+        beacon_order: the beacon order BO (written BCO in the paper).
+        beacon_bytes: length of the beacon frame (``L_beacon``); it grows with
+            the number of GTS descriptors announced, but a constant typical
+            value is sufficient at the model's level of abstraction.
+    """
+
+    payload_bytes: int = 80
+    superframe_order: int = 4
+    beacon_order: int = 6
+    beacon_bytes: int = DEFAULT_BEACON_BYTES
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.payload_bytes <= MAX_MAC_PAYLOAD_BYTES:
+            raise ValueError(
+                f"payload_bytes must be in [1, {MAX_MAC_PAYLOAD_BYTES}], "
+                f"got {self.payload_bytes}"
+            )
+        validate_orders(self.superframe_order, self.beacon_order)
+        if self.beacon_bytes <= 0:
+            raise ValueError("beacon_bytes must be positive")
+
+    @property
+    def beacon_interval_s(self) -> float:
+        """``BI`` in seconds."""
+        return beacon_interval_s(self.beacon_order)
+
+    @property
+    def superframe_duration_s(self) -> float:
+        """``SD`` (active-period duration) in seconds."""
+        return superframe_duration_s(self.superframe_order)
+
+    @property
+    def slot_duration_s(self) -> float:
+        """Duration of one superframe slot (``delta`` per superframe)."""
+        return slot_duration_s(self.superframe_order)
+
+    @property
+    def superframes_per_second(self) -> float:
+        """Number of superframes (beacons) per second, ``1 / BI``."""
+        return 1.0 / self.beacon_interval_s

@@ -1,0 +1,85 @@
+"""Guaranteed-time-slot (GTS) allocation helpers.
+
+The coordinator allocates contiguous GTS slots at the end of the active
+portion of the superframe, at most seven in total.  These helpers convert the
+per-node slot counts produced by the assignment problem into explicit GTS
+descriptors (needed by the packet-level simulator and by the beacon payload
+model) and verify the standard's constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.mac802154.constants import MAX_GTS_SLOTS, SLOTS_PER_SUPERFRAME
+
+__all__ = ["GTSDescriptor", "allocate_gts_descriptors", "total_gts_slots"]
+
+
+@dataclass(frozen=True)
+class GTSDescriptor:
+    """One GTS allocation announced in the beacon.
+
+    Attributes:
+        node_index: index of the owning node (0-based).
+        start_slot: first superframe slot of the allocation (0-15).
+        length_slots: number of contiguous slots granted.
+    """
+
+    node_index: int
+    start_slot: int
+    length_slots: int
+
+    def __post_init__(self) -> None:
+        if self.node_index < 0:
+            raise ValueError("node_index cannot be negative")
+        if not 0 <= self.start_slot < SLOTS_PER_SUPERFRAME:
+            raise ValueError("start_slot must be a valid superframe slot")
+        if self.length_slots <= 0:
+            raise ValueError("length_slots must be positive")
+        if self.start_slot + self.length_slots > SLOTS_PER_SUPERFRAME:
+            raise ValueError("GTS allocation exceeds the superframe")
+
+    @property
+    def end_slot(self) -> int:
+        """Index one past the last slot of the allocation."""
+        return self.start_slot + self.length_slots
+
+
+def total_gts_slots(slot_counts: Sequence[int]) -> int:
+    """Total number of GTS slots requested by a slot assignment."""
+    if any(count < 0 for count in slot_counts):
+        raise ValueError("slot counts cannot be negative")
+    return int(sum(slot_counts))
+
+
+def allocate_gts_descriptors(slot_counts: Sequence[int]) -> list[GTSDescriptor]:
+    """Place the requested slots at the tail of the superframe (CFP).
+
+    Following the standard, the contention-free period occupies the last slots
+    of the active portion: the first node with a non-zero request receives the
+    slots immediately before the end of the superframe, the next node the
+    slots before those, and so on.
+
+    Raises:
+        ValueError: if more than :data:`MAX_GTS_SLOTS` slots are requested in
+            total.
+    """
+    total = total_gts_slots(slot_counts)
+    if total > MAX_GTS_SLOTS:
+        raise ValueError(
+            f"cannot allocate {total} GTS slots; the standard allows at most "
+            f"{MAX_GTS_SLOTS}"
+        )
+    descriptors: list[GTSDescriptor] = []
+    next_end = SLOTS_PER_SUPERFRAME
+    for node_index, count in enumerate(slot_counts):
+        if count == 0:
+            continue
+        start = next_end - count
+        descriptors.append(
+            GTSDescriptor(node_index=node_index, start_slot=start, length_slots=count)
+        )
+        next_end = start
+    return descriptors

@@ -1,0 +1,116 @@
+"""Analytical model of the beacon-enabled IEEE 802.15.4 MAC (Section 4.2).
+
+The class maps the protocol onto the abstract MAC quantities of the network
+model:
+
+* data overhead: 13 bytes (11-byte header + 2-byte checksum) per data frame,
+  hence ``Omega = 13 * phi_out / L_payload``;
+* control overhead: no node-to-coordinator control traffic; the coordinator
+  sends one acknowledgement (4 bytes) per data frame and ``1 / BI`` beacons
+  per second, hence ``Psi_c->n = 4 * phi_out / L_payload + L_beacon / BI``;
+* time discretisation: the base unit ``delta`` is one superframe slot
+  (``SD / 16``), granted once per beacon interval;
+* timing overhead: everything that is not an allocatable GTS slot — beacons,
+  the contention access period (at least nine slots) and the inactive period;
+* global cap: at most seven GTS slots per superframe, i.e.
+  ``sum_n Delta_tx(n) <= 7/16 * SD / BI``;
+* delay: the worst-case bound of equation (9).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.core.delay import worst_case_tdma_delay
+from repro.core.mac_abstraction import MACProtocolModel, MACQuantities
+from repro.mac802154.config import Ieee802154MacConfig
+from repro.mac802154.constants import ACK_BYTES, MAC_OVERHEAD_BYTES, MAX_GTS_SLOTS
+
+__all__ = ["BeaconEnabledMacModel"]
+
+
+class BeaconEnabledMacModel(MACProtocolModel):
+    """IEEE 802.15.4 beacon-enabled (GTS) instantiation of the MAC model."""
+
+    name = "ieee802154-beacon-enabled"
+
+    def validate_config(self, mac_config: Any) -> None:
+        if not isinstance(mac_config, Ieee802154MacConfig):
+            raise TypeError(
+                "mac_config must be an Ieee802154MacConfig, got "
+                f"{type(mac_config).__name__}"
+            )
+
+    # -------------------------------------------------------- MAC quantities
+
+    def per_node_quantities(
+        self, output_stream_bytes_per_second: float, mac_config: Ieee802154MacConfig
+    ) -> MACQuantities:
+        """Evaluate ``Omega`` and ``Psi`` for one node (Section 4.2)."""
+        self.validate_config(mac_config)
+        if output_stream_bytes_per_second < 0:
+            raise ValueError("output stream cannot be negative")
+        frames_per_second = output_stream_bytes_per_second / mac_config.payload_bytes
+        data_overhead = MAC_OVERHEAD_BYTES * frames_per_second
+        acknowledgements = ACK_BYTES * frames_per_second
+        beacons = mac_config.beacon_bytes * mac_config.superframes_per_second
+        return MACQuantities(
+            data_overhead_bytes_per_second=data_overhead,
+            control_coordinator_to_node_bytes_per_second=acknowledgements + beacons,
+            control_node_to_coordinator_bytes_per_second=0.0,
+        )
+
+    # ------------------------------------------------------ time structure
+
+    def base_time_unit_s(self, mac_config: Ieee802154MacConfig) -> float:
+        """Channel seconds per second granted by one GTS slot per superframe."""
+        self.validate_config(mac_config)
+        return mac_config.slot_duration_s / mac_config.beacon_interval_s
+
+    def max_assignable_time_per_second(
+        self, mac_config: Ieee802154MacConfig
+    ) -> float:
+        """``7/16 * SD / BI``: the GTS capacity of the superframe."""
+        self.validate_config(mac_config)
+        return (
+            MAX_GTS_SLOTS
+            * mac_config.slot_duration_s
+            / mac_config.beacon_interval_s
+        )
+
+    def control_time_per_second(self, mac_config: Ieee802154MacConfig) -> float:
+        """``Delta_control``: beacon, CAP and inactive time per second."""
+        self.validate_config(mac_config)
+        return 1.0 - self.max_assignable_time_per_second(mac_config)
+
+    # ---------------------------------------------------------------- delay
+
+    def control_time_per_superframe_s(
+        self, slot_counts: Sequence[int], mac_config: Ieee802154MacConfig
+    ) -> float:
+        """Channel time per beacon interval not used by the allocated GTSs."""
+        self.validate_config(mac_config)
+        used = sum(slot_counts) * mac_config.slot_duration_s
+        return max(0.0, mac_config.beacon_interval_s - used)
+
+    def worst_case_delays(
+        self, slot_counts: Sequence[int], mac_config: Ieee802154MacConfig
+    ) -> list[float]:
+        """Equation (9): worst-case data delay per node."""
+        self.validate_config(mac_config)
+        control_per_superframe = self.control_time_per_superframe_s(
+            slot_counts, mac_config
+        )
+        total_slots = sum(slot_counts)
+        delays: list[float] = []
+        for own in slot_counts:
+            delays.append(
+                worst_case_tdma_delay(
+                    own_slots=own,
+                    other_slots_total=total_slots - own,
+                    slot_duration_s=mac_config.slot_duration_s,
+                    slots_per_recurrence=MAX_GTS_SLOTS,
+                    control_time_per_recurrence_s=control_per_superframe,
+                )
+            )
+        return delays

@@ -1,0 +1,69 @@
+"""Superframe timing of the beacon-enabled IEEE 802.15.4 MAC.
+
+The beacon interval and the superframe (active-period) duration are both
+derived from the base superframe duration of 15.36 ms (960 symbols of 16 us at
+the 2.4 GHz physical layer), scaled by powers of two of the beacon order (BO)
+and superframe order (SO):
+
+    BI = 15.36 ms * 2**BO        SD = 15.36 ms * 2**SO        0 <= SO <= BO <= 14
+
+The active period is divided into 16 equal slots of ``SD / 16`` seconds.
+"""
+
+from __future__ import annotations
+
+from repro.mac802154.constants import SLOTS_PER_SUPERFRAME
+
+__all__ = [
+    "SYMBOL_DURATION_S",
+    "BASE_SUPERFRAME_DURATION_S",
+    "MAX_ORDER",
+    "superframe_duration_s",
+    "beacon_interval_s",
+    "slot_duration_s",
+    "duty_ratio",
+    "validate_orders",
+]
+
+#: Duration of one modulation symbol at the 2.4 GHz O-QPSK physical layer.
+SYMBOL_DURATION_S = 16e-6
+
+#: aBaseSuperframeDuration = 960 symbols = 15.36 ms.
+BASE_SUPERFRAME_DURATION_S = 960 * SYMBOL_DURATION_S
+
+#: Maximum legal value of the beacon and superframe orders.
+MAX_ORDER = 14
+
+
+def validate_orders(superframe_order: int, beacon_order: int) -> None:
+    """Raise ``ValueError`` unless ``0 <= SO <= BO <= 14``."""
+    if not isinstance(superframe_order, int) or not isinstance(beacon_order, int):
+        raise ValueError("superframe and beacon orders must be integers")
+    if not 0 <= superframe_order <= beacon_order <= MAX_ORDER:
+        raise ValueError(
+            "orders must satisfy 0 <= SO <= BO <= 14, got "
+            f"SO={superframe_order}, BO={beacon_order}"
+        )
+
+
+def superframe_duration_s(superframe_order: int) -> float:
+    """Active-period duration ``SD = 15.36 ms * 2**SO``."""
+    validate_orders(superframe_order, MAX_ORDER)
+    return BASE_SUPERFRAME_DURATION_S * (2**superframe_order)
+
+
+def beacon_interval_s(beacon_order: int) -> float:
+    """Beacon interval ``BI = 15.36 ms * 2**BO``."""
+    validate_orders(0, beacon_order)
+    return BASE_SUPERFRAME_DURATION_S * (2**beacon_order)
+
+
+def slot_duration_s(superframe_order: int) -> float:
+    """Duration of one of the 16 superframe slots (the base unit ``delta``)."""
+    return superframe_duration_s(superframe_order) / SLOTS_PER_SUPERFRAME
+
+
+def duty_ratio(superframe_order: int, beacon_order: int) -> float:
+    """Fraction of time the network is active (``SD / BI = 2**(SO - BO)``)."""
+    validate_orders(superframe_order, beacon_order)
+    return float(2.0 ** (superframe_order - beacon_order))

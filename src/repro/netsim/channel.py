@@ -1,0 +1,101 @@
+"""Wireless channel connecting the simulated devices.
+
+The case-study network is a single-hop star in which the carrier power is
+chosen so that packet errors are negligible; the channel therefore delivers
+every frame after its on-air time, with an optional independent packet-error
+probability available for robustness experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro.netsim.engine import Simulator
+from repro.netsim.packet import Packet
+
+__all__ = ["ChannelListener", "WirelessChannel"]
+
+
+class ChannelListener(Protocol):
+    """Interface a device must implement to receive frames."""
+
+    name: str
+
+    def on_receive(self, packet: Packet) -> None:
+        """Handle a frame whose last bit has just been received."""
+
+
+class WirelessChannel:
+    """Broadcast medium with deterministic propagation.
+
+    Args:
+        simulator: the event engine driving the simulation.
+        bit_rate_bps: physical-layer bit rate used to compute frame airtimes.
+        packet_error_rate: independent probability that a frame is corrupted
+            and silently dropped (0 in the case study).
+        seed: seed of the loss process.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        bit_rate_bps: float = 250_000.0,
+        packet_error_rate: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if bit_rate_bps <= 0:
+            raise ValueError("bit_rate_bps must be positive")
+        if not 0.0 <= packet_error_rate < 1.0:
+            raise ValueError("packet_error_rate must be in [0, 1)")
+        self.simulator = simulator
+        self.bit_rate_bps = bit_rate_bps
+        self.packet_error_rate = packet_error_rate
+        self._rng = np.random.default_rng(seed)
+        self._devices: dict[str, ChannelListener] = {}
+        self.frames_sent = 0
+        self.frames_dropped = 0
+
+    def register(self, device: ChannelListener) -> None:
+        """Attach a device to the channel."""
+        if device.name in self._devices:
+            raise ValueError(f"device '{device.name}' is already registered")
+        self._devices[device.name] = device
+
+    def airtime_s(self, packet: Packet) -> float:
+        """On-air time of a frame on this channel."""
+        return packet.airtime_s(self.bit_rate_bps)
+
+    def transmit(self, packet: Packet) -> float:
+        """Put a frame on the air; returns its airtime.
+
+        Delivery callbacks are scheduled at the end of the airtime: a unicast
+        frame reaches its destination only, a broadcast frame (destination
+        ``"*"``) reaches every registered device except the transmitter.
+        """
+        airtime = self.airtime_s(packet)
+        self.frames_sent += 1
+        if self.packet_error_rate > 0.0 and self._rng.random() < self.packet_error_rate:
+            self.frames_dropped += 1
+            return airtime
+
+        if packet.destination == "*":
+            receivers = [
+                device
+                for name, device in self._devices.items()
+                if name != packet.source
+            ]
+        else:
+            target = self._devices.get(packet.destination)
+            if target is None:
+                raise KeyError(f"unknown destination '{packet.destination}'")
+            receivers = [target]
+
+        for device in receivers:
+            self.simulator.schedule_after(
+                airtime,
+                lambda device=device: device.on_receive(packet),
+                label=f"deliver-{packet.kind.value}",
+            )
+        return airtime

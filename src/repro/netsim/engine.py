@@ -1,0 +1,109 @@
+"""Minimal discrete-event simulation engine.
+
+The engine keeps a priority queue of timestamped events and dispatches them in
+chronological order.  Ties are broken by a monotonically increasing sequence
+number so the execution order of simultaneous events is deterministic (first
+scheduled, first dispatched), which keeps every simulation reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["Event", "Simulator"]
+
+
+@dataclass(order=True, frozen=True)
+class Event:
+    """One scheduled event.
+
+    Events sort by time, then by scheduling order.  The callback is excluded
+    from the comparison.
+    """
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False, hash=False)
+
+
+class Simulator:
+    """Chronological event dispatcher."""
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._cancelled: set[int] = set()
+        self.dispatched_events = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def schedule_at(
+        self, time: float, callback: Callable[[], None], label: str = ""
+    ) -> Event:
+        """Schedule ``callback`` at absolute simulation time ``time``."""
+        if time < self._now - 1e-12:
+            raise ValueError(
+                f"cannot schedule an event in the past ({time} < {self._now})"
+            )
+        event = Event(
+            time=float(time),
+            sequence=next(self._sequence),
+            callback=callback,
+            label=label,
+        )
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_after(
+        self, delay: float, callback: Callable[[], None], label: str = ""
+    ) -> Event:
+        """Schedule ``callback`` after a relative ``delay`` in seconds."""
+        if delay < 0:
+            raise ValueError("delay cannot be negative")
+        return self.schedule_at(self._now + delay, callback, label)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event (it will not be dispatched)."""
+        self._cancelled.add(event.sequence)
+
+    def run(self, until: float) -> None:
+        """Dispatch events in order until the given simulation time."""
+        if until < self._now:
+            raise ValueError("cannot run backwards in time")
+        while self._queue and self._queue[0].time <= until + 1e-15:
+            event = heapq.heappop(self._queue)
+            if event.sequence in self._cancelled:
+                self._cancelled.discard(event.sequence)
+                continue
+            self._now = event.time
+            event.callback()
+            self.dispatched_events += 1
+        self._now = until
+
+    def run_all(self, max_events: int | None = None) -> None:
+        """Dispatch every pending event (optionally bounded in count)."""
+        dispatched = 0
+        while self._queue:
+            if max_events is not None and dispatched >= max_events:
+                break
+            event = heapq.heappop(self._queue)
+            if event.sequence in self._cancelled:
+                self._cancelled.discard(event.sequence)
+                continue
+            self._now = event.time
+            event.callback()
+            self.dispatched_events += 1
+            dispatched += 1
+
+    def pending_events(self) -> int:
+        """Number of events still waiting to be dispatched."""
+        return len(self._queue)

@@ -1,0 +1,207 @@
+"""Scenario builder and runner for the star WBSN simulation."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Literal, Sequence
+
+from repro.core.slot_assignment import assign_transmission_intervals
+from repro.mac802154.config import Ieee802154MacConfig
+from repro.mac802154.constants import PHY_BIT_RATE_BPS
+from repro.mac802154.gts import allocate_gts_descriptors
+from repro.mac802154.model import BeaconEnabledMacModel
+from repro.netsim.channel import WirelessChannel
+from repro.netsim.engine import Simulator
+from repro.netsim.mac_beacon import BeaconCoordinator, GtsNode
+from repro.netsim.stats import NetworkStats
+from repro.netsim.traffic import PoissonTrafficSource, UniformRateTrafficSource
+from repro.shimmer.cc2420 import Cc2420Parameters
+
+__all__ = ["SimulationResult", "StarNetworkScenario"]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one packet-level simulation run.
+
+    Attributes:
+        stats: the full per-node statistics.
+        slot_counts: the GTS allocation used by the run.
+        duration_s: simulated time.
+        wall_clock_s: host time spent running the simulation.
+        events_dispatched: number of discrete events processed.
+    """
+
+    stats: NetworkStats
+    slot_counts: tuple[int, ...]
+    duration_s: float
+    wall_clock_s: float
+    events_dispatched: int
+
+    @property
+    def mean_delays_s(self) -> dict[str, float]:
+        """Per-node average packet delay."""
+        return self.stats.mean_delays_s()
+
+    @property
+    def max_delays_s(self) -> dict[str, float]:
+        """Per-node maximum packet delay."""
+        return self.stats.max_delays_s()
+
+
+class StarNetworkScenario:
+    """A complete, runnable star-WBSN simulation scenario.
+
+    Args:
+        output_streams_bytes_per_second: per-node application output stream
+            (``phi_out``), one entry per node.
+        mac_config: the IEEE 802.15.4 MAC configuration.
+        slot_counts: optional explicit GTS allocation (slots per superframe,
+            one entry per node); when omitted it is derived with the same
+            assignment problem the analytical model solves (equations (1)-(2)).
+        duration_s: simulated time.
+        traffic: ``"uniform"`` (compression-style constant rate) or
+            ``"poisson"``.
+        packet_error_rate: independent frame-loss probability of the channel.
+        radio_parameters: CC2420 parameters used for the energy accounting.
+        seed: seed of the stochastic processes (Poisson traffic, losses).
+    """
+
+    def __init__(
+        self,
+        output_streams_bytes_per_second: Sequence[float],
+        mac_config: Ieee802154MacConfig,
+        slot_counts: Sequence[int] | None = None,
+        duration_s: float = 30.0,
+        traffic: Literal["uniform", "poisson"] = "uniform",
+        packet_error_rate: float = 0.0,
+        radio_parameters: Cc2420Parameters | None = None,
+        seed: int = 0,
+    ) -> None:
+        if len(output_streams_bytes_per_second) == 0:
+            raise ValueError("the scenario needs at least one node")
+        if any(rate < 0 for rate in output_streams_bytes_per_second):
+            raise ValueError("output streams cannot be negative")
+        if duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if traffic not in ("uniform", "poisson"):
+            raise ValueError("traffic must be 'uniform' or 'poisson'")
+        self.output_streams = tuple(float(r) for r in output_streams_bytes_per_second)
+        self.mac_config = mac_config
+        self.duration_s = duration_s
+        self.traffic_kind = traffic
+        self.packet_error_rate = packet_error_rate
+        self.radio_parameters = (
+            radio_parameters if radio_parameters is not None else Cc2420Parameters()
+        )
+        self.seed = seed
+        self.slot_counts = (
+            tuple(int(c) for c in slot_counts)
+            if slot_counts is not None
+            else self._derive_slot_counts()
+        )
+        if len(self.slot_counts) != len(self.output_streams):
+            raise ValueError("slot_counts must have one entry per node")
+
+    # ------------------------------------------------------------------ API
+
+    def run(self) -> SimulationResult:
+        """Build the network, simulate it and collect the statistics."""
+        simulator = Simulator()
+        stats = NetworkStats()
+        channel = WirelessChannel(
+            simulator,
+            bit_rate_bps=PHY_BIT_RATE_BPS,
+            packet_error_rate=self.packet_error_rate,
+            seed=self.seed,
+        )
+        coordinator = BeaconCoordinator(simulator, channel, self.mac_config, stats)
+        descriptors = {
+            descriptor.node_index: descriptor
+            for descriptor in allocate_gts_descriptors(self.slot_counts)
+        }
+        nodes: list[GtsNode] = []
+        for index, rate in enumerate(self.output_streams):
+            if rate <= 0:
+                continue
+            name = f"node-{index}"
+            traffic = self._build_traffic(rate, index)
+            nodes.append(
+                GtsNode(
+                    name=name,
+                    simulator=simulator,
+                    channel=channel,
+                    mac_config=self.mac_config,
+                    gts=descriptors.get(index),
+                    traffic=traffic,
+                    stats=stats,
+                )
+            )
+
+        started = time.perf_counter()
+        coordinator.start()
+        for node in nodes:
+            node.start()
+        simulator.run(self.duration_s)
+        wall_clock = time.perf_counter() - started
+
+        # Radio energy accounting from the accumulated state times.
+        params = self.radio_parameters
+        for node_stats in stats.nodes.values():
+            node_stats.radio_energy_j = (
+                node_stats.tx_time_s * params.tx_power_w
+                + node_stats.rx_time_s * params.rx_power_w
+            )
+        return SimulationResult(
+            stats=stats,
+            slot_counts=self.slot_counts,
+            duration_s=self.duration_s,
+            wall_clock_s=wall_clock,
+            events_dispatched=simulator.dispatched_events,
+        )
+
+    # ------------------------------------------------------------- internals
+
+    def _build_traffic(self, rate: float, index: int):
+        if self.traffic_kind == "uniform":
+            return UniformRateTrafficSource(rate, self.mac_config.payload_bytes)
+        return PoissonTrafficSource(
+            rate, self.mac_config.payload_bytes, seed=self.seed + index
+        )
+
+    def _derive_slot_counts(self) -> tuple[int, ...]:
+        """Solve the slot-assignment problem of equations (1)-(2).
+
+        The required transmission time ``T_tx`` is evaluated at the
+        granularity the slots are actually consumed at: complete data/ACK
+        exchanges (data airtime including the PHY header, turnaround,
+        acknowledgement and inter-frame spacing), which is how a GTS-aware
+        deployment sizes its slots.
+        """
+        from repro.netsim.mac_beacon import LIFS_S, SIFS_S, TURNAROUND_TIME_S
+        from repro.netsim.packet import Packet
+
+        mac_model = BeaconEnabledMacModel()
+        ack_airtime = Packet.ack("c", "n", 0.0).airtime_s(PHY_BIT_RATE_BPS)
+        required_times = []
+        for rate in self.output_streams:
+            frames_per_second = rate / self.mac_config.payload_bytes
+            data_frame = Packet.data("n", "c", self.mac_config.payload_bytes, 0.0, 0.0)
+            spacing = LIFS_S if data_frame.total_bytes > 18 else SIFS_S
+            exchange_time = (
+                data_frame.airtime_s(PHY_BIT_RATE_BPS)
+                + TURNAROUND_TIME_S
+                + ack_airtime
+                + spacing
+            )
+            required_times.append(frames_per_second * exchange_time)
+        assignment = assign_transmission_intervals(
+            required_times,
+            base_time_unit_s=mac_model.base_time_unit_s(self.mac_config),
+            control_time_per_second=mac_model.control_time_per_second(self.mac_config),
+            max_assignable_time_per_second=mac_model.max_assignable_time_per_second(
+                self.mac_config
+            ),
+        )
+        return assignment.slot_counts

@@ -1,0 +1,74 @@
+"""Radio state machine and energy accounting for simulated devices."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.shimmer.cc2420 import Cc2420Parameters
+
+__all__ = ["RadioState", "SimulatedRadio"]
+
+
+class RadioState(Enum):
+    """Operating states of the simulated transceiver."""
+
+    SLEEP = "sleep"
+    IDLE = "idle"
+    RX = "rx"
+    TX = "tx"
+
+
+@dataclass
+class SimulatedRadio:
+    """Tracks the time a device's radio spends in each state.
+
+    The MAC entities drive the state machine by calling :meth:`set_state`
+    whenever the radio changes activity; the accumulated per-state times are
+    turned into an energy figure using the CC2420 electrical parameters.
+    """
+
+    parameters: Cc2420Parameters = field(default_factory=Cc2420Parameters)
+    state: RadioState = RadioState.SLEEP
+    _last_change_s: float = 0.0
+    _time_in_state_s: dict[RadioState, float] = field(
+        default_factory=lambda: {state: 0.0 for state in RadioState}
+    )
+
+    def set_state(self, new_state: RadioState, now: float) -> None:
+        """Switch to ``new_state`` at simulation time ``now``."""
+        if now < self._last_change_s - 1e-12:
+            raise ValueError("radio state changes must be chronological")
+        self._time_in_state_s[self.state] += max(0.0, now - self._last_change_s)
+        self.state = new_state
+        self._last_change_s = now
+
+    def finalize(self, now: float) -> None:
+        """Account the time since the last change without switching state."""
+        self.set_state(self.state, now)
+
+    def time_in_state_s(self, state: RadioState) -> float:
+        """Accumulated time spent in ``state`` so far."""
+        return self._time_in_state_s[state]
+
+    @property
+    def tx_time_s(self) -> float:
+        """Total transmit time."""
+        return self._time_in_state_s[RadioState.TX]
+
+    @property
+    def rx_time_s(self) -> float:
+        """Total receive/listen time."""
+        return self._time_in_state_s[RadioState.RX]
+
+    def energy_j(self) -> float:
+        """Energy consumed by the radio over the accounted time."""
+        params = self.parameters
+        sleep_power_w = 0.0  # the radio regulator is off while sleeping
+        idle_power_w = params.supply_voltage_v * params.idle_current_a
+        return (
+            self._time_in_state_s[RadioState.TX] * params.tx_power_w
+            + self._time_in_state_s[RadioState.RX] * params.rx_power_w
+            + self._time_in_state_s[RadioState.IDLE] * idle_power_w
+            + self._time_in_state_s[RadioState.SLEEP] * sleep_power_w
+        )

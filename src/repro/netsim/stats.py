@@ -1,0 +1,105 @@
+"""Statistics collection for the packet-level simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["DelayStats", "NodeStats", "NetworkStats"]
+
+
+@dataclass
+class DelayStats:
+    """Accumulates per-packet delays (seconds)."""
+
+    samples: list[float] = field(default_factory=list)
+
+    def add(self, delay_s: float) -> None:
+        """Record one packet delay."""
+        if delay_s < 0:
+            raise ValueError("delay cannot be negative")
+        self.samples.append(float(delay_s))
+
+    @property
+    def count(self) -> int:
+        """Number of recorded packets."""
+        return len(self.samples)
+
+    @property
+    def mean_s(self) -> float:
+        """Average delay (0 when no packet was recorded)."""
+        return float(np.mean(self.samples)) if self.samples else 0.0
+
+    @property
+    def max_s(self) -> float:
+        """Maximum delay (0 when no packet was recorded)."""
+        return float(np.max(self.samples)) if self.samples else 0.0
+
+    @property
+    def min_s(self) -> float:
+        """Minimum delay (0 when no packet was recorded)."""
+        return float(np.min(self.samples)) if self.samples else 0.0
+
+    def percentile_s(self, q: float) -> float:
+        """Delay percentile ``q`` (in percent)."""
+        if not 0 <= q <= 100:
+            raise ValueError("q must be in [0, 100]")
+        return float(np.percentile(self.samples, q)) if self.samples else 0.0
+
+
+@dataclass
+class NodeStats:
+    """Per-node simulation counters."""
+
+    name: str
+    delays: DelayStats = field(default_factory=DelayStats)
+    packets_generated: int = 0
+    packets_delivered: int = 0
+    payload_bytes_delivered: int = 0
+    tx_time_s: float = 0.0
+    rx_time_s: float = 0.0
+    radio_energy_j: float = 0.0
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Fraction of generated packets that reached the coordinator."""
+        if self.packets_generated == 0:
+            return 1.0
+        return self.packets_delivered / self.packets_generated
+
+
+@dataclass
+class NetworkStats:
+    """Aggregated simulation counters."""
+
+    nodes: dict[str, NodeStats] = field(default_factory=dict)
+    beacons_sent: int = 0
+    acks_sent: int = 0
+
+    def node(self, name: str) -> NodeStats:
+        """Get (or lazily create) the counters of one node."""
+        if name not in self.nodes:
+            self.nodes[name] = NodeStats(name=name)
+        return self.nodes[name]
+
+    @property
+    def all_delays(self) -> DelayStats:
+        """Delay statistics pooled over every node."""
+        pooled = DelayStats()
+        for node in self.nodes.values():
+            pooled.samples.extend(node.delays.samples)
+        return pooled
+
+    @property
+    def total_packets_delivered(self) -> int:
+        """Packets delivered to the coordinator across the whole network."""
+        return sum(node.packets_delivered for node in self.nodes.values())
+
+    def mean_delays_s(self) -> dict[str, float]:
+        """Per-node average delay."""
+        return {name: node.delays.mean_s for name, node in self.nodes.items()}
+
+    def max_delays_s(self) -> dict[str, float]:
+        """Per-node maximum delay."""
+        return {name: node.delays.max_s for name, node in self.nodes.items()}

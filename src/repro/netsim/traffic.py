@@ -1,0 +1,60 @@
+"""Traffic generation for the simulated nodes.
+
+The compression applications of the case study produce a uniform output
+stream: every ``L_payload / phi_out`` seconds the node has accumulated one
+full MAC payload, which is then queued for transmission in the next
+guaranteed time slot.  A Poisson source is also provided for the robustness
+and ablation experiments.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["TrafficSource", "UniformRateTrafficSource", "PoissonTrafficSource"]
+
+
+class TrafficSource(abc.ABC):
+    """Produces the instants at which full payloads become ready."""
+
+    def __init__(self, rate_bytes_per_second: float, payload_bytes: int) -> None:
+        if rate_bytes_per_second <= 0:
+            raise ValueError("rate_bytes_per_second must be positive")
+        if payload_bytes <= 0:
+            raise ValueError("payload_bytes must be positive")
+        self.rate_bytes_per_second = rate_bytes_per_second
+        self.payload_bytes = payload_bytes
+
+    @property
+    def mean_interarrival_s(self) -> float:
+        """Average time between two consecutive full payloads."""
+        return self.payload_bytes / self.rate_bytes_per_second
+
+    @abc.abstractmethod
+    def next_interarrival_s(self) -> float:
+        """Time until the next payload is ready."""
+
+
+class UniformRateTrafficSource(TrafficSource):
+    """Constant-rate source matching the compression applications."""
+
+    def next_interarrival_s(self) -> float:
+        return self.mean_interarrival_s
+
+
+class PoissonTrafficSource(TrafficSource):
+    """Memoryless source used by the robustness experiments."""
+
+    def __init__(
+        self,
+        rate_bytes_per_second: float,
+        payload_bytes: int,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(rate_bytes_per_second, payload_bytes)
+        self._rng = np.random.default_rng(seed)
+
+    def next_interarrival_s(self) -> float:
+        return float(self._rng.exponential(self.mean_interarrival_s))

@@ -1,0 +1,66 @@
+"""Shimmer-platform instantiation of the node model (Section 4.3).
+
+The Shimmer wearable node combines an MSP430-class ultra-low-power
+microcontroller, 10 kB of SRAM, a 12-bit A/D converter front-end and a
+CC2420-class IEEE 802.15.4 radio.  This package provides:
+
+* datasheet-level parameter sets of each hardware component
+  (:mod:`repro.shimmer.msp430`, :mod:`repro.shimmer.cc2420`,
+  :mod:`repro.shimmer.adc`, :mod:`repro.shimmer.memory`),
+* their mapping onto the analytical coefficients of equations (3)-(7)
+  (:mod:`repro.shimmer.platform`),
+* the node configuration ``chi_node = {CR, f_uC}`` and the application
+  models of the DWT and CS compressors, including the 5th-order PRD
+  polynomial estimation (:mod:`repro.shimmer.applications`,
+  :mod:`repro.shimmer.prd_fit`),
+* a battery-lifetime projection used by the example applications
+  (:mod:`repro.shimmer.battery`).
+"""
+
+from repro.shimmer.msp430 import Msp430Parameters
+from repro.shimmer.cc2420 import Cc2420Parameters
+from repro.shimmer.adc import AdcFrontEndParameters
+from repro.shimmer.memory import SramParameters
+from repro.shimmer.platform import (
+    ADC_RESOLUTION_BITS,
+    ECG_SAMPLING_RATE_HZ,
+    SAMPLE_WIDTH_BYTES,
+    ShimmerNodeConfig,
+    ShimmerPlatform,
+    build_case_study_network,
+    build_shimmer_energy_model,
+)
+from repro.shimmer.applications import (
+    CSApplicationModel,
+    DWTApplicationModel,
+    build_application,
+)
+from repro.shimmer.prd_fit import (
+    DEFAULT_CS_PRD_POLYNOMIAL,
+    DEFAULT_DWT_PRD_POLYNOMIAL,
+    PrdPolynomial,
+    fit_prd_polynomial,
+)
+from repro.shimmer.battery import BatteryModel
+
+__all__ = [
+    "Msp430Parameters",
+    "Cc2420Parameters",
+    "AdcFrontEndParameters",
+    "SramParameters",
+    "ECG_SAMPLING_RATE_HZ",
+    "ADC_RESOLUTION_BITS",
+    "SAMPLE_WIDTH_BYTES",
+    "ShimmerNodeConfig",
+    "ShimmerPlatform",
+    "build_shimmer_energy_model",
+    "build_case_study_network",
+    "DWTApplicationModel",
+    "CSApplicationModel",
+    "build_application",
+    "PrdPolynomial",
+    "fit_prd_polynomial",
+    "DEFAULT_DWT_PRD_POLYNOMIAL",
+    "DEFAULT_CS_PRD_POLYNOMIAL",
+    "BatteryModel",
+]

@@ -1,0 +1,57 @@
+"""ECG front-end and A/D converter parameters of the Shimmer platform."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.node_model import SensorModel
+
+__all__ = ["AdcFrontEndParameters"]
+
+
+@dataclass(frozen=True)
+class AdcFrontEndParameters:
+    """Parameters of the analogue ECG front-end and of the SAR A/D converter.
+
+    Attributes:
+        transducer_power_w: constant power of the instrumentation amplifier
+            and electrode bias network (``E_transducer`` of equation (3)).
+        conversion_energy_j: energy of one 12-bit conversion
+            (``alpha_s,1`` of equation (3)).
+        static_power_w: static power of the converter and reference buffer
+            (``alpha_s,0`` of equation (3)).
+        resolution_bits: converter resolution.
+        nonlinearity_fraction: additional conversion energy caused by the
+            reference settling at full resolution — a second-order effect
+            captured only by the hardware emulator.
+    """
+
+    transducer_power_w: float = 0.90e-3
+    conversion_energy_j: float = 0.80e-6
+    static_power_w: float = 0.10e-3
+    resolution_bits: int = 12
+    nonlinearity_fraction: float = 0.01
+
+    def __post_init__(self) -> None:
+        if min(
+            self.transducer_power_w,
+            self.conversion_energy_j,
+            self.static_power_w,
+            self.nonlinearity_fraction,
+        ) < 0:
+            raise ValueError("ADC front-end parameters cannot be negative")
+        if self.resolution_bits <= 0:
+            raise ValueError("resolution_bits must be positive")
+
+    @property
+    def sample_width_bytes(self) -> float:
+        """Bytes produced per sample (``L_adc``), e.g. 1.5 for 12 bits."""
+        return self.resolution_bits / 8.0
+
+    def to_core_model(self) -> SensorModel:
+        """Analytical sensing model (equation (3)) for this front-end."""
+        return SensorModel(
+            transducer_power_w=self.transducer_power_w,
+            alpha_s1_j_per_sample=self.conversion_energy_j,
+            alpha_s0_w=self.static_power_w,
+        )

@@ -1,0 +1,202 @@
+"""Application models of the Shimmer case study (Section 4.3).
+
+Both compression applications share the same quantitative structure:
+
+* output stream: ``phi_out = h(phi_in, chi_node) = phi_in * CR``;
+* resource usage: the duty cycle scales as ``cycles_per_second / f_uC`` with a
+  constant cycle budget obtained by profiling the firmware (the paper reports
+  ``Duty_DWT = 2265.6 / f_kHz`` and ``Duty_CS = 388.8 / f_kHz``); the memory
+  footprint and the access count are constants of the implementation;
+* quality loss: the PRD estimated by a 5th-order polynomial of the
+  compression ratio.
+
+Here the "profiling" is performed against the instruction-level cycle model of
+:mod:`repro.compression.cycle_counts` at a reference compression ratio,
+including the firmware interrupt/scheduling overhead of the MSP430 parameters
+— exactly the quantities a measurement campaign on the real firmware would
+deliver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Literal
+
+from repro.compression.cycle_counts import (
+    CycleCount,
+    MSP430CostModel,
+    cs_cycle_count,
+    cycles_per_second,
+    dwt_cycle_count,
+)
+from repro.core.application import ApplicationModel, ResourceUsage
+from repro.shimmer.msp430 import Msp430Parameters
+from repro.shimmer.prd_fit import (
+    DEFAULT_CS_PRD_POLYNOMIAL,
+    DEFAULT_DWT_PRD_POLYNOMIAL,
+    PrdPolynomial,
+)
+
+__all__ = [
+    "CompressionApplicationModel",
+    "DWTApplicationModel",
+    "CSApplicationModel",
+    "build_application",
+    "REFERENCE_COMPRESSION_RATIO",
+]
+
+#: Compression ratio at which the firmware was profiled to obtain the constant
+#: duty-cycle coefficients (mid range of the explored sweep).
+REFERENCE_COMPRESSION_RATIO = 0.275
+
+#: Number of samples per compression window used by both firmwares.
+FIRMWARE_WINDOW_SIZE = 256
+
+
+@dataclass(kw_only=True)
+class CompressionApplicationModel(ApplicationModel):
+    """Shared ``(h, k, e)`` characterisation of the two compressors.
+
+    Attributes:
+        name: application label (``"dwt"`` or ``"cs"``).
+        cycles_per_second: profiled cycle budget per second of signal,
+            including the firmware interrupt/scheduling overhead.
+        memory_bytes: profiled RAM footprint.
+        memory_accesses_per_second: profiled RAM access rate.
+        prd_polynomial: the 5th-order PRD estimator.
+        sampling_rate_hz: sensing frequency used to normalise the profile.
+    """
+
+    name: str
+    cycles_per_second: float
+    memory_bytes: float
+    memory_accesses_per_second: float
+    prd_polynomial: PrdPolynomial
+    sampling_rate_hz: float = 250.0
+
+    def __post_init__(self) -> None:
+        if self.cycles_per_second <= 0:
+            raise ValueError("cycles_per_second must be positive")
+        if self.memory_bytes < 0 or self.memory_accesses_per_second < 0:
+            raise ValueError("memory characterisation cannot be negative")
+        if self.sampling_rate_hz <= 0:
+            raise ValueError("sampling_rate_hz must be positive")
+
+    # ----------------------------------------------------------- (h, k, e)
+
+    def output_stream_bytes_per_second(
+        self, input_stream_bytes_per_second: float, node_config: Any
+    ) -> float:
+        """``phi_out = phi_in * CR`` (holds for both DWT and CS)."""
+        if input_stream_bytes_per_second < 0:
+            raise ValueError("input stream cannot be negative")
+        return input_stream_bytes_per_second * self._compression_ratio(node_config)
+
+    def resource_usage(
+        self, input_stream_bytes_per_second: float, node_config: Any
+    ) -> ResourceUsage:
+        """Duty cycle, memory footprint and access rate of the firmware."""
+        frequency_hz = float(getattr(node_config, "microcontroller_frequency_hz"))
+        if frequency_hz <= 0:
+            raise ValueError("microcontroller frequency must be positive")
+        return ResourceUsage(
+            duty_cycle=self.cycles_per_second / frequency_hz,
+            memory_bytes=self.memory_bytes,
+            memory_accesses_per_second=self.memory_accesses_per_second,
+        )
+
+    def quality_loss(
+        self, input_stream_bytes_per_second: float, node_config: Any
+    ) -> float:
+        """PRD (percent) estimated by the polynomial fit."""
+        return self.prd_polynomial(self._compression_ratio(node_config))
+
+    def validate_config(self, node_config: Any) -> None:
+        ratio = self._compression_ratio(node_config)
+        if not 0.0 < ratio <= 1.0:
+            raise ValueError(f"compression ratio must be in (0, 1], got {ratio}")
+
+    # -------------------------------------------------------------- helpers
+
+    @property
+    def kilocycles_per_second(self) -> float:
+        """The profiled cycle budget in the kcycles/s unit used by the paper."""
+        return self.cycles_per_second / 1e3
+
+    @staticmethod
+    def _compression_ratio(node_config: Any) -> float:
+        return float(getattr(node_config, "compression_ratio"))
+
+
+class DWTApplicationModel(CompressionApplicationModel):
+    """Analytical characterisation of the DWT-thresholding firmware."""
+
+
+class CSApplicationModel(CompressionApplicationModel):
+    """Analytical characterisation of the compressed-sensing firmware."""
+
+
+def _profile(
+    kind: Literal["dwt", "cs"],
+    msp430: Msp430Parameters,
+    cost_model: MSP430CostModel,
+    sampling_rate_hz: float,
+) -> CycleCount:
+    """Profile the firmware cycle model at the reference configuration."""
+    if kind == "dwt":
+        per_window = dwt_cycle_count(
+            window_size=FIRMWARE_WINDOW_SIZE,
+            compression_ratio=REFERENCE_COMPRESSION_RATIO,
+            cost_model=cost_model,
+        )
+    else:
+        per_window = cs_cycle_count(
+            window_size=FIRMWARE_WINDOW_SIZE,
+            compression_ratio=REFERENCE_COMPRESSION_RATIO,
+            cost_model=cost_model,
+        )
+    per_second = cycles_per_second(per_window, FIRMWARE_WINDOW_SIZE, sampling_rate_hz)
+    # A profiling campaign measures wall-clock busy time, which includes the
+    # interrupt-service and scheduling overhead of the firmware.
+    return CycleCount(
+        cycles=per_second.cycles * (1.0 + msp430.isr_overhead_fraction),
+        memory_accesses=per_second.memory_accesses,
+        memory_bytes=per_second.memory_bytes,
+    )
+
+
+def build_application(
+    kind: Literal["dwt", "cs"],
+    msp430: Msp430Parameters | None = None,
+    cost_model: MSP430CostModel | None = None,
+    prd_polynomial: PrdPolynomial | None = None,
+    sampling_rate_hz: float = 250.0,
+) -> CompressionApplicationModel:
+    """Build the analytical application model for one of the two firmwares.
+
+    Args:
+        kind: ``"dwt"`` or ``"cs"``.
+        msp430: microcontroller parameters (defaults to the Shimmer part).
+        cost_model: instruction-cost model used for the profiling.
+        prd_polynomial: PRD estimator; defaults to the calibrated polynomial
+            of the chosen algorithm.
+        sampling_rate_hz: sensing frequency of the node.
+    """
+    if kind not in ("dwt", "cs"):
+        raise ValueError("kind must be 'dwt' or 'cs'")
+    msp430 = msp430 if msp430 is not None else Msp430Parameters()
+    cost_model = cost_model if cost_model is not None else MSP430CostModel()
+    profile = _profile(kind, msp430, cost_model, sampling_rate_hz)
+    if prd_polynomial is None:
+        prd_polynomial = (
+            DEFAULT_DWT_PRD_POLYNOMIAL if kind == "dwt" else DEFAULT_CS_PRD_POLYNOMIAL
+        )
+    model_class = DWTApplicationModel if kind == "dwt" else CSApplicationModel
+    return model_class(
+        name=kind,
+        cycles_per_second=profile.cycles,
+        memory_bytes=profile.memory_bytes,
+        memory_accesses_per_second=profile.memory_accesses,
+        prd_polynomial=prd_polynomial,
+        sampling_rate_hz=sampling_rate_hz,
+    )

@@ -1,0 +1,55 @@
+"""Battery and lifetime projection of the Shimmer node.
+
+The paper optimises the per-second energy consumption; for the example
+applications it is convenient to translate that figure into an expected node
+lifetime given the Shimmer's 280 mAh lithium-polymer cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BatteryModel"]
+
+
+@dataclass(frozen=True)
+class BatteryModel:
+    """Simple energy-reservoir battery model.
+
+    Attributes:
+        capacity_mah: rated capacity in milliampere-hour.
+        nominal_voltage_v: nominal cell voltage.
+        usable_fraction: fraction of the rated capacity usable before the
+            supply regulator drops out.
+        converter_efficiency: efficiency of the voltage regulator between the
+            cell and the 3.0 V rail.
+    """
+
+    capacity_mah: float = 280.0
+    nominal_voltage_v: float = 3.7
+    usable_fraction: float = 0.9
+    converter_efficiency: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.capacity_mah <= 0 or self.nominal_voltage_v <= 0:
+            raise ValueError("battery capacity and voltage must be positive")
+        if not 0 < self.usable_fraction <= 1:
+            raise ValueError("usable_fraction must be in (0, 1]")
+        if not 0 < self.converter_efficiency <= 1:
+            raise ValueError("converter_efficiency must be in (0, 1]")
+
+    @property
+    def usable_energy_j(self) -> float:
+        """Energy deliverable to the 3.0 V rail over a full discharge."""
+        stored_j = self.capacity_mah * 1e-3 * 3600.0 * self.nominal_voltage_v
+        return stored_j * self.usable_fraction * self.converter_efficiency
+
+    def lifetime_hours(self, average_power_w: float) -> float:
+        """Expected lifetime at a constant average power draw."""
+        if average_power_w <= 0:
+            raise ValueError("average_power_w must be positive")
+        return self.usable_energy_j / average_power_w / 3600.0
+
+    def lifetime_days(self, average_power_w: float) -> float:
+        """Expected lifetime in days at a constant average power draw."""
+        return self.lifetime_hours(average_power_w) / 24.0

@@ -1,0 +1,48 @@
+"""On-chip SRAM parameters of the Shimmer platform (10 kB)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.node_model import MemoryModel
+
+__all__ = ["SramParameters"]
+
+
+@dataclass(frozen=True)
+class SramParameters:
+    """Parameters of the 10 kB on-chip SRAM.
+
+    Attributes:
+        size_bytes: total SRAM capacity.
+        access_time_s: duration of one access (``T_mem`` of equation (5)).
+        access_power_w: power during an access (``E_acc`` of equation (5)).
+        leakage_per_bit_w: retention leakage per bit (``E_bit_idle``).
+        retention_derating: extra leakage factor at body temperature —
+            a second-order effect captured only by the hardware emulator.
+    """
+
+    size_bytes: float = 10_240.0
+    access_time_s: float = 200e-9
+    access_power_w: float = 3.0e-3
+    leakage_per_bit_w: float = 1.2e-9
+    retention_derating: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+        if min(
+            self.access_time_s,
+            self.access_power_w,
+            self.leakage_per_bit_w,
+            self.retention_derating,
+        ) < 0:
+            raise ValueError("SRAM parameters cannot be negative")
+
+    def to_core_model(self) -> MemoryModel:
+        """Analytical memory model (equation (5)) for this SRAM."""
+        return MemoryModel(
+            access_time_s=self.access_time_s,
+            access_power_w=self.access_power_w,
+            idle_power_per_bit_w=self.leakage_per_bit_w,
+        )

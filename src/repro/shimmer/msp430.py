@@ -1,0 +1,93 @@
+"""MSP430-class microcontroller parameters of the Shimmer platform.
+
+The values follow the MSP430F1611 datasheet figures at a 3.0 V supply: the
+active current grows linearly with the clock frequency, a small constant
+current is drawn by the always-on peripherals, and a few microampere are spent
+in the LPM3 sleep mode between processing bursts.  The firmware adds a fixed
+fraction of interrupt-service and scheduling overhead on top of the pure
+algorithm cycle counts; that fraction is part of what a profiling campaign
+measures, so it is shared by the analytical application models and by the
+hardware emulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.node_model import MicrocontrollerModel
+
+__all__ = ["Msp430Parameters"]
+
+
+@dataclass(frozen=True)
+class Msp430Parameters:
+    """Electrical and firmware parameters of the MSP430 core.
+
+    Attributes:
+        supply_voltage_v: regulated supply voltage.
+        active_current_per_hz_a: slope of the active-mode current versus
+            clock frequency (ampere per hertz).
+        active_base_current_a: frequency-independent active-mode current
+            (clock tree, always-on peripherals).
+        sleep_current_a: LPM3 sleep current (core off, ACLK running).
+        isr_overhead_fraction: extra cycles spent in interrupt service
+            routines and task scheduling, as a fraction of the algorithm
+            cycles; measured by profiling the firmware.
+        dco_nonlinearity_per_hz: relative increase of the active current per
+            hertz of clock frequency caused by DCO settling and wait states —
+            a second-order effect captured only by the hardware emulator.
+        max_frequency_hz: maximum supported clock frequency.
+        frequencies_hz: clock frequencies selectable on the platform.
+    """
+
+    supply_voltage_v: float = 3.0
+    active_current_per_hz_a: float = 0.40e-9
+    active_base_current_a: float = 0.10e-3
+    sleep_current_a: float = 2.0e-6
+    isr_overhead_fraction: float = 0.015
+    dco_nonlinearity_per_hz: float = 1.0e-9 / 1e6
+    max_frequency_hz: float = 8e6
+    frequencies_hz: tuple[float, ...] = (1e6, 2e6, 4e6, 8e6)
+
+    def __post_init__(self) -> None:
+        if self.supply_voltage_v <= 0:
+            raise ValueError("supply_voltage_v must be positive")
+        if min(
+            self.active_current_per_hz_a,
+            self.active_base_current_a,
+            self.sleep_current_a,
+            self.isr_overhead_fraction,
+            self.dco_nonlinearity_per_hz,
+        ) < 0:
+            raise ValueError("MSP430 parameters cannot be negative")
+        if self.max_frequency_hz <= 0:
+            raise ValueError("max_frequency_hz must be positive")
+
+    @property
+    def alpha_uc1_w_per_hz(self) -> float:
+        """Analytical coefficient ``alpha_uC,1`` of equation (4)."""
+        return self.supply_voltage_v * self.active_current_per_hz_a
+
+    @property
+    def alpha_uc0_w(self) -> float:
+        """Analytical coefficient ``alpha_uC,0`` of equation (4)."""
+        return self.supply_voltage_v * self.active_base_current_a
+
+    @property
+    def sleep_power_w(self) -> float:
+        """LPM3 sleep power (neglected by the analytical model)."""
+        return self.supply_voltage_v * self.sleep_current_a
+
+    def active_power_w(self, frequency_hz: float) -> float:
+        """First-order active power at the given clock frequency."""
+        if frequency_hz <= 0:
+            raise ValueError("frequency_hz must be positive")
+        return self.alpha_uc1_w_per_hz * frequency_hz + self.alpha_uc0_w
+
+    def to_core_model(self) -> MicrocontrollerModel:
+        """Analytical microcontroller model (equation (4)) for this part."""
+        return MicrocontrollerModel(
+            alpha_uc1_w_per_hz=self.alpha_uc1_w_per_hz,
+            alpha_uc0_w=self.alpha_uc0_w,
+            max_frequency_hz=self.max_frequency_hz,
+        )

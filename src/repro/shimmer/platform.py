@@ -1,0 +1,141 @@
+"""Shimmer platform assembly and node configuration (Section 4.3).
+
+The configurable parameters of a case-study node are the compression ratio of
+its application and the microcontroller clock frequency:
+``chi_node = {CR, f_uC}``.  Everything else (sampling frequency, ADC
+resolution, memory size, radio power) is fixed by the platform and by the
+nature of the ECG signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal, Sequence
+
+from repro.core.evaluator import NodeDescription
+from repro.core.node_model import NodeEnergyModel
+from repro.shimmer.adc import AdcFrontEndParameters
+from repro.shimmer.applications import CompressionApplicationModel, build_application
+from repro.shimmer.cc2420 import Cc2420Parameters
+from repro.shimmer.memory import SramParameters
+from repro.shimmer.msp430 import Msp430Parameters
+
+__all__ = [
+    "ECG_SAMPLING_RATE_HZ",
+    "ADC_RESOLUTION_BITS",
+    "SAMPLE_WIDTH_BYTES",
+    "ShimmerNodeConfig",
+    "ShimmerPlatform",
+    "build_shimmer_energy_model",
+    "build_case_study_network",
+]
+
+#: The ECG signal fixes the sampling frequency to 250 Hz.
+ECG_SAMPLING_RATE_HZ = 250.0
+
+#: The Shimmer A/D converter resolution is fixed to 12 bits.
+ADC_RESOLUTION_BITS = 12
+
+#: Bytes produced per sample (``L_adc`` = 12 bits = 1.5 bytes), which yields
+#: the constant input stream ``phi_in = 250 * 1.5 = 375`` bytes per second.
+SAMPLE_WIDTH_BYTES = ADC_RESOLUTION_BITS / 8.0
+
+
+@dataclass(frozen=True)
+class ShimmerNodeConfig:
+    """Per-node configuration ``chi_node = {CR, f_uC}``.
+
+    Attributes:
+        compression_ratio: fraction of the input stream transmitted after
+            compression (``CR``).
+        microcontroller_frequency_hz: MSP430 clock frequency (``f_uC``).
+    """
+
+    compression_ratio: float
+    microcontroller_frequency_hz: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.compression_ratio <= 1.0:
+            raise ValueError("compression_ratio must be in (0, 1]")
+        if self.microcontroller_frequency_hz <= 0:
+            raise ValueError("microcontroller_frequency_hz must be positive")
+
+    @property
+    def microcontroller_frequency_mhz(self) -> float:
+        """Clock frequency in MHz (for reports)."""
+        return self.microcontroller_frequency_hz / 1e6
+
+
+@dataclass(frozen=True)
+class ShimmerPlatform:
+    """Bundle of the hardware component parameters of one Shimmer node."""
+
+    msp430: Msp430Parameters = field(default_factory=Msp430Parameters)
+    cc2420: Cc2420Parameters = field(default_factory=Cc2420Parameters)
+    adc: AdcFrontEndParameters = field(default_factory=AdcFrontEndParameters)
+    sram: SramParameters = field(default_factory=SramParameters)
+
+    def energy_model(self) -> NodeEnergyModel:
+        """Analytical node energy model (equations (3)-(7)) of the platform."""
+        return NodeEnergyModel(
+            sensor=self.adc.to_core_model(),
+            microcontroller=self.msp430.to_core_model(),
+            memory=self.sram.to_core_model(),
+            radio=self.cc2420.to_core_model(),
+            ram_bytes=self.sram.size_bytes,
+        )
+
+
+def build_shimmer_energy_model(platform: ShimmerPlatform | None = None) -> NodeEnergyModel:
+    """Convenience constructor of the Shimmer analytical energy model."""
+    platform = platform if platform is not None else ShimmerPlatform()
+    return platform.energy_model()
+
+
+def build_case_study_network(
+    n_nodes: int = 6,
+    platform: ShimmerPlatform | None = None,
+    applications: Sequence[Literal["dwt", "cs"]] | None = None,
+) -> list[NodeDescription]:
+    """Node descriptions of the hospital ECG-monitoring case study.
+
+    By default the network contains six nodes, half running the DWT compressor
+    and half running the CS compressor, all built on the same Shimmer
+    platform.  The returned descriptions are combined with an
+    IEEE 802.15.4 MAC model by :mod:`repro.experiments.casestudy`.
+
+    Args:
+        n_nodes: number of patients / nodes.
+        platform: hardware platform shared by the nodes.
+        applications: optional explicit application kind per node; overrides
+            the default half-and-half split.
+    """
+    if n_nodes <= 0:
+        raise ValueError("n_nodes must be positive")
+    platform = platform if platform is not None else ShimmerPlatform()
+    if applications is None:
+        applications = tuple(
+            "dwt" if index < n_nodes // 2 else "cs" for index in range(n_nodes)
+        )
+    if len(applications) != n_nodes:
+        raise ValueError("applications must list one kind per node")
+
+    energy_model = platform.energy_model()
+    # Application models can be shared across nodes running the same firmware.
+    cache: dict[str, CompressionApplicationModel] = {}
+    descriptions: list[NodeDescription] = []
+    for index, kind in enumerate(applications):
+        if kind not in cache:
+            cache[kind] = build_application(
+                kind, msp430=platform.msp430, sampling_rate_hz=ECG_SAMPLING_RATE_HZ
+            )
+        descriptions.append(
+            NodeDescription(
+                name=f"node-{index}",
+                application=cache[kind],
+                energy_model=energy_model,
+                sampling_rate_hz=ECG_SAMPLING_RATE_HZ,
+                sample_width_bytes=SAMPLE_WIDTH_BYTES,
+            )
+        )
+    return descriptions

@@ -1,0 +1,128 @@
+"""PRD estimation through 5th-order polynomial fits (Section 4.3).
+
+The actual PRD of a compression configuration can only be obtained by
+reconstructing the compressed ECG and comparing it with the original — an
+operation far too expensive for a model invoked thousands of times per second
+by the DSE.  Following the paper, the application models therefore use
+5th-order polynomial functions ``P5(CR)`` fitted to measured PRD data, one per
+compression algorithm.
+
+The default polynomials shipped with this package were obtained by running the
+measurement campaign of :mod:`repro.hwemu.measurement` (synthetic ECG, DWT and
+CS pipelines of :mod:`repro.compression`) over the compression-ratio sweep of
+Figure 4; the Figure 4 experiment regenerates the fit from fresh measurements
+and reports the estimation error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "PrdPolynomial",
+    "fit_prd_polynomial",
+    "DEFAULT_DWT_PRD_POLYNOMIAL",
+    "DEFAULT_CS_PRD_POLYNOMIAL",
+]
+
+
+@dataclass(frozen=True)
+class PrdPolynomial:
+    """A polynomial PRD estimator ``PRD ~= P(CR)``.
+
+    Attributes:
+        coefficients: polynomial coefficients in descending powers (numpy
+            ``polyval`` convention).
+        cr_min: lower end of the compression-ratio range covered by the fit.
+        cr_max: upper end of the compression-ratio range covered by the fit.
+    """
+
+    coefficients: tuple[float, ...]
+    cr_min: float = 0.15
+    cr_max: float = 0.40
+
+    def __post_init__(self) -> None:
+        if len(self.coefficients) < 1:
+            raise ValueError("the polynomial needs at least one coefficient")
+        if not 0 < self.cr_min < self.cr_max <= 1.0:
+            raise ValueError("invalid compression-ratio range")
+
+    @property
+    def degree(self) -> int:
+        """Degree of the polynomial."""
+        return len(self.coefficients) - 1
+
+    def __call__(self, compression_ratio: float) -> float:
+        """Estimate the PRD (percent) at the given compression ratio.
+
+        Ratios outside the fitted range are clamped to its boundary, because
+        extrapolating a 5th-order polynomial quickly produces nonsense.
+        """
+        if compression_ratio <= 0:
+            raise ValueError("compression_ratio must be positive")
+        clamped = min(max(compression_ratio, self.cr_min), self.cr_max)
+        value = float(np.polyval(self.coefficients, clamped))
+        return max(0.0, value)
+
+    def evaluate_many(self, compression_ratios: Sequence[float]) -> np.ndarray:
+        """Vectorised evaluation over a sweep of compression ratios."""
+        return np.asarray([self(ratio) for ratio in compression_ratios])
+
+
+def fit_prd_polynomial(
+    compression_ratios: Sequence[float],
+    measured_prds: Sequence[float],
+    degree: int = 5,
+) -> PrdPolynomial:
+    """Fit a :class:`PrdPolynomial` to measured (CR, PRD) points.
+
+    Args:
+        compression_ratios: the swept compression ratios.
+        measured_prds: the PRD measured at each ratio (percent).
+        degree: polynomial degree (the paper uses 5).
+    """
+    ratios = np.asarray(compression_ratios, dtype=float)
+    prds = np.asarray(measured_prds, dtype=float)
+    if ratios.shape != prds.shape or ratios.ndim != 1:
+        raise ValueError("compression_ratios and measured_prds must be 1-D and aligned")
+    if len(ratios) <= degree:
+        raise ValueError(
+            f"need at least {degree + 1} measurement points for a degree-{degree} fit"
+        )
+    if np.any(ratios <= 0) or np.any(prds < 0):
+        raise ValueError("compression ratios must be positive and PRDs non-negative")
+    coefficients = np.polyfit(ratios, prds, deg=degree)
+    return PrdPolynomial(
+        coefficients=tuple(float(c) for c in coefficients),
+        cr_min=float(np.min(ratios)),
+        cr_max=float(np.max(ratios)),
+    )
+
+
+def _bootstrap_polynomial(
+    anchor_ratios: Sequence[float], anchor_prds: Sequence[float]
+) -> PrdPolynomial:
+    """Build a default polynomial from calibration anchor points."""
+    return fit_prd_polynomial(anchor_ratios, anchor_prds, degree=5)
+
+
+# Calibration anchors measured with the reproduction pipeline (24 s of
+# synthetic ECG, seed 7, 256-sample windows, db4 wavelet, weighted reweighted
+# l1 reconstruction for CS).  Regenerate with
+# ``python -m repro.experiments.fig4_prd``.
+_CALIBRATION_RATIOS = (0.17, 0.20, 0.23, 0.26, 0.29, 0.32, 0.35, 0.38)
+_DWT_CALIBRATION_PRDS = (6.130, 5.397, 4.810, 4.353, 4.012, 3.665, 3.347, 3.087)
+_CS_CALIBRATION_PRDS = (57.083, 51.291, 37.776, 31.188, 24.506, 23.841, 17.203, 14.901)
+
+#: Default DWT PRD polynomial (calibrated against the reproduction pipeline).
+DEFAULT_DWT_PRD_POLYNOMIAL = _bootstrap_polynomial(
+    _CALIBRATION_RATIOS, _DWT_CALIBRATION_PRDS
+)
+
+#: Default CS PRD polynomial (calibrated against the reproduction pipeline).
+DEFAULT_CS_PRD_POLYNOMIAL = _bootstrap_polynomial(
+    _CALIBRATION_RATIOS, _CS_CALIBRATION_PRDS
+)

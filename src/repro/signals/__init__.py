@@ -1,0 +1,42 @@
+"""Physiological signal substrate.
+
+The paper's case study compresses electrocardiogram (ECG) signals sampled at
+250 Hz with a 12-bit A/D converter.  Since no recorded ECG database is
+available offline, this package provides a synthetic ECG generator whose
+morphology (PQRST waves, RR-interval variability, baseline wander, sensor
+noise) reproduces the spectral sparsity structure that the DWT and
+compressed-sensing applications rely on, together with the signal-quality
+metrics (PRD, RMSE, SNR) used throughout the evaluation.
+"""
+
+from repro.signals.ecg import ECGWave, SyntheticECG, ECGRecord, DEFAULT_WAVES
+from repro.signals.noise import (
+    baseline_wander,
+    gaussian_noise,
+    powerline_interference,
+)
+from repro.signals.quality import (
+    prd,
+    prd_normalized,
+    rmse,
+    snr_db,
+    compression_ratio,
+)
+from repro.signals.windowing import split_windows, pad_to_window
+
+__all__ = [
+    "ECGWave",
+    "SyntheticECG",
+    "ECGRecord",
+    "DEFAULT_WAVES",
+    "baseline_wander",
+    "gaussian_noise",
+    "powerline_interference",
+    "prd",
+    "prd_normalized",
+    "rmse",
+    "snr_db",
+    "compression_ratio",
+    "split_windows",
+    "pad_to_window",
+]

@@ -1,0 +1,224 @@
+"""Synthetic ECG generation.
+
+The generator follows the classic "sum of Gaussian waves" morphological model
+of the cardiac cycle: each beat is a superposition of five Gaussian bumps
+(P, Q, R, S, T) placed at fixed phases of the RR interval.  Beat-to-beat
+variability is introduced through an auto-regressive RR-interval process, and
+realistic acquisition artefacts (baseline wander, powerline interference,
+wide-band sensor noise) can be layered on top.
+
+The output is intentionally compatible with the Shimmer acquisition front-end
+modelled elsewhere in this package: 250 Hz sampling, millivolt amplitudes in
+the ±2.5 mV range, and an optional 12-bit quantisation step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ECGWave", "ECGRecord", "SyntheticECG", "DEFAULT_WAVES"]
+
+
+@dataclass(frozen=True)
+class ECGWave:
+    """One Gaussian component of the PQRST complex.
+
+    Attributes:
+        name: wave label, e.g. ``"R"``.
+        amplitude_mv: peak amplitude in millivolt (negative for Q and S).
+        center_fraction: position of the wave centre inside the beat,
+            expressed as a fraction of the RR interval in ``[0, 1)``.
+        width_fraction: standard deviation of the Gaussian, as a fraction of
+            the RR interval.
+    """
+
+    name: str
+    amplitude_mv: float
+    center_fraction: float
+    width_fraction: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.center_fraction < 1.0:
+            raise ValueError("center_fraction must lie in [0, 1)")
+        if self.width_fraction <= 0.0:
+            raise ValueError("width_fraction must be positive")
+
+
+#: Canonical adult lead-II morphology used by the case study.
+DEFAULT_WAVES: tuple[ECGWave, ...] = (
+    ECGWave("P", 0.12, 0.18, 0.022),
+    ECGWave("Q", -0.10, 0.335, 0.008),
+    ECGWave("R", 1.10, 0.36, 0.010),
+    ECGWave("S", -0.22, 0.385, 0.009),
+    ECGWave("T", 0.28, 0.56, 0.040),
+)
+
+
+@dataclass
+class ECGRecord:
+    """A generated ECG segment.
+
+    Attributes:
+        samples_mv: the analogue signal in millivolt.
+        sampling_rate_hz: sampling frequency.
+        rr_intervals_s: the RR interval (in seconds) used for each beat.
+        codes: optional quantised ADC codes (only set when quantisation was
+            requested).
+    """
+
+    samples_mv: np.ndarray
+    sampling_rate_hz: float
+    rr_intervals_s: np.ndarray
+    codes: np.ndarray | None = None
+
+    @property
+    def duration_s(self) -> float:
+        """Length of the record in seconds."""
+        return len(self.samples_mv) / self.sampling_rate_hz
+
+    @property
+    def heart_rate_bpm(self) -> float:
+        """Average heart rate over the record."""
+        if len(self.rr_intervals_s) == 0:
+            return 0.0
+        return 60.0 / float(np.mean(self.rr_intervals_s))
+
+
+@dataclass
+class SyntheticECG:
+    """Synthetic ECG generator.
+
+    Args:
+        sampling_rate_hz: output sampling frequency (the case study uses
+            250 Hz).
+        heart_rate_bpm: mean heart rate.
+        hrv_std_s: standard deviation of the RR-interval process (heart-rate
+            variability).  Set to 0 for a perfectly periodic signal.
+        waves: the Gaussian components of each beat.
+        baseline_wander_mv: peak amplitude of the respiratory baseline drift.
+        noise_std_mv: standard deviation of the additive wide-band noise.
+        powerline_mv: amplitude of the 50 Hz interference component.
+        seed: seed of the internal random generator; generation is fully
+            deterministic for a given seed.
+    """
+
+    sampling_rate_hz: float = 250.0
+    heart_rate_bpm: float = 72.0
+    hrv_std_s: float = 0.03
+    waves: tuple[ECGWave, ...] = DEFAULT_WAVES
+    baseline_wander_mv: float = 0.05
+    noise_std_mv: float = 0.01
+    powerline_mv: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sampling_rate_hz <= 0:
+            raise ValueError("sampling_rate_hz must be positive")
+        if self.heart_rate_bpm <= 0:
+            raise ValueError("heart_rate_bpm must be positive")
+        if self.hrv_std_s < 0:
+            raise ValueError("hrv_std_s cannot be negative")
+
+    # ------------------------------------------------------------------ API
+
+    def generate(self, duration_s: float) -> ECGRecord:
+        """Generate ``duration_s`` seconds of ECG.
+
+        Returns an :class:`ECGRecord` whose ``samples_mv`` array has exactly
+        ``round(duration_s * sampling_rate_hz)`` samples.
+        """
+        if duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        rng = np.random.default_rng(self.seed)
+        n_samples = int(round(duration_s * self.sampling_rate_hz))
+        t = np.arange(n_samples) / self.sampling_rate_hz
+
+        rr_intervals = self._draw_rr_intervals(rng, duration_s)
+        clean = self._render_beats(t, rr_intervals)
+        signal = clean + self._artefacts(rng, t)
+        return ECGRecord(
+            samples_mv=signal,
+            sampling_rate_hz=self.sampling_rate_hz,
+            rr_intervals_s=rr_intervals,
+        )
+
+    def generate_quantized(
+        self,
+        duration_s: float,
+        resolution_bits: int = 12,
+        full_scale_mv: float = 5.0,
+    ) -> ECGRecord:
+        """Generate and quantise the signal with a SAR-ADC style converter.
+
+        The converter maps ``[-full_scale_mv / 2, +full_scale_mv / 2]`` onto
+        unsigned codes of ``resolution_bits`` bits, mirroring the 12-bit
+        front-end of the Shimmer platform.
+        """
+        if resolution_bits <= 0:
+            raise ValueError("resolution_bits must be positive")
+        record = self.generate(duration_s)
+        levels = 2**resolution_bits
+        lsb_mv = full_scale_mv / levels
+        shifted = record.samples_mv + full_scale_mv / 2.0
+        codes = np.clip(np.round(shifted / lsb_mv), 0, levels - 1).astype(np.int64)
+        record.codes = codes
+        # Replace the analogue samples with the quantised reconstruction so
+        # that downstream compression operates on what the node really sees.
+        record.samples_mv = codes * lsb_mv - full_scale_mv / 2.0
+        return record
+
+    # ------------------------------------------------------------- internals
+
+    def _draw_rr_intervals(
+        self, rng: np.random.Generator, duration_s: float
+    ) -> np.ndarray:
+        """Draw a sequence of RR intervals covering at least ``duration_s``."""
+        mean_rr = 60.0 / self.heart_rate_bpm
+        intervals: list[float] = []
+        total = 0.0
+        previous_deviation = 0.0
+        while total < duration_s + mean_rr:
+            # First-order auto-regressive deviation models the short-term
+            # correlation of heart-rate variability.
+            innovation = rng.normal(0.0, self.hrv_std_s)
+            deviation = 0.6 * previous_deviation + innovation
+            rr = max(0.3, mean_rr + deviation)
+            intervals.append(rr)
+            total += rr
+            previous_deviation = deviation
+        return np.asarray(intervals)
+
+    def _render_beats(self, t: np.ndarray, rr_intervals: np.ndarray) -> np.ndarray:
+        """Render the clean PQRST train on the time grid ``t``."""
+        signal = np.zeros_like(t)
+        beat_start = 0.0
+        for rr in rr_intervals:
+            for wave in self.waves:
+                center = beat_start + wave.center_fraction * rr
+                width = wave.width_fraction * rr
+                signal += wave.amplitude_mv * np.exp(
+                    -0.5 * ((t - center) / width) ** 2
+                )
+            beat_start += rr
+        return signal
+
+    def _artefacts(self, rng: np.random.Generator, t: np.ndarray) -> np.ndarray:
+        """Generate the additive acquisition artefacts on the grid ``t``."""
+        from repro.signals.noise import (
+            baseline_wander,
+            gaussian_noise,
+            powerline_interference,
+        )
+
+        artefact = np.zeros_like(t)
+        if self.baseline_wander_mv > 0.0:
+            artefact += baseline_wander(
+                t, amplitude_mv=self.baseline_wander_mv, rng=rng
+            )
+        if self.noise_std_mv > 0.0:
+            artefact += gaussian_noise(len(t), std_mv=self.noise_std_mv, rng=rng)
+        if self.powerline_mv > 0.0:
+            artefact += powerline_interference(t, amplitude_mv=self.powerline_mv)
+        return artefact

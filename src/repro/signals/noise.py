@@ -1,0 +1,53 @@
+"""Acquisition artefact models for the synthetic ECG front-end."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["baseline_wander", "gaussian_noise", "powerline_interference"]
+
+
+def baseline_wander(
+    t: np.ndarray,
+    amplitude_mv: float,
+    rng: np.random.Generator | None = None,
+    respiration_rate_hz: float = 0.25,
+) -> np.ndarray:
+    """Low-frequency baseline drift caused by respiration and motion.
+
+    The drift is the sum of a respiration-locked sinusoid and a slower random
+    component with a randomised phase, which keeps the artefact deterministic
+    for a given generator state.
+    """
+    if amplitude_mv < 0:
+        raise ValueError("amplitude_mv cannot be negative")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    phase_1 = rng.uniform(0.0, 2.0 * np.pi)
+    phase_2 = rng.uniform(0.0, 2.0 * np.pi)
+    slow_rate_hz = 0.05 + 0.05 * rng.random()
+    drift = 0.7 * np.sin(2.0 * np.pi * respiration_rate_hz * t + phase_1)
+    drift += 0.3 * np.sin(2.0 * np.pi * slow_rate_hz * t + phase_2)
+    return amplitude_mv * drift
+
+
+def gaussian_noise(
+    n_samples: int,
+    std_mv: float,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Wide-band electrode and amplifier noise."""
+    if std_mv < 0:
+        raise ValueError("std_mv cannot be negative")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    return rng.normal(0.0, std_mv, size=n_samples)
+
+
+def powerline_interference(
+    t: np.ndarray,
+    amplitude_mv: float,
+    mains_frequency_hz: float = 50.0,
+) -> np.ndarray:
+    """Mains interference coupled into the leads (50 Hz by default)."""
+    if amplitude_mv < 0:
+        raise ValueError("amplitude_mv cannot be negative")
+    return amplitude_mv * np.sin(2.0 * np.pi * mains_frequency_hz * t)

@@ -1,0 +1,94 @@
+"""Signal-quality and data-rate metrics.
+
+The paper's application-level metric is the percentage root-mean-square
+difference (PRD) between the original and the reconstructed ECG, following
+Mamaghanian et al. [13].  The companion metrics (RMSE, SNR, compression ratio)
+are provided for the example applications and the extended benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["prd", "prd_normalized", "rmse", "snr_db", "compression_ratio"]
+
+
+def _as_aligned_arrays(
+    original: np.ndarray, reconstructed: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    original = np.asarray(original, dtype=float)
+    reconstructed = np.asarray(reconstructed, dtype=float)
+    if original.shape != reconstructed.shape:
+        raise ValueError(
+            "original and reconstructed signals must have the same shape, got "
+            f"{original.shape} and {reconstructed.shape}"
+        )
+    if original.size == 0:
+        raise ValueError("signals must not be empty")
+    return original, reconstructed
+
+
+def prd(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Percentage root-mean-square difference.
+
+    ``PRD = 100 * ||x - x_hat||_2 / ||x||_2``
+
+    A PRD below roughly 9 % is generally considered diagnostically acceptable
+    for ECG compression.
+    """
+    original, reconstructed = _as_aligned_arrays(original, reconstructed)
+    reference_energy = float(np.linalg.norm(original))
+    if reference_energy == 0.0:
+        raise ValueError("original signal has zero energy; PRD is undefined")
+    return 100.0 * float(np.linalg.norm(original - reconstructed)) / reference_energy
+
+
+def prd_normalized(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """PRD computed after removing the mean of the original signal.
+
+    Removing the DC offset avoids artificially optimistic values when the
+    signal rides on a large baseline (common for unipolar ADC codes).
+    """
+    original, reconstructed = _as_aligned_arrays(original, reconstructed)
+    offset = float(np.mean(original))
+    centred = original - offset
+    reference_energy = float(np.linalg.norm(centred))
+    if reference_energy == 0.0:
+        raise ValueError("original signal has zero AC energy; PRDN is undefined")
+    return (
+        100.0
+        * float(np.linalg.norm(original - reconstructed))
+        / reference_energy
+    )
+
+
+def rmse(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Root-mean-square error between the two signals."""
+    original, reconstructed = _as_aligned_arrays(original, reconstructed)
+    return float(np.sqrt(np.mean((original - reconstructed) ** 2)))
+
+
+def snr_db(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Reconstruction signal-to-noise ratio in decibel."""
+    original, reconstructed = _as_aligned_arrays(original, reconstructed)
+    noise_energy = float(np.sum((original - reconstructed) ** 2))
+    signal_energy = float(np.sum(original**2))
+    if signal_energy == 0.0:
+        raise ValueError("original signal has zero energy; SNR is undefined")
+    if noise_energy == 0.0:
+        return float("inf")
+    return 10.0 * float(np.log10(signal_energy / noise_energy))
+
+
+def compression_ratio(original_bytes: float, compressed_bytes: float) -> float:
+    """Compression ratio defined as output size over input size.
+
+    The paper expresses the compression ratio CR as the fraction of the input
+    stream that is actually transmitted (``phi_out = phi_in * CR``), so lower
+    values mean stronger compression.
+    """
+    if original_bytes <= 0:
+        raise ValueError("original_bytes must be positive")
+    if compressed_bytes < 0:
+        raise ValueError("compressed_bytes cannot be negative")
+    return compressed_bytes / original_bytes

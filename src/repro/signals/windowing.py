@@ -1,0 +1,37 @@
+"""Fixed-size windowing helpers.
+
+Both compression applications in the case study operate on fixed windows of
+ECG samples (one wavelet frame or one compressed-sensing block at a time);
+these helpers slice a long record into such windows and pad the tail.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["split_windows", "pad_to_window"]
+
+
+def pad_to_window(samples: np.ndarray, window_size: int) -> np.ndarray:
+    """Pad ``samples`` with edge values so its length is a window multiple."""
+    if window_size <= 0:
+        raise ValueError("window_size must be positive")
+    samples = np.asarray(samples, dtype=float)
+    if len(samples) == 0:
+        return np.zeros(window_size)
+    remainder = len(samples) % window_size
+    if remainder == 0:
+        return samples.copy()
+    pad = window_size - remainder
+    return np.concatenate([samples, np.full(pad, samples[-1])])
+
+
+def split_windows(samples: np.ndarray, window_size: int) -> np.ndarray:
+    """Split ``samples`` into an array of shape ``(n_windows, window_size)``.
+
+    The tail is padded with the last sample value so no data is dropped.
+    """
+    padded = pad_to_window(samples, window_size)
+    if len(padded) == 0:
+        return np.empty((0, window_size))
+    return padded.reshape(-1, window_size)

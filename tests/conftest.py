@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.evaluator import WBSNEvaluator
+from repro.experiments.casestudy import DEFAULT_MAC_CONFIG, build_case_study_evaluator
+from repro.hwemu.node import ShimmerNodeEmulator
+from repro.mac802154.config import Ieee802154MacConfig
+from repro.mac802154.model import BeaconEnabledMacModel
+from repro.shimmer.platform import ShimmerNodeConfig, ShimmerPlatform
+
+
+@pytest.fixture(scope="session")
+def platform() -> ShimmerPlatform:
+    """The default Shimmer platform parameters."""
+    return ShimmerPlatform()
+
+
+@pytest.fixture(scope="session")
+def mac_config() -> Ieee802154MacConfig:
+    """The case-study MAC configuration."""
+    return DEFAULT_MAC_CONFIG
+
+
+@pytest.fixture(scope="session")
+def mac_model() -> BeaconEnabledMacModel:
+    """The IEEE 802.15.4 analytical MAC model."""
+    return BeaconEnabledMacModel()
+
+
+@pytest.fixture(scope="session")
+def evaluator() -> WBSNEvaluator:
+    """The six-node case-study evaluator."""
+    return build_case_study_evaluator()
+
+
+@pytest.fixture(scope="session")
+def emulator(platform: ShimmerPlatform) -> ShimmerNodeEmulator:
+    """The hardware emulator playing the role of the measurement bench."""
+    return ShimmerNodeEmulator(platform=platform)
+
+
+@pytest.fixture()
+def default_node_config() -> ShimmerNodeConfig:
+    """A representative feasible node configuration."""
+    return ShimmerNodeConfig(compression_ratio=0.3, microcontroller_frequency_hz=8e6)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A deterministic random generator for test data."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,81 @@
+"""Tests of the compressed-sensing compressor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression.cs_compressor import CSCompressor
+from repro.signals.ecg import SyntheticECG
+from repro.signals.quality import prd
+from repro.signals.windowing import split_windows
+
+
+@pytest.fixture(scope="module")
+def ecg_window():
+    record = SyntheticECG(seed=11).generate_quantized(2.0)
+    return split_windows(record.samples_mv, 256)[1]
+
+
+class TestCSCompressor:
+    def test_measurement_count_matches_ratio(self):
+        compressor = CSCompressor(compression_ratio=0.3, window_size=256)
+        assert compressor.n_measurements == round(0.3 * 256)
+
+    def test_payload_bytes(self, ecg_window):
+        compressor = CSCompressor(compression_ratio=0.3, window_size=256)
+        result = compressor.compress(ecg_window)
+        assert result.payload_bytes == compressor.n_measurements * 2
+        assert len(result.payload) == compressor.n_measurements
+
+    def test_roundtrip_prd_is_bounded(self, ecg_window):
+        compressor = CSCompressor(compression_ratio=0.35, window_size=256)
+        _, reconstructed = compressor.roundtrip(ecg_window)
+        assert prd(ecg_window, reconstructed) < 40.0
+
+    def test_quality_improves_with_more_measurements(self, ecg_window):
+        low = CSCompressor(compression_ratio=0.17, window_size=256, seed=5)
+        high = CSCompressor(compression_ratio=0.38, window_size=256, seed=5)
+        _, rec_low = low.roundtrip(ecg_window)
+        _, rec_high = high.roundtrip(ecg_window)
+        assert prd(ecg_window, rec_high) < prd(ecg_window, rec_low)
+
+    def test_cs_is_worse_than_dwt_at_equal_ratio(self, ecg_window):
+        from repro.compression.dwt_compressor import DWTCompressor
+
+        cs = CSCompressor(compression_ratio=0.3, window_size=256)
+        dwt = DWTCompressor(compression_ratio=0.3, window_size=256)
+        _, rec_cs = cs.roundtrip(ecg_window)
+        _, rec_dwt = dwt.roundtrip(ecg_window)
+        assert prd(ecg_window, rec_cs) > prd(ecg_window, rec_dwt)
+
+    def test_omp_solver_also_reconstructs(self, ecg_window):
+        compressor = CSCompressor(
+            compression_ratio=0.38, window_size=256, solver="omp"
+        )
+        _, reconstructed = compressor.roundtrip(ecg_window)
+        # OMP is markedly weaker on compressible (non-sparse) windows; it only
+        # needs to produce a finite, bounded-error reconstruction here.
+        assert np.all(np.isfinite(reconstructed))
+        assert prd(ecg_window, reconstructed) < 120.0
+
+    def test_deterministic_for_fixed_seed(self, ecg_window):
+        first = CSCompressor(compression_ratio=0.3, seed=9).compress(ecg_window)
+        second = CSCompressor(compression_ratio=0.3, seed=9).compress(ecg_window)
+        np.testing.assert_array_equal(first.payload, second.payload)
+
+    def test_rejects_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CSCompressor(compression_ratio=0.0)
+        with pytest.raises(ValueError):
+            CSCompressor(solver="magic")
+        with pytest.raises(ValueError):
+            CSCompressor(reweighting_rounds=0)
+        with pytest.raises(ValueError):
+            CSCompressor(regularization_fraction=1.5)
+
+    def test_mean_offset_is_restored(self, ecg_window):
+        shifted = ecg_window + 10.0
+        compressor = CSCompressor(compression_ratio=0.38, window_size=256)
+        _, reconstructed = compressor.roundtrip(shifted)
+        assert np.mean(reconstructed) == pytest.approx(np.mean(shifted), abs=0.5)

@@ -1,0 +1,93 @@
+"""Tests of the MSP430 cycle/memory accounting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.cycle_counts import (
+    MSP430CostModel,
+    cs_cycle_count,
+    cycles_per_second,
+    dwt_cycle_count,
+)
+
+
+class TestCostModel:
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ValueError):
+            MSP430CostModel(mac_q15_cycles=-1)
+
+
+class TestDwtCycleCount:
+    def test_matches_published_duty_cycle_constants(self):
+        """The calibrated model lands close to the paper's 2265.6 kcycles/s."""
+        per_window = dwt_cycle_count(window_size=256, compression_ratio=0.275)
+        per_second = cycles_per_second(per_window, 256, 250.0)
+        assert per_second.cycles == pytest.approx(2_265_600, rel=0.02)
+
+    def test_cycles_grow_with_window_size(self):
+        small = dwt_cycle_count(window_size=128)
+        large = dwt_cycle_count(window_size=256)
+        assert large.cycles > small.cycles
+
+    def test_cycles_grow_weakly_with_compression_ratio(self):
+        low = dwt_cycle_count(compression_ratio=0.17)
+        high = dwt_cycle_count(compression_ratio=0.38)
+        assert high.cycles > low.cycles
+        # The dependence is marginal (packing only), below one percent.
+        assert (high.cycles - low.cycles) / low.cycles < 0.01
+
+    def test_memory_footprint_fits_shimmer_ram(self):
+        assert dwt_cycle_count().memory_bytes < 10_240
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            dwt_cycle_count(window_size=100, levels=4)
+        with pytest.raises(ValueError):
+            dwt_cycle_count(compression_ratio=0.0)
+
+
+class TestCsCycleCount:
+    def test_matches_published_duty_cycle_constants(self):
+        """The calibrated model lands close to the paper's 388.8 kcycles/s."""
+        per_window = cs_cycle_count(window_size=256, compression_ratio=0.275)
+        per_second = cycles_per_second(per_window, 256, 250.0)
+        assert per_second.cycles == pytest.approx(388_800, rel=0.06)
+
+    def test_cs_is_much_cheaper_than_dwt(self):
+        assert cs_cycle_count().cycles < dwt_cycle_count().cycles / 4
+
+    def test_memory_footprint_fits_shimmer_ram(self):
+        assert cs_cycle_count().memory_bytes < 10_240
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            cs_cycle_count(window_size=0)
+        with pytest.raises(ValueError):
+            cs_cycle_count(nonzeros_per_column=0)
+
+
+class TestCyclesPerSecond:
+    def test_scaling(self):
+        count = dwt_cycle_count(window_size=256)
+        scaled = cycles_per_second(count, 256, 250.0)
+        assert scaled.cycles == pytest.approx(count.cycles * 250.0 / 256)
+        assert scaled.memory_bytes == count.memory_bytes
+
+    def test_invalid_arguments_rejected(self):
+        count = cs_cycle_count()
+        with pytest.raises(ValueError):
+            cycles_per_second(count, 0, 250.0)
+        with pytest.raises(ValueError):
+            cycles_per_second(count, 256, 0.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(ratio=st.floats(min_value=0.05, max_value=1.0))
+    def test_counts_are_positive_for_any_ratio(self, ratio):
+        for factory in (dwt_cycle_count, cs_cycle_count):
+            count = factory(compression_ratio=ratio)
+            assert count.cycles > 0
+            assert count.memory_accesses > 0
+            assert count.memory_bytes > 0

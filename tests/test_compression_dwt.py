@@ -1,0 +1,73 @@
+"""Tests of the DWT-thresholding compressor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression.dwt_compressor import DWTCompressor
+from repro.signals.ecg import SyntheticECG
+from repro.signals.quality import prd
+from repro.signals.windowing import split_windows
+
+
+@pytest.fixture(scope="module")
+def ecg_window():
+    record = SyntheticECG(seed=11).generate_quantized(2.0)
+    return split_windows(record.samples_mv, 256)[1]
+
+
+class TestDWTCompressor:
+    def test_payload_size_matches_compression_ratio(self, ecg_window):
+        compressor = DWTCompressor(compression_ratio=0.25, window_size=256)
+        result = compressor.compress(ecg_window)
+        assert result.payload_bytes == 64 * 2
+        assert result.achieved_cr == pytest.approx(0.25)
+
+    def test_roundtrip_prd_is_reasonable(self, ecg_window):
+        compressor = DWTCompressor(compression_ratio=0.3, window_size=256)
+        _, reconstructed = compressor.roundtrip(ecg_window)
+        assert prd(ecg_window, reconstructed) < 10.0
+
+    def test_quality_improves_with_higher_ratio(self, ecg_window):
+        low = DWTCompressor(compression_ratio=0.17, window_size=256)
+        high = DWTCompressor(compression_ratio=0.38, window_size=256)
+        _, rec_low = low.roundtrip(ecg_window)
+        _, rec_high = high.roundtrip(ecg_window)
+        assert prd(ecg_window, rec_high) < prd(ecg_window, rec_low)
+
+    def test_full_ratio_is_lossless(self, ecg_window):
+        compressor = DWTCompressor(compression_ratio=1.0, window_size=256)
+        _, reconstructed = compressor.roundtrip(ecg_window)
+        np.testing.assert_allclose(reconstructed, ecg_window, atol=1e-8)
+
+    def test_retained_coefficient_count(self):
+        compressor = DWTCompressor(compression_ratio=0.17, window_size=256)
+        assert compressor.retained_coefficients == round(0.17 * 256)
+
+    def test_rejects_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            DWTCompressor(compression_ratio=0.0)
+        with pytest.raises(ValueError):
+            DWTCompressor(compression_ratio=1.5)
+
+    def test_rejects_window_not_divisible_by_levels(self):
+        with pytest.raises(ValueError):
+            DWTCompressor(window_size=100, levels=4)
+
+    def test_rejects_wrong_window_length(self, ecg_window):
+        compressor = DWTCompressor(window_size=256)
+        with pytest.raises(ValueError):
+            compressor.compress(ecg_window[:100])
+
+    def test_compress_record_covers_all_windows(self):
+        record = SyntheticECG(seed=2).generate_quantized(3.0)
+        compressor = DWTCompressor(compression_ratio=0.25, window_size=256)
+        results = compressor.compress_record(record.samples_mv)
+        assert len(results) == int(np.ceil(len(record.samples_mv) / 256))
+
+    def test_metadata_indices_are_sorted_and_unique(self, ecg_window):
+        compressor = DWTCompressor(compression_ratio=0.2, window_size=256)
+        result = compressor.compress(ecg_window)
+        indices = result.metadata["indices"]
+        assert np.all(np.diff(indices) > 0)

@@ -1,0 +1,71 @@
+"""Tests of the sensing-matrix constructors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.sensing_matrix import (
+    bernoulli_matrix,
+    gaussian_matrix,
+    sparse_binary_matrix,
+)
+
+
+class TestShapes:
+    @pytest.mark.parametrize(
+        "factory", [gaussian_matrix, bernoulli_matrix, sparse_binary_matrix]
+    )
+    def test_shape(self, factory):
+        matrix = factory(40, 128)
+        assert matrix.shape == (40, 128)
+
+    @pytest.mark.parametrize(
+        "factory", [gaussian_matrix, bernoulli_matrix, sparse_binary_matrix]
+    )
+    def test_determinism(self, factory):
+        np.testing.assert_array_equal(factory(20, 64, seed=3), factory(20, 64, seed=3))
+
+    @pytest.mark.parametrize(
+        "factory", [gaussian_matrix, bernoulli_matrix, sparse_binary_matrix]
+    )
+    def test_more_measurements_than_samples_rejected(self, factory):
+        with pytest.raises(ValueError):
+            factory(100, 50)
+
+
+class TestSparseBinary:
+    def test_column_density(self):
+        matrix = sparse_binary_matrix(60, 128, nonzeros_per_column=12)
+        nonzeros = np.count_nonzero(matrix, axis=0)
+        assert np.all(nonzeros == 12)
+
+    def test_column_norms_are_one(self):
+        matrix = sparse_binary_matrix(60, 128, nonzeros_per_column=12)
+        np.testing.assert_allclose(np.linalg.norm(matrix, axis=0), 1.0)
+
+    def test_density_above_measurements_rejected(self):
+        with pytest.raises(ValueError):
+            sparse_binary_matrix(8, 32, nonzeros_per_column=12)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n_measurements=st.integers(min_value=8, max_value=64),
+        n_samples=st.integers(min_value=64, max_value=128),
+    )
+    def test_entries_are_non_negative(self, n_measurements, n_samples):
+        matrix = sparse_binary_matrix(n_measurements, n_samples, nonzeros_per_column=4)
+        assert np.all(matrix >= 0)
+
+
+class TestDenseMatrices:
+    def test_bernoulli_entries(self):
+        matrix = bernoulli_matrix(30, 60) * np.sqrt(30)
+        assert set(np.unique(np.round(matrix))) <= {-1.0, 1.0}
+
+    def test_gaussian_row_energy_is_normalised(self):
+        matrix = gaussian_matrix(200, 400, seed=1)
+        column_norms = np.linalg.norm(matrix, axis=0)
+        assert np.mean(column_norms) == pytest.approx(1.0, rel=0.1)

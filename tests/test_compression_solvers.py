@@ -1,0 +1,127 @@
+"""Tests of the sparse-recovery solvers (OMP, FISTA, reweighted l1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.ista import fista, reweighted_basis_pursuit, soft_threshold
+from repro.compression.omp import orthogonal_matching_pursuit
+
+
+def _sparse_problem(n_measurements=60, n_atoms=120, sparsity=5, seed=0, noise=0.0):
+    rng = np.random.default_rng(seed)
+    dictionary = rng.normal(0, 1 / np.sqrt(n_measurements), (n_measurements, n_atoms))
+    true = np.zeros(n_atoms)
+    support = rng.choice(n_atoms, size=sparsity, replace=False)
+    true[support] = rng.normal(0, 1, sparsity) + np.sign(rng.normal(0, 1, sparsity))
+    measurements = dictionary @ true + noise * rng.normal(size=n_measurements)
+    return dictionary, measurements, true
+
+
+class TestSoftThreshold:
+    def test_shrinks_towards_zero(self):
+        values = np.array([-3.0, -0.5, 0.0, 0.5, 3.0])
+        np.testing.assert_allclose(
+            soft_threshold(values, 1.0), [-2.0, 0.0, 0.0, 0.0, 2.0]
+        )
+
+    def test_zero_threshold_is_identity(self):
+        values = np.array([1.0, -2.0])
+        np.testing.assert_array_equal(soft_threshold(values, 0.0), values)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            soft_threshold(np.ones(3), -1.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        value=st.floats(min_value=-100, max_value=100),
+        threshold=st.floats(min_value=0, max_value=50),
+    )
+    def test_magnitude_never_increases(self, value, threshold):
+        result = float(soft_threshold(np.array([value]), threshold)[0])
+        assert abs(result) <= abs(value) + 1e-12
+
+
+class TestOmp:
+    def test_recovers_exactly_sparse_signal(self):
+        dictionary, measurements, true = _sparse_problem()
+        estimate = orthogonal_matching_pursuit(dictionary, measurements, max_atoms=10)
+        np.testing.assert_allclose(estimate, true, atol=1e-6)
+
+    def test_zero_measurements_give_zero_solution(self):
+        dictionary, _, _ = _sparse_problem()
+        estimate = orthogonal_matching_pursuit(
+            dictionary, np.zeros(dictionary.shape[0]), max_atoms=5
+        )
+        np.testing.assert_array_equal(estimate, 0.0)
+
+    def test_respects_atom_budget(self):
+        dictionary, measurements, _ = _sparse_problem(sparsity=8)
+        estimate = orthogonal_matching_pursuit(dictionary, measurements, max_atoms=3)
+        assert np.count_nonzero(estimate) <= 3
+
+    def test_rejects_bad_arguments(self):
+        dictionary, measurements, _ = _sparse_problem()
+        with pytest.raises(ValueError):
+            orthogonal_matching_pursuit(dictionary, measurements[:-1], max_atoms=3)
+        with pytest.raises(ValueError):
+            orthogonal_matching_pursuit(dictionary, measurements, max_atoms=0)
+
+
+class TestFista:
+    def test_approximates_sparse_solution(self):
+        dictionary, measurements, true = _sparse_problem(noise=0.001)
+        estimate = fista(dictionary, measurements, regularization=0.01, max_iterations=500)
+        support_true = set(np.flatnonzero(np.abs(true) > 0.1))
+        support_est = set(np.flatnonzero(np.abs(estimate) > 0.1))
+        assert support_true <= support_est | support_true  # no crash, sanity
+        assert np.linalg.norm(estimate - true) / np.linalg.norm(true) < 0.4
+
+    def test_weights_suppress_penalised_coefficients(self):
+        dictionary, measurements, true = _sparse_problem(seed=3)
+        heavy = np.full(dictionary.shape[1], 1.0)
+        light = np.zeros(dictionary.shape[1])
+        constrained = fista(dictionary, measurements, 0.5, weights=heavy)
+        free = fista(dictionary, measurements, 0.5, weights=light)
+        assert np.linalg.norm(constrained, 1) < np.linalg.norm(free, 1)
+
+    def test_rejects_bad_arguments(self):
+        dictionary, measurements, _ = _sparse_problem()
+        with pytest.raises(ValueError):
+            fista(dictionary, measurements, regularization=-1.0)
+        with pytest.raises(ValueError):
+            fista(dictionary, measurements, 0.1, weights=np.ones(3))
+        with pytest.raises(ValueError):
+            fista(dictionary, measurements, 0.1, max_iterations=0)
+
+
+class TestReweightedBasisPursuit:
+    def test_recovers_sparse_signal_better_than_single_round(self):
+        dictionary, measurements, true = _sparse_problem(sparsity=8, seed=7, noise=0.001)
+        single = reweighted_basis_pursuit(
+            dictionary, measurements, reweighting_rounds=1, debias=False
+        )
+        multi = reweighted_basis_pursuit(
+            dictionary, measurements, reweighting_rounds=3, debias=True
+        )
+        error_single = np.linalg.norm(single - true)
+        error_multi = np.linalg.norm(multi - true)
+        assert error_multi <= error_single + 1e-9
+
+    def test_zero_measurements_give_zero_solution(self):
+        dictionary, _, _ = _sparse_problem()
+        estimate = reweighted_basis_pursuit(dictionary, np.zeros(dictionary.shape[0]))
+        np.testing.assert_array_equal(estimate, 0.0)
+
+    def test_rejects_bad_arguments(self):
+        dictionary, measurements, _ = _sparse_problem()
+        with pytest.raises(ValueError):
+            reweighted_basis_pursuit(dictionary, measurements, reweighting_rounds=0)
+        with pytest.raises(ValueError):
+            reweighted_basis_pursuit(
+                dictionary, measurements, regularization_fraction=2.0
+            )

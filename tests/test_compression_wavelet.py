@@ -1,0 +1,136 @@
+"""Tests of the from-scratch wavelet transform."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.compression.wavelet import (
+    Wavelet,
+    dwt,
+    idwt,
+    max_levels,
+    wavedec,
+    waverec,
+    wavelet_synthesis_matrix,
+    flatten_coefficients,
+    unflatten_coefficients,
+)
+
+WAVELET_NAMES = ("haar", "db2", "db4", "sym4")
+
+
+class TestWaveletConstruction:
+    @pytest.mark.parametrize("name", WAVELET_NAMES)
+    def test_filters_are_orthonormal(self, name):
+        wavelet = Wavelet.build(name)
+        assert np.dot(wavelet.lowpass, wavelet.lowpass) == pytest.approx(1.0)
+        assert np.dot(wavelet.highpass, wavelet.highpass) == pytest.approx(1.0)
+        assert np.dot(wavelet.lowpass, wavelet.highpass) == pytest.approx(0.0, abs=1e-12)
+
+    @pytest.mark.parametrize("name", WAVELET_NAMES)
+    def test_lowpass_sums_to_sqrt2(self, name):
+        wavelet = Wavelet.build(name)
+        assert np.sum(wavelet.lowpass) == pytest.approx(np.sqrt(2.0))
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            Wavelet.build("coif17")
+
+
+class TestSingleLevel:
+    @pytest.mark.parametrize("name", WAVELET_NAMES)
+    def test_perfect_reconstruction(self, name, rng):
+        wavelet = Wavelet.build(name)
+        signal = rng.normal(size=64)
+        approx, detail = dwt(signal, wavelet)
+        reconstructed = idwt(approx, detail, wavelet)
+        np.testing.assert_allclose(reconstructed, signal, atol=1e-10)
+
+    @pytest.mark.parametrize("name", WAVELET_NAMES)
+    def test_energy_preservation(self, name, rng):
+        wavelet = Wavelet.build(name)
+        signal = rng.normal(size=128)
+        approx, detail = dwt(signal, wavelet)
+        assert np.sum(approx**2) + np.sum(detail**2) == pytest.approx(
+            np.sum(signal**2), rel=1e-10
+        )
+
+    def test_constant_signal_has_no_detail(self):
+        wavelet = Wavelet.build("db4")
+        approx, detail = dwt(np.full(32, 3.0), wavelet)
+        np.testing.assert_allclose(detail, 0.0, atol=1e-10)
+        np.testing.assert_allclose(approx, 3.0 * np.sqrt(2.0), atol=1e-10)
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(ValueError):
+            dwt(np.ones(7), Wavelet.build("haar"))
+
+    def test_mismatched_bands_rejected(self):
+        wavelet = Wavelet.build("haar")
+        with pytest.raises(ValueError):
+            idwt(np.ones(4), np.ones(5), wavelet)
+
+
+class TestMultiLevel:
+    def test_wavedec_band_lengths(self):
+        wavelet = Wavelet.build("db4")
+        bands = wavedec(np.ones(256), wavelet, 4)
+        assert [len(band) for band in bands] == [16, 16, 32, 64, 128]
+
+    @pytest.mark.parametrize("levels", [1, 2, 3, 4])
+    def test_roundtrip(self, levels, rng):
+        wavelet = Wavelet.build("sym4")
+        signal = rng.normal(size=256)
+        reconstructed = waverec(wavedec(signal, wavelet, levels), wavelet)
+        np.testing.assert_allclose(reconstructed, signal, atol=1e-9)
+
+    def test_incompatible_length_rejected(self):
+        with pytest.raises(ValueError):
+            wavedec(np.ones(100), Wavelet.build("haar"), 3)
+
+    def test_max_levels(self):
+        assert max_levels(256) == 8
+        assert max_levels(96) == 5
+        assert max_levels(7) == 0
+
+    def test_flatten_unflatten_roundtrip(self, rng):
+        wavelet = Wavelet.build("db2")
+        bands = wavedec(rng.normal(size=64), wavelet, 3)
+        flat, lengths = flatten_coefficients(bands)
+        recovered = unflatten_coefficients(flat, lengths)
+        for original, restored in zip(bands, recovered):
+            np.testing.assert_array_equal(original, restored)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        signal=hnp.arrays(
+            dtype=float,
+            shape=st.sampled_from([32, 64, 128]),
+            elements=st.floats(min_value=-100, max_value=100, allow_nan=False),
+        ),
+        name=st.sampled_from(WAVELET_NAMES),
+    )
+    def test_parseval_identity_holds(self, signal, name):
+        wavelet = Wavelet.build(name)
+        bands = wavedec(signal, wavelet, 3)
+        flat, _ = flatten_coefficients(bands)
+        assert np.sum(flat**2) == pytest.approx(np.sum(signal**2), rel=1e-8, abs=1e-8)
+
+
+class TestSynthesisMatrix:
+    def test_matrix_is_orthogonal(self):
+        wavelet = Wavelet.build("db4")
+        synthesis = wavelet_synthesis_matrix(32, wavelet, 3)
+        np.testing.assert_allclose(synthesis @ synthesis.T, np.eye(32), atol=1e-10)
+
+    def test_matrix_matches_waverec(self, rng):
+        wavelet = Wavelet.build("haar")
+        synthesis = wavelet_synthesis_matrix(16, wavelet, 2)
+        coefficients = rng.normal(size=16)
+        lengths = [len(b) for b in wavedec(np.zeros(16), wavelet, 2)]
+        direct = waverec(unflatten_coefficients(coefficients, lengths), wavelet)
+        np.testing.assert_allclose(synthesis @ coefficients, direct, atol=1e-10)

@@ -1,0 +1,82 @@
+"""Tests of the worst-case and average-case delay models (equation (9))."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.delay import (
+    average_case_tdma_delay,
+    per_node_delays,
+    worst_case_tdma_delay,
+)
+
+
+class TestWorstCaseDelay:
+    def test_single_node_waits_only_for_control_time(self):
+        delay = worst_case_tdma_delay(
+            own_slots=1,
+            other_slots_total=0,
+            slot_duration_s=0.015,
+            slots_per_recurrence=7,
+            control_time_per_recurrence_s=0.2,
+        )
+        assert delay == pytest.approx(0.2)
+
+    def test_other_nodes_add_their_slots(self):
+        delay = worst_case_tdma_delay(1, 5, 0.01, 7, 0.1)
+        assert delay == pytest.approx(5 * 0.01 + 0.1)
+
+    def test_spanning_multiple_recurrences_adds_control_each_time(self):
+        delay = worst_case_tdma_delay(1, 15, 0.01, 7, 0.1)
+        assert delay == pytest.approx(15 * 0.01 + math.ceil(15 / 7) * 0.1)
+
+    def test_no_slot_means_infinite_delay(self):
+        assert math.isinf(worst_case_tdma_delay(0, 3, 0.01, 7, 0.1))
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            worst_case_tdma_delay(-1, 0, 0.01, 7, 0.1)
+        with pytest.raises(ValueError):
+            worst_case_tdma_delay(1, 0, 0.0, 7, 0.1)
+        with pytest.raises(ValueError):
+            worst_case_tdma_delay(1, 0, 0.01, 0, 0.1)
+        with pytest.raises(ValueError):
+            worst_case_tdma_delay(1, 0, 0.01, 7, -0.1)
+
+
+class TestAverageCaseDelay:
+    def test_average_is_below_worst_case(self):
+        worst = worst_case_tdma_delay(2, 5, 0.01, 7, 0.1)
+        average = average_case_tdma_delay(2, 5, 0.01, 7, 0.1)
+        assert average < worst
+
+    def test_infinite_when_no_slot(self):
+        assert math.isinf(average_case_tdma_delay(0, 5, 0.01, 7, 0.1))
+
+
+class TestPerNodeDelays:
+    def test_each_node_gets_its_own_bound(self):
+        delays = per_node_delays([1, 2, 3], 0.01, 7, 0.05)
+        assert len(delays) == 3
+        # The node owning more slots waits for fewer foreign slots.
+        assert delays[2] < delays[0]
+
+    def test_symmetric_assignment_gives_equal_delays(self):
+        delays = per_node_delays([1, 1, 1, 1], 0.01, 7, 0.05)
+        assert len(set(round(d, 12) for d in delays)) == 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        slots=st.lists(st.integers(min_value=1, max_value=3), min_size=1, max_size=7),
+        slot_duration=st.floats(min_value=1e-3, max_value=0.05),
+        control=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_worst_case_upper_bounds_average_case(self, slots, slot_duration, control):
+        worst = per_node_delays(slots, slot_duration, 7, control, worst_case=True)
+        average = per_node_delays(slots, slot_duration, 7, control, worst_case=False)
+        for bound, mean in zip(worst, average):
+            assert mean <= bound + 1e-12

@@ -1,0 +1,110 @@
+"""Tests of the full-network evaluator and of the energy/delay baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baseline import EnergyDelayBaselineEvaluator
+from repro.core.evaluator import WBSNEvaluator
+from repro.experiments.casestudy import build_case_study_evaluator
+from repro.mac802154.config import Ieee802154MacConfig
+from repro.shimmer.platform import ShimmerNodeConfig
+
+
+def _configs(n, cr=0.3, f=8e6):
+    return [ShimmerNodeConfig(cr, f) for _ in range(n)]
+
+
+class TestWBSNEvaluator:
+    def test_feasible_case_study_configuration(self, evaluator, mac_config):
+        result = evaluator.evaluate(_configs(6), mac_config)
+        assert result.feasible
+        assert result.violations == ()
+        assert len(result.nodes) == 6
+        assert all(delay > 0 for delay in result.delays_s)
+
+    def test_objective_vector_has_three_components(self, evaluator, mac_config):
+        result = evaluator.evaluate(_configs(6), mac_config)
+        vector = evaluator.objective_vector(result)
+        assert len(vector) == 3
+        assert vector == result.objectives.as_tuple()
+
+    def test_dwt_nodes_consume_more_than_cs_nodes(self, evaluator, mac_config):
+        result = evaluator.evaluate(_configs(6), mac_config)
+        dwt_energy = [
+            node.energy.total_w for node in result.nodes if node.application_name == "dwt"
+        ]
+        cs_energy = [
+            node.energy.total_w for node in result.nodes if node.application_name == "cs"
+        ]
+        assert min(dwt_energy) > max(cs_energy)
+
+    def test_dwt_at_1mhz_is_flagged_infeasible(self, evaluator, mac_config):
+        result = evaluator.evaluate(_configs(6, f=1e6), mac_config)
+        assert not result.feasible
+        assert any("duty cycle" in violation for violation in result.violations)
+
+    def test_energy_grows_with_compression_ratio(self, evaluator, mac_config):
+        low = evaluator.evaluate(_configs(6, cr=0.17), mac_config)
+        high = evaluator.evaluate(_configs(6, cr=0.38), mac_config)
+        assert high.objectives.energy_w > low.objectives.energy_w
+
+    def test_quality_improves_with_compression_ratio(self, evaluator, mac_config):
+        low = evaluator.evaluate(_configs(6, cr=0.17), mac_config)
+        high = evaluator.evaluate(_configs(6, cr=0.38), mac_config)
+        assert high.objectives.quality_loss < low.objectives.quality_loss
+
+    def test_delay_grows_with_beacon_order(self, evaluator):
+        short = evaluator.evaluate(
+            _configs(6), Ieee802154MacConfig(80, 4, 4)
+        )
+        long = evaluator.evaluate(
+            _configs(6), Ieee802154MacConfig(80, 4, 6)
+        )
+        assert long.objectives.delay_s > short.objectives.delay_s
+
+    def test_wrong_number_of_node_configs_rejected(self, evaluator, mac_config):
+        with pytest.raises(ValueError):
+            evaluator.evaluate(_configs(5), mac_config)
+
+    def test_wrong_mac_config_type_rejected(self, evaluator):
+        with pytest.raises(TypeError):
+            evaluator.evaluate(_configs(6), mac_config="not-a-config")
+
+    def test_gts_capacity_violation_detected(self, evaluator):
+        # A tiny superframe with a long beacon interval cannot host the
+        # traffic of six nodes within seven GTSs.
+        tight = Ieee802154MacConfig(payload_bytes=80, superframe_order=0, beacon_order=6)
+        result = evaluator.evaluate(_configs(6, cr=0.38), tight)
+        assert not result.feasible
+        assert any("MAC" in violation for violation in result.violations)
+
+    def test_needs_at_least_one_node(self, mac_model):
+        with pytest.raises(ValueError):
+            WBSNEvaluator([], mac_model)
+
+    def test_theta_increases_unbalanced_energy_metric(self, mac_config):
+        plain = build_case_study_evaluator(theta=0.0)
+        balanced = build_case_study_evaluator(theta=1.0)
+        configs = _configs(6)
+        assert (
+            balanced.evaluate(configs, mac_config).objectives.energy_w
+            > plain.evaluate(configs, mac_config).objectives.energy_w
+        )
+
+
+class TestBaselineEvaluator:
+    def test_baseline_vector_has_two_components(self, evaluator, mac_config):
+        baseline = EnergyDelayBaselineEvaluator(evaluator)
+        result = baseline.evaluate(_configs(6), mac_config)
+        vector = baseline.objective_vector(result)
+        assert len(vector) == 2
+        assert vector[0] == result.objectives.energy_w
+        assert vector[1] == result.objectives.delay_s
+
+    def test_baseline_shares_the_energy_machinery(self, evaluator, mac_config):
+        baseline = EnergyDelayBaselineEvaluator(evaluator)
+        full = evaluator.evaluate(_configs(6), mac_config)
+        reduced = baseline.evaluate(_configs(6), mac_config)
+        assert reduced.objectives.energy_w == pytest.approx(full.objectives.energy_w)
+        assert len(baseline.nodes) == len(evaluator.nodes)

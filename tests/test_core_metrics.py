@@ -1,0 +1,72 @@
+"""Tests of the system-level metrics (equation (8))."""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import NetworkObjectives, balanced_aggregate, network_delay_metric
+
+_values = st.lists(
+    st.floats(min_value=0.0, max_value=1e3, allow_nan=False), min_size=1, max_size=12
+)
+
+
+class TestBalancedAggregate:
+    def test_equation_8(self):
+        values = [2.0, 4.0, 6.0]
+        expected = statistics.mean(values) + 1.5 * statistics.stdev(values)
+        assert balanced_aggregate(values, theta=1.5) == pytest.approx(expected)
+
+    def test_theta_zero_is_plain_mean(self):
+        values = [1.0, 5.0, 9.0]
+        assert balanced_aggregate(values, theta=0.0) == pytest.approx(5.0)
+
+    def test_single_node_has_no_imbalance_term(self):
+        assert balanced_aggregate([7.0], theta=3.0) == pytest.approx(7.0)
+
+    def test_balanced_network_is_preferred(self):
+        balanced = balanced_aggregate([3.0, 3.0, 3.0], theta=1.0)
+        unbalanced = balanced_aggregate([1.0, 3.0, 5.0], theta=1.0)
+        assert balanced < unbalanced
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            balanced_aggregate([], theta=1.0)
+        with pytest.raises(ValueError):
+            balanced_aggregate([1.0], theta=-0.5)
+
+    @settings(max_examples=80, deadline=None)
+    @given(values=_values, theta=st.floats(min_value=0.0, max_value=5.0))
+    def test_aggregate_is_at_least_the_mean(self, values, theta):
+        aggregate = balanced_aggregate(values, theta)
+        assert aggregate >= statistics.mean(values) - 1e-9
+
+    @settings(max_examples=80, deadline=None)
+    @given(values=_values)
+    def test_aggregate_grows_with_theta(self, values):
+        assert balanced_aggregate(values, 2.0) >= balanced_aggregate(values, 0.5) - 1e-9
+
+
+class TestNetworkDelayMetric:
+    def test_max_mode(self):
+        assert network_delay_metric([0.1, 0.3, 0.2], "max") == pytest.approx(0.3)
+
+    def test_mean_mode(self):
+        assert network_delay_metric([0.1, 0.3, 0.2], "mean") == pytest.approx(0.2)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            network_delay_metric([], "max")
+        with pytest.raises(ValueError):
+            network_delay_metric([0.1], "median")
+
+
+class TestNetworkObjectives:
+    def test_tuple_ordering_and_units(self):
+        objectives = NetworkObjectives(energy_w=0.004, quality_loss=12.0, delay_s=0.25)
+        assert objectives.as_tuple() == (0.004, 12.0, 0.25)
+        assert objectives.energy_mj_per_s == pytest.approx(4.0)

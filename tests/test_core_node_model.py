@@ -1,0 +1,154 @@
+"""Tests of the node-level energy equations (3)-(7)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.application import ResourceUsage
+from repro.core.mac_abstraction import MACQuantities
+from repro.core.node_model import (
+    MemoryModel,
+    MicrocontrollerModel,
+    NodeEnergyModel,
+    RadioLinkModel,
+    SensorModel,
+)
+
+
+def _mac(omega=20.0, c_to_n=10.0, n_to_c=0.0) -> MACQuantities:
+    return MACQuantities(
+        data_overhead_bytes_per_second=omega,
+        control_coordinator_to_node_bytes_per_second=c_to_n,
+        control_node_to_coordinator_bytes_per_second=n_to_c,
+    )
+
+
+class TestSensorModel:
+    def test_equation_3(self):
+        sensor = SensorModel(1e-3, 2e-6, 0.5e-3)
+        assert sensor.energy_per_second(250.0) == pytest.approx(
+            1e-3 + 2e-6 * 250.0 + 0.5e-3
+        )
+
+    def test_negative_coefficients_rejected(self):
+        with pytest.raises(ValueError):
+            SensorModel(-1.0, 0.0, 0.0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            SensorModel(0, 0, 0).energy_per_second(-1.0)
+
+
+class TestMicrocontrollerModel:
+    def test_equation_4(self):
+        mcu = MicrocontrollerModel(1e-9, 1e-3)
+        assert mcu.energy_per_second(0.5, 8e6) == pytest.approx(0.5 * (8e-3 + 1e-3))
+
+    def test_zero_duty_means_zero_energy(self):
+        assert MicrocontrollerModel(1e-9, 1e-3).energy_per_second(0.0, 4e6) == 0.0
+
+    def test_energy_grows_with_duty_and_frequency(self):
+        mcu = MicrocontrollerModel(1e-9, 1e-3)
+        assert mcu.energy_per_second(0.6, 8e6) > mcu.energy_per_second(0.3, 8e6)
+        assert mcu.energy_per_second(0.3, 8e6) > mcu.energy_per_second(0.3, 1e6)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            MicrocontrollerModel(-1e-9, 0.0)
+        with pytest.raises(ValueError):
+            MicrocontrollerModel(1e-9, 1e-3).energy_per_second(0.5, 0.0)
+        with pytest.raises(ValueError):
+            MicrocontrollerModel(1e-9, 1e-3).energy_per_second(-0.5, 1e6)
+
+
+class TestMemoryModel:
+    def test_equation_5_structure(self):
+        memory = MemoryModel(access_time_s=200e-9, access_power_w=3e-3, idle_power_per_bit_w=1e-9)
+        accesses = 10_000.0
+        footprint = 2_000.0
+        active_fraction = accesses * 200e-9
+        expected = active_fraction * 3e-3 + (1 - active_fraction) * 8 * footprint * 1e-9
+        assert memory.energy_per_second(accesses, footprint) == pytest.approx(expected)
+
+    def test_idle_memory_only_leaks(self):
+        memory = MemoryModel(200e-9, 3e-3, 1e-9)
+        assert memory.energy_per_second(0.0, 1_000.0) == pytest.approx(8_000 * 1e-9)
+
+    def test_active_fraction_is_clamped(self):
+        memory = MemoryModel(1e-3, 5e-3, 1e-9)
+        # 10^6 accesses of 1 ms would exceed one second of activity.
+        assert memory.energy_per_second(1e6, 100.0) == pytest.approx(5e-3)
+
+    def test_negative_inputs_rejected(self):
+        memory = MemoryModel(200e-9, 3e-3, 1e-9)
+        with pytest.raises(ValueError):
+            memory.energy_per_second(-1.0, 10.0)
+        with pytest.raises(ValueError):
+            memory.energy_per_second(1.0, -10.0)
+
+
+class TestRadioLinkModel:
+    def test_equation_6(self):
+        radio = RadioLinkModel(0.2e-6, 0.25e-6, 250_000.0)
+        phi_out = 100.0
+        mac = _mac(omega=15.0, c_to_n=30.0, n_to_c=5.0)
+        expected = (8 * (100.0 + 15.0) + 8 * 5.0) * 0.2e-6 + 8 * 30.0 * 0.25e-6
+        assert radio.energy_per_second(phi_out, mac) == pytest.approx(expected)
+
+    def test_transmission_time(self):
+        radio = RadioLinkModel(0.2e-6, 0.25e-6, 250_000.0)
+        assert radio.transmission_time_s(125.0) == pytest.approx(8 * 125 / 250_000)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            RadioLinkModel(0.2e-6, 0.25e-6, 0.0)
+        radio = RadioLinkModel(0.2e-6, 0.25e-6, 250_000.0)
+        with pytest.raises(ValueError):
+            radio.transmission_time_s(-1.0)
+        with pytest.raises(ValueError):
+            radio.energy_per_second(-1.0, _mac())
+
+
+class TestNodeEnergyModel:
+    def _model(self) -> NodeEnergyModel:
+        return NodeEnergyModel(
+            sensor=SensorModel(1e-3, 1e-6, 0.1e-3),
+            microcontroller=MicrocontrollerModel(1e-9, 0.3e-3),
+            memory=MemoryModel(200e-9, 3e-3, 1e-9),
+            radio=RadioLinkModel(0.2e-6, 0.25e-6, 250_000.0),
+            ram_bytes=10_240.0,
+        )
+
+    def test_equation_7_is_the_sum_of_the_contributions(self):
+        model = self._model()
+        usage = ResourceUsage(0.3, 2_000.0, 10_000.0)
+        breakdown = model.evaluate(250.0, 8e6, usage, 100.0, _mac())
+        assert breakdown.total_w == pytest.approx(
+            breakdown.sensor_w
+            + breakdown.microcontroller_w
+            + breakdown.memory_w
+            + breakdown.radio_w
+        )
+        assert breakdown.total_mj_per_s == pytest.approx(breakdown.total_w * 1e3)
+
+    def test_memory_constraint(self):
+        model = self._model()
+        assert model.fits_in_memory(ResourceUsage(0.1, 5_000.0, 0.0))
+        assert not model.fits_in_memory(ResourceUsage(0.1, 50_000.0, 0.0))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        duty=st.floats(min_value=0.0, max_value=1.0),
+        frequency=st.floats(min_value=1e6, max_value=8e6),
+        phi_out=st.floats(min_value=0.0, max_value=400.0),
+    )
+    def test_breakdown_is_always_non_negative(self, duty, frequency, phi_out):
+        model = self._model()
+        usage = ResourceUsage(duty, 2_000.0, 8_000.0)
+        breakdown = model.evaluate(250.0, frequency, usage, phi_out, _mac())
+        assert breakdown.sensor_w >= 0
+        assert breakdown.microcontroller_w >= 0
+        assert breakdown.memory_w >= 0
+        assert breakdown.radio_w >= 0

@@ -1,0 +1,92 @@
+"""Tests of the transmission-interval assignment (equations (1)-(2))."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.slot_assignment import assign_transmission_intervals
+
+
+class TestAssignment:
+    def test_minimal_integer_slots(self):
+        assignment = assign_transmission_intervals(
+            [0.010, 0.021], base_time_unit_s=0.01, control_time_per_second=0.5
+        )
+        assert assignment.slot_counts == (1, 3)
+        assert assignment.transmission_intervals_s == pytest.approx((0.01, 0.03))
+
+    def test_zero_demand_gets_zero_slots(self):
+        assignment = assign_transmission_intervals(
+            [0.0, 0.005], base_time_unit_s=0.01, control_time_per_second=0.0
+        )
+        assert assignment.slot_counts == (0, 1)
+
+    def test_equation_1_holds_for_every_node(self):
+        required = [0.013, 0.004, 0.0301]
+        assignment = assign_transmission_intervals(
+            required, base_time_unit_s=0.007, control_time_per_second=0.2
+        )
+        for interval, demand in zip(assignment.transmission_intervals_s, required):
+            assert interval >= demand - 1e-12
+
+    def test_budget_violation_is_flagged(self):
+        assignment = assign_transmission_intervals(
+            [0.4, 0.4, 0.4], base_time_unit_s=0.1, control_time_per_second=0.5
+        )
+        assert not assignment.feasible
+        assert assignment.slack_s < 0
+
+    def test_protocol_cap_is_respected(self):
+        assignment = assign_transmission_intervals(
+            [0.05, 0.05],
+            base_time_unit_s=0.01,
+            control_time_per_second=0.0,
+            max_assignable_time_per_second=0.07,
+        )
+        assert not assignment.feasible
+
+    def test_exact_fit_is_feasible(self):
+        assignment = assign_transmission_intervals(
+            [0.05, 0.05],
+            base_time_unit_s=0.05,
+            control_time_per_second=0.9,
+        )
+        assert assignment.feasible
+        assert assignment.slack_s == pytest.approx(0.0, abs=1e-12)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            assign_transmission_intervals([0.1], base_time_unit_s=0.0, control_time_per_second=0.0)
+        with pytest.raises(ValueError):
+            assign_transmission_intervals([-0.1], base_time_unit_s=0.1, control_time_per_second=0.0)
+        with pytest.raises(ValueError):
+            assign_transmission_intervals([0.1], base_time_unit_s=0.1, control_time_per_second=-0.2)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        demands=st.lists(
+            st.floats(min_value=0.0, max_value=0.2), min_size=1, max_size=8
+        ),
+        base_unit=st.floats(min_value=1e-3, max_value=0.1),
+        control=st.floats(min_value=0.0, max_value=0.9),
+    )
+    def test_invariants(self, demands, base_unit, control):
+        assignment = assign_transmission_intervals(demands, base_unit, control)
+        # Every requirement is covered by an integer number of base units.
+        for count, interval, demand in zip(
+            assignment.slot_counts, assignment.transmission_intervals_s, demands
+        ):
+            assert count >= 0
+            assert interval == pytest.approx(count * base_unit)
+            assert interval >= demand - 1e-9
+            # Minimality: one slot less would not cover the demand.
+            if count > 0:
+                assert (count - 1) * base_unit < demand + 1e-9
+        # Feasibility flag is consistent with the accounting identity.
+        total = assignment.total_transmission_time_s
+        cap = min(1.0 - control, assignment.max_assignable_time_per_second)
+        assert assignment.feasible == (total <= cap + 1e-9)

@@ -1,0 +1,158 @@
+"""Tests of the Pareto-dominance utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dse.pareto import (
+    crowding_distance,
+    dominates,
+    front_contribution,
+    front_coverage,
+    hypervolume,
+    non_dominated_sort,
+    pareto_front_indices,
+)
+
+_points = st.lists(
+    st.tuples(
+        st.floats(min_value=0, max_value=10),
+        st.floats(min_value=0, max_value=10),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        assert dominates((1.0, 2.0), (2.0, 3.0))
+        assert not dominates((2.0, 3.0), (1.0, 2.0))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates((1.0, 2.0), (1.0, 2.0))
+
+    def test_incomparable_points(self):
+        assert not dominates((1.0, 3.0), (2.0, 1.0))
+        assert not dominates((2.0, 1.0), (1.0, 3.0))
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            dominates((1.0,), (1.0, 2.0))
+
+    @settings(max_examples=60, deadline=None)
+    @given(points=_points)
+    def test_dominance_is_antisymmetric(self, points):
+        for a in points:
+            for b in points:
+                assert not (dominates(a, b) and dominates(b, a))
+
+
+class TestFrontExtraction:
+    def test_simple_front(self):
+        points = [(1, 5), (2, 2), (5, 1), (4, 4), (6, 6)]
+        front = pareto_front_indices(points)
+        assert sorted(front) == [0, 1, 2]
+
+    def test_duplicates_kept_once(self):
+        points = [(1, 1), (1, 1), (2, 2)]
+        assert pareto_front_indices(points) == [0]
+
+    def test_non_dominated_sort_layers(self):
+        points = [(1, 1), (2, 2), (3, 3)]
+        fronts = non_dominated_sort(points)
+        assert fronts == [[0], [1], [2]]
+
+    @settings(max_examples=60, deadline=None)
+    @given(points=_points)
+    def test_front_members_are_mutually_non_dominated(self, points):
+        front = pareto_front_indices(points)
+        assert front, "a non-empty set always has a non-dominated point"
+        for i in front:
+            for j in front:
+                assert not dominates(points[i], points[j]) or points[i] == points[j]
+
+    @settings(max_examples=60, deadline=None)
+    @given(points=_points)
+    def test_every_dominated_point_has_a_dominator_in_the_front(self, points):
+        front = set(pareto_front_indices(points))
+        front_points = [points[i] for i in front]
+        for index, point in enumerate(points):
+            if index in front:
+                continue
+            assert any(
+                dominates(member, point) or member == point for member in front_points
+            )
+
+
+class TestCrowdingDistance:
+    def test_extremes_are_infinite(self):
+        distances = crowding_distance([(1, 5), (2, 4), (3, 3), (4, 2), (5, 1)])
+        assert distances[0] == np.inf
+        assert distances[-1] == np.inf
+        assert all(np.isfinite(d) for d in distances[1:-1])
+
+    def test_empty_front(self):
+        assert crowding_distance([]) == []
+
+
+class TestHypervolume:
+    def test_single_point_2d(self):
+        assert hypervolume([(1.0, 1.0)], (3.0, 3.0)) == pytest.approx(4.0)
+
+    def test_two_points_2d(self):
+        value = hypervolume([(1.0, 2.0), (2.0, 1.0)], (3.0, 3.0))
+        assert value == pytest.approx(3.0)
+
+    def test_dominated_points_do_not_change_the_volume(self):
+        base = hypervolume([(1.0, 1.0)], (3.0, 3.0))
+        extended = hypervolume([(1.0, 1.0), (2.0, 2.0)], (3.0, 3.0))
+        assert extended == pytest.approx(base)
+
+    def test_points_outside_the_reference_are_ignored(self):
+        assert hypervolume([(4.0, 4.0)], (3.0, 3.0)) == 0.0
+
+    def test_three_dimensional_volume(self):
+        assert hypervolume([(0.0, 0.0, 0.0)], (1.0, 1.0, 1.0)) == pytest.approx(1.0)
+        # Union of the two dominated boxes: 0.5 + 0.25 minus their 0.125
+        # intersection.
+        value = hypervolume([(0.0, 0.5, 0.0), (0.5, 0.0, 0.5)], (1.0, 1.0, 1.0))
+        assert value == pytest.approx(0.625)
+
+    @settings(max_examples=40, deadline=None)
+    @given(points=_points)
+    def test_hypervolume_is_monotone_in_the_front(self, points):
+        reference = (11.0, 11.0)
+        subset = points[: max(1, len(points) // 2)]
+        assert hypervolume(points, reference) >= hypervolume(subset, reference) - 1e-9
+
+
+class TestFrontComparison:
+    def test_coverage_of_identical_fronts_is_total(self):
+        front = [(1.0, 2.0), (2.0, 1.0)]
+        assert front_coverage(front, front) == 1.0
+
+    def test_coverage_of_disjoint_worse_front_is_zero(self):
+        reference = [(1.0, 1.0)]
+        candidate = [(2.0, 2.0)]
+        assert front_coverage(reference, candidate) == 0.0
+
+    def test_contribution_counts_candidate_only_points(self):
+        reference = [(1.0, 5.0), (5.0, 1.0)]
+        candidate = [(0.5, 6.0)]
+        contribution = front_contribution(reference, candidate)
+        assert contribution == pytest.approx(1 / 3)
+
+    def test_contribution_of_dominated_candidates_is_zero(self):
+        reference = [(1.0, 1.0)]
+        candidate = [(2.0, 2.0), (3.0, 3.0)]
+        assert front_contribution(reference, candidate) == 0.0
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            front_coverage([], [(1.0, 1.0)])
+        with pytest.raises(ValueError):
+            front_contribution([], [])

@@ -1,0 +1,57 @@
+"""Tests of the WBSN exploration problem."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dse.problem import WbsnDseProblem
+from repro.experiments.casestudy import build_baseline_evaluator, build_case_study_evaluator
+from repro.mac802154.config import Ieee802154MacConfig
+from repro.shimmer.platform import ShimmerNodeConfig
+
+
+@pytest.fixture(scope="module")
+def small_problem() -> WbsnDseProblem:
+    evaluator = build_case_study_evaluator(n_nodes=2, applications=("dwt", "cs"))
+    return WbsnDseProblem(evaluator, record_evaluations=True)
+
+
+class TestWbsnDseProblem:
+    def test_space_structure(self, small_problem):
+        # Two genes per node plus payload and orders.
+        assert len(small_problem.space) == 2 * 2 + 2
+        assert small_problem.n_objectives == 3
+        assert small_problem.space.size > 1000
+
+    def test_decode_produces_configuration_objects(self, small_problem):
+        genotype = tuple(0 for _ in range(len(small_problem.space)))
+        node_configs, mac_config = small_problem.decode(genotype)
+        assert len(node_configs) == 2
+        assert isinstance(node_configs[0], ShimmerNodeConfig)
+        assert isinstance(mac_config, Ieee802154MacConfig)
+        assert node_configs[0].compression_ratio == pytest.approx(0.17)
+
+    def test_evaluation_counts_and_history(self, small_problem):
+        before = small_problem.evaluations
+        genotype = tuple(0 for _ in range(len(small_problem.space)))
+        design = small_problem.evaluate(genotype)
+        assert small_problem.evaluations == before + 1
+        assert small_problem.history[-1] is design
+        assert len(design.objectives) == 3
+
+    def test_infeasible_designs_are_penalised(self, small_problem):
+        # Node 0 runs the DWT: 1 MHz (index 0 of the frequency domain) makes
+        # it unschedulable.
+        slow = [0, 0, 0, 3, 0, 0]
+        fast = [0, 3, 0, 3, 0, 0]
+        slow_design = small_problem.evaluate(slow)
+        fast_design = small_problem.evaluate(fast)
+        assert not slow_design.feasible
+        assert fast_design.feasible
+        assert slow_design.objectives[0] > fast_design.objectives[0] + 100
+
+    def test_baseline_problem_has_two_objectives(self):
+        problem = WbsnDseProblem(build_baseline_evaluator(n_nodes=2))
+        assert problem.n_objectives == 2
+        design = problem.evaluate(tuple(0 for _ in range(len(problem.space))))
+        assert len(design.objectives) == 2

@@ -1,0 +1,97 @@
+"""Tests of the design-space encoding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dse.space import DesignSpace, ParameterDomain
+
+
+def _space() -> DesignSpace:
+    return DesignSpace(
+        [
+            ParameterDomain("cr", (0.2, 0.3, 0.4)),
+            ParameterDomain("freq", (1e6, 8e6)),
+            ParameterDomain("payload", (40, 80, 100, 114)),
+        ]
+    )
+
+
+class TestParameterDomain:
+    def test_value_lookup(self):
+        domain = ParameterDomain("cr", (0.2, 0.3))
+        assert domain.cardinality == 2
+        assert domain.value_at(1) == 0.3
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(IndexError):
+            ParameterDomain("cr", (0.2,)).value_at(1)
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError):
+            ParameterDomain("cr", ())
+
+
+class TestDesignSpace:
+    def test_size_is_the_product_of_cardinalities(self):
+        assert _space().size == 3 * 2 * 4
+
+    def test_decode(self):
+        decoded = _space().decode((2, 1, 0))
+        assert decoded == {"cr": 0.4, "freq": 8e6, "payload": 40}
+
+    def test_invalid_genotypes_rejected(self):
+        space = _space()
+        with pytest.raises(ValueError):
+            space.validate_genotype((0, 0))
+        with pytest.raises(ValueError):
+            space.validate_genotype((0, 5, 0))
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            DesignSpace([ParameterDomain("a", (1,)), ParameterDomain("a", (2,))])
+
+    def test_enumeration_covers_the_whole_space(self):
+        space = _space()
+        genotypes = list(space.enumerate_genotypes())
+        assert len(genotypes) == space.size
+        assert len(set(genotypes)) == space.size
+
+    def test_random_genotype_is_valid(self):
+        space = _space()
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            genotype = space.random_genotype(rng)
+            space.validate_genotype(genotype)
+
+    def test_mutation_respects_domains(self):
+        space = _space()
+        rng = np.random.default_rng(0)
+        genotype = (0, 0, 0)
+        for _ in range(50):
+            genotype = space.mutate_genotype(genotype, rng, mutation_rate=0.5)
+            space.validate_genotype(genotype)
+
+    def test_zero_mutation_rate_is_identity(self):
+        space = _space()
+        rng = np.random.default_rng(0)
+        assert space.mutate_genotype((1, 1, 2), rng, 0.0) == (1, 1, 2)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        cardinalities=st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=6),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_random_genotypes_always_decode(self, cardinalities, seed):
+        domains = [
+            ParameterDomain(f"p{i}", tuple(range(size)))
+            for i, size in enumerate(cardinalities)
+        ]
+        space = DesignSpace(domains)
+        rng = np.random.default_rng(seed)
+        genotype = space.random_genotype(rng)
+        decoded = space.decode(genotype)
+        assert len(decoded) == len(cardinalities)

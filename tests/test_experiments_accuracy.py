@@ -1,0 +1,92 @@
+"""Integration tests of the accuracy experiments (Figures 3 and 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig3_node_energy import estimate_node_energy, run_fig3
+from repro.experiments.fig4_prd import run_fig4
+from repro.shimmer.platform import ShimmerNodeConfig
+
+
+@pytest.fixture(scope="module")
+def fig3_result():
+    return run_fig3()
+
+
+@pytest.fixture(scope="module")
+def fig4_result():
+    # A shorter record keeps the test quick; the benchmark runs the full one.
+    return run_fig4(duration_s=6.0)
+
+
+class TestFig3:
+    def test_sweep_covers_both_applications_and_all_configs(self, fig3_result):
+        assert len(fig3_result.records) == 2 * 2 * 4
+        assert {r.application for r in fig3_result.records} == {"dwt", "cs"}
+
+    def test_estimation_error_stays_below_the_paper_bound(self, fig3_result):
+        """Paper: the estimation error never exceeds 1.74 %."""
+        assert fig3_result.max_error_percent < 2.5
+
+    def test_dwt_error_is_smaller_than_cs_error(self, fig3_result):
+        """Paper: 0.13 % (DWT) versus 0.88 % (CS) average error."""
+        assert fig3_result.average_error_percent("dwt") < fig3_result.average_error_percent("cs")
+
+    def test_dwt_cannot_run_at_1mhz(self, fig3_result):
+        """Paper: the model predicts the DWT duty cycle exceeds 100 % at 1 MHz."""
+        infeasible = fig3_result.infeasible_configurations()
+        assert infeasible
+        assert all(r.application == "dwt" and r.frequency_hz == 1e6 for r in infeasible)
+        feasible_dwt = [
+            r for r in fig3_result.records_for("dwt") if r.frequency_hz == 8e6
+        ]
+        assert all(r.feasible for r in feasible_dwt)
+
+    def test_energy_grows_with_compression_ratio(self, fig3_result):
+        for application in ("dwt", "cs"):
+            for frequency in (8e6,):
+                series = [
+                    r.estimated_mj_per_s
+                    for r in fig3_result.records_for(application)
+                    if r.frequency_hz == frequency
+                ]
+                assert series == sorted(series)
+
+    def test_estimate_helper_matches_evaluator(self, evaluator, mac_config):
+        config = ShimmerNodeConfig(0.3, 8e6)
+        energy_w, duty, schedulable = estimate_node_energy("dwt", config, mac_config)
+        network = evaluator.evaluate([config] * 6, mac_config)
+        assert energy_w == pytest.approx(network.nodes[0].energy.total_w, rel=1e-9)
+        assert schedulable
+
+
+class TestFig4:
+    def test_sweep_covers_both_applications(self, fig4_result):
+        assert len(fig4_result.records) == 2 * 8
+
+    def test_prd_decreases_with_compression_ratio(self, fig4_result):
+        for application in ("dwt", "cs"):
+            series = [r.measured_prd for r in fig4_result.records_for(application)]
+            # Allow small non-monotonicity from measurement noise on CS.
+            assert series[0] > series[-1]
+            drops = sum(
+                1 for a, b in zip(series, series[1:]) if b <= a + 1.0
+            )
+            assert drops >= len(series) - 2
+
+    def test_cs_prd_is_above_dwt_prd(self, fig4_result):
+        dwt = {r.compression_ratio: r.measured_prd for r in fig4_result.records_for("dwt")}
+        cs = {r.compression_ratio: r.measured_prd for r in fig4_result.records_for("cs")}
+        for ratio in dwt:
+            assert cs[ratio] > dwt[ratio]
+
+    def test_polynomial_fit_tracks_the_measurements(self, fig4_result):
+        """Paper: 0.46 % (DWT) and 0.92 % (CS) average estimation error."""
+        assert fig4_result.average_error_percent("dwt") < 1.0
+        assert fig4_result.average_error_percent("cs") < 6.0
+
+    def test_fitted_polynomials_are_degree_five(self, fig4_result):
+        assert fig4_result.polynomials["dwt"].degree == 5
+        assert fig4_result.polynomials["cs"].degree == 5

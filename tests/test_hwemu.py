@@ -1,0 +1,131 @@
+"""Tests of the hardware emulator (the measurement-bench substitute)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compression.cycle_counts import cs_cycle_count, cycles_per_second
+from repro.hwemu.adc_frontend import AdcFrontEndEmulator
+from repro.hwemu.mcu import McuEmulator
+from repro.hwemu.measurement import MeasurementCampaign, measure_prd
+from repro.hwemu.node import ShimmerNodeEmulator
+from repro.hwemu.radio import RadioEmulator
+from repro.hwemu.sram import SramEmulator
+from repro.shimmer.platform import ShimmerNodeConfig
+
+
+class TestMcuEmulator:
+    def test_workload_that_fits_is_schedulable(self):
+        emulator = McuEmulator()
+        budget = cycles_per_second(cs_cycle_count(), 256, 250.0)
+        activity = emulator.run(budget, 8e6)
+        assert activity.schedulable
+        assert 0.0 < activity.busy_fraction < 1.0
+
+    def test_overload_is_flagged(self):
+        emulator = McuEmulator()
+        budget = cycles_per_second(cs_cycle_count(), 256, 250.0)
+        activity = emulator.run(budget.scaled(30.0), 1e6)
+        assert not activity.schedulable
+        assert activity.busy_fraction > 1.0
+
+    def test_sleep_floor_is_included(self):
+        emulator = McuEmulator()
+        budget = cycles_per_second(cs_cycle_count(), 256, 250.0).scaled(1e-6)
+        activity = emulator.run(budget, 8e6)
+        assert activity.average_power_w >= emulator.parameters.sleep_power_w * 0.9
+
+    def test_nonlinearity_increases_power_with_frequency(self):
+        emulator = McuEmulator()
+        assert emulator.active_power_w(8e6) > 8 * (
+            emulator.active_power_w(1e6) - emulator.parameters.alpha_uc0_w
+        )
+
+    def test_invalid_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            McuEmulator().run(cycles_per_second(cs_cycle_count(), 256, 250.0), 0.0)
+
+
+class TestRadioEmulator:
+    def test_radio_time_scales_with_output_stream(self, mac_config):
+        emulator = RadioEmulator()
+        low = emulator.run(60.0, mac_config)
+        high = emulator.run(140.0, mac_config)
+        assert high.tx_time_s > low.tx_time_s
+        assert high.average_power_w > low.average_power_w
+
+    def test_idle_network_still_listens_to_beacons(self, mac_config):
+        activity = RadioEmulator().run(0.0, mac_config)
+        assert activity.tx_time_s == 0.0
+        assert activity.rx_time_s > 0.0
+
+    def test_negative_stream_rejected(self, mac_config):
+        with pytest.raises(ValueError):
+            RadioEmulator().run(-1.0, mac_config)
+
+
+class TestFrontEndAndSram:
+    def test_adc_power_grows_with_sampling_rate(self):
+        emulator = AdcFrontEndEmulator()
+        assert emulator.average_power_w(500.0) > emulator.average_power_w(250.0)
+
+    def test_sram_power_grows_with_accesses(self):
+        emulator = SramEmulator()
+        assert emulator.average_power_w(50_000, 2_000) > emulator.average_power_w(
+            5_000, 2_000
+        )
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            AdcFrontEndEmulator().average_power_w(-1.0)
+        with pytest.raises(ValueError):
+            SramEmulator().average_power_w(-1.0, 100.0)
+
+
+class TestNodeEmulator:
+    def test_breakdown_sums_to_total(self, emulator, mac_config, default_node_config):
+        measurement = emulator.measure("cs", default_node_config, mac_config)
+        assert measurement.total_w == pytest.approx(
+            measurement.sensor_w
+            + measurement.microcontroller_w
+            + measurement.memory_w
+            + measurement.radio_w
+        )
+
+    def test_dwt_at_1mhz_is_infeasible(self, emulator, mac_config):
+        measurement = emulator.measure(
+            "dwt", ShimmerNodeConfig(0.3, 1e6), mac_config
+        )
+        assert not measurement.feasible
+        assert measurement.duty_cycle > 1.0
+
+    def test_energy_grows_with_compression_ratio(self, emulator, mac_config):
+        low = emulator.measure("cs", ShimmerNodeConfig(0.17, 8e6), mac_config)
+        high = emulator.measure("cs", ShimmerNodeConfig(0.38, 8e6), mac_config)
+        assert high.total_w > low.total_w
+
+    def test_unknown_application_rejected(self, emulator, mac_config, default_node_config):
+        with pytest.raises(ValueError):
+            emulator.measure("jpeg", default_node_config, mac_config)
+
+
+class TestMeasurementCampaign:
+    def test_energy_sweep_size(self, mac_config):
+        campaign = MeasurementCampaign(mac_config=mac_config)
+        measurements = campaign.measure_energy_sweep("cs", [0.2, 0.3], [1e6, 8e6])
+        assert len(measurements) == 4
+
+    def test_prd_measurement_is_deterministic(self):
+        first = measure_prd("dwt", 0.3, duration_s=2.0, seed=9)
+        second = measure_prd("dwt", 0.3, duration_s=2.0, seed=9)
+        assert first == pytest.approx(second)
+
+    def test_prd_sweep_returns_pairs(self):
+        campaign = MeasurementCampaign()
+        sweep = campaign.measure_prd_sweep("dwt", [0.2, 0.35], duration_s=2.0)
+        assert [ratio for ratio, _ in sweep] == [0.2, 0.35]
+        assert all(value > 0 for _, value in sweep)
+
+    def test_invalid_application_rejected(self):
+        with pytest.raises(ValueError):
+            measure_prd("mp3", 0.3)

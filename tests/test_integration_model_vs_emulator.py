@@ -1,0 +1,51 @@
+"""Cross-cutting integration tests: analytical model versus emulated hardware.
+
+These tests exercise the central claim of the paper outside the curated
+Figure 3 sweep: over a broad range of feasible configurations, the analytical
+model tracks the component-level emulation within a small relative error.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.experiments.fig3_node_energy import estimate_node_energy
+from repro.mac802154.config import Ieee802154MacConfig
+from repro.shimmer.platform import ShimmerNodeConfig
+
+
+@pytest.mark.parametrize("application", ["dwt", "cs"])
+@pytest.mark.parametrize("payload_bytes", [50, 80, 114])
+def test_model_matches_emulator_across_mac_configurations(
+    emulator, application, payload_bytes
+):
+    mac_config = Ieee802154MacConfig(payload_bytes=payload_bytes, superframe_order=4, beacon_order=5)
+    for ratio, frequency in itertools.product((0.2, 0.35), (4e6, 8e6)):
+        node_config = ShimmerNodeConfig(ratio, frequency)
+        measured = emulator.measure(application, node_config, mac_config)
+        estimated_w, _, schedulable = estimate_node_energy(
+            application, node_config, mac_config
+        )
+        if not (measured.feasible and schedulable):
+            continue
+        error = abs(estimated_w - measured.total_w) / measured.total_w
+        assert error < 0.03
+
+
+def test_model_and_emulator_agree_on_schedulability(emulator, mac_config):
+    for application, frequency in itertools.product(("dwt", "cs"), (1e6, 2e6, 4e6, 8e6)):
+        node_config = ShimmerNodeConfig(0.3, frequency)
+        measured = emulator.measure(application, node_config, mac_config)
+        _, _, schedulable = estimate_node_energy(application, node_config, mac_config)
+        assert measured.feasible == schedulable
+
+
+def test_component_breakdown_is_consistent(emulator, mac_config, default_node_config):
+    """The per-component split of model and emulator tells the same story."""
+    measured = emulator.measure("dwt", default_node_config, mac_config)
+    # The microcontroller dominates the DWT node, the radio is a minor
+    # contributor, exactly as in the analytical breakdown.
+    assert measured.microcontroller_w > measured.radio_w
+    assert measured.sensor_w > measured.memory_w

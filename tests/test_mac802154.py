@@ -1,0 +1,182 @@
+"""Tests of the IEEE 802.15.4 MAC instantiation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mac802154.config import Ieee802154MacConfig
+from repro.mac802154.constants import ACK_BYTES, MAC_OVERHEAD_BYTES, MAX_GTS_SLOTS
+from repro.mac802154.csma import SlottedCsmaModel
+from repro.mac802154.gts import GTSDescriptor, allocate_gts_descriptors
+from repro.mac802154.model import BeaconEnabledMacModel
+from repro.mac802154.superframe import (
+    BASE_SUPERFRAME_DURATION_S,
+    beacon_interval_s,
+    duty_ratio,
+    slot_duration_s,
+    superframe_duration_s,
+    validate_orders,
+)
+
+
+class TestSuperframe:
+    def test_base_duration_is_15_36_ms(self):
+        assert BASE_SUPERFRAME_DURATION_S == pytest.approx(15.36e-3)
+
+    def test_scaling_with_orders(self):
+        assert superframe_duration_s(4) == pytest.approx(15.36e-3 * 16)
+        assert beacon_interval_s(6) == pytest.approx(15.36e-3 * 64)
+        assert slot_duration_s(4) == pytest.approx(15.36e-3)
+
+    def test_duty_ratio(self):
+        assert duty_ratio(4, 6) == pytest.approx(0.25)
+        assert duty_ratio(4, 4) == pytest.approx(1.0)
+
+    def test_invalid_orders_rejected(self):
+        with pytest.raises(ValueError):
+            validate_orders(5, 4)
+        with pytest.raises(ValueError):
+            validate_orders(-1, 4)
+        with pytest.raises(ValueError):
+            validate_orders(3, 15)
+
+
+class TestMacConfig:
+    def test_derived_quantities(self):
+        config = Ieee802154MacConfig(80, 4, 6)
+        assert config.slot_duration_s == pytest.approx(config.superframe_duration_s / 16)
+        assert config.superframes_per_second == pytest.approx(1.0 / config.beacon_interval_s)
+
+    def test_invalid_payload_rejected(self):
+        with pytest.raises(ValueError):
+            Ieee802154MacConfig(payload_bytes=0)
+        with pytest.raises(ValueError):
+            Ieee802154MacConfig(payload_bytes=200)
+
+    def test_invalid_orders_rejected(self):
+        with pytest.raises(ValueError):
+            Ieee802154MacConfig(80, 6, 4)
+
+
+class TestBeaconEnabledMacModel:
+    def test_data_overhead_follows_section_4_2(self, mac_model, mac_config):
+        phi_out = 120.0
+        quantities = mac_model.per_node_quantities(phi_out, mac_config)
+        assert quantities.data_overhead_bytes_per_second == pytest.approx(
+            MAC_OVERHEAD_BYTES * phi_out / mac_config.payload_bytes
+        )
+        assert quantities.control_node_to_coordinator_bytes_per_second == 0.0
+
+    def test_control_overhead_includes_acks_and_beacons(self, mac_model, mac_config):
+        phi_out = 120.0
+        quantities = mac_model.per_node_quantities(phi_out, mac_config)
+        expected = (
+            ACK_BYTES * phi_out / mac_config.payload_bytes
+            + mac_config.beacon_bytes / mac_config.beacon_interval_s
+        )
+        assert quantities.control_coordinator_to_node_bytes_per_second == pytest.approx(
+            expected
+        )
+
+    def test_max_assignable_time_is_7_16_sd_over_bi(self, mac_model, mac_config):
+        expected = (7 / 16) * mac_config.superframe_duration_s / mac_config.beacon_interval_s
+        assert mac_model.max_assignable_time_per_second(mac_config) == pytest.approx(expected)
+        assert mac_model.control_time_per_second(mac_config) == pytest.approx(1 - expected)
+
+    def test_base_time_unit_is_one_slot_per_beacon_interval(self, mac_model, mac_config):
+        assert mac_model.base_time_unit_s(mac_config) == pytest.approx(
+            mac_config.slot_duration_s / mac_config.beacon_interval_s
+        )
+
+    def test_worst_case_delays_match_equation_9(self, mac_model, mac_config):
+        slot_counts = [1, 1, 2]
+        delays = mac_model.worst_case_delays(slot_counts, mac_config)
+        control = mac_config.beacon_interval_s - 4 * mac_config.slot_duration_s
+        assert delays[0] == pytest.approx(3 * mac_config.slot_duration_s + control)
+        assert delays[2] == pytest.approx(2 * mac_config.slot_duration_s + control)
+
+    def test_rejects_foreign_config_type(self, mac_model):
+        with pytest.raises(TypeError):
+            mac_model.per_node_quantities(100.0, mac_config="wrong")
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        phi_out=st.floats(min_value=0.0, max_value=400.0),
+        payload=st.integers(min_value=10, max_value=114),
+    )
+    def test_overheads_scale_linearly_with_output(self, phi_out, payload):
+        model = BeaconEnabledMacModel()
+        config = Ieee802154MacConfig(payload, 4, 6)
+        quantities = model.per_node_quantities(phi_out, config)
+        doubled = model.per_node_quantities(2 * phi_out, config)
+        assert doubled.data_overhead_bytes_per_second == pytest.approx(
+            2 * quantities.data_overhead_bytes_per_second
+        )
+
+
+class TestGts:
+    def test_descriptors_fill_the_tail_of_the_superframe(self):
+        descriptors = allocate_gts_descriptors([1, 2, 0, 1])
+        assert [d.node_index for d in descriptors] == [0, 1, 3]
+        assert descriptors[0].start_slot == 15
+        assert descriptors[1].start_slot == 13
+        assert descriptors[2].start_slot == 12
+        assert all(d.end_slot <= 16 for d in descriptors)
+
+    def test_capacity_limit_enforced(self):
+        with pytest.raises(ValueError):
+            allocate_gts_descriptors([4, 4])
+
+    def test_descriptor_validation(self):
+        with pytest.raises(ValueError):
+            GTSDescriptor(node_index=0, start_slot=15, length_slots=3)
+        with pytest.raises(ValueError):
+            GTSDescriptor(node_index=-1, start_slot=10, length_slots=1)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        counts=st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=6)
+    )
+    def test_allocations_never_overlap(self, counts):
+        if sum(counts) > MAX_GTS_SLOTS:
+            with pytest.raises(ValueError):
+                allocate_gts_descriptors(counts)
+            return
+        descriptors = allocate_gts_descriptors(counts)
+        occupied: set[int] = set()
+        for descriptor in descriptors:
+            slots = set(range(descriptor.start_slot, descriptor.end_slot))
+            assert not (slots & occupied)
+            occupied |= slots
+
+
+class TestCsma:
+    def test_estimate_is_bounded_by_cap_share(self, mac_config):
+        model = SlottedCsmaModel()
+        estimate = model.estimate(6, 120.0, mac_config)
+        assert 0.0 <= estimate.successful_time_per_second_s
+        assert estimate.successful_time_per_second_s <= model.cap_time_per_second(mac_config)
+        assert 0.0 <= estimate.success_probability <= 1.0
+
+    def test_more_nodes_lower_success_probability(self, mac_config):
+        model = SlottedCsmaModel()
+        few = model.estimate(2, 120.0, mac_config)
+        many = model.estimate(12, 120.0, mac_config)
+        assert many.success_probability <= few.success_probability
+
+    def test_share_never_exceeds_demand(self, mac_config):
+        model = SlottedCsmaModel()
+        estimate = model.estimate(3, 40.0, mac_config)
+        demand = 40.0 / mac_config.payload_bytes * model.frame_time_s(mac_config)
+        assert estimate.successful_time_per_second_s <= demand + 1e-12
+
+    def test_invalid_arguments_rejected(self, mac_config):
+        model = SlottedCsmaModel()
+        with pytest.raises(ValueError):
+            model.estimate(0, 100.0, mac_config)
+        with pytest.raises(ValueError):
+            model.estimate(3, -1.0, mac_config)
+        with pytest.raises(ValueError):
+            SlottedCsmaModel(macMinBE=5, macMaxBE=3)

@@ -1,0 +1,163 @@
+"""Tests of the discrete-event engine and of the basic simulator components."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.engine import Simulator
+from repro.netsim.packet import Packet, PacketKind
+from repro.netsim.radio import RadioState, SimulatedRadio
+from repro.netsim.stats import DelayStats, NetworkStats
+from repro.netsim.traffic import PoissonTrafficSource, UniformRateTrafficSource
+
+
+class TestSimulator:
+    def test_events_run_in_chronological_order(self):
+        simulator = Simulator()
+        order = []
+        simulator.schedule_at(2.0, lambda: order.append("late"))
+        simulator.schedule_at(1.0, lambda: order.append("early"))
+        simulator.schedule_at(1.5, lambda: order.append("middle"))
+        simulator.run(until=3.0)
+        assert order == ["early", "middle", "late"]
+
+    def test_simultaneous_events_preserve_scheduling_order(self):
+        simulator = Simulator()
+        order = []
+        simulator.schedule_at(1.0, lambda: order.append("first"))
+        simulator.schedule_at(1.0, lambda: order.append("second"))
+        simulator.run(until=2.0)
+        assert order == ["first", "second"]
+
+    def test_run_until_stops_at_the_horizon(self):
+        simulator = Simulator()
+        fired = []
+        simulator.schedule_at(5.0, lambda: fired.append(True))
+        simulator.run(until=4.0)
+        assert not fired
+        assert simulator.now == pytest.approx(4.0)
+        simulator.run(until=6.0)
+        assert fired
+
+    def test_events_can_schedule_further_events(self):
+        simulator = Simulator()
+        ticks = []
+
+        def tick():
+            ticks.append(simulator.now)
+            if len(ticks) < 5:
+                simulator.schedule_after(1.0, tick)
+
+        simulator.schedule_at(0.0, tick)
+        simulator.run(until=10.0)
+        assert ticks == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_cancelled_events_do_not_fire(self):
+        simulator = Simulator()
+        fired = []
+        event = simulator.schedule_at(1.0, lambda: fired.append(True))
+        simulator.cancel(event)
+        simulator.run(until=2.0)
+        assert not fired
+
+    def test_scheduling_in_the_past_rejected(self):
+        simulator = Simulator()
+        simulator.schedule_at(1.0, lambda: None)
+        simulator.run(until=2.0)
+        with pytest.raises(ValueError):
+            simulator.schedule_at(1.0, lambda: None)
+        with pytest.raises(ValueError):
+            simulator.schedule_after(-1.0, lambda: None)
+
+    @settings(max_examples=30, deadline=None)
+    @given(times=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=30))
+    def test_dispatch_order_is_sorted_for_any_schedule(self, times):
+        simulator = Simulator()
+        seen = []
+        for time in times:
+            simulator.schedule_at(time, lambda t=time: seen.append(t))
+        simulator.run(until=101.0)
+        assert seen == sorted(times)
+
+
+class TestPacket:
+    def test_airtime(self):
+        packet = Packet.data("n", "c", payload_bytes=80, created_at=0.0, enqueued_at=0.0)
+        expected = 8.0 * (80 + 13 + 6) / 250_000.0
+        assert packet.airtime_s(250_000.0) == pytest.approx(expected)
+
+    def test_factories_set_the_kind(self):
+        assert Packet.beacon("c", 25, 0.0).kind is PacketKind.BEACON
+        assert Packet.ack("c", "n", 0.0).kind is PacketKind.ACK
+        assert Packet.data("n", "c", 10, 0.0, 0.0).kind is PacketKind.DATA
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            Packet(PacketKind.DATA, "a", "b", payload_bytes=-1)
+
+
+class TestRadioStateMachine:
+    def test_time_accounting(self):
+        radio = SimulatedRadio()
+        radio.set_state(RadioState.TX, now=1.0)
+        radio.set_state(RadioState.RX, now=1.5)
+        radio.set_state(RadioState.SLEEP, now=2.5)
+        radio.finalize(now=3.0)
+        assert radio.tx_time_s == pytest.approx(0.5)
+        assert radio.rx_time_s == pytest.approx(1.0)
+        assert radio.time_in_state_s(RadioState.SLEEP) == pytest.approx(1.5)
+
+    def test_energy_reflects_state_powers(self):
+        radio = SimulatedRadio()
+        radio.set_state(RadioState.TX, now=0.0)
+        radio.finalize(now=1.0)
+        assert radio.energy_j() == pytest.approx(radio.parameters.tx_power_w)
+
+    def test_non_chronological_updates_rejected(self):
+        radio = SimulatedRadio()
+        radio.set_state(RadioState.RX, now=2.0)
+        with pytest.raises(ValueError):
+            radio.set_state(RadioState.TX, now=1.0)
+
+
+class TestTrafficSources:
+    def test_uniform_interarrival(self):
+        source = UniformRateTrafficSource(112.5, 80)
+        assert source.next_interarrival_s() == pytest.approx(80 / 112.5)
+
+    def test_poisson_mean_interarrival(self):
+        source = PoissonTrafficSource(112.5, 80, seed=0)
+        samples = [source.next_interarrival_s() for _ in range(4000)]
+        assert np.mean(samples) == pytest.approx(80 / 112.5, rel=0.1)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            UniformRateTrafficSource(0.0, 80)
+        with pytest.raises(ValueError):
+            UniformRateTrafficSource(100.0, 0)
+
+
+class TestStats:
+    def test_delay_statistics(self):
+        stats = DelayStats()
+        for value in (0.1, 0.2, 0.3):
+            stats.add(value)
+        assert stats.count == 3
+        assert stats.mean_s == pytest.approx(0.2)
+        assert stats.max_s == pytest.approx(0.3)
+        assert stats.min_s == pytest.approx(0.1)
+        assert stats.percentile_s(50) == pytest.approx(0.2)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            DelayStats().add(-0.1)
+
+    def test_network_stats_pooling(self):
+        network = NetworkStats()
+        network.node("a").delays.add(0.1)
+        network.node("b").delays.add(0.3)
+        assert network.all_delays.count == 2
+        assert network.mean_delays_s()["b"] == pytest.approx(0.3)

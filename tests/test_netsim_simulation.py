@@ -1,0 +1,168 @@
+"""Integration tests of the packet-level star-network simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mac802154.config import Ieee802154MacConfig
+from repro.mac802154.model import BeaconEnabledMacModel
+from repro.netsim.channel import WirelessChannel
+from repro.netsim.engine import Simulator
+from repro.netsim.network import StarNetworkScenario
+from repro.netsim.packet import Packet
+
+
+@pytest.fixture(scope="module")
+def sim_mac_config():
+    return Ieee802154MacConfig(payload_bytes=80, superframe_order=4, beacon_order=4)
+
+
+class TestWirelessChannel:
+    def test_unicast_delivery(self):
+        simulator = Simulator()
+        channel = WirelessChannel(simulator)
+        received = []
+
+        class Device:
+            def __init__(self, name):
+                self.name = name
+
+            def on_receive(self, packet):
+                received.append((self.name, packet.sequence, simulator.now))
+
+        sender, receiver = Device("a"), Device("b")
+        channel.register(sender)
+        channel.register(receiver)
+        packet = Packet.data("a", "b", 80, 0.0, 0.0)
+        airtime = channel.transmit(packet)
+        simulator.run(until=1.0)
+        assert len(received) == 1
+        assert received[0][0] == "b"
+        assert received[0][2] == pytest.approx(airtime)
+
+    def test_broadcast_reaches_everyone_but_the_sender(self):
+        simulator = Simulator()
+        channel = WirelessChannel(simulator)
+        received = []
+
+        class Device:
+            def __init__(self, name):
+                self.name = name
+
+            def on_receive(self, packet):
+                received.append(self.name)
+
+        for name in ("coordinator", "n1", "n2"):
+            channel.register(Device(name))
+        channel.transmit(Packet.beacon("coordinator", 25, 0.0))
+        simulator.run(until=1.0)
+        assert sorted(received) == ["n1", "n2"]
+
+    def test_lossy_channel_drops_frames(self):
+        simulator = Simulator()
+        channel = WirelessChannel(simulator, packet_error_rate=0.5, seed=0)
+        delivered = []
+
+        class Device:
+            def __init__(self, name):
+                self.name = name
+
+            def on_receive(self, packet):
+                delivered.append(packet.sequence)
+
+        channel.register(Device("a"))
+        channel.register(Device("b"))
+        for _ in range(200):
+            channel.transmit(Packet.data("a", "b", 10, 0.0, 0.0))
+        simulator.run(until=10.0)
+        assert 0 < len(delivered) < 200
+        assert channel.frames_dropped > 0
+
+    def test_duplicate_registration_rejected(self):
+        simulator = Simulator()
+        channel = WirelessChannel(simulator)
+
+        class Device:
+            name = "x"
+
+            def on_receive(self, packet):
+                pass
+
+        channel.register(Device())
+        with pytest.raises(ValueError):
+            channel.register(Device())
+
+
+class TestStarNetworkScenario:
+    def test_all_generated_traffic_is_eventually_delivered(self, sim_mac_config):
+        scenario = StarNetworkScenario(
+            [112.5, 112.5, 112.5], sim_mac_config, duration_s=30.0
+        )
+        result = scenario.run()
+        for index in range(3):
+            stats = result.stats.nodes[f"node-{index}"]
+            assert stats.packets_delivered > 0
+            # Allow a small in-flight queue at the end of the simulation.
+            assert stats.packets_delivered >= stats.packets_generated - 3
+            assert stats.delivery_ratio > 0.8
+
+    def test_simulated_mean_delay_respects_the_model_bound(self, sim_mac_config):
+        rates = [0.3 * 375.0] * 4
+        scenario = StarNetworkScenario(rates, sim_mac_config, duration_s=40.0)
+        result = scenario.run()
+        bounds = BeaconEnabledMacModel().worst_case_delays(
+            scenario.slot_counts, sim_mac_config
+        )
+        for index in range(4):
+            mean_delay = result.mean_delays_s[f"node-{index}"]
+            assert mean_delay <= bounds[index] + 1e-9
+
+    def test_delay_grows_with_beacon_order(self):
+        rates = [0.3 * 375.0] * 3
+        fast = StarNetworkScenario(
+            rates, Ieee802154MacConfig(80, 3, 3), duration_s=30.0
+        ).run()
+        slow = StarNetworkScenario(
+            rates, Ieee802154MacConfig(80, 4, 5), duration_s=30.0
+        ).run()
+        assert (
+            np.mean(list(slow.mean_delays_s.values()))
+            > np.mean(list(fast.mean_delays_s.values()))
+        )
+
+    def test_explicit_slot_counts_are_used(self, sim_mac_config):
+        scenario = StarNetworkScenario(
+            [112.5, 112.5], sim_mac_config, slot_counts=[2, 1], duration_s=10.0
+        )
+        assert scenario.slot_counts == (2, 1)
+
+    def test_radio_energy_accounting_is_positive(self, sim_mac_config):
+        result = StarNetworkScenario(
+            [112.5, 112.5], sim_mac_config, duration_s=20.0
+        ).run()
+        for stats in result.stats.nodes.values():
+            assert stats.radio_energy_j > 0.0
+            assert stats.tx_time_s > 0.0
+
+    def test_poisson_traffic_also_flows(self, sim_mac_config):
+        result = StarNetworkScenario(
+            [112.5, 112.5], sim_mac_config, duration_s=30.0, traffic="poisson", seed=2
+        ).run()
+        assert result.stats.total_packets_delivered > 0
+
+    def test_beacons_are_sent_once_per_beacon_interval(self, sim_mac_config):
+        duration = 20.0
+        result = StarNetworkScenario([112.5], sim_mac_config, duration_s=duration).run()
+        expected = duration / sim_mac_config.beacon_interval_s
+        assert result.stats.beacons_sent == pytest.approx(expected, abs=2)
+
+    def test_invalid_arguments_rejected(self, sim_mac_config):
+        with pytest.raises(ValueError):
+            StarNetworkScenario([], sim_mac_config)
+        with pytest.raises(ValueError):
+            StarNetworkScenario([100.0], sim_mac_config, duration_s=0.0)
+        with pytest.raises(ValueError):
+            StarNetworkScenario([100.0], sim_mac_config, traffic="bursty")
+        with pytest.raises(ValueError):
+            StarNetworkScenario([100.0, 100.0], sim_mac_config, slot_counts=[1])

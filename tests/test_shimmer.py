@@ -1,0 +1,190 @@
+"""Tests of the Shimmer platform instantiation (Section 4.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.shimmer.applications import (
+    REFERENCE_COMPRESSION_RATIO,
+    build_application,
+)
+from repro.shimmer.battery import BatteryModel
+from repro.shimmer.platform import (
+    ECG_SAMPLING_RATE_HZ,
+    SAMPLE_WIDTH_BYTES,
+    ShimmerNodeConfig,
+    ShimmerPlatform,
+    build_case_study_network,
+    build_shimmer_energy_model,
+)
+from repro.shimmer.prd_fit import (
+    DEFAULT_CS_PRD_POLYNOMIAL,
+    DEFAULT_DWT_PRD_POLYNOMIAL,
+    PrdPolynomial,
+    fit_prd_polynomial,
+)
+
+
+class TestPlatformConstants:
+    def test_input_stream_is_375_bytes_per_second(self):
+        assert ECG_SAMPLING_RATE_HZ * SAMPLE_WIDTH_BYTES == pytest.approx(375.0)
+
+    def test_energy_model_uses_10kb_ram(self):
+        model = build_shimmer_energy_model()
+        assert model.ram_bytes == pytest.approx(10_240.0)
+
+    def test_component_conversions_are_consistent(self):
+        platform = ShimmerPlatform()
+        mcu = platform.msp430.to_core_model()
+        assert mcu.alpha_uc1_w_per_hz == pytest.approx(
+            platform.msp430.supply_voltage_v * platform.msp430.active_current_per_hz_a
+        )
+        radio = platform.cc2420.to_core_model()
+        assert radio.bit_rate_bps == pytest.approx(250_000.0)
+
+
+class TestNodeConfig:
+    def test_frequency_in_mhz(self):
+        config = ShimmerNodeConfig(0.3, 8e6)
+        assert config.microcontroller_frequency_mhz == pytest.approx(8.0)
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            ShimmerNodeConfig(0.0, 8e6)
+        with pytest.raises(ValueError):
+            ShimmerNodeConfig(1.2, 8e6)
+        with pytest.raises(ValueError):
+            ShimmerNodeConfig(0.3, 0.0)
+
+
+class TestApplications:
+    def test_duty_cycle_constants_match_the_paper(self):
+        """Duty = k / f with k ~= 2265.6 (DWT) and ~= 388.8 (CS) kcycles/s."""
+        dwt = build_application("dwt")
+        cs = build_application("cs")
+        assert dwt.kilocycles_per_second == pytest.approx(2265.6, rel=0.03)
+        assert cs.kilocycles_per_second == pytest.approx(388.8, rel=0.06)
+
+    def test_dwt_is_infeasible_at_1mhz_and_feasible_at_8mhz(self):
+        dwt = build_application("dwt")
+        slow = dwt.resource_usage(375.0, ShimmerNodeConfig(0.3, 1e6))
+        fast = dwt.resource_usage(375.0, ShimmerNodeConfig(0.3, 8e6))
+        assert not slow.is_schedulable
+        assert fast.is_schedulable
+
+    def test_cs_is_feasible_at_every_platform_frequency(self):
+        cs = build_application("cs")
+        for frequency in (1e6, 2e6, 4e6, 8e6):
+            usage = cs.resource_usage(375.0, ShimmerNodeConfig(0.3, frequency))
+            assert usage.is_schedulable
+
+    def test_output_stream_is_phi_in_times_cr(self):
+        application = build_application("dwt")
+        config = ShimmerNodeConfig(0.25, 8e6)
+        assert application.output_stream_bytes_per_second(375.0, config) == pytest.approx(
+            375.0 * 0.25
+        )
+
+    def test_quality_loss_decreases_with_cr(self):
+        for kind in ("dwt", "cs"):
+            application = build_application(kind)
+            low = application.quality_loss(375.0, ShimmerNodeConfig(0.17, 8e6))
+            high = application.quality_loss(375.0, ShimmerNodeConfig(0.38, 8e6))
+            assert high < low
+
+    def test_cs_quality_loss_is_higher_than_dwt(self):
+        dwt = build_application("dwt")
+        cs = build_application("cs")
+        config = ShimmerNodeConfig(0.3, 8e6)
+        assert cs.quality_loss(375.0, config) > dwt.quality_loss(375.0, config)
+
+    def test_memory_footprints_fit_the_ram(self):
+        for kind in ("dwt", "cs"):
+            application = build_application(kind)
+            assert application.memory_bytes < 10_240
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            build_application("fft")
+
+    def test_validate_config_rejects_out_of_range_cr(self):
+        application = build_application("dwt")
+        with pytest.raises((ValueError, Exception)):
+            application.validate_config(ShimmerNodeConfig(0.3, 8e6).__class__(1.5, 8e6))
+
+
+class TestCaseStudyNetwork:
+    def test_default_split_half_dwt_half_cs(self):
+        nodes = build_case_study_network()
+        kinds = [node.application.name for node in nodes]
+        assert kinds == ["dwt", "dwt", "dwt", "cs", "cs", "cs"]
+
+    def test_explicit_application_list(self):
+        nodes = build_case_study_network(n_nodes=2, applications=("cs", "cs"))
+        assert all(node.application.name == "cs" for node in nodes)
+
+    def test_input_stream_of_every_node(self):
+        nodes = build_case_study_network()
+        assert all(
+            node.input_stream_bytes_per_second == pytest.approx(375.0) for node in nodes
+        )
+
+    def test_mismatched_application_list_rejected(self):
+        with pytest.raises(ValueError):
+            build_case_study_network(n_nodes=3, applications=("dwt",))
+
+
+class TestPrdFit:
+    def test_default_polynomials_are_degree_five(self):
+        assert DEFAULT_DWT_PRD_POLYNOMIAL.degree == 5
+        assert DEFAULT_CS_PRD_POLYNOMIAL.degree == 5
+
+    def test_fit_reproduces_anchor_points(self):
+        ratios = np.linspace(0.15, 0.4, 8)
+        prds = 50 * np.exp(-5 * ratios)
+        polynomial = fit_prd_polynomial(ratios, prds, degree=5)
+        for ratio, value in zip(ratios, prds):
+            assert polynomial(ratio) == pytest.approx(value, rel=0.02)
+
+    def test_out_of_range_ratios_are_clamped(self):
+        polynomial = DEFAULT_CS_PRD_POLYNOMIAL
+        assert polynomial(0.01) == pytest.approx(polynomial(polynomial.cr_min))
+        assert polynomial(0.99) == pytest.approx(polynomial(polynomial.cr_max))
+
+    def test_fit_requires_enough_points(self):
+        with pytest.raises(ValueError):
+            fit_prd_polynomial([0.2, 0.3], [10.0, 5.0], degree=5)
+
+    def test_polynomial_never_returns_negative_prd(self):
+        polynomial = PrdPolynomial(coefficients=(1.0, -1.0), cr_min=0.2, cr_max=0.4)
+        assert polynomial(0.4) >= 0.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(ratio=st.floats(min_value=0.17, max_value=0.38))
+    def test_default_polynomials_are_monotonically_decreasing(self, ratio):
+        step = 0.01
+        if ratio + step > 0.38:
+            return
+        for polynomial in (DEFAULT_DWT_PRD_POLYNOMIAL, DEFAULT_CS_PRD_POLYNOMIAL):
+            assert polynomial(ratio + step) <= polynomial(ratio) + 0.6
+
+
+class TestBattery:
+    def test_lifetime_scales_inversely_with_power(self):
+        battery = BatteryModel()
+        assert battery.lifetime_hours(2e-3) == pytest.approx(
+            2 * battery.lifetime_hours(4e-3)
+        )
+
+    def test_case_study_node_lasts_days(self):
+        battery = BatteryModel()
+        assert 3.0 < battery.lifetime_days(4.4e-3) < 60.0
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            BatteryModel(capacity_mah=0.0)
+        with pytest.raises(ValueError):
+            BatteryModel().lifetime_hours(0.0)

@@ -1,0 +1,91 @@
+"""Tests of the synthetic ECG generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.signals.ecg import DEFAULT_WAVES, ECGWave, SyntheticECG
+
+
+class TestECGWave:
+    def test_rejects_center_outside_unit_interval(self):
+        with pytest.raises(ValueError):
+            ECGWave("X", 1.0, 1.2, 0.01)
+
+    def test_rejects_non_positive_width(self):
+        with pytest.raises(ValueError):
+            ECGWave("X", 1.0, 0.5, 0.0)
+
+    def test_default_morphology_has_five_waves(self):
+        assert [wave.name for wave in DEFAULT_WAVES] == ["P", "Q", "R", "S", "T"]
+
+
+class TestSyntheticECG:
+    def test_sample_count_matches_duration(self):
+        record = SyntheticECG(sampling_rate_hz=250.0).generate(4.0)
+        assert len(record.samples_mv) == 1000
+        assert record.duration_s == pytest.approx(4.0)
+
+    def test_generation_is_deterministic_for_a_seed(self):
+        first = SyntheticECG(seed=5).generate(2.0)
+        second = SyntheticECG(seed=5).generate(2.0)
+        np.testing.assert_array_equal(first.samples_mv, second.samples_mv)
+
+    def test_different_seeds_differ(self):
+        first = SyntheticECG(seed=1).generate(2.0)
+        second = SyntheticECG(seed=2).generate(2.0)
+        assert not np.array_equal(first.samples_mv, second.samples_mv)
+
+    def test_heart_rate_is_respected_on_average(self):
+        record = SyntheticECG(heart_rate_bpm=60.0, hrv_std_s=0.0, seed=0).generate(30.0)
+        assert record.heart_rate_bpm == pytest.approx(60.0, rel=0.05)
+
+    def test_r_peaks_dominate_amplitude(self):
+        record = SyntheticECG(noise_std_mv=0.0, baseline_wander_mv=0.0).generate(5.0)
+        assert 0.9 < np.max(record.samples_mv) < 1.4
+
+    def test_rejects_non_positive_duration(self):
+        with pytest.raises(ValueError):
+            SyntheticECG().generate(0.0)
+
+    def test_rejects_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SyntheticECG(sampling_rate_hz=0.0)
+        with pytest.raises(ValueError):
+            SyntheticECG(heart_rate_bpm=-10.0)
+        with pytest.raises(ValueError):
+            SyntheticECG(hrv_std_s=-0.1)
+
+    def test_quantized_record_has_codes_in_range(self):
+        record = SyntheticECG(seed=3).generate_quantized(2.0, resolution_bits=12)
+        assert record.codes is not None
+        assert record.codes.min() >= 0
+        assert record.codes.max() <= 4095
+
+    def test_quantization_error_is_below_one_lsb(self):
+        generator = SyntheticECG(seed=3)
+        analogue = generator.generate(2.0)
+        quantized = SyntheticECG(seed=3).generate_quantized(2.0, full_scale_mv=5.0)
+        lsb = 5.0 / 4096
+        assert np.max(np.abs(analogue.samples_mv - quantized.samples_mv)) <= lsb
+
+    def test_powerline_component_appears_when_requested(self):
+        clean = SyntheticECG(seed=0, powerline_mv=0.0).generate(2.0)
+        noisy = SyntheticECG(seed=0, powerline_mv=0.2).generate(2.0)
+        spectrum_clean = np.abs(np.fft.rfft(clean.samples_mv))
+        spectrum_noisy = np.abs(np.fft.rfft(noisy.samples_mv))
+        freqs = np.fft.rfftfreq(len(clean.samples_mv), 1.0 / 250.0)
+        mains_bin = int(np.argmin(np.abs(freqs - 50.0)))
+        assert spectrum_noisy[mains_bin] > 3.0 * spectrum_clean[mains_bin]
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        duration=st.floats(min_value=1.0, max_value=6.0),
+        heart_rate=st.floats(min_value=45.0, max_value=150.0),
+    )
+    def test_generation_never_produces_nan_or_inf(self, duration, heart_rate):
+        record = SyntheticECG(heart_rate_bpm=heart_rate, seed=0).generate(duration)
+        assert np.all(np.isfinite(record.samples_mv))

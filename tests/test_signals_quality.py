@@ -1,0 +1,84 @@
+"""Tests of the signal-quality metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.signals.quality import (
+    compression_ratio,
+    prd,
+    prd_normalized,
+    rmse,
+    snr_db,
+)
+
+_signals = hnp.arrays(
+    dtype=float,
+    shape=st.integers(min_value=4, max_value=64),
+    elements=st.floats(min_value=-10, max_value=10, allow_nan=False),
+)
+
+
+class TestPrd:
+    def test_identical_signals_have_zero_prd(self):
+        signal = np.array([1.0, -2.0, 3.0])
+        assert prd(signal, signal) == 0.0
+
+    def test_known_value(self):
+        original = np.array([3.0, 4.0])
+        reconstructed = np.array([0.0, 4.0])
+        assert prd(original, reconstructed) == pytest.approx(60.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            prd(np.ones(3), np.ones(4))
+
+    def test_zero_energy_rejected(self):
+        with pytest.raises(ValueError):
+            prd(np.zeros(4), np.ones(4))
+
+    def test_prd_normalized_removes_offset_sensitivity(self):
+        original = np.array([100.0, 101.0, 100.0, 99.0])
+        reconstructed = original + 0.5
+        assert prd_normalized(original, reconstructed) > prd(original, reconstructed)
+
+    @settings(max_examples=50, deadline=None)
+    @given(signal=_signals, scale=st.floats(min_value=0.01, max_value=10.0))
+    def test_prd_is_scale_invariant(self, signal, scale):
+        if np.linalg.norm(signal) < 1e-6:
+            return
+        noisy = signal + 0.1
+        assert prd(signal * scale, noisy * scale) == pytest.approx(
+            prd(signal, noisy), rel=1e-9
+        )
+
+
+class TestOtherMetrics:
+    def test_rmse_known_value(self):
+        assert rmse(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == pytest.approx(
+            np.sqrt(12.5)
+        )
+
+    def test_snr_is_infinite_for_perfect_reconstruction(self):
+        signal = np.array([1.0, 2.0, 3.0])
+        assert snr_db(signal, signal) == float("inf")
+
+    def test_snr_decreases_with_noise(self):
+        rng = np.random.default_rng(0)
+        signal = rng.normal(size=256)
+        small = snr_db(signal, signal + rng.normal(0, 0.01, 256))
+        large = snr_db(signal, signal + rng.normal(0, 0.1, 256))
+        assert small > large
+
+    def test_compression_ratio(self):
+        assert compression_ratio(100, 25) == pytest.approx(0.25)
+
+    def test_compression_ratio_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            compression_ratio(0, 1)
+        with pytest.raises(ValueError):
+            compression_ratio(10, -1)

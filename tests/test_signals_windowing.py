@@ -1,0 +1,53 @@
+"""Tests of the windowing helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.signals.windowing import pad_to_window, split_windows
+
+
+class TestPadToWindow:
+    def test_exact_multiple_is_unchanged(self):
+        samples = np.arange(8.0)
+        padded = pad_to_window(samples, 4)
+        np.testing.assert_array_equal(padded, samples)
+
+    def test_padding_repeats_last_sample(self):
+        padded = pad_to_window(np.array([1.0, 2.0, 3.0]), 4)
+        np.testing.assert_array_equal(padded, [1.0, 2.0, 3.0, 3.0])
+
+    def test_empty_input_pads_with_zeros(self):
+        padded = pad_to_window(np.array([]), 4)
+        np.testing.assert_array_equal(padded, np.zeros(4))
+
+    def test_rejects_non_positive_window(self):
+        with pytest.raises(ValueError):
+            pad_to_window(np.ones(4), 0)
+
+
+class TestSplitWindows:
+    def test_window_shape(self):
+        windows = split_windows(np.arange(10.0), 4)
+        assert windows.shape == (3, 4)
+
+    def test_content_preserved(self):
+        samples = np.arange(8.0)
+        windows = split_windows(samples, 4)
+        np.testing.assert_array_equal(windows.ravel(), samples)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        length=st.integers(min_value=1, max_value=200),
+        window=st.integers(min_value=1, max_value=50),
+    )
+    def test_every_sample_is_kept(self, length, window):
+        samples = np.arange(float(length))
+        windows = split_windows(samples, window)
+        flattened = windows.ravel()
+        np.testing.assert_array_equal(flattened[:length], samples)
+        assert windows.shape[1] == window
+        assert windows.shape[0] == int(np.ceil(length / window))
