@@ -1,0 +1,68 @@
+"""Benchmark ENGINE-CACHE — cached vs uncached NSGA-II exploration throughput.
+
+The evaluation engine memoises two levels of the analytical model: whole
+designs by genotype and the pure per-node stage by ``(node, chi_node,
+chi_mac)``.  On the Figure-5 case study the per-node knob settings repeat
+massively across candidates, so a cached exploration should (a) execute
+measurably fewer raw model evaluations than the designs it serves, with a
+node-stage cache hit rate above 30 %, and (b) return bitwise-identical
+fronts — caching is a pure optimisation, never a semantic change.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dse.nsga2 import Nsga2, Nsga2Settings
+from repro.dse.problem import WbsnDseProblem
+from repro.dse.runner import run_algorithm
+from repro.engine import EvaluationEngine
+from repro.experiments.casestudy import build_case_study_evaluator
+
+SETTINGS = Nsga2Settings(population_size=48, generations=30, seed=3)
+
+
+def _run(cached: bool):
+    engine = (
+        EvaluationEngine()
+        if cached
+        else EvaluationEngine(genotype_cache=False, node_cache=False)
+    )
+    problem = WbsnDseProblem(build_case_study_evaluator(theta=0.5), engine=engine)
+    return run_algorithm(Nsga2(problem, SETTINGS))
+
+
+@pytest.mark.paper_figure("engine-cache")
+def test_cached_nsga2_throughput(benchmark, reporter):
+    uncached = _run(cached=False)
+    result = benchmark.pedantic(_run, args=(True,), rounds=1, iterations=1)
+    stats = result.engine_stats
+
+    reporter(
+        "Evaluation engine — cached vs uncached NSGA-II",
+        [
+            f"designs served: {result.evaluations} "
+            f"(cached {result.wall_clock_s:.2f} s vs "
+            f"uncached {uncached.wall_clock_s:.2f} s)",
+            f"model evaluations: cached {stats.model_evaluations} vs "
+            f"uncached {uncached.engine_stats.model_evaluations}",
+            f"genotype-cache hit rate: {stats.genotype_cache_hit_rate * 100:.0f}%",
+            f"node-stage cache hit rate: {stats.node_cache_hit_rate * 100:.0f}% "
+            f"({stats.node_model_calls} raw node calls for "
+            f"{stats.node_stage_requests} stage requests)",
+            f"throughput: {result.evaluations_per_second:.0f} served/s vs "
+            f"{uncached.evaluations_per_second:.0f} uncached",
+        ],
+    )
+
+    # Caching must be semantically invisible: identical fronts, bit for bit.
+    assert sorted((d.genotype, d.objectives) for d in result.front) == sorted(
+        (d.genotype, d.objectives) for d in uncached.front
+    )
+    # Both runs serve the same number of designs to the algorithm...
+    assert result.evaluations == uncached.evaluations
+    # ...but the cached run does measurably less raw model work.
+    assert stats.model_evaluations < result.evaluations
+    assert stats.node_cache_hit_rate > 0.30
+    assert stats.node_model_calls < stats.node_stage_requests
+    assert uncached.engine_stats.model_evaluations == uncached.evaluations

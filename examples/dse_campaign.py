@@ -30,7 +30,13 @@ def main() -> None:
     result = run_algorithm(Nsga2(problem, settings))
     print(
         f"explored {result.evaluations} configurations in {result.wall_clock_s:.1f} s "
-        f"({result.evaluations_per_second:.0f} evaluations/s)"
+        f"({result.evaluations_per_second:.0f} served/s, "
+        f"{result.model_evaluations} raw model evaluations)"
+    )
+    print(
+        "evaluation-engine caches: "
+        f"genotype hit rate {result.genotype_cache_hit_rate * 100:.0f}%, "
+        f"node-stage hit rate {result.node_cache_hit_rate * 100:.0f}%"
     )
     front = sorted(result.front, key=lambda design: design.objectives[0])
     print(f"non-dominated designs found: {len(front)}")

@@ -15,9 +15,11 @@ The package is organised in three tiers:
 * the paper's contribution — the system-level analytical model
   (:mod:`repro.core`) and its IEEE 802.15.4 instantiation
   (:mod:`repro.mac802154`);
-* the exploration layer — multi-objective search algorithms and Pareto
-  utilities (:mod:`repro.dse`) and the experiment drivers regenerating every
-  table and figure of the paper (:mod:`repro.experiments`).
+* the exploration layer — the shared evaluation engine with batching and
+  two-level caching (:mod:`repro.engine`), multi-objective search algorithms
+  and Pareto utilities (:mod:`repro.dse`) and the experiment drivers
+  regenerating every table and figure of the paper
+  (:mod:`repro.experiments`).
 """
 
 __version__ = "1.0.0"
@@ -30,6 +32,7 @@ __all__ = [
     "compression",
     "hwemu",
     "netsim",
+    "engine",
     "dse",
     "experiments",
 ]

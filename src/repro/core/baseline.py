@@ -37,6 +37,16 @@ class EnergyDelayBaselineEvaluator:
         self._full_evaluator = full_evaluator
 
     @property
+    def full_evaluator(self) -> WBSNEvaluator:
+        """The underlying three-metric evaluator (shared model machinery).
+
+        Exposed so the evaluation engine can reach the per-node stage /
+        aggregation split of the full evaluator while keeping this class's
+        two-component objective vector.
+        """
+        return self._full_evaluator
+
+    @property
     def nodes(self):
         """The node descriptions of the underlying network."""
         return self._full_evaluator.nodes

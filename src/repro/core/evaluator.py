@@ -26,6 +26,7 @@ from repro.core.slot_assignment import SlotAssignment, assign_transmission_inter
 __all__ = [
     "NodeDescription",
     "NodeEvaluation",
+    "NodeStageResult",
     "NetworkEvaluation",
     "WBSNEvaluator",
 ]
@@ -87,6 +88,25 @@ class NodeEvaluation:
     def feasible(self) -> bool:
         """Whether the node-level constraints are satisfied."""
         return self.schedulable and self.fits_memory
+
+
+@dataclass(frozen=True)
+class NodeStageResult:
+    """Output of the pure per-node stage of the evaluation.
+
+    The per-node stage depends only on ``(node description, chi_node,
+    chi_mac)`` — it is a pure function of hashable inputs, which is what lets
+    the evaluation engine cache it across candidates that share per-node knob
+    settings.
+
+    Attributes:
+        evaluation: the per-node model outputs.
+        required_time_s: radio time per second the node needs on the channel,
+            used by the slot-assignment stage.
+    """
+
+    evaluation: NodeEvaluation
+    required_time_s: float
 
 
 @dataclass(frozen=True)
@@ -169,16 +189,48 @@ class WBSNEvaluator:
                 f"got {len(node_configs)}"
             )
         self.mac_protocol.validate_config(mac_config)
+        stages = [
+            self.evaluate_node_stage(index, node_config, mac_config)
+            for index, node_config in enumerate(node_configs)
+        ]
+        return self.aggregate(stages, mac_config)
 
+    def evaluate_node_stage(
+        self, node_index: int, node_config: Any, mac_config: Any
+    ) -> NodeStageResult:
+        """Run the pure per-node stage for one node of the network.
+
+        The result depends only on ``(node_index, node_config, mac_config)``
+        (all hashable for the platform dataclasses), which makes it safe to
+        memoise across candidate configurations.  The MAC configuration is
+        assumed to be validated by the caller.
+        """
+        description = self.nodes[node_index]
+        evaluation, required_time = self._evaluate_node(
+            description, node_config, mac_config
+        )
+        return NodeStageResult(evaluation=evaluation, required_time_s=required_time)
+
+    def aggregate(
+        self, stages: Sequence[NodeStageResult], mac_config: Any
+    ) -> NetworkEvaluation:
+        """Combine per-node stage results into the network-level evaluation.
+
+        This is the cheap, non-cacheable half of the evaluation: constraint
+        collection, the slot-assignment problem, the delay bound and the
+        balanced objective aggregation of equation (8).
+        """
+        if len(stages) != len(self.nodes):
+            raise ValueError(
+                f"expected {len(self.nodes)} node stage results, got {len(stages)}"
+            )
         violations: list[str] = []
         node_evaluations: list[NodeEvaluation] = []
         required_times: list[float] = []
-        for description, node_config in zip(self.nodes, node_configs):
-            evaluation, required_time = self._evaluate_node(
-                description, node_config, mac_config
-            )
+        for description, stage in zip(self.nodes, stages):
+            evaluation = stage.evaluation
             node_evaluations.append(evaluation)
-            required_times.append(required_time)
+            required_times.append(stage.required_time_s)
             if not evaluation.schedulable:
                 violations.append(
                     f"{description.name}: application duty cycle exceeds 100% "

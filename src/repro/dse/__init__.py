@@ -16,6 +16,11 @@ minutes instead of months.  This package provides the exploration machinery:
 * :mod:`repro.dse.random_search` / :mod:`repro.dse.exhaustive` — baselines
   and exact enumeration for small spaces,
 * :mod:`repro.dse.runner` — a thin orchestration layer with timing.
+
+Every algorithm evaluates through the shared
+:class:`~repro.engine.EvaluationEngine` (see :mod:`repro.engine`): problems
+expose a batch path (``evaluate_batch``) backed by a genotype memo cache and
+a node-level result cache, and the runner reports cache-aware throughput.
 """
 
 from repro.dse.space import DesignSpace, ParameterDomain
@@ -35,6 +40,7 @@ from repro.dse.simulated_annealing import (
 from repro.dse.random_search import RandomSearch
 from repro.dse.exhaustive import ExhaustiveSearch
 from repro.dse.runner import DseResult, run_algorithm
+from repro.engine import EngineStats, EvaluationEngine
 
 __all__ = [
     "DesignSpace",
@@ -55,4 +61,6 @@ __all__ = [
     "ExhaustiveSearch",
     "DseResult",
     "run_algorithm",
+    "EvaluationEngine",
+    "EngineStats",
 ]

@@ -16,15 +16,27 @@ __all__ = ["ExhaustiveSearch"]
 
 
 class ExhaustiveSearch:
-    """Evaluates every configuration of the design space."""
+    """Evaluates every configuration of the design space.
+
+    The sweep is chunked: genotypes are enumerated lazily and handed to
+    :meth:`~repro.dse.problem.OptimizationProblem.evaluate_batch` in blocks of
+    ``chunk_size``, which keeps memory bounded while letting an evaluation
+    engine deduplicate and parallelise each block.
+    """
 
     def __init__(
-        self, problem: OptimizationProblem, max_configurations: int = 200_000
+        self,
+        problem: OptimizationProblem,
+        max_configurations: int = 200_000,
+        chunk_size: int = 1024,
     ) -> None:
         if max_configurations <= 0:
             raise ValueError("max_configurations must be positive")
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
         self.problem = problem
         self.max_configurations = max_configurations
+        self.chunk_size = chunk_size
 
     def run(self) -> list[EvaluatedDesign]:
         """Enumerate the space and return the feasible non-dominated designs."""
@@ -34,10 +46,15 @@ class ExhaustiveSearch:
                 f"the design space holds {size} configurations, above the "
                 f"exhaustive-search limit of {self.max_configurations}"
             )
-        evaluated = [
-            self.problem.evaluate(genotype)
-            for genotype in self.problem.space.enumerate_genotypes()
-        ]
+        evaluated: list[EvaluatedDesign] = []
+        chunk: list[tuple[int, ...]] = []
+        for genotype in self.problem.space.enumerate_genotypes():
+            chunk.append(genotype)
+            if len(chunk) >= self.chunk_size:
+                evaluated.extend(self.problem.evaluate_batch(chunk))
+                chunk = []
+        if chunk:
+            evaluated.extend(self.problem.evaluate_batch(chunk))
         feasible = [design for design in evaluated if design.feasible] or evaluated
         front = pareto_front_indices([design.objectives for design in feasible])
         return [feasible[index] for index in front]

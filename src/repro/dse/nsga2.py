@@ -5,6 +5,14 @@ is a standard NSGA-II implementation operating on the integer genotypes of a
 :class:`~repro.dse.space.DesignSpace`: constrained binary-tournament
 selection, uniform crossover, random-reset mutation, fast non-dominated
 sorting and crowding-distance truncation.
+
+Evaluation is generation-at-a-time: each generation's offspring genotypes are
+produced first (selection and variation never look at a child's objectives)
+and then evaluated as one batch through
+:meth:`~repro.dse.problem.OptimizationProblem.evaluate_batch`, so the shared
+evaluation engine can deduplicate, serve cache hits and fan the misses out to
+its execution backend.  Duplicate-genotype memoisation is the engine's job —
+the algorithm no longer carries a private cache.
 """
 
 from __future__ import annotations
@@ -57,7 +65,6 @@ class Nsga2:
         self.problem = problem
         self.settings = settings if settings is not None else Nsga2Settings()
         self._rng = np.random.default_rng(self.settings.seed)
-        self._cache: dict[tuple[int, ...], EvaluatedDesign] = {}
 
     # ------------------------------------------------------------------ API
 
@@ -72,17 +79,12 @@ class Nsga2:
 
     # ------------------------------------------------------------- internals
 
-    def _evaluate(self, genotype: tuple[int, ...]) -> EvaluatedDesign:
-        if genotype not in self._cache:
-            self._cache[genotype] = self.problem.evaluate(genotype)
-        return self._cache[genotype]
-
     def _initial_population(self) -> list[EvaluatedDesign]:
-        population = []
-        for _ in range(self.settings.population_size):
-            genotype = self.problem.space.random_genotype(self._rng)
-            population.append(self._evaluate(genotype))
-        return population
+        genotypes = [
+            self.problem.space.random_genotype(self._rng)
+            for _ in range(self.settings.population_size)
+        ]
+        return self.problem.evaluate_batch(genotypes)
 
     def _ranks_and_crowding(
         self, population: list[EvaluatedDesign]
@@ -130,16 +132,17 @@ class Nsga2:
         self, population: list[EvaluatedDesign]
     ) -> list[EvaluatedDesign]:
         ranks, crowding = self._ranks_and_crowding(population)
-        offspring = []
+        children: list[tuple[int, ...]] = []
         for _ in range(self.settings.population_size):
             parent_a = self._tournament(population, ranks, crowding)
             parent_b = self._tournament(population, ranks, crowding)
             child = self._crossover(parent_a.genotype, parent_b.genotype)
-            child = self.problem.space.mutate_genotype(
-                child, self._rng, self.settings.mutation_rate
+            children.append(
+                self.problem.space.mutate_genotype(
+                    child, self._rng, self.settings.mutation_rate
+                )
             )
-            offspring.append(self._evaluate(child))
-        return offspring
+        return self.problem.evaluate_batch(children)
 
     def _environmental_selection(
         self, combined: list[EvaluatedDesign]
@@ -155,7 +158,7 @@ class Nsga2:
                 genotype = self.problem.space.random_genotype(self._rng)
                 if genotype in unique:
                     continue
-                design = self._evaluate(genotype)
+                design = self.problem.evaluate(genotype)
                 unique[genotype] = design
                 combined.append(design)
 

@@ -9,6 +9,7 @@ from typing import Any, Sequence
 from repro.core.baseline import EnergyDelayBaselineEvaluator
 from repro.core.evaluator import NetworkEvaluation, WBSNEvaluator
 from repro.dse.space import DesignSpace, ParameterDomain
+from repro.engine import CachedNetworkEvaluator, EvaluationEngine
 from repro.mac802154.config import Ieee802154MacConfig
 from repro.shimmer.platform import ShimmerNodeConfig
 
@@ -69,10 +70,38 @@ class OptimizationProblem(abc.ABC):
     space: DesignSpace
     #: number of objective components returned by :meth:`evaluate`
     n_objectives: int
+    #: designs served so far (cache hits included); problems backed by an
+    #: evaluation engine keep this in sync with the engine's request counter,
+    #: while raw model work is reported separately by the engine stats.
+    evaluations: int = 0
+    #: the evaluation engine routing this problem's evaluations, when any.
+    engine: EvaluationEngine | None = None
 
     @abc.abstractmethod
     def evaluate(self, genotype: Sequence[int]) -> EvaluatedDesign:
         """Evaluate one candidate configuration."""
+
+    def evaluate_batch(
+        self, genotypes: Sequence[Sequence[int]]
+    ) -> list[EvaluatedDesign]:
+        """Evaluate a batch of candidates, preserving the input order.
+
+        The default calls :meth:`evaluate` once per *distinct* genotype in
+        the batch (evaluation must be deterministic, so duplicates — which
+        elitist populations produce in bulk — are served from the first
+        result); engine-backed problems override it to also cache across
+        batches and dispatch through the engine's execution backend.
+        """
+        memo: dict[tuple[int, ...], EvaluatedDesign] = {}
+        results: list[EvaluatedDesign] = []
+        for genotype in genotypes:
+            key = tuple(int(gene) for gene in genotype)
+            design = memo.get(key)
+            if design is None:
+                design = self.evaluate(genotype)
+                memo[key] = design
+            results.append(design)
+        return results
 
 
 class WbsnDseProblem(OptimizationProblem):
@@ -97,6 +126,9 @@ class WbsnDseProblem(OptimizationProblem):
         record_evaluations: keep every evaluated design in :attr:`history`
             (used by the Figure 5 experiment to extract the overall
             non-dominated set seen during a run).
+        engine: the :class:`~repro.engine.EvaluationEngine` routing every
+            evaluation (a private serial engine with both cache levels is
+            created if omitted).
     """
 
     def __init__(
@@ -108,8 +140,14 @@ class WbsnDseProblem(OptimizationProblem):
         order_pairs: Sequence[tuple[int, int]] = DEFAULT_ORDER_PAIRS,
         infeasibility_penalty: float = 1e3,
         record_evaluations: bool = False,
+        engine: EvaluationEngine | None = None,
     ) -> None:
-        self.evaluator = evaluator
+        self.engine = engine if engine is not None else EvaluationEngine()
+        self.evaluator = CachedNetworkEvaluator(
+            evaluator,
+            stats=self.engine.stats,
+            enabled=self.engine.node_cache_enabled,
+        )
         self.n_nodes = len(evaluator.nodes)
         self.compression_ratios = tuple(compression_ratios)
         self.frequencies_hz = tuple(frequencies_hz)
@@ -131,10 +169,14 @@ class WbsnDseProblem(OptimizationProblem):
         domains.append(ParameterDomain("mac.payload_bytes", self.payload_bytes))
         domains.append(ParameterDomain("mac.orders", self.order_pairs))
         self.space = DesignSpace(domains)
+        self.engine.bind(self)
 
-        probe = self.decode(tuple(0 for _ in range(len(self.space))))
-        evaluation = self.evaluator.evaluate(*probe)
-        self.n_objectives = len(self.evaluator.objective_vector(evaluation))
+        # The probe goes through the engine like every other evaluation (it
+        # warms the caches and is counted as model work by the stats), but it
+        # bypasses :meth:`evaluate` so it can never skew the run accounting
+        # (`evaluations`, `history`) even with ``record_evaluations=True``.
+        probe = self.engine.evaluate(tuple(0 for _ in range(len(self.space))))
+        self.n_objectives = len(probe.objectives)
 
     # ------------------------------------------------------------------ API
 
@@ -159,16 +201,35 @@ class WbsnDseProblem(OptimizationProblem):
         return node_configs, mac_config
 
     def evaluate(self, genotype: Sequence[int]) -> EvaluatedDesign:
-        """Evaluate one candidate with the underlying system-level model."""
+        """Evaluate one candidate through the shared evaluation engine."""
+        design = self.engine.evaluate(genotype)
+        self._record(design)
+        return design
+
+    def evaluate_batch(
+        self, genotypes: Sequence[Sequence[int]]
+    ) -> list[EvaluatedDesign]:
+        """Evaluate a batch through the engine (dedup, caches, backend)."""
+        designs = self.engine.evaluate_many(genotypes)
+        for design in designs:
+            self._record(design)
+        return designs
+
+    def compute_design(self, genotype: Sequence[int]) -> EvaluatedDesign:
+        """Raw model evaluation of one genotype (no run accounting).
+
+        This is the pure compute path the engine calls on a genotype-cache
+        miss — it may run in a worker process, so it must not touch
+        :attr:`history` or :attr:`evaluations`.
+        """
         node_configs, mac_config = self.decode(genotype)
         evaluation: NetworkEvaluation = self.evaluator.evaluate(node_configs, mac_config)
-        self.evaluations += 1
         objectives = tuple(self.evaluator.objective_vector(evaluation))
         if not evaluation.feasible:
             objectives = tuple(
                 value + self.infeasibility_penalty for value in objectives
             )
-        design = EvaluatedDesign(
+        return EvaluatedDesign(
             genotype=self.space.validate_genotype(genotype),
             objectives=objectives,
             feasible=evaluation.feasible,
@@ -177,6 +238,11 @@ class WbsnDseProblem(OptimizationProblem):
                 "mac_config": mac_config,
             },
         )
+
+    # ------------------------------------------------------------- internals
+
+    def _record(self, design: EvaluatedDesign) -> None:
+        """Account one served design to this run."""
+        self.evaluations += 1
         if self.record_evaluations:
             self.history.append(design)
-        return design

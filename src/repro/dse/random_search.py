@@ -28,15 +28,22 @@ class RandomSearch:
         self._rng = np.random.default_rng(seed)
 
     def run(self) -> list[EvaluatedDesign]:
-        """Sample the space and return the feasible non-dominated designs."""
-        evaluated: list[EvaluatedDesign] = []
+        """Sample the space and return the feasible non-dominated designs.
+
+        All genotypes are drawn up front (evaluation consumes no randomness,
+        so the stream of draws is identical to a sample-then-evaluate loop),
+        deduplicated preserving first-draw order, and evaluated as one batch
+        so an evaluation engine can cache and parallelise the sweep.
+        """
         seen: set[tuple[int, ...]] = set()
+        genotypes: list[tuple[int, ...]] = []
         for _ in range(self.samples):
             genotype = self.problem.space.random_genotype(self._rng)
             if genotype in seen:
                 continue
             seen.add(genotype)
-            evaluated.append(self.problem.evaluate(genotype))
+            genotypes.append(genotype)
+        evaluated = self.problem.evaluate_batch(genotypes)
         feasible = [design for design in evaluated if design.feasible] or evaluated
         front = pareto_front_indices([design.objectives for design in feasible])
         return [feasible[index] for index in front]

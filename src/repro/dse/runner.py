@@ -1,4 +1,13 @@
-"""Thin orchestration layer around the search algorithms."""
+"""Thin orchestration layer around the search algorithms.
+
+The runner times a search run and attributes its evaluation work.  Problems
+routed through a shared :class:`~repro.engine.EvaluationEngine` may serve
+many designs from cache, so the result distinguishes *designs served* (the
+``evaluations`` counter every algorithm consumes) from *model evaluations*
+(genotype-cache misses that actually ran the model), and reports both
+throughputs; the attached :class:`~repro.engine.EngineStats` delta also
+carries the node-level cache counters underneath.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +16,7 @@ from dataclasses import dataclass
 from typing import Protocol
 
 from repro.dse.problem import EvaluatedDesign, OptimizationProblem
+from repro.engine import EngineStats
 
 __all__ = ["SearchAlgorithm", "DseResult", "run_algorithm"]
 
@@ -26,21 +36,51 @@ class DseResult:
 
     Attributes:
         front: the non-dominated designs returned by the algorithm.
-        evaluations: number of model evaluations consumed.
+        evaluations: designs served to the algorithm (cache hits included).
         wall_clock_s: host time spent by the run.
-        evaluations_per_second: effective evaluation throughput.
+        engine_stats: engine counter deltas for this run (``None`` when the
+            problem is not engine-backed).
     """
 
     front: tuple[EvaluatedDesign, ...]
     evaluations: int
     wall_clock_s: float
+    engine_stats: EngineStats | None = None
 
     @property
     def evaluations_per_second(self) -> float:
-        """Model evaluations per second achieved during the run."""
+        """Designs served per second of wall-clock time (cache-aware)."""
         if self.wall_clock_s <= 0:
             return float("inf")
         return self.evaluations / self.wall_clock_s
+
+    @property
+    def model_evaluations(self) -> int:
+        """Full model evaluations actually computed during the run."""
+        if self.engine_stats is None:
+            return self.evaluations
+        return self.engine_stats.model_evaluations
+
+    @property
+    def model_evaluations_per_second(self) -> float:
+        """Raw model evaluations per second of wall-clock time."""
+        if self.wall_clock_s <= 0:
+            return float("inf")
+        return self.model_evaluations / self.wall_clock_s
+
+    @property
+    def genotype_cache_hit_rate(self) -> float:
+        """Fraction of served designs answered by the genotype memo cache."""
+        if self.engine_stats is None:
+            return 0.0
+        return self.engine_stats.genotype_cache_hit_rate
+
+    @property
+    def node_cache_hit_rate(self) -> float:
+        """Fraction of per-node stage requests served by the node cache."""
+        if self.engine_stats is None:
+            return 0.0
+        return self.engine_stats.node_cache_hit_rate
 
     @property
     def objective_vectors(self) -> list[tuple[float, ...]]:
@@ -51,13 +91,17 @@ class DseResult:
 def run_algorithm(algorithm: SearchAlgorithm) -> DseResult:
     """Run a search algorithm and record its cost."""
     problem = algorithm.problem
-    evaluations_before = getattr(problem, "evaluations", 0)
+    engine = problem.engine
+    stats_before = engine.stats.snapshot() if engine is not None else None
+    evaluations_before = problem.evaluations
     started = time.perf_counter()
     front = algorithm.run()
     wall_clock = time.perf_counter() - started
-    evaluations = getattr(problem, "evaluations", 0) - evaluations_before
     return DseResult(
         front=tuple(front),
-        evaluations=evaluations,
+        evaluations=problem.evaluations - evaluations_before,
         wall_clock_s=wall_clock,
+        engine_stats=(
+            engine.stats.snapshot() - stats_before if engine is not None else None
+        ),
     )

@@ -1,0 +1,41 @@
+"""Shared evaluation engine: batching, two-level caching, instrumentation.
+
+The paper's product is evaluation throughput — an analytical model fast
+enough to let multi-objective search sweep thousands of WBSN configurations
+per second.  This package is the layer that turns the raw model into a
+serving component every search algorithm shares:
+
+* :mod:`repro.engine.engine` — :class:`EvaluationEngine`, the genotype-level
+  memo cache and the batch API ``evaluate_many`` with pluggable execution
+  backends;
+* :mod:`repro.engine.cache` — :class:`CachedNetworkEvaluator`, the node-level
+  cache over the evaluator's pure per-node stage;
+* :mod:`repro.engine.backends` — ``serial`` (default) and ``process``
+  (chunked worker pool) execution backends;
+* :mod:`repro.engine.stats` — :class:`EngineStats`, separating designs served
+  from raw model work so cache-aware throughput can be reported honestly.
+
+Two cache levels, two reuse patterns: the *genotype* cache pays off when the
+same full configuration recurs (elitist populations, annealing walks
+revisiting states, cross-algorithm runs on one problem); the *node* cache
+pays off between *distinct* configurations that share per-node knob settings,
+which is the overwhelmingly common case in a combinatorial space — two
+candidates differing in one node's compression ratio share every other node's
+energy/quality/MAC results.  Pick the ``process`` backend only for large
+batches of expensive evaluations; the analytical model is usually too cheap
+for IPC to win (see :mod:`repro.engine.backends`).
+"""
+
+from repro.engine.backends import ProcessBackend, SerialBackend, make_backend
+from repro.engine.cache import CachedNetworkEvaluator
+from repro.engine.engine import EvaluationEngine
+from repro.engine.stats import EngineStats
+
+__all__ = [
+    "EvaluationEngine",
+    "CachedNetworkEvaluator",
+    "EngineStats",
+    "SerialBackend",
+    "ProcessBackend",
+    "make_backend",
+]

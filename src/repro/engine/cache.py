@@ -1,0 +1,119 @@
+"""Node-level caching wrapper around the network evaluators.
+
+The per-node stage of :class:`~repro.core.evaluator.WBSNEvaluator` is a pure
+function of ``(node_index, chi_node, chi_mac)`` — all hashable, frozen
+dataclasses — and it dominates the cost of a full-network evaluation.  During
+an exploration the same per-node knob settings recur massively across
+candidates (two candidates that differ only in node 3's compression ratio
+share five of six node stages), so memoising the stage avoids most of the raw
+model work.  The :class:`CachedNetworkEvaluator` mirrors the evaluator API
+(``nodes`` / ``evaluate`` / ``objective_vector``) and can therefore be dropped
+in anywhere a plain evaluator is used; the network-aggregation stage (slot
+assignment, delay bound, objective aggregation) is recomputed every time, as
+it depends on the whole configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.core.baseline import EnergyDelayBaselineEvaluator
+from repro.core.evaluator import (
+    NetworkEvaluation,
+    NodeStageResult,
+    WBSNEvaluator,
+)
+from repro.engine.stats import EngineStats
+
+__all__ = ["CachedNetworkEvaluator"]
+
+
+class CachedNetworkEvaluator:
+    """Evaluator wrapper memoising the pure per-node stage.
+
+    Args:
+        evaluator: a :class:`~repro.core.evaluator.WBSNEvaluator` or
+            :class:`~repro.core.baseline.EnergyDelayBaselineEvaluator`; the
+            wrapper keeps the wrapped evaluator's objective vector, so the
+            baseline stays a two-objective model.
+        stats: counters to feed (``node_stage_requests``, ``node_cache_hits``,
+            ``node_model_calls``); a private instance is created if omitted.
+        enabled: when ``False`` the wrapper still counts raw model calls but
+            never stores nor serves cached stages (used by cache-ablation
+            runs, which must reproduce the uncached behaviour exactly).
+    """
+
+    def __init__(
+        self,
+        evaluator: WBSNEvaluator | EnergyDelayBaselineEvaluator,
+        stats: EngineStats | None = None,
+        enabled: bool = True,
+    ) -> None:
+        self._evaluator = evaluator
+        # The baseline delegates its model machinery to the full evaluator;
+        # the node-stage split lives there.
+        self._network: WBSNEvaluator = getattr(evaluator, "full_evaluator", evaluator)
+        self.stats = stats if stats is not None else EngineStats()
+        self.enabled = enabled
+        self._cache: dict[tuple[int, Any, Any], NodeStageResult] = {}
+
+    # ------------------------------------------------------------------ API
+
+    @property
+    def nodes(self):
+        """The node descriptions of the wrapped evaluator."""
+        return self._evaluator.nodes
+
+    @property
+    def wrapped(self) -> WBSNEvaluator | EnergyDelayBaselineEvaluator:
+        """The evaluator this wrapper caches for."""
+        return self._evaluator
+
+    @property
+    def cache_size(self) -> int:
+        """Number of memoised per-node stage results."""
+        return len(self._cache)
+
+    def clear_cache(self) -> None:
+        """Drop every memoised node stage."""
+        self._cache.clear()
+
+    def evaluate(
+        self, node_configs: Sequence[Any], mac_config: Any
+    ) -> NetworkEvaluation:
+        """Evaluate a candidate, reusing memoised per-node stages."""
+        network = self._network
+        if len(node_configs) != len(network.nodes):
+            raise ValueError(
+                f"expected {len(network.nodes)} node configurations, "
+                f"got {len(node_configs)}"
+            )
+        network.mac_protocol.validate_config(mac_config)
+        stats = self.stats
+        stages: list[NodeStageResult] = []
+        for index, node_config in enumerate(node_configs):
+            stats.node_stage_requests += 1
+            key = (index, node_config, mac_config)
+            stage = self._cache.get(key) if self.enabled else None
+            if stage is None:
+                stage = network.evaluate_node_stage(index, node_config, mac_config)
+                stats.node_model_calls += 1
+                if self.enabled:
+                    self._cache[key] = stage
+            else:
+                stats.node_cache_hits += 1
+            stages.append(stage)
+        return network.aggregate(stages, mac_config)
+
+    def objective_vector(self, evaluation: NetworkEvaluation) -> tuple[float, ...]:
+        """The wrapped evaluator's objective vector (2 or 3 components)."""
+        return tuple(self._evaluator.objective_vector(evaluation))
+
+    # ------------------------------------------------------------- pickling
+
+    def __getstate__(self) -> dict[str, Any]:
+        # Worker processes rebuild their own node cache; shipping the parent's
+        # (potentially large) cache would only bloat the pickled payload.
+        state = self.__dict__.copy()
+        state["_cache"] = {}
+        return state

@@ -1,0 +1,186 @@
+"""Shared, batched evaluation engine of the design-space exploration.
+
+The engine sits between the search algorithms and the analytical model and
+owns every cross-cutting evaluation concern:
+
+* **genotype memo cache** — identical genotypes requested twice (within a
+  run or across algorithms sharing one problem) are served without touching
+  the model; this replaces the private caches the algorithms used to carry;
+* **node-level cache** — below a genotype miss, the pure per-node stage of
+  the evaluator is memoised by the problem's
+  :class:`~repro.engine.cache.CachedNetworkEvaluator`, so distinct candidates
+  that share per-node knob settings reuse node energy/quality/MAC results;
+* **batching** — :meth:`EvaluationEngine.evaluate_many` deduplicates a batch,
+  chunks the misses and dispatches them to a pluggable execution backend
+  (``"serial"`` in-process, ``"process"`` pool — see
+  :mod:`repro.engine.backends` for when each pays off);
+* **instrumentation** — an :class:`~repro.engine.stats.EngineStats` instance
+  separating designs served from raw model work.
+
+The engine computes raw designs through ``problem.compute_design``, which
+must be a *pure* genotype evaluation (no history, no counters) — run
+accounting stays in the problem layer, which is what keeps cached and
+uncached runs bitwise identical.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.engine.backends import ExecutionBackend, SerialBackend, make_backend
+from repro.engine.stats import EngineStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a runtime cycle
+    from repro.dse.problem import EvaluatedDesign
+
+__all__ = ["EvaluationEngine"]
+
+
+class EvaluationEngine:
+    """Batched, two-level-cached evaluation of genotypes.
+
+    Args:
+        genotype_cache: memoise whole designs by genotype.
+        node_cache: let the problem's node-level cache store per-node stages
+            (the problem reads this flag when wrapping its evaluator).
+        backend: ``"serial"``, ``"process"`` or a backend instance.
+        max_workers: pool size for the ``"process"`` backend.
+        chunk_size: genotypes per backend work unit in ``evaluate_many``.
+        stats: counters to feed; a private instance is created if omitted.
+    """
+
+    def __init__(
+        self,
+        *,
+        genotype_cache: bool = True,
+        node_cache: bool = True,
+        backend: str | ExecutionBackend = "serial",
+        max_workers: int | None = None,
+        chunk_size: int = 64,
+        stats: EngineStats | None = None,
+    ) -> None:
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        self.genotype_cache_enabled = bool(genotype_cache)
+        self.node_cache_enabled = bool(node_cache)
+        self.chunk_size = chunk_size
+        self.backend = make_backend(backend, max_workers=max_workers)
+        self.stats = stats if stats is not None else EngineStats()
+        self._memo: dict[tuple[int, ...], "EvaluatedDesign"] = {}
+        self._problem: Any = None
+
+    # ------------------------------------------------------------------ API
+
+    def bind(self, problem: Any) -> "EvaluationEngine":
+        """Attach the engine to the problem whose designs it computes."""
+        if self._problem is not None and self._problem is not problem:
+            raise RuntimeError("the engine is already bound to another problem")
+        if not hasattr(problem, "compute_design"):
+            raise TypeError(
+                "the problem must expose a pure 'compute_design(genotype)' method"
+            )
+        self._problem = problem
+        return self
+
+    @property
+    def problem(self) -> Any:
+        """The bound optimisation problem (``None`` before :meth:`bind`)."""
+        return self._problem
+
+    @property
+    def genotype_cache_size(self) -> int:
+        """Number of memoised designs."""
+        return len(self._memo)
+
+    def evaluate(self, genotype: Sequence[int]) -> "EvaluatedDesign":
+        """Evaluate one genotype, serving it from the memo cache if possible.
+
+        Single-genotype requests are always computed in-process: dispatching
+        one evaluation to a worker pool costs more than the model itself.
+        """
+        started = time.perf_counter()
+        key = tuple(int(gene) for gene in genotype)
+        self.stats.genotype_requests += 1
+        design = self._memo.get(key) if self.genotype_cache_enabled else None
+        if design is None:
+            design = self._problem.compute_design(key)
+            self.stats.model_evaluations += 1
+            if self.genotype_cache_enabled:
+                self._memo[key] = design
+        else:
+            self.stats.genotype_cache_hits += 1
+        self.stats.wall_time_s += time.perf_counter() - started
+        return design
+
+    def evaluate_many(
+        self, genotypes: Sequence[Sequence[int]]
+    ) -> list["EvaluatedDesign"]:
+        """Evaluate a batch of genotypes, preserving the input order.
+
+        With the genotype cache enabled the batch is deduplicated first —
+        repeated genotypes are computed once and count as cache hits — and
+        only the misses travel to the execution backend, in chunks of
+        :attr:`chunk_size`.
+        """
+        started = time.perf_counter()
+        self.stats.batches += 1
+        keys = [tuple(int(gene) for gene in genotype) for genotype in genotypes]
+        self.stats.genotype_requests += len(keys)
+
+        if self.genotype_cache_enabled:
+            pending: list[tuple[int, ...]] = []
+            scheduled: set[tuple[int, ...]] = set()
+            for key in keys:
+                if key in self._memo or key in scheduled:
+                    self.stats.genotype_cache_hits += 1
+                    continue
+                scheduled.add(key)
+                pending.append(key)
+        else:
+            pending = list(keys)
+
+        computed = self._compute(pending)
+        if self.genotype_cache_enabled:
+            self._memo.update(zip(pending, computed))
+            results = [self._memo[key] for key in keys]
+        else:
+            results = computed
+        self.stats.wall_time_s += time.perf_counter() - started
+        return results
+
+    def close(self) -> None:
+        """Release backend resources (worker pools)."""
+        self.backend.close()
+
+    def clear_caches(self) -> None:
+        """Drop the genotype memo (the node cache lives with the problem)."""
+        self._memo.clear()
+
+    # ------------------------------------------------------------ internals
+
+    def _compute(
+        self, genotypes: Sequence[tuple[int, ...]]
+    ) -> list["EvaluatedDesign"]:
+        if not genotypes:
+            return []
+        if self._problem is None:
+            raise RuntimeError("the engine must be bound to a problem first")
+        chunks = [
+            genotypes[start : start + self.chunk_size]
+            for start in range(0, len(genotypes), self.chunk_size)
+        ]
+        designs: list["EvaluatedDesign"] = []
+        for chunk_designs, delta in self.backend.run_chunks(self._problem, chunks):
+            designs.extend(chunk_designs)
+            if delta is not None:
+                self.stats.merge(delta)
+        self.stats.model_evaluations += len(designs)
+        return designs
+
+    def __getstate__(self) -> dict[str, Any]:
+        # Worker processes only need the compute path; the memo can be large
+        # and is rebuilt on demand, so it stays home.
+        state = self.__dict__.copy()
+        state["_memo"] = {}
+        return state

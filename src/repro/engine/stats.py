@@ -1,0 +1,98 @@
+"""Instrumentation counters of the evaluation engine.
+
+The engine serves *designs* (one per genotype request) while trying to avoid
+*model work* (full-network evaluations and raw per-node model calls).  The
+:class:`EngineStats` counters keep the two apart so throughput reports can
+state both the effective serving rate and the raw model rate:
+
+* ``genotype_requests`` / ``genotype_cache_hits`` — requests answered by the
+  genotype-level memo cache without touching the model at all;
+* ``model_evaluations`` — full-network evaluations actually computed
+  (genotype-cache misses);
+* ``node_stage_requests`` / ``node_cache_hits`` / ``node_model_calls`` — the
+  per-node stage underneath a full-network evaluation: distinct candidates
+  that share per-node knob settings reuse node results, so
+  ``node_model_calls`` (raw executions of the per-node model) can be far
+  smaller than ``node_stage_requests``.
+
+Counters are plain integers/floats; :meth:`EngineStats.snapshot` and the
+``-`` operator make it cheap to attribute deltas to a single optimisation
+run even when several runs share one engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["EngineStats"]
+
+
+@dataclass
+class EngineStats:
+    """Counters describing the work performed by an :class:`EvaluationEngine`.
+
+    Attributes:
+        genotype_requests: designs served through the engine (cache hits
+            included).
+        genotype_cache_hits: requests answered by the genotype memo cache.
+        model_evaluations: full-network model evaluations actually computed.
+        node_stage_requests: per-node stage evaluations requested.
+        node_cache_hits: per-node stage requests answered by the node cache.
+        node_model_calls: raw per-node model executions (node-cache misses).
+        batches: number of ``evaluate_many`` invocations.
+        wall_time_s: wall-clock time spent inside the engine.
+    """
+
+    genotype_requests: int = 0
+    genotype_cache_hits: int = 0
+    model_evaluations: int = 0
+    node_stage_requests: int = 0
+    node_cache_hits: int = 0
+    node_model_calls: int = 0
+    batches: int = 0
+    wall_time_s: float = 0.0
+
+    # ------------------------------------------------------------ derived
+
+    @property
+    def genotype_cache_hit_rate(self) -> float:
+        """Fraction of genotype requests served from the memo cache."""
+        if self.genotype_requests == 0:
+            return 0.0
+        return self.genotype_cache_hits / self.genotype_requests
+
+    @property
+    def node_cache_hit_rate(self) -> float:
+        """Fraction of per-node stage requests served from the node cache."""
+        if self.node_stage_requests == 0:
+            return 0.0
+        return self.node_cache_hits / self.node_stage_requests
+
+    # ---------------------------------------------------------- operations
+
+    def snapshot(self) -> "EngineStats":
+        """An independent copy of the current counter values."""
+        return EngineStats(
+            **{field.name: getattr(self, field.name) for field in fields(self)}
+        )
+
+    def merge(self, other: "EngineStats") -> None:
+        """Add another set of counters in place (e.g. from a worker process)."""
+        for field in fields(self):
+            setattr(
+                self, field.name, getattr(self, field.name) + getattr(other, field.name)
+            )
+
+    def __sub__(self, other: "EngineStats") -> "EngineStats":
+        """Field-wise difference, used to attribute counters to one run."""
+        return EngineStats(
+            **{
+                field.name: getattr(self, field.name) - getattr(other, field.name)
+                for field in fields(self)
+            }
+        )
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for field in fields(self):
+            setattr(self, field.name, field.default)

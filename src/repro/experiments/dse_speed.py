@@ -17,6 +17,10 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro.dse.problem import WbsnDseProblem
+from repro.engine import EvaluationEngine
 from repro.experiments.casestudy import DEFAULT_MAC_CONFIG, build_case_study_evaluator
 from repro.mac802154.config import Ieee802154MacConfig
 from repro.netsim.network import StarNetworkScenario
@@ -38,11 +42,23 @@ class DseSpeedResult:
     simulated_seconds: float
     simulation_wall_clock_s: float
     simulation_events: int
+    #: designs served through the cached evaluation engine (0 = not measured)
+    engine_evaluations: int = 0
+    engine_wall_clock_s: float = 0.0
+    engine_model_evaluations: int = 0
+    engine_node_cache_hit_rate: float = 0.0
 
     @property
     def model_evaluations_per_second(self) -> float:
         """Analytical evaluations per second of wall-clock time."""
         return self.model_evaluations / self.model_wall_clock_s
+
+    @property
+    def engine_evaluations_per_second(self) -> float:
+        """Designs served per second through the caching engine."""
+        if self.engine_wall_clock_s <= 0:
+            return 0.0
+        return self.engine_evaluations / self.engine_wall_clock_s
 
     @property
     def speedup(self) -> float:
@@ -64,10 +80,22 @@ def run_dse_speed(
     compression_ratio: float = 0.3,
     frequency_hz: float = 8e6,
     mac_config: Ieee802154MacConfig = DEFAULT_MAC_CONFIG,
+    engine_evaluations: int = 2000,
+    engine_seed: int = 0,
 ) -> DseSpeedResult:
-    """Measure the model throughput and the cost of one network simulation."""
+    """Measure the model throughput and the cost of one network simulation.
+
+    Besides the raw-model and simulator timings, the experiment measures the
+    throughput of the *engine path* used by the actual exploration: a stream
+    of random case-study genotypes evaluated in one batch through a
+    :class:`~repro.engine.EvaluationEngine`, whose two cache levels serve
+    part of the work without touching the model (set
+    ``engine_evaluations=0`` to skip this measurement).
+    """
     if model_evaluations <= 0:
         raise ValueError("model_evaluations must be positive")
+    if engine_evaluations < 0:
+        raise ValueError("engine_evaluations cannot be negative")
     evaluator = build_case_study_evaluator()
     node_configs = [
         ShimmerNodeConfig(compression_ratio, frequency_hz)
@@ -78,6 +106,25 @@ def run_dse_speed(
     for _ in range(model_evaluations):
         evaluator.evaluate(node_configs, mac_config)
     model_wall_clock = time.perf_counter() - started
+
+    engine_model_evaluations = 0
+    engine_wall_clock = 0.0
+    engine_node_hit_rate = 0.0
+    if engine_evaluations:
+        problem = WbsnDseProblem(
+            build_case_study_evaluator(), engine=EvaluationEngine()
+        )
+        rng = np.random.default_rng(engine_seed)
+        genotypes = [
+            problem.space.random_genotype(rng) for _ in range(engine_evaluations)
+        ]
+        stats_before = problem.engine.stats.snapshot()
+        started = time.perf_counter()
+        problem.evaluate_batch(genotypes)
+        engine_wall_clock = time.perf_counter() - started
+        stats = problem.engine.stats.snapshot() - stats_before
+        engine_model_evaluations = stats.model_evaluations
+        engine_node_hit_rate = stats.node_cache_hit_rate
 
     output_stream = ECG_SAMPLING_RATE_HZ * SAMPLE_WIDTH_BYTES * compression_ratio
     scenario = StarNetworkScenario(
@@ -93,6 +140,10 @@ def run_dse_speed(
         simulated_seconds=simulated_seconds,
         simulation_wall_clock_s=simulation.wall_clock_s,
         simulation_events=simulation.events_dispatched,
+        engine_evaluations=engine_evaluations,
+        engine_wall_clock_s=engine_wall_clock,
+        engine_model_evaluations=engine_model_evaluations,
+        engine_node_cache_hit_rate=engine_node_hit_rate,
     )
 
 
@@ -105,6 +156,14 @@ def main() -> DseSpeedResult:
         f"{result.model_wall_clock_s:.2f} s "
         f"({result.model_evaluations_per_second:.0f} evaluations/s; paper: ~4800/s)"
     )
+    if result.engine_evaluations:
+        print(
+            f"engine path: {result.engine_evaluations} designs served in "
+            f"{result.engine_wall_clock_s:.2f} s "
+            f"({result.engine_evaluations_per_second:.0f} served/s; "
+            f"{result.engine_model_evaluations} model evaluations, "
+            f"node-cache hit rate {result.engine_node_cache_hit_rate * 100:.0f}%)"
+        )
     print(
         f"simulation: {result.simulated_seconds:.0f} simulated seconds in "
         f"{result.simulation_wall_clock_s:.2f} s wall-clock "

@@ -1,0 +1,266 @@
+"""Tests of the shared evaluation engine: caches, batching, backends, stats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dse.exhaustive import ExhaustiveSearch
+from repro.dse.nsga2 import Nsga2, Nsga2Settings
+from repro.dse.problem import WbsnDseProblem
+from repro.dse.random_search import RandomSearch
+from repro.dse.runner import run_algorithm
+from repro.dse.simulated_annealing import (
+    MultiObjectiveSimulatedAnnealing,
+    SimulatedAnnealingSettings,
+)
+from repro.engine import CachedNetworkEvaluator, EngineStats, EvaluationEngine
+from repro.experiments.casestudy import build_case_study_evaluator
+
+#: Restricted knob domains giving a 64-configuration space (2 nodes), small
+#: enough for exhaustive sweeps in cached and uncached flavours.
+SMALL_DOMAINS = dict(
+    compression_ratios=(0.2, 0.3),
+    frequencies_hz=(4e6, 8e6),
+    payload_bytes=(60, 80),
+    order_pairs=((4, 4), (4, 6)),
+)
+
+
+def small_problem(**kwargs) -> WbsnDseProblem:
+    evaluator = build_case_study_evaluator(n_nodes=2, applications=("dwt", "cs"))
+    return WbsnDseProblem(evaluator, **SMALL_DOMAINS, **kwargs)
+
+
+def front_signature(front):
+    return sorted((design.genotype, design.objectives) for design in front)
+
+
+class TestEngineStats:
+    def test_snapshot_is_independent(self):
+        stats = EngineStats(genotype_requests=3, node_model_calls=2)
+        snap = stats.snapshot()
+        stats.genotype_requests += 5
+        assert snap.genotype_requests == 3
+        assert stats.genotype_requests == 8
+
+    def test_difference_and_merge(self):
+        before = EngineStats(genotype_requests=10, node_cache_hits=4)
+        after = EngineStats(genotype_requests=25, node_cache_hits=9)
+        delta = after - before
+        assert delta.genotype_requests == 15
+        assert delta.node_cache_hits == 5
+        before.merge(delta)
+        assert before.genotype_requests == 25
+        assert before.node_cache_hits == 9
+
+    def test_hit_rates_guard_division_by_zero(self):
+        stats = EngineStats()
+        assert stats.genotype_cache_hit_rate == 0.0
+        assert stats.node_cache_hit_rate == 0.0
+        stats.genotype_requests = 4
+        stats.genotype_cache_hits = 1
+        stats.node_stage_requests = 10
+        stats.node_cache_hits = 5
+        assert stats.genotype_cache_hit_rate == pytest.approx(0.25)
+        assert stats.node_cache_hit_rate == pytest.approx(0.5)
+
+
+class TestCachedNetworkEvaluator:
+    def test_matches_the_raw_evaluator(self):
+        raw = build_case_study_evaluator(n_nodes=2, applications=("dwt", "cs"))
+        cached = CachedNetworkEvaluator(raw)
+        problem = small_problem()
+        for genotype in list(problem.space.enumerate_genotypes())[:8]:
+            node_configs, mac_config = problem.decode(genotype)
+            reference = raw.evaluate(node_configs, mac_config)
+            twice = [cached.evaluate(node_configs, mac_config) for _ in range(2)]
+            for evaluation in twice:
+                assert evaluation.objectives == reference.objectives
+                assert evaluation.feasible == reference.feasible
+                assert evaluation.violations == reference.violations
+
+    def test_counts_hits_and_model_calls(self):
+        raw = build_case_study_evaluator(n_nodes=2, applications=("dwt", "cs"))
+        cached = CachedNetworkEvaluator(raw)
+        problem = small_problem()
+        node_configs, mac_config = problem.decode((0, 0, 0, 0, 0, 0))
+        cached.evaluate(node_configs, mac_config)
+        assert cached.stats.node_model_calls == 2
+        assert cached.stats.node_cache_hits == 0
+        cached.evaluate(node_configs, mac_config)
+        assert cached.stats.node_model_calls == 2
+        assert cached.stats.node_cache_hits == 2
+        assert cached.cache_size == 2
+
+    def test_disabled_mode_still_counts_model_calls(self):
+        raw = build_case_study_evaluator(n_nodes=2, applications=("dwt", "cs"))
+        cached = CachedNetworkEvaluator(raw, enabled=False)
+        problem = small_problem()
+        node_configs, mac_config = problem.decode((0, 0, 0, 0, 0, 0))
+        cached.evaluate(node_configs, mac_config)
+        cached.evaluate(node_configs, mac_config)
+        assert cached.stats.node_model_calls == 4
+        assert cached.stats.node_cache_hits == 0
+        assert cached.cache_size == 0
+
+
+class TestEvaluationEngine:
+    def test_genotype_memoisation(self):
+        problem = small_problem()
+        genotype = (1, 1, 0, 0, 1, 1)
+        first = problem.engine.evaluate(genotype)
+        hits_before = problem.engine.stats.genotype_cache_hits
+        second = problem.engine.evaluate(genotype)
+        assert second is first
+        assert problem.engine.stats.genotype_cache_hits == hits_before + 1
+
+    def test_evaluate_many_preserves_order_and_dedupes(self):
+        problem = small_problem()
+        genotypes = [(0, 0, 0, 0, 0, 0), (1, 1, 1, 1, 1, 1), (0, 0, 0, 0, 0, 0)]
+        stats_before = problem.engine.stats.snapshot()
+        designs = problem.engine.evaluate_many(genotypes)
+        delta = problem.engine.stats.snapshot() - stats_before
+        assert [design.genotype for design in designs] == genotypes
+        assert designs[0] is designs[2]
+        # The probe already cached genotype 0: 1 stored hit + 1 duplicate hit.
+        assert delta.genotype_requests == 3
+        assert delta.genotype_cache_hits == 2
+        assert delta.model_evaluations == 1
+
+    def test_disabled_genotype_cache_recomputes(self):
+        problem = small_problem(
+            engine=EvaluationEngine(genotype_cache=False, node_cache=False)
+        )
+        genotype = (0, 0, 0, 0, 0, 0)
+        stats_before = problem.engine.stats.snapshot()
+        problem.engine.evaluate(genotype)
+        problem.engine.evaluate(genotype)
+        delta = problem.engine.stats.snapshot() - stats_before
+        assert delta.model_evaluations == 2
+        assert delta.genotype_cache_hits == 0
+
+    def test_unknown_backend_is_rejected(self):
+        with pytest.raises(ValueError):
+            EvaluationEngine(backend="gpu")
+
+    def test_engine_cannot_be_rebound(self):
+        problem = small_problem()
+        with pytest.raises(RuntimeError):
+            problem.engine.bind(small_problem())
+
+    def test_process_backend_matches_serial(self):
+        serial = small_problem()
+        process = small_problem(
+            engine=EvaluationEngine(backend="process", max_workers=2, chunk_size=8)
+        )
+        genotypes = list(serial.space.enumerate_genotypes())[:24]
+        try:
+            parallel_designs = process.evaluate_batch(genotypes)
+        finally:
+            process.engine.close()
+        serial_designs = serial.evaluate_batch(genotypes)
+        assert [d.objectives for d in parallel_designs] == [
+            d.objectives for d in serial_designs
+        ]
+        assert [d.feasible for d in parallel_designs] == [
+            d.feasible for d in serial_designs
+        ]
+        # Worker node-stage counters travel back with each chunk.
+        assert process.engine.stats.node_model_calls > 0
+
+
+class TestProblemAccounting:
+    def test_probe_does_not_skew_history_or_evaluations(self):
+        problem = small_problem(record_evaluations=True)
+        assert problem.evaluations == 0
+        assert problem.history == []
+        # ... but the probe did warm the caches and was counted as model work.
+        assert problem.engine.stats.model_evaluations == 1
+        assert problem.engine.genotype_cache_size == 1
+
+    def test_evaluate_and_batch_record_everything(self):
+        problem = small_problem(record_evaluations=True)
+        problem.evaluate((0, 0, 0, 0, 0, 0))
+        problem.evaluate_batch([(0, 0, 0, 0, 0, 0), (1, 0, 1, 0, 1, 0)])
+        assert problem.evaluations == 3
+        assert len(problem.history) == 3
+
+    def test_first_class_counters_exist_on_problems(self):
+        problem = small_problem()
+        assert problem.engine is not None
+        assert problem.evaluations == 0
+
+
+class TestCacheCorrectness:
+    """Caching must never change results: same seed, same fronts, bitwise."""
+
+    def _cached_and_uncached(self, **kwargs):
+        cached = small_problem(**kwargs)
+        uncached = small_problem(
+            engine=EvaluationEngine(genotype_cache=False, node_cache=False), **kwargs
+        )
+        return cached, uncached
+
+    def test_exhaustive_identical(self):
+        cached, uncached = self._cached_and_uncached()
+        assert front_signature(ExhaustiveSearch(cached).run()) == front_signature(
+            ExhaustiveSearch(uncached).run()
+        )
+
+    def test_random_search_identical(self):
+        cached, uncached = self._cached_and_uncached()
+        assert front_signature(
+            RandomSearch(cached, samples=120, seed=4).run()
+        ) == front_signature(RandomSearch(uncached, samples=120, seed=4).run())
+
+    def test_nsga2_identical(self):
+        cached, uncached = self._cached_and_uncached()
+        settings = Nsga2Settings(population_size=16, generations=6, seed=9)
+        assert front_signature(Nsga2(cached, settings).run()) == front_signature(
+            Nsga2(uncached, settings).run()
+        )
+
+    def test_simulated_annealing_identical(self):
+        cached, uncached = self._cached_and_uncached()
+        settings = SimulatedAnnealingSettings(iterations=250, seed=5)
+        assert front_signature(
+            MultiObjectiveSimulatedAnnealing(cached, settings).run()
+        ) == front_signature(
+            MultiObjectiveSimulatedAnnealing(uncached, settings).run()
+        )
+
+    def test_speculative_annealing_batches_share_the_engine(self):
+        problem = small_problem()
+        settings = SimulatedAnnealingSettings(iterations=200, seed=5, batch_size=8)
+        front = MultiObjectiveSimulatedAnnealing(problem, settings).run()
+        assert front
+        assert all(design.feasible for design in front)
+
+
+class TestFigure5ProblemCaching:
+    def test_node_cache_hit_rate_on_the_case_study(self):
+        """Figure-5 problem: per-node results repeat massively across designs."""
+        problem = WbsnDseProblem(build_case_study_evaluator(theta=0.5))
+        result = run_algorithm(
+            Nsga2(problem, Nsga2Settings(population_size=24, generations=8, seed=3))
+        )
+        stats = result.engine_stats
+        assert stats is not None
+        assert stats.node_cache_hit_rate > 0.3
+        assert stats.model_evaluations < result.evaluations or (
+            stats.genotype_cache_hit_rate == 0.0
+        )
+        # Fewer raw per-node model calls than stage requests: the node cache
+        # is doing real work on the case-study space.
+        assert stats.node_model_calls < stats.node_stage_requests
+
+    def test_runner_reports_cache_aware_throughput(self):
+        problem = WbsnDseProblem(build_case_study_evaluator(theta=0.5))
+        result = run_algorithm(
+            Nsga2(problem, Nsga2Settings(population_size=16, generations=4, seed=0))
+        )
+        assert result.evaluations > 0
+        assert result.model_evaluations <= result.evaluations
+        assert result.evaluations_per_second >= result.model_evaluations_per_second
+        assert 0.0 <= result.genotype_cache_hit_rate <= 1.0
+        assert 0.0 <= result.node_cache_hit_rate <= 1.0
