@@ -28,7 +28,11 @@ def _run(cached: bool):
         if cached
         else EvaluationEngine(genotype_cache=False, node_cache=False)
     )
-    problem = WbsnDseProblem(build_case_study_evaluator(theta=0.5), engine=engine)
+    # This benchmark measures the *scalar* path's cache levels; the columnar
+    # fast path (benchmarked in test_bench_dse_speed) bypasses node stages.
+    problem = WbsnDseProblem(
+        build_case_study_evaluator(theta=0.5), engine=engine, vectorized=False
+    )
     return run_algorithm(Nsga2(problem, SETTINGS))
 
 

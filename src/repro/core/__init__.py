@@ -14,6 +14,9 @@ paper:
 * :mod:`repro.core.metrics` — the balanced network-level objective functions,
   equation (8),
 * :mod:`repro.core.evaluator` — the full-network evaluation used by the DSE,
+* :mod:`repro.core.vectorized` — the compiled columnar fast path evaluating
+  whole batches of candidates with NumPy kernels (floating-point-identical
+  to the scalar evaluator),
 * :mod:`repro.core.baseline` — the state-of-the-art energy/delay-only model
   used as the comparison baseline in Figure 5.
 
@@ -39,12 +42,18 @@ from repro.core.metrics import (
     network_delay_metric,
 )
 from repro.core.evaluator import (
+    NodeConfigLike,
     NodeDescription,
     NodeEvaluation,
     NetworkEvaluation,
     WBSNEvaluator,
 )
 from repro.core.baseline import EnergyDelayBaselineEvaluator
+from repro.core.vectorized import (
+    VectorizedUnsupported,
+    WbsnBatchColumns,
+    WbsnVectorizedKernel,
+)
 
 __all__ = [
     "ApplicationModel",
@@ -64,9 +73,13 @@ __all__ = [
     "NetworkObjectives",
     "balanced_aggregate",
     "network_delay_metric",
+    "NodeConfigLike",
     "NodeDescription",
     "NodeEvaluation",
     "NetworkEvaluation",
     "WBSNEvaluator",
     "EnergyDelayBaselineEvaluator",
+    "VectorizedUnsupported",
+    "WbsnBatchColumns",
+    "WbsnVectorizedKernel",
 ]

@@ -19,9 +19,16 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Mapping, Protocol, runtime_checkable
 
-__all__ = ["ResourceUsage", "ApplicationModel"]
+import numpy as np
+
+__all__ = [
+    "ResourceUsage",
+    "ApplicationModel",
+    "ApplicationColumns",
+    "VectorizedApplicationModel",
+]
 
 
 @dataclass(frozen=True)
@@ -89,3 +96,40 @@ class ApplicationModel(abc.ABC):
 
     def validate_config(self, node_config: Any) -> None:
         """Optional hook to reject malformed node configurations early."""
+
+
+@dataclass(frozen=True)
+class ApplicationColumns:
+    """Column-wise ``(h, k, e)`` outputs for a whole batch of candidates.
+
+    Every field is either one value column (one entry per candidate of the
+    batch) or a plain float when the quantity does not depend on the node
+    configuration (e.g. the constant memory footprint of the compression
+    firmwares) — the vectorized evaluator broadcasts scalars for free.
+    """
+
+    output_stream_bytes_per_second: np.ndarray
+    duty_cycle: np.ndarray
+    memory_bytes: float | np.ndarray
+    memory_accesses_per_second: float | np.ndarray
+    quality_loss: np.ndarray
+
+
+@runtime_checkable
+class VectorizedApplicationModel(Protocol):
+    """Applications that can evaluate ``(h, k, e)`` column-wise.
+
+    ``config_columns`` maps the per-node parameter names of the design space
+    (the domain names stripped of their ``node-<i>.`` prefix) to value
+    columns.  Implementations must mirror the scalar methods operation for
+    operation so that the vectorized fast path stays floating-point-identical
+    to the scalar one.
+    """
+
+    def application_columns(
+        self,
+        input_stream_bytes_per_second: float,
+        config_columns: Mapping[str, np.ndarray],
+    ) -> ApplicationColumns:
+        """Evaluate ``(h, k, e)`` for a batch of node configurations."""
+        ...  # pragma: no cover - protocol

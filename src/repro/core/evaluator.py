@@ -11,7 +11,7 @@ thousands of times per second in place of a packet-level simulation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Literal, Sequence
+from typing import Any, Literal, Protocol, Sequence, runtime_checkable
 
 from repro.core.application import ApplicationModel, ResourceUsage
 from repro.core.mac_abstraction import MACProtocolModel, MACQuantities
@@ -24,12 +24,32 @@ from repro.core.node_model import NodeEnergyBreakdown, NodeEnergyModel
 from repro.core.slot_assignment import SlotAssignment, assign_transmission_intervals
 
 __all__ = [
+    "NodeConfigLike",
     "NodeDescription",
     "NodeEvaluation",
     "NodeStageResult",
     "NetworkEvaluation",
     "WBSNEvaluator",
 ]
+
+
+@runtime_checkable
+class NodeConfigLike(Protocol):
+    """Structural type of a per-node configuration ``chi_node``.
+
+    Both evaluation paths (the scalar :class:`WBSNEvaluator` and the
+    vectorized kernel of :mod:`repro.core.vectorized`) need the
+    microcontroller clock frequency to evaluate equation (4); any
+    configuration object exposing it — such as the platform dataclasses —
+    satisfies the protocol.  Application models may require further
+    attributes (e.g. ``compression_ratio`` for the compression firmwares),
+    which stay an application-level contract.
+    """
+
+    @property
+    def microcontroller_frequency_hz(self) -> float:
+        """MSP430-style clock frequency ``f_uC`` in hertz."""
+        ...  # pragma: no cover - protocol
 
 
 @dataclass(frozen=True)
@@ -75,7 +95,7 @@ class NodeEvaluation:
 
     name: str
     application_name: str
-    node_config: Any
+    node_config: NodeConfigLike
     output_stream_bytes_per_second: float
     usage: ResourceUsage
     quality_loss: float
@@ -167,15 +187,15 @@ class WBSNEvaluator:
     # ------------------------------------------------------------------ API
 
     def evaluate(
-        self, node_configs: Sequence[Any], mac_config: Any
+        self, node_configs: Sequence[NodeConfigLike], mac_config: Any
     ) -> NetworkEvaluation:
         """Evaluate a full candidate configuration.
 
         Args:
             node_configs: one ``chi_node`` per node, in the same order as the
-                node descriptions.  Each configuration object must expose a
-                ``microcontroller_frequency_hz`` attribute (the platform
-                packages provide suitable dataclasses).
+                node descriptions.  Each configuration object must satisfy
+                :class:`NodeConfigLike` (the platform packages provide
+                suitable dataclasses).
             mac_config: the ``chi_mac`` protocol configuration.
 
         Returns:
@@ -196,7 +216,7 @@ class WBSNEvaluator:
         return self.aggregate(stages, mac_config)
 
     def evaluate_node_stage(
-        self, node_index: int, node_config: Any, mac_config: Any
+        self, node_index: int, node_config: NodeConfigLike, mac_config: Any
     ) -> NodeStageResult:
         """Run the pure per-node stage for one node of the network.
 
@@ -285,7 +305,7 @@ class WBSNEvaluator:
     # ------------------------------------------------------------- internals
 
     def _evaluate_node(
-        self, description: NodeDescription, node_config: Any, mac_config: Any
+        self, description: NodeDescription, node_config: NodeConfigLike, mac_config: Any
     ) -> tuple[NodeEvaluation, float]:
         application = description.application
         application.validate_config(node_config)
@@ -294,7 +314,7 @@ class WBSNEvaluator:
         usage = application.resource_usage(phi_in, node_config)
         quality = application.quality_loss(phi_in, node_config)
         mac_quantities = self.mac_protocol.per_node_quantities(phi_out, mac_config)
-        frequency_hz = float(getattr(node_config, "microcontroller_frequency_hz"))
+        frequency_hz = float(node_config.microcontroller_frequency_hz)
         energy = description.energy_model.evaluate(
             sampling_rate_hz=description.sampling_rate_hz,
             microcontroller_frequency_hz=frequency_hz,

@@ -20,9 +20,16 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Any, Sequence
+from typing import Any, Protocol, Sequence, runtime_checkable
 
-__all__ = ["MACQuantities", "MACProtocolModel"]
+import numpy as np
+
+__all__ = [
+    "MACQuantities",
+    "MACProtocolModel",
+    "MACQuantityColumns",
+    "VectorizedMACModel",
+]
 
 
 @dataclass(frozen=True)
@@ -94,3 +101,51 @@ class MACProtocolModel(abc.ABC):
 
     def validate_config(self, mac_config: Any) -> None:
         """Optional hook to reject malformed MAC configurations early."""
+
+
+@dataclass(frozen=True)
+class MACQuantityColumns:
+    """``Omega`` and ``Psi`` evaluated column-wise for a batch of candidates.
+
+    The fields mirror :class:`MACQuantities`; every field is one value column
+    with one entry per candidate of the batch.
+    """
+
+    data_overhead_bytes_per_second: np.ndarray
+    control_coordinator_to_node_bytes_per_second: np.ndarray
+    control_node_to_coordinator_bytes_per_second: np.ndarray
+
+
+@runtime_checkable
+class VectorizedMACModel(Protocol):
+    """MAC models that can evaluate their abstraction column-wise.
+
+    A protocol first compiles the distinct MAC configurations of a design
+    space into an opaque table of per-configuration columns
+    (:meth:`compile_mac_table`); the column kernels then gather from that
+    table through a ``mac_index`` column (one table row index per candidate).
+    Implementations must mirror the scalar methods operation for operation so
+    the vectorized fast path stays floating-point-identical.
+    """
+
+    def compile_mac_table(self, mac_configs: Sequence[Any]) -> Any:
+        """Precompute per-configuration columns for the distinct configs."""
+        ...  # pragma: no cover - protocol
+
+    def per_node_quantity_columns(
+        self,
+        output_stream_bytes_per_second: np.ndarray,
+        mac_table: Any,
+        mac_index: np.ndarray,
+    ) -> MACQuantityColumns:
+        """Evaluate ``Omega`` and ``Psi`` for one node over a batch."""
+        ...  # pragma: no cover - protocol
+
+    def worst_case_delay_columns(
+        self,
+        slot_counts: np.ndarray,
+        mac_table: Any,
+        mac_index: np.ndarray,
+    ) -> np.ndarray:
+        """Per-node worst-case delays, shape ``(batch, nodes)``."""
+        ...  # pragma: no cover - protocol

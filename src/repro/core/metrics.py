@@ -14,7 +14,15 @@ import math
 from dataclasses import dataclass
 from typing import Literal, Sequence
 
-__all__ = ["balanced_aggregate", "network_delay_metric", "NetworkObjectives"]
+import numpy as np
+
+__all__ = [
+    "balanced_aggregate",
+    "balanced_aggregate_columns",
+    "network_delay_metric",
+    "network_delay_metric_columns",
+    "NetworkObjectives",
+]
 
 
 def balanced_aggregate(values: Sequence[float], theta: float = 1.0) -> float:
@@ -38,8 +46,45 @@ def balanced_aggregate(values: Sequence[float], theta: float = 1.0) -> float:
     mean = sum(values) / count
     if count == 1 or theta == 0.0:
         return mean
-    variance = sum((value - mean) ** 2 for value in values) / (count - 1)
+    # The square is spelt as a product (not ``** 2``) so the scalar and the
+    # column-wise aggregates are floating-point-identical on every platform:
+    # ``x * x`` is correctly rounded, ``pow(x, 2.0)`` need not be.
+    variance = sum((value - mean) * (value - mean) for value in values) / (count - 1)
     return mean + theta * math.sqrt(variance)
+
+
+def balanced_aggregate_columns(
+    value_columns: Sequence[np.ndarray], theta: float = 1.0
+) -> np.ndarray:
+    """Column-wise :func:`balanced_aggregate` over per-node value columns.
+
+    Args:
+        value_columns: one column per node, each holding one value per
+            candidate of the batch.
+        theta: non-negative weight of the balance term.
+
+    The accumulation order matches the scalar aggregate exactly (left-to-right
+    over nodes), so the result column is floating-point-identical to
+    per-candidate scalar calls.
+    """
+    if theta < 0:
+        raise ValueError("theta cannot be negative")
+    columns = list(value_columns)
+    if not columns:
+        raise ValueError("value_columns must not be empty")
+    count = len(columns)
+    total = np.zeros_like(columns[0])
+    for column in columns:
+        total = total + column
+    mean = total / count
+    if count == 1 or theta == 0.0:
+        return mean
+    squares = np.zeros_like(mean)
+    for column in columns:
+        delta = column - mean
+        squares = squares + delta * delta
+    variance = squares / (count - 1)
+    return mean + theta * np.sqrt(variance)
 
 
 def network_delay_metric(
@@ -53,6 +98,26 @@ def network_delay_metric(
         return max(delays)
     if mode == "mean":
         return sum(delays) / len(delays)
+    raise ValueError("mode must be 'max' or 'mean'")
+
+
+def network_delay_metric_columns(
+    delay_columns: Sequence[np.ndarray], mode: Literal["max", "mean"] = "max"
+) -> np.ndarray:
+    """Column-wise :func:`network_delay_metric` over per-node delay columns."""
+    columns = list(delay_columns)
+    if not columns:
+        raise ValueError("delay_columns must not be empty")
+    if mode == "max":
+        result = columns[0]
+        for column in columns[1:]:
+            result = np.maximum(result, column)
+        return result
+    if mode == "mean":
+        total = np.zeros_like(columns[0])
+        for column in columns:
+            total = total + column
+        return total / len(columns)
     raise ValueError("mode must be 'max' or 'mean'")
 
 

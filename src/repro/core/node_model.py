@@ -9,10 +9,11 @@ millijoule per second).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
 
-from repro.core.application import ApplicationModel, ResourceUsage
-from repro.core.mac_abstraction import MACQuantities
+import numpy as np
+
+from repro.core.application import ResourceUsage
+from repro.core.mac_abstraction import MACQuantities, MACQuantityColumns
 
 __all__ = [
     "SensorModel",
@@ -20,6 +21,7 @@ __all__ = [
     "MemoryModel",
     "RadioLinkModel",
     "NodeEnergyBreakdown",
+    "NodeEnergyColumns",
     "NodeEnergyModel",
 ]
 
@@ -91,6 +93,12 @@ class MicrocontrollerModel:
             raise ValueError("duty_cycle cannot be negative")
         return duty_cycle * self.active_power_w(frequency_hz)
 
+    def energy_per_second_columns(
+        self, duty_cycle: np.ndarray, frequency_hz: np.ndarray
+    ) -> np.ndarray:
+        """Column-wise :meth:`energy_per_second` (same operation order)."""
+        return duty_cycle * (self.alpha_uc1_w_per_hz * frequency_hz + self.alpha_uc0_w)
+
 
 @dataclass(frozen=True)
 class MemoryModel:
@@ -128,6 +136,17 @@ class MemoryModel:
         active_fraction = min(1.0, accesses_per_second * self.access_time_s)
         dynamic = active_fraction * self.access_power_w
         leakage = (1.0 - active_fraction) * 8.0 * memory_bytes * self.idle_power_per_bit_w
+        return dynamic + leakage
+
+    def energy_per_second_columns(
+        self, accesses_per_second: np.ndarray, memory_bytes: np.ndarray
+    ) -> np.ndarray:
+        """Column-wise :meth:`energy_per_second` (same operation order)."""
+        active_fraction = np.minimum(1.0, accesses_per_second * self.access_time_s)
+        dynamic = active_fraction * self.access_power_w
+        leakage = (
+            (1.0 - active_fraction) * 8.0 * memory_bytes * self.idle_power_per_bit_w
+        )
         return dynamic + leakage
 
 
@@ -179,6 +198,29 @@ class RadioLinkModel:
             + received_bits * self.energy_per_bit_rx_j
         )
 
+    def transmission_time_columns(
+        self, payload_bytes_per_second: np.ndarray
+    ) -> np.ndarray:
+        """Column-wise :meth:`transmission_time_s` (same operation order)."""
+        return 8.0 * payload_bytes_per_second / self.bit_rate_bps
+
+    def energy_per_second_columns(
+        self,
+        output_stream_bytes_per_second: np.ndarray,
+        mac: MACQuantityColumns,
+    ) -> np.ndarray:
+        """Column-wise :meth:`energy_per_second` (same operation order)."""
+        transmitted_bits = 8.0 * (
+            output_stream_bytes_per_second
+            + mac.data_overhead_bytes_per_second
+            + mac.control_node_to_coordinator_bytes_per_second
+        )
+        received_bits = 8.0 * mac.control_coordinator_to_node_bytes_per_second
+        return (
+            transmitted_bits * self.energy_per_bit_tx_j
+            + received_bits * self.energy_per_bit_rx_j
+        )
+
 
 @dataclass(frozen=True)
 class NodeEnergyBreakdown:
@@ -201,6 +243,26 @@ class NodeEnergyBreakdown:
     def total_mj_per_s(self) -> float:
         """Total consumption in the mJ/s unit used by the paper's figures."""
         return self.total_w * 1e3
+
+
+@dataclass(frozen=True)
+class NodeEnergyColumns:
+    """Column-wise per-layer energy contributions for a batch of candidates.
+
+    Fields mirror :class:`NodeEnergyBreakdown`; quantities that do not depend
+    on the node configuration (the sensing front-end, and the memory when the
+    footprint is constant) are plain floats broadcast by the array ops.
+    """
+
+    sensor_w: float | np.ndarray
+    microcontroller_w: np.ndarray
+    memory_w: float | np.ndarray
+    radio_w: np.ndarray
+
+    @property
+    def total_w(self) -> np.ndarray:
+        """``E_node`` column (same accumulation order as the scalar model)."""
+        return self.sensor_w + self.microcontroller_w + self.memory_w + self.radio_w
 
 
 @dataclass(frozen=True)
@@ -235,6 +297,43 @@ class NodeEnergyModel:
                 usage.memory_accesses_per_second, usage.memory_bytes
             ),
             radio_w=self.radio.energy_per_second(
+                output_stream_bytes_per_second, mac
+            ),
+        )
+
+    def evaluate_columns(
+        self,
+        sampling_rate_hz: float,
+        microcontroller_frequency_hz: np.ndarray,
+        duty_cycle: np.ndarray,
+        memory_accesses_per_second: float | np.ndarray,
+        memory_bytes: float | np.ndarray,
+        output_stream_bytes_per_second: np.ndarray,
+        mac: MACQuantityColumns,
+    ) -> NodeEnergyColumns:
+        """Evaluate equations (3)-(7) column-wise for a batch of candidates.
+
+        Configuration-independent contributions go through the scalar methods
+        (bit-identical by construction); the rest mirrors the scalar operation
+        order so the columns match the per-design evaluation exactly.
+        """
+        if isinstance(memory_accesses_per_second, (int, float)) and isinstance(
+            memory_bytes, (int, float)
+        ):
+            memory_w: float | np.ndarray = self.memory.energy_per_second(
+                float(memory_accesses_per_second), float(memory_bytes)
+            )
+        else:
+            memory_w = self.memory.energy_per_second_columns(
+                memory_accesses_per_second, memory_bytes
+            )
+        return NodeEnergyColumns(
+            sensor_w=self.sensor.energy_per_second(sampling_rate_hz),
+            microcontroller_w=self.microcontroller.energy_per_second_columns(
+                duty_cycle, microcontroller_frequency_hz
+            ),
+            memory_w=memory_w,
+            radio_w=self.radio.energy_per_second_columns(
                 output_stream_bytes_per_second, mac
             ),
         )

@@ -20,7 +20,14 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
-__all__ = ["SlotAssignment", "assign_transmission_intervals"]
+import numpy as np
+
+__all__ = [
+    "SlotAssignment",
+    "SlotAssignmentColumns",
+    "assign_transmission_intervals",
+    "assign_transmission_interval_columns",
+]
 
 
 @dataclass(frozen=True)
@@ -109,4 +116,66 @@ def assign_transmission_intervals(
         max_assignable_time_per_second=max_assignable_time_per_second,
         feasible=feasible,
         slack_s=slack,
+    )
+
+
+@dataclass(frozen=True)
+class SlotAssignmentColumns:
+    """Column-wise slot assignment for a batch of candidates.
+
+    Attributes:
+        slot_counts: the ``k(n)`` integers, shape ``(batch, nodes)``.
+        transmission_intervals_s: ``k(n) * delta``, shape ``(batch, nodes)``.
+        total_transmission_time_s: summed intervals per candidate.
+        slack_s: unused assignable time per candidate.
+        feasible: budget satisfaction per candidate.
+    """
+
+    slot_counts: np.ndarray
+    transmission_intervals_s: np.ndarray
+    total_transmission_time_s: np.ndarray
+    slack_s: np.ndarray
+    feasible: np.ndarray
+
+
+def assign_transmission_interval_columns(
+    required_transmission_times_s: np.ndarray,
+    base_time_unit_s: np.ndarray,
+    control_time_per_second: np.ndarray,
+    max_assignable_time_per_second: np.ndarray,
+) -> SlotAssignmentColumns:
+    """Column-wise :func:`assign_transmission_intervals` for a batch.
+
+    Args:
+        required_transmission_times_s: per-node requirements, shape
+            ``(batch, nodes)``.
+        base_time_unit_s: the discretisation ``delta`` per candidate.
+        control_time_per_second: ``Delta_control`` per candidate.
+        max_assignable_time_per_second: protocol cap per candidate.
+
+    The arithmetic mirrors the scalar solver operation for operation (same
+    epsilon, same left-to-right interval summation), so the columns are
+    floating-point-identical to per-candidate scalar calls.
+    """
+    required = np.asarray(required_transmission_times_s, dtype=float)
+    base = np.asarray(base_time_unit_s, dtype=float)
+    counts = np.where(
+        required > 0,
+        np.ceil(required / base[:, None] - 1e-12),
+        0.0,
+    ).astype(np.int64)
+    intervals = counts * base[:, None]
+    total = np.zeros(len(required))
+    for column in range(intervals.shape[1]):
+        total = total + intervals[:, column]
+    budget_cap = 1.0 - np.asarray(control_time_per_second, dtype=float)
+    cap = np.minimum(budget_cap, np.asarray(max_assignable_time_per_second, float))
+    slack = cap - total
+    feasible = (slack >= -1e-12) & (cap >= 0)
+    return SlotAssignmentColumns(
+        slot_counts=counts,
+        transmission_intervals_s=intervals,
+        total_transmission_time_s=total,
+        slack_s=slack,
+        feasible=feasible,
     )

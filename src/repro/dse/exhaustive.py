@@ -9,6 +9,10 @@ large parts of the front.
 
 from __future__ import annotations
 
+from itertools import islice
+
+import numpy as np
+
 from repro.dse.pareto import pareto_front_indices
 from repro.dse.problem import EvaluatedDesign, OptimizationProblem
 
@@ -20,8 +24,10 @@ class ExhaustiveSearch:
 
     The sweep is chunked: genotypes are enumerated lazily and handed to
     :meth:`~repro.dse.problem.OptimizationProblem.evaluate_batch` in blocks of
-    ``chunk_size``, which keeps memory bounded while letting an evaluation
-    engine deduplicate and parallelise each block.
+    ``chunk_size``, and after every block the evaluated designs are pruned to
+    the running non-dominated set — memory stays bounded by the front size
+    plus one chunk, not by the size of the space, while an evaluation engine
+    can still deduplicate, vectorize or parallelise each block.
     """
 
     def __init__(
@@ -46,15 +52,48 @@ class ExhaustiveSearch:
                 f"the design space holds {size} configurations, above the "
                 f"exhaustive-search limit of {self.max_configurations}"
             )
-        evaluated: list[EvaluatedDesign] = []
-        chunk: list[tuple[int, ...]] = []
-        for genotype in self.problem.space.enumerate_genotypes():
-            chunk.append(genotype)
-            if len(chunk) >= self.chunk_size:
-                evaluated.extend(self.problem.evaluate_batch(chunk))
-                chunk = []
-        if chunk:
-            evaluated.extend(self.problem.evaluate_batch(chunk))
-        feasible = [design for design in evaluated if design.feasible] or evaluated
-        front = pareto_front_indices([design.objectives for design in feasible])
-        return [feasible[index] for index in front]
+        # Running non-dominated archive.  As long as no feasible design has
+        # been seen the archive tracks the front of the infeasible designs,
+        # so an entirely infeasible space still yields its best trade-offs
+        # (matching the unpruned semantics); the first feasible design resets
+        # it, and from then on only feasible designs compete.
+        archive: list[EvaluatedDesign] = []
+        any_feasible = False
+        genotypes = self.problem.space.enumerate_genotypes()
+        while chunk := list(islice(genotypes, self.chunk_size)):
+            archive, any_feasible = self._absorb(archive, any_feasible, chunk)
+        return archive
+
+    def _absorb(
+        self,
+        archive: list[EvaluatedDesign],
+        any_feasible: bool,
+        chunk: list[tuple[int, ...]],
+    ) -> tuple[list[EvaluatedDesign], bool]:
+        """Evaluate one chunk and prune to the running non-dominated set."""
+        designs = self.problem.evaluate_batch(chunk)
+        feasible = [design for design in designs if design.feasible]
+        if feasible and not any_feasible:
+            archive = []
+            any_feasible = True
+        candidates = feasible if any_feasible else designs
+        if archive and candidates:
+            # Cheap pre-filter: most of a sweep is dominated by the running
+            # front, so drop those candidates (and duplicates of archived
+            # points) before the quadratic self-prune.  Removing them cannot
+            # change the joint front — every removal has a surviving witness
+            # in the archive.
+            front_points = np.asarray([design.objectives for design in archive])
+            points = np.asarray([design.objectives for design in candidates])
+            less_equal = (front_points[:, None, :] <= points[None, :, :]).all(-1)
+            strictly_less = (front_points[:, None, :] < points[None, :, :]).any(-1)
+            equal = (front_points[:, None, :] == points[None, :, :]).all(-1)
+            beaten = ((less_equal & strictly_less) | equal).any(axis=0)
+            candidates = [
+                design
+                for design, dominated in zip(candidates, beaten.tolist())
+                if not dominated
+            ]
+        pool = archive + candidates
+        front = pareto_front_indices([design.objectives for design in pool])
+        return [pool[index] for index in front], any_feasible

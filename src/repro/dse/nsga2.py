@@ -10,9 +10,13 @@ Evaluation is generation-at-a-time: each generation's offspring genotypes are
 produced first (selection and variation never look at a child's objectives)
 and then evaluated as one batch through
 :meth:`~repro.dse.problem.OptimizationProblem.evaluate_batch`, so the shared
-evaluation engine can deduplicate, serve cache hits and fan the misses out to
-its execution backend.  Duplicate-genotype memoisation is the engine's job —
-the algorithm no longer carries a private cache.
+evaluation engine can deduplicate, serve cache hits and push the misses
+through its vectorized fast path (or its scalar execution backend).
+Duplicate-genotype memoisation is the engine's job — the algorithm no longer
+carries a private cache.  Selection itself leans on the NumPy Pareto kernels
+of :mod:`repro.dse.pareto`: non-dominated sorting and crowding run on
+broadcasted dominance matrices, so generation turnover stays array-bound
+rather than Python-bound.
 """
 
 from __future__ import annotations

@@ -1,8 +1,17 @@
-"""Pareto-dominance utilities.
+"""Pareto-dominance utilities on broadcasted NumPy dominance matrices.
 
 All objectives are minimised.  The helpers operate on plain sequences of
 objective vectors so they can be reused by every search algorithm and by the
 front-comparison experiments (Figure 5).
+
+The set-level kernels (front extraction, non-dominated sorting, crowding,
+hypervolume) compare whole objective matrices at once instead of looping
+over Python tuples — the O(n²) pairwise comparisons that dominate NSGA-II
+selection and exhaustive-sweep pruning run inside NumPy.  Pairwise dominance
+checks are processed in bounded-size blocks so memory stays linear in the
+input for large sets.  Results — membership *and* ordering — are identical
+to the original pure-Python implementations (the property tests in
+``tests/test_vectorized.py`` compare against reference implementations).
 """
 
 from __future__ import annotations
@@ -10,6 +19,9 @@ from __future__ import annotations
 from typing import Sequence
 
 import numpy as np
+
+#: Candidate-block size bounding the memory of the pairwise comparisons.
+_DOMINANCE_BLOCK = 512
 
 __all__ = [
     "dominates",
@@ -35,56 +47,113 @@ def dominates(first: Sequence[float], second: Sequence[float]) -> bool:
     return at_least_one_better
 
 
+def _points_matrix(objectives: Sequence[Sequence[float]]) -> np.ndarray:
+    """Objective vectors as a float matrix, validating equal dimensions."""
+    points = np.asarray(objectives, dtype=float)
+    if points.ndim != 2:
+        raise ValueError("objective vectors must have the same length")
+    return points
+
+
+def _pareto_front_indices_direct(points: np.ndarray) -> list[int]:
+    """Single-level front extraction on broadcasted comparison matrices."""
+    count = len(points)
+    dominated = np.zeros(count, dtype=bool)
+    indices = np.arange(count)
+    for start in range(0, count, _DOMINANCE_BLOCK):
+        block = points[start : start + _DOMINANCE_BLOCK]
+        # others[i], candidates[j]: i dominates j iff all(i <= j) and not
+        # all(i >= j); the two points are equal iff both hold.  (NaNs fail
+        # every comparison, so they neither dominate nor equal anything —
+        # the same convention as the pairwise `dominates`.)
+        less_equal = (points[:, None, :] <= block[None, :, :]).all(axis=-1)
+        greater_equal = (points[:, None, :] >= block[None, :, :]).all(axis=-1)
+        dominated[start : start + len(block)] |= (less_equal & ~greater_equal).any(
+            axis=0
+        )
+        # Keep only the first occurrence of duplicated points.
+        earlier = indices[:, None] < indices[None, start : start + len(block)]
+        dominated[start : start + len(block)] |= (
+            less_equal & greater_equal & earlier
+        ).any(axis=0)
+    return np.flatnonzero(~dominated).tolist()
+
+
 def pareto_front_indices(objectives: Sequence[Sequence[float]]) -> list[int]:
-    """Indices of the non-dominated points of a set."""
-    points = [tuple(point) for point in objectives]
-    front: list[int] = []
-    for index, candidate in enumerate(points):
-        dominated = False
-        for other_index, other in enumerate(points):
-            if other_index == index:
-                continue
-            if dominates(other, candidate):
-                dominated = True
-                break
-            if other == candidate and other_index < index:
-                # Keep only the first occurrence of duplicated points.
-                dominated = True
-                break
-        if not dominated:
-            front.append(index)
-    return front
+    """Indices of the non-dominated points of a set.
+
+    Duplicated points keep their first occurrence only.  Dominance runs on
+    broadcasted comparison matrices; large sets are pruned hierarchically —
+    block-local fronts first, then the joint front of the survivors — which
+    collapses the quadratic cost whenever most points are dominated (the
+    typical shape of an exploration sweep).  Membership and ordering are
+    identical to a direct quadratic scan.
+    """
+    count = len(objectives)
+    if count == 0:
+        return []
+    points = _points_matrix(objectives)
+    if count <= 2 * _DOMINANCE_BLOCK:
+        return _pareto_front_indices_direct(points)
+    survivors: list[int] = []
+    for start in range(0, count, _DOMINANCE_BLOCK):
+        block = points[start : start + _DOMINANCE_BLOCK]
+        survivors.extend(start + i for i in _pareto_front_indices_direct(block))
+    if len(survivors) == count:
+        # Mutual non-domination: block pruning cannot shrink the set.
+        return _pareto_front_indices_direct(points)
+    return [survivors[i] for i in pareto_front_indices(points[survivors])]
+
+
+def _domination_matrix(points: np.ndarray) -> np.ndarray:
+    """Boolean matrix ``D[p, q]``: does point ``p`` dominate point ``q``?"""
+    count = len(points)
+    matrix = np.zeros((count, count), dtype=bool)
+    for start in range(0, count, _DOMINANCE_BLOCK):
+        block = points[start : start + _DOMINANCE_BLOCK]
+        less_equal = (points[:, None, :] <= block[None, :, :]).all(axis=-1)
+        greater_equal = (points[:, None, :] >= block[None, :, :]).all(axis=-1)
+        matrix[:, start : start + len(block)] = less_equal & ~greater_equal
+    return matrix
 
 
 def non_dominated_sort(objectives: Sequence[Sequence[float]]) -> list[list[int]]:
-    """Fast non-dominated sorting (Deb et al.), returning fronts of indices."""
+    """Fast non-dominated sorting (Deb et al.), returning fronts of indices.
+
+    The O(n²·m) pairwise comparisons run on a broadcasted dominance matrix;
+    the subsequent front peeling preserves the exact within-front ordering of
+    the classic formulation (which NSGA-II's truncation relies on for
+    deterministic runs).
+    """
     count = len(objectives)
-    dominated_by: list[list[int]] = [[] for _ in range(count)]
-    domination_count = [0] * count
-    fronts: list[list[int]] = [[]]
+    if count == 0:
+        return []
+    points = _points_matrix(objectives)
+    dominates_matrix = _domination_matrix(points)
+    domination_count = dominates_matrix.sum(axis=0).astype(np.int64)
+    front = np.flatnonzero(domination_count == 0)
+    domination_count[front] = -1
+    fronts: list[list[int]] = []
 
-    for p in range(count):
-        for q in range(count):
-            if p == q:
-                continue
-            if dominates(objectives[p], objectives[q]):
-                dominated_by[p].append(q)
-            elif dominates(objectives[q], objectives[p]):
-                domination_count[p] += 1
-        if domination_count[p] == 0:
-            fronts[0].append(p)
-
-    current = 0
-    while fronts[current]:
-        next_front: list[int] = []
-        for p in fronts[current]:
-            for q in dominated_by[p]:
-                domination_count[q] -= 1
-                if domination_count[q] == 0:
-                    next_front.append(q)
-        current += 1
-        fronts.append(next_front)
-    return [front for front in fronts if front]
+    while front.size:
+        fronts.append(front.tolist())
+        front_rows = dominates_matrix[front]
+        domination_count -= front_rows.sum(axis=0)
+        released = np.flatnonzero(domination_count == 0)
+        if released.size:
+            # The classic formulation walks the current front in order and
+            # appends a released point the moment its *last* dominator is
+            # processed; reproduce that ordering (NSGA-II's truncation is
+            # sensitive to it) by sorting on (last dominator position, index).
+            last_dominator = (
+                len(front)
+                - 1
+                - np.argmax(front_rows[::-1, released], axis=0)
+            )
+            released = released[np.lexsort((released, last_dominator))]
+        domination_count[released] = -1
+        front = released
+    return fronts
 
 
 def crowding_distance(objectives: Sequence[Sequence[float]]) -> list[float]:
@@ -92,17 +161,20 @@ def crowding_distance(objectives: Sequence[Sequence[float]]) -> list[float]:
     count = len(objectives)
     if count == 0:
         return []
-    matrix = np.asarray(objectives, dtype=float)
+    matrix = _points_matrix(objectives)
+    order = np.argsort(matrix, axis=0, kind="stable")
     distances = np.zeros(count)
     for column in range(matrix.shape[1]):
-        order = np.argsort(matrix[:, column], kind="stable")
-        column_values = matrix[order, column]
+        column_order = order[:, column]
+        column_values = matrix[column_order, column]
         span = column_values[-1] - column_values[0]
-        distances[order[0]] = np.inf
-        distances[order[-1]] = np.inf
+        distances[column_order[0]] = np.inf
+        distances[column_order[-1]] = np.inf
         if span <= 0 or count < 3:
             continue
-        distances[order[1:-1]] += (column_values[2:] - column_values[:-2]) / span
+        distances[column_order[1:-1]] += (
+            column_values[2:] - column_values[:-2]
+        ) / span
     return distances.tolist()
 
 
@@ -115,36 +187,35 @@ def hypervolume(
     exact and fast enough for the two- and three-objective fronts produced by
     the case study.
     """
-    points = [tuple(float(v) for v in point) for point in objectives]
-    reference = tuple(float(v) for v in reference)
-    if not points:
+    if len(objectives) == 0:
         return 0.0
-    dimension = len(reference)
-    if any(len(point) != dimension for point in points):
+    points = _points_matrix(objectives)
+    reference_point = np.asarray(reference, dtype=float)
+    dimension = len(reference_point)
+    if points.shape[1] != dimension:
         raise ValueError("points and reference must have the same dimension")
     # Clip away points that do not dominate the reference point at all.
-    points = [
-        point for point in points if all(p < r for p, r in zip(point, reference))
-    ]
-    if not points:
+    points = points[(points < reference_point).all(axis=1)]
+    if len(points) == 0:
         return 0.0
-    front = [points[i] for i in pareto_front_indices(points)]
+    front = points[pareto_front_indices(points)]
 
     if dimension == 1:
-        return reference[0] - min(point[0] for point in front)
+        return float(reference_point[0] - front[:, 0].min())
 
     # Sort by the last objective and accumulate slice volumes.
-    front.sort(key=lambda point: point[-1])
+    front = front[np.argsort(front[:, -1], kind="stable")]
     volume = 0.0
-    previous_last = reference[-1]
+    previous_last = reference_point[-1]
     for index in range(len(front) - 1, -1, -1):
         point = front[index]
         slab_height = previous_last - point[-1]
         if slab_height > 0:
-            slice_points = [p[:-1] for p in front[: index + 1]]
-            volume += slab_height * hypervolume(slice_points, reference[:-1])
+            volume += slab_height * hypervolume(
+                front[: index + 1, :-1], reference_point[:-1]
+            )
             previous_last = point[-1]
-    return volume
+    return float(volume)
 
 
 def front_coverage(

@@ -8,6 +8,7 @@ from typing import Any, Sequence
 
 from repro.core.baseline import EnergyDelayBaselineEvaluator
 from repro.core.evaluator import NetworkEvaluation, WBSNEvaluator
+from repro.core.vectorized import VectorizedUnsupported, WbsnVectorizedKernel
 from repro.dse.space import DesignSpace, ParameterDomain
 from repro.engine import CachedNetworkEvaluator, EvaluationEngine
 from repro.mac802154.config import Ieee802154MacConfig
@@ -129,6 +130,10 @@ class WbsnDseProblem(OptimizationProblem):
         engine: the :class:`~repro.engine.EvaluationEngine` routing every
             evaluation (a private serial engine with both cache levels is
             created if omitted).
+        vectorized: compile the columnar fast-path kernel for this problem
+            so the engine can evaluate whole batches with NumPy array
+            kernels.  The fast path is floating-point-identical to the
+            scalar path; ``False`` forces scalar evaluation everywhere.
     """
 
     def __init__(
@@ -141,12 +146,14 @@ class WbsnDseProblem(OptimizationProblem):
         infeasibility_penalty: float = 1e3,
         record_evaluations: bool = False,
         engine: EvaluationEngine | None = None,
+        vectorized: bool = True,
     ) -> None:
         self.engine = engine if engine is not None else EvaluationEngine()
         self.evaluator = CachedNetworkEvaluator(
             evaluator,
             stats=self.engine.stats,
             enabled=self.engine.node_cache_enabled,
+            max_entries=self.engine.node_cache_max_entries,
         )
         self.n_nodes = len(evaluator.nodes)
         self.compression_ratios = tuple(compression_ratios)
@@ -169,6 +176,7 @@ class WbsnDseProblem(OptimizationProblem):
         domains.append(ParameterDomain("mac.payload_bytes", self.payload_bytes))
         domains.append(ParameterDomain("mac.orders", self.order_pairs))
         self.space = DesignSpace(domains)
+        self.vectorized_kernel = self._compile_kernel() if vectorized else None
         self.engine.bind(self)
 
         # The probe goes through the engine like every other evaluation (it
@@ -180,23 +188,45 @@ class WbsnDseProblem(OptimizationProblem):
 
     # ------------------------------------------------------------------ API
 
+    #: Gene-to-configuration factories shared by the scalar decode and the
+    #: vectorized kernel's phenotype tables, so the two paths cannot drift.
+
+    @staticmethod
+    def build_node_config(values: dict[str, Any]) -> ShimmerNodeConfig:
+        """``{CR, f_uC}`` values (short parameter names) to a node config."""
+        return ShimmerNodeConfig(
+            compression_ratio=values["compression_ratio"],
+            microcontroller_frequency_hz=values["frequency_hz"],
+        )
+
+    @staticmethod
+    def build_mac_config(
+        payload_bytes: int, orders: tuple[int, int]
+    ) -> Ieee802154MacConfig:
+        """MAC domain values to a ``chi_mac`` configuration."""
+        superframe_order, beacon_order = orders
+        return Ieee802154MacConfig(
+            payload_bytes=payload_bytes,
+            superframe_order=superframe_order,
+            beacon_order=beacon_order,
+        )
+
     def decode(
         self, genotype: Sequence[int]
     ) -> tuple[list[ShimmerNodeConfig], Ieee802154MacConfig]:
         """Decode a genotype into node configurations and a MAC configuration."""
         values = self.space.decode(genotype)
         node_configs = [
-            ShimmerNodeConfig(
-                compression_ratio=values[f"node-{index}.compression_ratio"],
-                microcontroller_frequency_hz=values[f"node-{index}.frequency_hz"],
+            self.build_node_config(
+                {
+                    "compression_ratio": values[f"node-{index}.compression_ratio"],
+                    "frequency_hz": values[f"node-{index}.frequency_hz"],
+                }
             )
             for index in range(self.n_nodes)
         ]
-        superframe_order, beacon_order = values["mac.orders"]
-        mac_config = Ieee802154MacConfig(
-            payload_bytes=values["mac.payload_bytes"],
-            superframe_order=superframe_order,
-            beacon_order=beacon_order,
+        mac_config = self.build_mac_config(
+            values["mac.payload_bytes"], values["mac.orders"]
         )
         return node_configs, mac_config
 
@@ -209,10 +239,11 @@ class WbsnDseProblem(OptimizationProblem):
     def evaluate_batch(
         self, genotypes: Sequence[Sequence[int]]
     ) -> list[EvaluatedDesign]:
-        """Evaluate a batch through the engine (dedup, caches, backend)."""
+        """Evaluate a batch through the engine (dedup, caches, fast path)."""
         designs = self.engine.evaluate_many(genotypes)
-        for design in designs:
-            self._record(design)
+        self.evaluations += len(designs)
+        if self.record_evaluations:
+            self.history.extend(designs)
         return designs
 
     def compute_design(self, genotype: Sequence[int]) -> EvaluatedDesign:
@@ -239,7 +270,82 @@ class WbsnDseProblem(OptimizationProblem):
             },
         )
 
+    @property
+    def supports_vectorized(self) -> bool:
+        """Whether a columnar kernel is compiled for this problem."""
+        return self.vectorized_kernel is not None
+
+    def compute_designs_batch(
+        self, genotypes: Sequence[Sequence[int]]
+    ) -> list[EvaluatedDesign]:
+        """Raw columnar evaluation of a batch (no run accounting).
+
+        The batched counterpart of :meth:`compute_design`: the compiled
+        kernel evaluates every genotype column-wise, and design objects are
+        materialised only here, from the kernel's phenotype lookup tables
+        (repeated knob settings share one frozen configuration instance).
+        """
+        kernel = self.vectorized_kernel
+        if kernel is None:
+            raise RuntimeError("this problem has no compiled vectorized kernel")
+        matrix = self.space.index_matrix(genotypes)
+        if len(matrix) == 0:
+            return []
+        batch = kernel.evaluate_columns(matrix)
+        node_columns, mac_column = kernel.phenotype_columns(matrix)
+        genotype_rows = map(tuple, matrix.tolist())
+        objective_rows = map(tuple, batch.objectives.tolist())
+        feasible_flags = batch.feasible.tolist()
+        node_config_rows = zip(*node_columns)
+        return [
+            EvaluatedDesign(
+                genotype=genotype,
+                objectives=objectives,
+                feasible=feasible,
+                phenotype={"node_configs": node_configs, "mac_config": mac_config},
+            )
+            for genotype, objectives, feasible, node_configs, mac_config in zip(
+                genotype_rows,
+                objective_rows,
+                feasible_flags,
+                node_config_rows,
+                mac_column,
+            )
+        ]
+
     # ------------------------------------------------------------- internals
+
+    def _compile_kernel(self) -> WbsnVectorizedKernel | None:
+        """Compile the columnar kernel, or fall back for unsupported models."""
+        raw = self.evaluator.wrapped
+        network = getattr(raw, "full_evaluator", raw)
+        components = (
+            ("energy", "delay")
+            if isinstance(raw, EnergyDelayBaselineEvaluator)
+            else ("energy", "quality", "delay")
+        )
+        try:
+            return WbsnVectorizedKernel.compile(
+                network=network,
+                node_parameters=[
+                    {
+                        "compression_ratio": 2 * index,
+                        "frequency_hz": 2 * index + 1,
+                    }
+                    for index in range(self.n_nodes)
+                ],
+                frequency_column="frequency_hz",
+                node_config_factory=lambda _index, values: self.build_node_config(
+                    values
+                ),
+                mac_positions=(2 * self.n_nodes, 2 * self.n_nodes + 1),
+                mac_config_factory=self.build_mac_config,
+                domains=self.space.domains,
+                objective_components=components,
+                infeasibility_penalty=self.infeasibility_penalty,
+            )
+        except VectorizedUnsupported:
+            return None
 
     def _record(self, design: EvaluatedDesign) -> None:
         """Account one served design to this run."""

@@ -8,8 +8,10 @@ manipulate; the problem layer decodes genotypes into configuration objects.
 
 from __future__ import annotations
 
+import itertools
 import math
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Any, Iterator, Sequence
 
 import numpy as np
@@ -49,6 +51,19 @@ class ParameterDomain:
             )
         return self.values[index]
 
+    @cached_property
+    def float_values(self) -> np.ndarray | None:
+        """Numeric lookup table of the domain, or ``None`` if non-numeric.
+
+        Gene index columns fancy-indexed into this table are how the
+        vectorized evaluation path decodes whole batches of genotypes into
+        value columns without touching per-candidate Python objects.
+        """
+        try:
+            return np.asarray([float(value) for value in self.values], dtype=float)
+        except (TypeError, ValueError):
+            return None
+
 
 class DesignSpace:
     """An ordered collection of parameter domains."""
@@ -82,6 +97,28 @@ class DesignSpace:
                 )
         return tuple(int(gene) for gene in genotype)
 
+    @cached_property
+    def cardinalities(self) -> np.ndarray:
+        """Per-domain cardinalities as an integer vector."""
+        return np.asarray([domain.cardinality for domain in self.domains], np.int64)
+
+    def index_matrix(self, genotypes: Sequence[Sequence[int]]) -> np.ndarray:
+        """Validate a batch of genotypes into an ``(batch, genes)`` matrix.
+
+        The batched counterpart of :meth:`validate_genotype`: one row per
+        genotype, every gene bounds-checked against its domain.
+        """
+        matrix = np.asarray(list(genotypes), dtype=np.int64)
+        if matrix.size == 0:
+            return matrix.reshape(0, len(self.domains))
+        if matrix.ndim != 2 or matrix.shape[1] != len(self.domains):
+            raise ValueError(
+                f"genotypes must have {len(self.domains)} genes each"
+            )
+        if (matrix < 0).any() or (matrix >= self.cardinalities).any():
+            raise ValueError("genotype gene out of range for its domain")
+        return matrix
+
     def decode(self, genotype: Sequence[int]) -> dict[str, Any]:
         """Map a genotype to a ``{parameter name: value}`` dictionary."""
         genotype = self.validate_genotype(genotype)
@@ -112,14 +149,10 @@ class DesignSpace:
         return tuple(genotype)
 
     def enumerate_genotypes(self) -> Iterator[tuple[int, ...]]:
-        """Yield every genotype of the space (use only for small spaces)."""
-        def recurse(prefix: list[int], position: int) -> Iterator[tuple[int, ...]]:
-            if position == len(self.domains):
-                yield tuple(prefix)
-                return
-            for index in range(self.domains[position].cardinality):
-                prefix.append(index)
-                yield from recurse(prefix, position + 1)
-                prefix.pop()
+        """Yield every genotype of the space (use only for small spaces).
 
-        yield from recurse([], 0)
+        Genotypes come out in row-major order (last domain varies fastest).
+        """
+        yield from itertools.product(
+            *(range(domain.cardinality) for domain in self.domains)
+        )

@@ -6,24 +6,35 @@ per second.  This package is the layer that turns the raw model into a
 serving component every search algorithm shares:
 
 * :mod:`repro.engine.engine` — :class:`EvaluationEngine`, the genotype-level
-  memo cache and the batch API ``evaluate_many`` with pluggable execution
-  backends;
+  memo cache and the batch API ``evaluate_many`` routing misses to either
+  the vectorized fast path or a pluggable scalar execution backend;
 * :mod:`repro.engine.cache` — :class:`CachedNetworkEvaluator`, the node-level
-  cache over the evaluator's pure per-node stage;
+  cache over the evaluator's pure per-node stage, optionally bounded by an
+  LRU eviction policy (``max_entries``);
 * :mod:`repro.engine.backends` — ``serial`` (default) and ``process``
-  (chunked worker pool) execution backends;
+  (chunked worker pool) execution backends for the scalar path;
 * :mod:`repro.engine.stats` — :class:`EngineStats`, separating designs served
-  from raw model work so cache-aware throughput can be reported honestly.
+  from raw model work (and scalar from vectorized work) so cache-aware
+  throughput can be reported honestly.
+
+Two evaluation paths, one contract: batch misses go to the problem's
+compiled columnar kernel (:mod:`repro.core.vectorized`) when it offers one —
+whole batches evaluated with NumPy array kernels, the right choice for
+sweeps and population-based search — and to the scalar per-design path
+otherwise (single evaluations, problems without a kernel, non-serial
+backends).  Both paths are floating-point-identical, so the choice is purely
+about throughput.
 
 Two cache levels, two reuse patterns: the *genotype* cache pays off when the
 same full configuration recurs (elitist populations, annealing walks
 revisiting states, cross-algorithm runs on one problem); the *node* cache
-pays off between *distinct* configurations that share per-node knob settings,
-which is the overwhelmingly common case in a combinatorial space — two
-candidates differing in one node's compression ratio share every other node's
-energy/quality/MAC results.  Pick the ``process`` backend only for large
-batches of expensive evaluations; the analytical model is usually too cheap
-for IPC to win (see :mod:`repro.engine.backends`).
+pays off between *distinct* configurations that share per-node knob settings
+on the scalar path — two candidates differing in one node's compression
+ratio share every other node's energy/quality/MAC results.  The node cache
+never fields vectorized requests (the kernel recomputes columns wholesale,
+cheaper than hashing per-node keys).  Pick the ``process`` backend only for
+large batches of expensive evaluations; the analytical model is usually too
+cheap for IPC to win (see :mod:`repro.engine.backends`).
 """
 
 from repro.engine.backends import ProcessBackend, SerialBackend, make_backend

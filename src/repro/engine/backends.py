@@ -37,6 +37,10 @@ class ExecutionBackend(Protocol):
     """Anything that can evaluate chunks of genotypes for a problem."""
 
     name: str
+    #: whether the backend computes in the calling process — only such
+    #: backends can be bypassed by the engine's vectorized fast path (the
+    #: columnar kernel is in-process by construction)
+    in_process: bool
 
     def run_chunks(
         self, problem: Any, chunks: Sequence[Sequence[tuple[int, ...]]]
@@ -56,6 +60,7 @@ class SerialBackend:
     """In-process evaluation; shares the engine's caches and stats."""
 
     name = "serial"
+    in_process = True
 
     def run_chunks(
         self, problem: Any, chunks: Sequence[Sequence[tuple[int, ...]]]
@@ -103,6 +108,7 @@ class ProcessBackend:
     """
 
     name = "process"
+    in_process = False
 
     def __init__(self, max_workers: int | None = None) -> None:
         if max_workers is not None and max_workers <= 0:

@@ -15,6 +15,7 @@ it depends on the whole configuration.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Any, Sequence
 
 from repro.core.baseline import EnergyDelayBaselineEvaluator
@@ -41,6 +42,12 @@ class CachedNetworkEvaluator:
         enabled: when ``False`` the wrapper still counts raw model calls but
             never stores nor serves cached stages (used by cache-ablation
             runs, which must reproduce the uncached behaviour exactly).
+        max_entries: optional bound on the number of memoised stages.  When
+            set, the cache evicts its least-recently-used entry on overflow
+            (long campaigns over huge spaces otherwise grow the cache without
+            bound); evictions are counted in
+            ``stats.node_cache_evictions``.  ``None`` keeps the cache
+            unbounded.
     """
 
     def __init__(
@@ -48,14 +55,18 @@ class CachedNetworkEvaluator:
         evaluator: WBSNEvaluator | EnergyDelayBaselineEvaluator,
         stats: EngineStats | None = None,
         enabled: bool = True,
+        max_entries: int | None = None,
     ) -> None:
+        if max_entries is not None and max_entries <= 0:
+            raise ValueError("max_entries must be positive (or None)")
         self._evaluator = evaluator
         # The baseline delegates its model machinery to the full evaluator;
         # the node-stage split lives there.
         self._network: WBSNEvaluator = getattr(evaluator, "full_evaluator", evaluator)
         self.stats = stats if stats is not None else EngineStats()
         self.enabled = enabled
-        self._cache: dict[tuple[int, Any, Any], NodeStageResult] = {}
+        self.max_entries = max_entries
+        self._cache: OrderedDict[tuple[int, Any, Any], NodeStageResult] = OrderedDict()
 
     # ------------------------------------------------------------------ API
 
@@ -100,7 +111,15 @@ class CachedNetworkEvaluator:
                 stats.node_model_calls += 1
                 if self.enabled:
                     self._cache[key] = stage
+                    if (
+                        self.max_entries is not None
+                        and len(self._cache) > self.max_entries
+                    ):
+                        self._cache.popitem(last=False)
+                        stats.node_cache_evictions += 1
             else:
+                if self.max_entries is not None:
+                    self._cache.move_to_end(key)
                 stats.node_cache_hits += 1
             stages.append(stage)
         return network.aggregate(stages, mac_config)
@@ -115,5 +134,5 @@ class CachedNetworkEvaluator:
         # Worker processes rebuild their own node cache; shipping the parent's
         # (potentially large) cache would only bloat the pickled payload.
         state = self.__dict__.copy()
-        state["_cache"] = {}
+        state["_cache"] = OrderedDict()
         return state

@@ -8,19 +8,36 @@ owns every cross-cutting evaluation concern:
   the model; this replaces the private caches the algorithms used to carry;
 * **node-level cache** — below a genotype miss, the pure per-node stage of
   the evaluator is memoised by the problem's
-  :class:`~repro.engine.cache.CachedNetworkEvaluator`, so distinct candidates
-  that share per-node knob settings reuse node energy/quality/MAC results;
+  :class:`~repro.engine.cache.CachedNetworkEvaluator` (optionally bounded by
+  an LRU policy), so distinct candidates that share per-node knob settings
+  reuse node energy/quality/MAC results;
 * **batching** — :meth:`EvaluationEngine.evaluate_many` deduplicates a batch,
-  chunks the misses and dispatches them to a pluggable execution backend
-  (``"serial"`` in-process, ``"process"`` pool — see
-  :mod:`repro.engine.backends` for when each pays off);
+  and dispatches only the misses to one of two compute paths;
 * **instrumentation** — an :class:`~repro.engine.stats.EngineStats` instance
-  separating designs served from raw model work.
+  separating designs served from raw model work, and scalar from vectorized
+  work.
 
-The engine computes raw designs through ``problem.compute_design``, which
-must be a *pure* genotype evaluation (no history, no counters) — run
-accounting stays in the problem layer, which is what keeps cached and
-uncached runs bitwise identical.
+Two compute paths serve a batch of genotype-cache misses:
+
+* the **vectorized fast path** (default, when the problem opts in by
+  exposing ``compute_designs_batch`` / ``supports_vectorized``): the whole
+  miss set is evaluated column-wise by the problem's compiled NumPy kernel
+  (:mod:`repro.core.vectorized`) in one call — the right choice for batch
+  workloads (exhaustive sweeps, NSGA-II generations, speculative annealing);
+* the **scalar path**: misses are chunked and dispatched to a pluggable
+  execution backend (``"serial"`` in-process, ``"process"`` pool — see
+  :mod:`repro.engine.backends`), computing one design at a time through the
+  node-stage cache.  Single-genotype requests (:meth:`EvaluationEngine.evaluate`)
+  always take this path, as do problems without a kernel and engines with a
+  non-serial backend.
+
+Both paths are floating-point-identical by construction (the parity suite
+enforces it), so switching between them is a pure performance decision.
+
+The engine computes raw designs through ``problem.compute_design`` /
+``problem.compute_designs_batch``, which must be *pure* genotype evaluations
+(no history, no counters) — run accounting stays in the problem layer, which
+is what keeps cached and uncached runs bitwise identical.
 """
 
 from __future__ import annotations
@@ -28,7 +45,7 @@ from __future__ import annotations
 import time
 from typing import TYPE_CHECKING, Any, Sequence
 
-from repro.engine.backends import ExecutionBackend, SerialBackend, make_backend
+from repro.engine.backends import ExecutionBackend, make_backend
 from repro.engine.stats import EngineStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a runtime cycle
@@ -44,6 +61,12 @@ class EvaluationEngine:
         genotype_cache: memoise whole designs by genotype.
         node_cache: let the problem's node-level cache store per-node stages
             (the problem reads this flag when wrapping its evaluator).
+        node_cache_max_entries: optional LRU bound on the node-level cache
+            (the problem reads it when wrapping its evaluator); ``None``
+            keeps the cache unbounded.
+        vectorized: route batch misses through the problem's columnar kernel
+            when it offers one (and the backend is serial).  ``False`` forces
+            the scalar path everywhere — results are identical either way.
         backend: ``"serial"``, ``"process"`` or a backend instance.
         max_workers: pool size for the ``"process"`` backend.
         chunk_size: genotypes per backend work unit in ``evaluate_many``.
@@ -55,6 +78,8 @@ class EvaluationEngine:
         *,
         genotype_cache: bool = True,
         node_cache: bool = True,
+        node_cache_max_entries: int | None = None,
+        vectorized: bool = True,
         backend: str | ExecutionBackend = "serial",
         max_workers: int | None = None,
         chunk_size: int = 64,
@@ -62,8 +87,12 @@ class EvaluationEngine:
     ) -> None:
         if chunk_size <= 0:
             raise ValueError("chunk_size must be positive")
+        if node_cache_max_entries is not None and node_cache_max_entries <= 0:
+            raise ValueError("node_cache_max_entries must be positive (or None)")
         self.genotype_cache_enabled = bool(genotype_cache)
         self.node_cache_enabled = bool(node_cache)
+        self.node_cache_max_entries = node_cache_max_entries
+        self.vectorized_enabled = bool(vectorized)
         self.chunk_size = chunk_size
         self.backend = make_backend(backend, max_workers=max_workers)
         self.stats = stats if stats is not None else EngineStats()
@@ -125,10 +154,10 @@ class EvaluationEngine:
         """
         started = time.perf_counter()
         self.stats.batches += 1
-        keys = [tuple(int(gene) for gene in genotype) for genotype in genotypes]
-        self.stats.genotype_requests += len(keys)
+        self.stats.genotype_requests += len(genotypes)
 
         if self.genotype_cache_enabled:
+            keys = [tuple(map(int, genotype)) for genotype in genotypes]
             pending: list[tuple[int, ...]] = []
             scheduled: set[tuple[int, ...]] = set()
             for key in keys:
@@ -138,7 +167,9 @@ class EvaluationEngine:
                 scheduled.add(key)
                 pending.append(key)
         else:
-            pending = list(keys)
+            # Without the memo there is nothing to key by — ship the
+            # genotypes through as-is (the compute paths normalise them).
+            pending = list(genotypes)
 
         computed = self._compute(pending)
         if self.genotype_cache_enabled:
@@ -166,6 +197,18 @@ class EvaluationEngine:
             return []
         if self._problem is None:
             raise RuntimeError("the engine must be bound to a problem first")
+        if (
+            self.vectorized_enabled
+            and getattr(self.backend, "in_process", False)
+            and getattr(self._problem, "supports_vectorized", False)
+        ):
+            # Columnar fast path: the whole miss set in one kernel call.  The
+            # kernel is in-process by design, so a non-serial backend keeps
+            # the scalar chunked path below.
+            designs = list(self._problem.compute_designs_batch(genotypes))
+            self.stats.model_evaluations += len(designs)
+            self.stats.vectorized_designs += len(designs)
+            return designs
         chunks = [
             genotypes[start : start + self.chunk_size]
             for start in range(0, len(genotypes), self.chunk_size)

@@ -35,10 +35,15 @@ class EngineStats:
         genotype_requests: designs served through the engine (cache hits
             included).
         genotype_cache_hits: requests answered by the genotype memo cache.
-        model_evaluations: full-network model evaluations actually computed.
+        model_evaluations: full-network model evaluations actually computed
+            (through either evaluation path).
+        vectorized_designs: model evaluations computed by the columnar fast
+            path (a subset of ``model_evaluations``).
         node_stage_requests: per-node stage evaluations requested.
         node_cache_hits: per-node stage requests answered by the node cache.
         node_model_calls: raw per-node model executions (node-cache misses).
+        node_cache_evictions: per-node stage results evicted by the LRU
+            bound of the node cache.
         batches: number of ``evaluate_many`` invocations.
         wall_time_s: wall-clock time spent inside the engine.
     """
@@ -46,9 +51,11 @@ class EngineStats:
     genotype_requests: int = 0
     genotype_cache_hits: int = 0
     model_evaluations: int = 0
+    vectorized_designs: int = 0
     node_stage_requests: int = 0
     node_cache_hits: int = 0
     node_model_calls: int = 0
+    node_cache_evictions: int = 0
     batches: int = 0
     wall_time_s: float = 0.0
 

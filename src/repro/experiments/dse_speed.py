@@ -47,6 +47,9 @@ class DseSpeedResult:
     engine_wall_clock_s: float = 0.0
     engine_model_evaluations: int = 0
     engine_node_cache_hit_rate: float = 0.0
+    #: designs served through the vectorized fast path (0 = not measured)
+    vectorized_evaluations: int = 0
+    vectorized_wall_clock_s: float = 0.0
 
     @property
     def model_evaluations_per_second(self) -> float:
@@ -59,6 +62,21 @@ class DseSpeedResult:
         if self.engine_wall_clock_s <= 0:
             return 0.0
         return self.engine_evaluations / self.engine_wall_clock_s
+
+    @property
+    def vectorized_evaluations_per_second(self) -> float:
+        """Designs served per second through the columnar fast path."""
+        if self.vectorized_wall_clock_s <= 0:
+            return 0.0
+        return self.vectorized_evaluations / self.vectorized_wall_clock_s
+
+    @property
+    def vectorized_speedup(self) -> float:
+        """Fast-path throughput relative to the scalar engine path."""
+        scalar = self.engine_evaluations_per_second
+        if scalar <= 0:
+            return 0.0
+        return self.vectorized_evaluations_per_second / scalar
 
     @property
     def speedup(self) -> float:
@@ -82,20 +100,25 @@ def run_dse_speed(
     mac_config: Ieee802154MacConfig = DEFAULT_MAC_CONFIG,
     engine_evaluations: int = 2000,
     engine_seed: int = 0,
+    vectorized_evaluations: int = 2000,
 ) -> DseSpeedResult:
     """Measure the model throughput and the cost of one network simulation.
 
     Besides the raw-model and simulator timings, the experiment measures the
-    throughput of the *engine path* used by the actual exploration: a stream
-    of random case-study genotypes evaluated in one batch through a
-    :class:`~repro.engine.EvaluationEngine`, whose two cache levels serve
-    part of the work without touching the model (set
-    ``engine_evaluations=0`` to skip this measurement).
+    throughput of the two *engine paths* used by the actual exploration: a
+    stream of random case-study genotypes evaluated in one batch through a
+    :class:`~repro.engine.EvaluationEngine` — once on the scalar path (two
+    cache levels, per-design model work) and once on the vectorized fast
+    path (the whole batch through the columnar NumPy kernel).  Set
+    ``engine_evaluations=0`` / ``vectorized_evaluations=0`` to skip either
+    measurement.
     """
     if model_evaluations <= 0:
         raise ValueError("model_evaluations must be positive")
     if engine_evaluations < 0:
         raise ValueError("engine_evaluations cannot be negative")
+    if vectorized_evaluations < 0:
+        raise ValueError("vectorized_evaluations cannot be negative")
     evaluator = build_case_study_evaluator()
     node_configs = [
         ShimmerNodeConfig(compression_ratio, frequency_hz)
@@ -112,7 +135,7 @@ def run_dse_speed(
     engine_node_hit_rate = 0.0
     if engine_evaluations:
         problem = WbsnDseProblem(
-            build_case_study_evaluator(), engine=EvaluationEngine()
+            build_case_study_evaluator(), engine=EvaluationEngine(), vectorized=False
         )
         rng = np.random.default_rng(engine_seed)
         genotypes = [
@@ -125,6 +148,20 @@ def run_dse_speed(
         stats = problem.engine.stats.snapshot() - stats_before
         engine_model_evaluations = stats.model_evaluations
         engine_node_hit_rate = stats.node_cache_hit_rate
+
+    vectorized_wall_clock = 0.0
+    if vectorized_evaluations:
+        problem = WbsnDseProblem(
+            build_case_study_evaluator(), engine=EvaluationEngine()
+        )
+        rng = np.random.default_rng(engine_seed)
+        genotypes = [
+            problem.space.random_genotype(rng)
+            for _ in range(vectorized_evaluations)
+        ]
+        started = time.perf_counter()
+        problem.evaluate_batch(genotypes)
+        vectorized_wall_clock = time.perf_counter() - started
 
     output_stream = ECG_SAMPLING_RATE_HZ * SAMPLE_WIDTH_BYTES * compression_ratio
     scenario = StarNetworkScenario(
@@ -144,6 +181,8 @@ def run_dse_speed(
         engine_wall_clock_s=engine_wall_clock,
         engine_model_evaluations=engine_model_evaluations,
         engine_node_cache_hit_rate=engine_node_hit_rate,
+        vectorized_evaluations=vectorized_evaluations,
+        vectorized_wall_clock_s=vectorized_wall_clock,
     )
 
 
@@ -158,11 +197,18 @@ def main() -> DseSpeedResult:
     )
     if result.engine_evaluations:
         print(
-            f"engine path: {result.engine_evaluations} designs served in "
+            f"engine path (scalar): {result.engine_evaluations} designs served in "
             f"{result.engine_wall_clock_s:.2f} s "
             f"({result.engine_evaluations_per_second:.0f} served/s; "
             f"{result.engine_model_evaluations} model evaluations, "
             f"node-cache hit rate {result.engine_node_cache_hit_rate * 100:.0f}%)"
+        )
+    if result.vectorized_evaluations:
+        print(
+            f"engine path (vectorized): {result.vectorized_evaluations} designs "
+            f"served in {result.vectorized_wall_clock_s:.2f} s "
+            f"({result.vectorized_evaluations_per_second:.0f} served/s; "
+            f"{result.vectorized_speedup:.1f}x the scalar engine path)"
         )
     print(
         f"simulation: {result.simulated_seconds:.0f} simulated seconds in "

@@ -19,14 +19,35 @@ model:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Sequence
 
+import numpy as np
+
 from repro.core.delay import worst_case_tdma_delay
-from repro.core.mac_abstraction import MACProtocolModel, MACQuantities
+from repro.core.mac_abstraction import (
+    MACProtocolModel,
+    MACQuantities,
+    MACQuantityColumns,
+)
 from repro.mac802154.config import Ieee802154MacConfig
 from repro.mac802154.constants import ACK_BYTES, MAC_OVERHEAD_BYTES, MAX_GTS_SLOTS
 
-__all__ = ["BeaconEnabledMacModel"]
+__all__ = ["BeaconEnabledMacModel", "BeaconMacTable"]
+
+
+@dataclass(frozen=True)
+class BeaconMacTable:
+    """Per-configuration columns compiled from distinct MAC configurations.
+
+    One row per distinct ``chi_mac``; the column kernels gather rows through
+    a per-candidate index column.
+    """
+
+    payload_bytes: np.ndarray
+    beacon_bytes_per_second: np.ndarray
+    slot_duration_s: np.ndarray
+    beacon_interval_s: np.ndarray
 
 
 class BeaconEnabledMacModel(MACProtocolModel):
@@ -59,6 +80,77 @@ class BeaconEnabledMacModel(MACProtocolModel):
             control_coordinator_to_node_bytes_per_second=acknowledgements + beacons,
             control_node_to_coordinator_bytes_per_second=0.0,
         )
+
+    # ------------------------------------------------------- column kernels
+
+    def compile_mac_table(
+        self, mac_configs: Sequence[Ieee802154MacConfig]
+    ) -> BeaconMacTable:
+        """Precompute the per-configuration columns of the vectorized path.
+
+        Every entry is produced by the exact scalar expressions of the
+        per-candidate methods, so gathering from the table is bit-identical
+        to evaluating the configuration scalar-wise.
+        """
+        for config in mac_configs:
+            self.validate_config(config)
+        return BeaconMacTable(
+            payload_bytes=np.asarray(
+                [float(config.payload_bytes) for config in mac_configs], dtype=float
+            ),
+            beacon_bytes_per_second=np.asarray(
+                [
+                    config.beacon_bytes * config.superframes_per_second
+                    for config in mac_configs
+                ],
+                dtype=float,
+            ),
+            slot_duration_s=np.asarray(
+                [config.slot_duration_s for config in mac_configs], dtype=float
+            ),
+            beacon_interval_s=np.asarray(
+                [config.beacon_interval_s for config in mac_configs], dtype=float
+            ),
+        )
+
+    def per_node_quantity_columns(
+        self,
+        output_stream_bytes_per_second: np.ndarray,
+        mac_table: BeaconMacTable,
+        mac_index: np.ndarray,
+    ) -> MACQuantityColumns:
+        """Column-wise :meth:`per_node_quantities` (same operation order)."""
+        phi_out = np.asarray(output_stream_bytes_per_second, dtype=float)
+        frames_per_second = phi_out / mac_table.payload_bytes[mac_index]
+        data_overhead = MAC_OVERHEAD_BYTES * frames_per_second
+        acknowledgements = ACK_BYTES * frames_per_second
+        beacons = mac_table.beacon_bytes_per_second[mac_index]
+        return MACQuantityColumns(
+            data_overhead_bytes_per_second=data_overhead,
+            control_coordinator_to_node_bytes_per_second=acknowledgements + beacons,
+            control_node_to_coordinator_bytes_per_second=np.zeros_like(phi_out),
+        )
+
+    def worst_case_delay_columns(
+        self,
+        slot_counts: np.ndarray,
+        mac_table: BeaconMacTable,
+        mac_index: np.ndarray,
+    ) -> np.ndarray:
+        """Column-wise equation (9) over a ``(batch, nodes)`` slot matrix."""
+        counts = np.asarray(slot_counts)
+        slot_duration = mac_table.slot_duration_s[mac_index]
+        beacon_interval = mac_table.beacon_interval_s[mac_index]
+        total_slots = counts.sum(axis=1)
+        used = total_slots * slot_duration
+        control_per_superframe = np.maximum(0.0, beacon_interval - used)
+        other_slots = total_slots[:, None] - counts
+        waiting_for_others = other_slots * slot_duration[:, None]
+        recurrences_spanned = np.maximum(1.0, np.ceil(other_slots / MAX_GTS_SLOTS))
+        delays = (
+            waiting_for_others + recurrences_spanned * control_per_superframe[:, None]
+        )
+        return np.where(counts == 0, np.inf, delays)
 
     # ------------------------------------------------------ time structure
 

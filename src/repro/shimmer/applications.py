@@ -20,7 +20,9 @@ deliver.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Literal
+from typing import Any, Literal, Mapping
+
+import numpy as np
 
 from repro.compression.cycle_counts import (
     CycleCount,
@@ -29,7 +31,11 @@ from repro.compression.cycle_counts import (
     cycles_per_second,
     dwt_cycle_count,
 )
-from repro.core.application import ApplicationModel, ResourceUsage
+from repro.core.application import (
+    ApplicationColumns,
+    ApplicationModel,
+    ResourceUsage,
+)
 from repro.shimmer.msp430 import Msp430Parameters
 from repro.shimmer.prd_fit import (
     DEFAULT_CS_PRD_POLYNOMIAL,
@@ -115,6 +121,29 @@ class CompressionApplicationModel(ApplicationModel):
         ratio = self._compression_ratio(node_config)
         if not 0.0 < ratio <= 1.0:
             raise ValueError(f"compression ratio must be in (0, 1], got {ratio}")
+
+    # --------------------------------------------------------- column path
+
+    def application_columns(
+        self,
+        input_stream_bytes_per_second: float,
+        config_columns: Mapping[str, np.ndarray],
+    ) -> ApplicationColumns:
+        """Column-wise ``(h, k, e)`` over a batch of ``{CR, f_uC}`` columns.
+
+        Mirrors the scalar methods operation for operation, so the columns
+        are floating-point-identical to per-candidate scalar calls; the
+        constant memory characterisation stays scalar and broadcasts.
+        """
+        ratios = config_columns["compression_ratio"]
+        frequencies = config_columns["frequency_hz"]
+        return ApplicationColumns(
+            output_stream_bytes_per_second=input_stream_bytes_per_second * ratios,
+            duty_cycle=self.cycles_per_second / frequencies,
+            memory_bytes=self.memory_bytes,
+            memory_accesses_per_second=self.memory_accesses_per_second,
+            quality_loss=self.prd_polynomial.evaluate_columns(ratios),
+        )
 
     # -------------------------------------------------------------- helpers
 

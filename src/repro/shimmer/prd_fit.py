@@ -71,6 +71,19 @@ class PrdPolynomial:
         """Vectorised evaluation over a sweep of compression ratios."""
         return np.asarray([self(ratio) for ratio in compression_ratios])
 
+    def evaluate_columns(self, compression_ratios: np.ndarray) -> np.ndarray:
+        """Column-wise :meth:`__call__` over a batch of compression ratios.
+
+        Mirrors the scalar estimator operation for operation (same clamping,
+        same Horner evaluation through ``np.polyval``), so every entry is
+        bit-identical to the corresponding scalar call.
+        """
+        ratios = np.asarray(compression_ratios, dtype=float)
+        if (ratios <= 0).any():
+            raise ValueError("compression_ratio must be positive")
+        clamped = np.minimum(np.maximum(ratios, self.cr_min), self.cr_max)
+        return np.maximum(0.0, np.polyval(self.coefficients, clamped))
+
 
 def fit_prd_polynomial(
     compression_ratios: Sequence[float],

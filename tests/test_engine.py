@@ -239,8 +239,15 @@ class TestCacheCorrectness:
 
 class TestFigure5ProblemCaching:
     def test_node_cache_hit_rate_on_the_case_study(self):
-        """Figure-5 problem: per-node results repeat massively across designs."""
-        problem = WbsnDseProblem(build_case_study_evaluator(theta=0.5))
+        """Figure-5 problem: per-node results repeat massively across designs.
+
+        The node cache only fields requests on the scalar path, so this test
+        pins ``vectorized=False`` (the columnar path never touches per-node
+        stages).
+        """
+        problem = WbsnDseProblem(
+            build_case_study_evaluator(theta=0.5), vectorized=False
+        )
         result = run_algorithm(
             Nsga2(problem, Nsga2Settings(population_size=24, generations=8, seed=3))
         )
