@@ -12,8 +12,16 @@ configuration ``chi_mac``:
 * the base time unit ``delta`` — the granularity at which transmission
   intervals can be assigned.
 
-Concrete protocols (IEEE 802.15.4 beacon-enabled mode, the CSMA/CA adaptation)
-implement :class:`MACProtocolModel`.
+Concrete protocols (IEEE 802.15.4 beacon-enabled mode, the unslotted CSMA/CA
+adaptation) implement :class:`MACProtocolModel`.
+
+Vectorized column support is *pluggable* and discovered through the protocol,
+never hard-coded to a concrete model: a MAC model advertises its column
+kernels via :meth:`MACProtocolModel.column_kernels` (by default the model
+itself, when it satisfies :class:`VectorizedMACModel`), and the columnar fast
+path resolves them with :func:`resolve_mac_column_kernels`.  A model may also
+delegate to a separate compiled-kernel object — the evaluator only ever talks
+to the returned :class:`VectorizedMACModel`.
 """
 
 from __future__ import annotations
@@ -29,6 +37,7 @@ __all__ = [
     "MACProtocolModel",
     "MACQuantityColumns",
     "VectorizedMACModel",
+    "resolve_mac_column_kernels",
 ]
 
 
@@ -102,6 +111,18 @@ class MACProtocolModel(abc.ABC):
     def validate_config(self, mac_config: Any) -> None:
         """Optional hook to reject malformed MAC configurations early."""
 
+    def column_kernels(self) -> "VectorizedMACModel | None":
+        """The compiled-kernel object serving this model's column protocols.
+
+        The default returns the model itself when it implements
+        :class:`VectorizedMACModel`, and ``None`` otherwise (scalar-only
+        models).  Override to delegate the column kernels to a separate
+        object; the vectorized fast path discovers support exclusively
+        through this hook (via :func:`resolve_mac_column_kernels`), so new
+        protocols plug in without touching the evaluator.
+        """
+        return self if isinstance(self, VectorizedMACModel) else None
+
 
 @dataclass(frozen=True)
 class MACQuantityColumns:
@@ -149,3 +170,21 @@ class VectorizedMACModel(Protocol):
     ) -> np.ndarray:
         """Per-node worst-case delays, shape ``(batch, nodes)``."""
         ...  # pragma: no cover - protocol
+
+
+def resolve_mac_column_kernels(mac_protocol: Any) -> "VectorizedMACModel | None":
+    """Discover the column kernels of a MAC protocol, if it has any.
+
+    Resolution is protocol-based: the :meth:`MACProtocolModel.column_kernels`
+    hook is consulted first (letting models delegate to a separate compiled
+    object), and duck-typed protocols without the hook are accepted when they
+    satisfy :class:`VectorizedMACModel` directly.  Returns ``None`` for
+    scalar-only models, in which case callers fall back to the scalar path.
+    """
+    hook = getattr(mac_protocol, "column_kernels", None)
+    if callable(hook):
+        kernels = hook()
+        return kernels if isinstance(kernels, VectorizedMACModel) else None
+    if isinstance(mac_protocol, VectorizedMACModel):
+        return mac_protocol
+    return None

@@ -28,7 +28,12 @@ path is floating-point-identical to the scalar path — same seed, same fronts,
 bit for bit — which the parity suite in ``tests/test_vectorized.py``
 enforces.  When a problem's components do not implement the column protocols
 the compile step raises :class:`VectorizedUnsupported` and callers fall back
-to the scalar path.
+to the scalar path.  MAC column support is discovered through the pluggable
+``column_kernels`` hook of the MAC abstraction
+(:func:`~repro.core.mac_abstraction.resolve_mac_column_kernels`) — the kernel
+never names a concrete MAC model, so both the beacon-enabled 802.15.4 model
+and the unslotted CSMA/CA model (and any future protocol advertising
+kernels) take the same fast path.
 
 When does each path win?  The scalar path (plus the engine's node-stage
 cache) is right for single evaluations and tiny batches; the columnar path
@@ -45,7 +50,10 @@ import numpy as np
 
 from repro.core.application import VectorizedApplicationModel
 from repro.core.evaluator import NodeConfigLike, NodeDescription, WBSNEvaluator
-from repro.core.mac_abstraction import VectorizedMACModel
+from repro.core.mac_abstraction import (
+    VectorizedMACModel,
+    resolve_mac_column_kernels,
+)
 from repro.core.metrics import (
     balanced_aggregate_columns,
     network_delay_metric_columns,
@@ -131,6 +139,7 @@ class WbsnVectorizedKernel:
         mac_strides: Sequence[int],
         mac_configs: Sequence[Any],
         mac_config_objects: np.ndarray,
+        mac_columns: VectorizedMACModel,
         mac_table: Any,
         base_time_unit_s: np.ndarray,
         control_time_per_second: np.ndarray,
@@ -157,6 +166,7 @@ class WbsnVectorizedKernel:
         self._mac_strides = tuple(mac_strides)
         self._mac_configs = tuple(mac_configs)
         self._mac_config_objects = mac_config_objects
+        self._mac_columns = mac_columns
         self._mac_table = mac_table
         self._base_time_unit_s = base_time_unit_s
         self._control_time_per_second = control_time_per_second
@@ -214,7 +224,12 @@ class WbsnVectorizedKernel:
                 f"unknown objective components: {sorted(unknown)}"
             )
         mac_protocol = network.mac_protocol
-        if not isinstance(mac_protocol, VectorizedMACModel):
+        # Column support is discovered through the protocol (the
+        # ``column_kernels`` hook), never by matching concrete MAC classes:
+        # any protocol advertising kernels — the beacon-enabled model, the
+        # unslotted CSMA/CA model, or a delegate object — plugs in here.
+        mac_columns = resolve_mac_column_kernels(mac_protocol)
+        if mac_columns is None:
             raise VectorizedUnsupported(
                 f"MAC model {type(mac_protocol).__name__} has no column kernels"
             )
@@ -287,7 +302,7 @@ class WbsnVectorizedKernel:
             mac_protocol.validate_config(config)
         mac_config_objects = np.empty(len(mac_configs), dtype=object)
         mac_config_objects[:] = mac_configs
-        mac_table = mac_protocol.compile_mac_table(mac_configs)
+        mac_table = mac_columns.compile_mac_table(mac_configs)
         base_time_unit = np.asarray(
             [mac_protocol.base_time_unit_s(c) for c in mac_configs], dtype=float
         )
@@ -306,6 +321,7 @@ class WbsnVectorizedKernel:
             mac_strides=mac_strides,
             mac_configs=mac_configs,
             mac_config_objects=mac_config_objects,
+            mac_columns=mac_columns,
             mac_table=mac_table,
             base_time_unit_s=base_time_unit,
             control_time_per_second=control_time,
@@ -330,7 +346,7 @@ class WbsnVectorizedKernel:
         base_time_unit = self._base_time_unit_s[mac_index]
         control_time = self._control_time_per_second[mac_index]
         max_assignable = self._max_assignable_time_per_second[mac_index]
-        mac_protocol = network.mac_protocol
+        mac_columns = self._mac_columns
 
         energy_columns: list[np.ndarray | None] = [None] * node_count
         quality_columns: list[np.ndarray | None] = [None] * node_count
@@ -356,7 +372,7 @@ class WbsnVectorizedKernel:
             app = plan.application.application_columns(
                 description.input_stream_bytes_per_second, config_columns
             )
-            mac_quantities = mac_protocol.per_node_quantity_columns(
+            mac_quantities = mac_columns.per_node_quantity_columns(
                 app.output_stream_bytes_per_second,
                 self._mac_table,
                 mac_index[:, None],
@@ -397,7 +413,7 @@ class WbsnVectorizedKernel:
             max_assignable,
         )
         violations += np.where(assignment.feasible, 0, 1)
-        delays = mac_protocol.worst_case_delay_columns(
+        delays = mac_columns.worst_case_delay_columns(
             assignment.slot_counts, self._mac_table, mac_index
         )
 

@@ -1,10 +1,21 @@
-"""Optimisation-problem layer bridging the design space and the evaluator."""
+"""Optimisation-problem layer bridging the design space and the evaluator.
+
+The MAC half of the genotype is *pluggable*: a :class:`MacParameterisation`
+names the MAC-owned domains and the factory decoding their values into a
+``chi_mac`` object, so the same problem class explores beacon-enabled GTS
+configurations (payload + superframe/beacon orders, the default) and
+unslotted CSMA/CA configurations (payload + backoff-exponent windows, via
+:func:`csma_mac_parameterisation`) — or any future protocol — without
+touching the evaluation machinery.
+"""
 
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
-from typing import Any, Sequence
+import hashlib
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
 
 from repro.core.baseline import EnergyDelayBaselineEvaluator
 from repro.core.evaluator import NetworkEvaluation, WBSNEvaluator
@@ -12,9 +23,18 @@ from repro.core.vectorized import VectorizedUnsupported, WbsnVectorizedKernel
 from repro.dse.space import DesignSpace, ParameterDomain
 from repro.engine import CachedNetworkEvaluator, EvaluationEngine
 from repro.mac802154.config import Ieee802154MacConfig
+from repro.mac802154.csma import CsmaMacConfig
 from repro.shimmer.platform import ShimmerNodeConfig
 
-__all__ = ["EvaluatedDesign", "OptimizationProblem", "WbsnDseProblem"]
+__all__ = [
+    "EvaluatedDesign",
+    "MacParameterisation",
+    "OptimizationProblem",
+    "WbsnDseProblem",
+    "beacon_mac_parameterisation",
+    "csma_mac_parameterisation",
+    "DEFAULT_BACKOFF_EXPONENT_PAIRS",
+]
 
 #: Default compression-ratio grid explored by the case study (Figure 3/4 sweep).
 DEFAULT_COMPRESSION_RATIOS: tuple[float, ...] = (
@@ -45,6 +65,71 @@ DEFAULT_ORDER_PAIRS: tuple[tuple[int, int], ...] = (
     (5, 6),
     (6, 6),
 )
+
+#: Default (macMinBE, macMaxBE) windows explored by CSMA-backed problems.
+DEFAULT_BACKOFF_EXPONENT_PAIRS: tuple[tuple[int, int], ...] = (
+    (2, 4),
+    (3, 5),
+    (3, 6),
+    (4, 6),
+)
+
+
+@dataclass(frozen=True)
+class MacParameterisation:
+    """The MAC-owned slice of a design space and its decode rule.
+
+    Attributes:
+        name: protocol tag used in reports and fingerprints.
+        domains: the MAC parameter domains, in genotype order (their names
+            conventionally carry a ``mac.`` prefix).
+        config_factory: maps one value per domain (in the same order) to the
+            ``chi_mac`` configuration object.
+    """
+
+    name: str
+    domains: tuple[ParameterDomain, ...]
+    config_factory: Callable[..., Any] = field(compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.domains:
+            raise ValueError("a MAC parameterisation needs at least one domain")
+
+    def decode(self, values: dict[str, Any]) -> Any:
+        """Build the MAC configuration from decoded domain values."""
+        return self.config_factory(
+            *(values[domain.name] for domain in self.domains)
+        )
+
+
+def beacon_mac_parameterisation(
+    payload_bytes: Sequence[int] = DEFAULT_PAYLOAD_BYTES,
+    order_pairs: Sequence[tuple[int, int]] = DEFAULT_ORDER_PAIRS,
+) -> MacParameterisation:
+    """Beacon-enabled GTS parameterisation: payload plus (SFO, BCO) pairs."""
+    return MacParameterisation(
+        name="beacon",
+        domains=(
+            ParameterDomain("mac.payload_bytes", tuple(payload_bytes)),
+            ParameterDomain("mac.orders", tuple(order_pairs)),
+        ),
+        config_factory=WbsnDseProblem.build_mac_config,
+    )
+
+
+def csma_mac_parameterisation(
+    payload_bytes: Sequence[int] = DEFAULT_PAYLOAD_BYTES,
+    backoff_exponent_pairs: Sequence[tuple[int, int]] = DEFAULT_BACKOFF_EXPONENT_PAIRS,
+) -> MacParameterisation:
+    """Unslotted CSMA/CA parameterisation: payload plus backoff windows."""
+    return MacParameterisation(
+        name="csma",
+        domains=(
+            ParameterDomain("mac.payload_bytes", tuple(payload_bytes)),
+            ParameterDomain("mac.backoff_exponents", tuple(backoff_exponent_pairs)),
+        ),
+        config_factory=WbsnDseProblem.build_csma_mac_config,
+    )
 
 
 @dataclass(frozen=True)
@@ -119,8 +204,15 @@ class WbsnDseProblem(OptimizationProblem):
             :class:`~repro.core.baseline.EnergyDelayBaselineEvaluator`.
         compression_ratios: admissible per-node compression ratios.
         frequencies_hz: admissible per-node microcontroller frequencies.
-        payload_bytes: admissible MAC payload sizes.
-        order_pairs: admissible ``(superframe order, beacon order)`` pairs.
+        payload_bytes: admissible MAC payload sizes (beacon default only).
+        order_pairs: admissible ``(superframe order, beacon order)`` pairs
+            (beacon default only).
+        mac_parameterisation: the MAC-owned domains and decode rule; defaults
+            to the beacon-enabled parameterisation built from
+            ``payload_bytes`` / ``order_pairs``.  Pass
+            :func:`csma_mac_parameterisation` (with an evaluator whose MAC
+            protocol is the unslotted CSMA/CA model) to explore
+            contention-based configurations.
         infeasibility_penalty: constant added to every objective of an
             infeasible candidate so that unconstrained algorithms still rank
             them behind feasible ones.
@@ -143,6 +235,7 @@ class WbsnDseProblem(OptimizationProblem):
         frequencies_hz: Sequence[float] = DEFAULT_FREQUENCIES_HZ,
         payload_bytes: Sequence[int] = DEFAULT_PAYLOAD_BYTES,
         order_pairs: Sequence[tuple[int, int]] = DEFAULT_ORDER_PAIRS,
+        mac_parameterisation: MacParameterisation | None = None,
         infeasibility_penalty: float = 1e3,
         record_evaluations: bool = False,
         engine: EvaluationEngine | None = None,
@@ -158,12 +251,28 @@ class WbsnDseProblem(OptimizationProblem):
         self.n_nodes = len(evaluator.nodes)
         self.compression_ratios = tuple(compression_ratios)
         self.frequencies_hz = tuple(frequencies_hz)
-        self.payload_bytes = tuple(payload_bytes)
-        self.order_pairs = tuple(order_pairs)
+        if mac_parameterisation is None:
+            # The beacon defaults exist only to build the default
+            # parameterisation; with an explicit one they play no role, so
+            # they are not kept as (misleading) attributes.
+            self.payload_bytes: tuple[int, ...] | None = tuple(payload_bytes)
+            self.order_pairs: tuple[tuple[int, int], ...] | None = tuple(order_pairs)
+            self.mac_parameterisation = beacon_mac_parameterisation(
+                self.payload_bytes, self.order_pairs
+            )
+        else:
+            self.payload_bytes = None
+            self.order_pairs = None
+            self.mac_parameterisation = mac_parameterisation
         self.infeasibility_penalty = infeasibility_penalty
         self.record_evaluations = record_evaluations
         self.history: list[EvaluatedDesign] = []
         self.evaluations = 0
+        self.objective_components: tuple[str, ...] = (
+            ("energy", "delay")
+            if isinstance(evaluator, EnergyDelayBaselineEvaluator)
+            else ("energy", "quality", "delay")
+        )
 
         domains: list[ParameterDomain] = []
         for index in range(self.n_nodes):
@@ -173,8 +282,7 @@ class WbsnDseProblem(OptimizationProblem):
             domains.append(
                 ParameterDomain(f"node-{index}.frequency_hz", self.frequencies_hz)
             )
-        domains.append(ParameterDomain("mac.payload_bytes", self.payload_bytes))
-        domains.append(ParameterDomain("mac.orders", self.order_pairs))
+        domains.extend(self.mac_parameterisation.domains)
         self.space = DesignSpace(domains)
         self.vectorized_kernel = self._compile_kernel() if vectorized else None
         self.engine.bind(self)
@@ -203,7 +311,7 @@ class WbsnDseProblem(OptimizationProblem):
     def build_mac_config(
         payload_bytes: int, orders: tuple[int, int]
     ) -> Ieee802154MacConfig:
-        """MAC domain values to a ``chi_mac`` configuration."""
+        """Beacon MAC domain values to a ``chi_mac`` configuration."""
         superframe_order, beacon_order = orders
         return Ieee802154MacConfig(
             payload_bytes=payload_bytes,
@@ -211,9 +319,19 @@ class WbsnDseProblem(OptimizationProblem):
             beacon_order=beacon_order,
         )
 
+    @staticmethod
+    def build_csma_mac_config(
+        payload_bytes: int, backoff_exponents: tuple[int, int]
+    ) -> CsmaMacConfig:
+        """CSMA MAC domain values to a ``chi_mac`` configuration."""
+        macMinBE, macMaxBE = backoff_exponents
+        return CsmaMacConfig(
+            payload_bytes=payload_bytes, macMinBE=macMinBE, macMaxBE=macMaxBE
+        )
+
     def decode(
         self, genotype: Sequence[int]
-    ) -> tuple[list[ShimmerNodeConfig], Ieee802154MacConfig]:
+    ) -> tuple[list[ShimmerNodeConfig], Any]:
         """Decode a genotype into node configurations and a MAC configuration."""
         values = self.space.decode(genotype)
         node_configs = [
@@ -225,9 +343,7 @@ class WbsnDseProblem(OptimizationProblem):
             )
             for index in range(self.n_nodes)
         ]
-        mac_config = self.build_mac_config(
-            values["mac.payload_bytes"], values["mac.orders"]
-        )
+        mac_config = self.mac_parameterisation.decode(values)
         return node_configs, mac_config
 
     def evaluate(self, genotype: Sequence[int]) -> EvaluatedDesign:
@@ -275,6 +391,51 @@ class WbsnDseProblem(OptimizationProblem):
         """Whether a columnar kernel is compiled for this problem."""
         return self.vectorized_kernel is not None
 
+    def evaluation_fingerprint(self) -> bytes | None:
+        """Content hash identifying this problem's evaluation semantics.
+
+        Two problems with equal fingerprints produce bitwise-identical
+        penalised objective *components* for every genotype: the fingerprint
+        covers the underlying network model (nodes, platform parameters, MAC
+        protocol, aggregation weights), the full design-space layout and the
+        infeasibility penalty — but deliberately **not** the objective
+        component selection, which is exactly what the Figure-5 full/baseline
+        pair differs in.  The shared genotype cache
+        (:class:`~repro.engine.SharedGenotypeCache`) keys on it so designs
+        computed by one problem can safely serve another, with objective
+        vectors projected per problem.  Returns ``None`` when the model is
+        not canonically serialisable (no sharing, never wrong sharing).
+        """
+        raw = self.evaluator.wrapped
+        network = getattr(raw, "full_evaluator", raw)
+        try:
+            payload = pickle.dumps(
+                (
+                    tuple(
+                        (domain.name, domain.values)
+                        for domain in self.space.domains
+                    ),
+                    # The decode rules matter: equal domains with different
+                    # genotype-to-configuration mappings must not collide,
+                    # on either the MAC side (the parameterisation factory)
+                    # or the node side (the problem class and its node
+                    # factory — subclasses may override either).  Classes
+                    # and functions pickle by qualified name; unpicklable
+                    # factories (lambdas) make the fingerprint None — no
+                    # sharing, never wrong sharing.
+                    type(self),
+                    type(self).build_node_config,
+                    self.mac_parameterisation.name,
+                    self.mac_parameterisation.config_factory,
+                    self.infeasibility_penalty,
+                    network,
+                ),
+                protocol=4,
+            )
+        except Exception:
+            return None
+        return hashlib.sha256(payload).digest()
+
     def compute_designs_batch(
         self, genotypes: Sequence[Sequence[int]]
     ) -> list[EvaluatedDesign]:
@@ -319,11 +480,7 @@ class WbsnDseProblem(OptimizationProblem):
         """Compile the columnar kernel, or fall back for unsupported models."""
         raw = self.evaluator.wrapped
         network = getattr(raw, "full_evaluator", raw)
-        components = (
-            ("energy", "delay")
-            if isinstance(raw, EnergyDelayBaselineEvaluator)
-            else ("energy", "quality", "delay")
-        )
+        mac_domain_count = len(self.mac_parameterisation.domains)
         try:
             return WbsnVectorizedKernel.compile(
                 network=network,
@@ -338,10 +495,12 @@ class WbsnDseProblem(OptimizationProblem):
                 node_config_factory=lambda _index, values: self.build_node_config(
                     values
                 ),
-                mac_positions=(2 * self.n_nodes, 2 * self.n_nodes + 1),
-                mac_config_factory=self.build_mac_config,
+                mac_positions=tuple(
+                    2 * self.n_nodes + offset for offset in range(mac_domain_count)
+                ),
+                mac_config_factory=self.mac_parameterisation.config_factory,
                 domains=self.space.domains,
-                objective_components=components,
+                objective_components=self.objective_components,
                 infeasibility_penalty=self.infeasibility_penalty,
             )
         except VectorizedUnsupported:

@@ -10,7 +10,11 @@ serving component every search algorithm shares:
   the vectorized fast path or a pluggable scalar execution backend;
 * :mod:`repro.engine.cache` — :class:`CachedNetworkEvaluator`, the node-level
   cache over the evaluator's pure per-node stage, optionally bounded by an
-  LRU eviction policy (``max_entries``);
+  LRU eviction policy (``max_entries``); and :class:`SharedGenotypeCache`,
+  the cross-problem genotype cache keyed by evaluator fingerprints (problems
+  sharing evaluation semantics but differing in objective sets — the
+  Figure-5 full/baseline pair — serve each other's designs, projected onto
+  each problem's objective components);
 * :mod:`repro.engine.backends` — ``serial`` (default) and ``process``
   (chunked worker pool) execution backends for the scalar path;
 * :mod:`repro.engine.stats` — :class:`EngineStats`, separating designs served
@@ -38,13 +42,14 @@ cheap for IPC to win (see :mod:`repro.engine.backends`).
 """
 
 from repro.engine.backends import ProcessBackend, SerialBackend, make_backend
-from repro.engine.cache import CachedNetworkEvaluator
+from repro.engine.cache import CachedNetworkEvaluator, SharedGenotypeCache
 from repro.engine.engine import EvaluationEngine
 from repro.engine.stats import EngineStats
 
 __all__ = [
     "EvaluationEngine",
     "CachedNetworkEvaluator",
+    "SharedGenotypeCache",
     "EngineStats",
     "SerialBackend",
     "ProcessBackend",

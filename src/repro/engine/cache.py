@@ -1,4 +1,13 @@
-"""Node-level caching wrapper around the network evaluators.
+"""Caching building blocks of the evaluation engine.
+
+Two caches live here:
+
+* :class:`CachedNetworkEvaluator` — the node-level (per-stage) cache wrapped
+  around a network evaluator;
+* :class:`SharedGenotypeCache` — a cross-problem genotype-level cache keyed
+  by an evaluator fingerprint, letting problems that share evaluation
+  semantics but differ in objective sets (the Figure-5 full/baseline pair)
+  serve each other's computed designs.
 
 The per-node stage of :class:`~repro.core.evaluator.WBSNEvaluator` is a pure
 function of ``(node_index, chi_node, chi_mac)`` — all hashable, frozen
@@ -16,7 +25,8 @@ it depends on the whole configuration.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Sequence
+from dataclasses import replace
+from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.core.baseline import EnergyDelayBaselineEvaluator
 from repro.core.evaluator import (
@@ -26,7 +36,111 @@ from repro.core.evaluator import (
 )
 from repro.engine.stats import EngineStats
 
-__all__ = ["CachedNetworkEvaluator"]
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a runtime cycle
+    from repro.dse.problem import EvaluatedDesign
+
+__all__ = ["CachedNetworkEvaluator", "SharedGenotypeCache"]
+
+
+class SharedGenotypeCache:
+    """Cross-problem genotype cache keyed by evaluator fingerprints.
+
+    The keying rule: a record computed by one problem may serve another
+    problem's request only when both report the **same evaluation
+    fingerprint** (same network model, same design-space layout, same
+    infeasibility penalty — see ``WbsnDseProblem.evaluation_fingerprint``)
+    *and* the requester's objective components are a subset of the record's.
+    The served design is the stored one with its objective vector projected
+    onto the requested components — a pure reordering/selection of already
+    computed floats, so cross-problem reuse is bitwise invisible in the
+    resulting fronts.
+
+    The Figure-5 pair is the motivating workload: the full three-objective
+    problem and the energy/delay baseline share one evaluator fingerprint,
+    so every genotype the full model computes is a warm start for the
+    baseline exploration (the reverse direction misses, as baseline records
+    lack the quality component — a miss is always safe).
+
+    Instances are plain dictionaries shared by reference between engines;
+    they are intentionally not pickled to worker processes (workers only
+    compute, the parent owns the caches).
+
+    Args:
+        max_entries: optional bound on the number of shared records.  The
+            cache outlives the problems it serves, so long campaigns over
+            huge spaces would otherwise grow it without bound; when set, the
+            least-recently-used record is evicted on overflow (an eviction
+            only costs a future recompute — it can never change results).
+            ``None`` keeps the cache unbounded.
+    """
+
+    def __init__(self, max_entries: int | None = None) -> None:
+        if max_entries is not None and max_entries <= 0:
+            raise ValueError("max_entries must be positive (or None)")
+        self.max_entries = max_entries
+        self.evictions = 0
+        self._records: OrderedDict[
+            tuple[bytes, tuple[int, ...]],
+            tuple[tuple[str, ...], "EvaluatedDesign"],
+        ] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def lookup(
+        self,
+        fingerprint: bytes,
+        genotype: tuple[int, ...],
+        components: tuple[str, ...],
+    ) -> "EvaluatedDesign | None":
+        """Serve a design for ``components``, projecting if necessary."""
+        key = (fingerprint, genotype)
+        record = self._records.get(key)
+        if record is None:
+            return None
+        if self.max_entries is not None:
+            self._records.move_to_end(key)
+        stored_components, design = record
+        if stored_components == components:
+            return design
+        if not set(components) <= set(stored_components):
+            return None
+        projected = tuple(
+            design.objectives[stored_components.index(name)] for name in components
+        )
+        return replace(design, objectives=projected)
+
+    def store(
+        self,
+        fingerprint: bytes,
+        genotype: tuple[int, ...],
+        components: tuple[str, ...],
+        design: "EvaluatedDesign",
+    ) -> None:
+        """Publish a computed design, keeping the richest component set.
+
+        A record is replaced only by a strict superset of its components;
+        for *incomparable* component sets (neither a subset of the other)
+        the first writer wins and the later problem simply never hits —
+        safe (lookups require a subset) but without cache benefit.  The
+        shipped problems only produce nested sets (full ⊃ baseline); a
+        union-merging store would be needed before adding problems with
+        disjoint objective slices.
+        """
+        key = (fingerprint, genotype)
+        existing = self._records.get(key)
+        if existing is not None and not set(existing[0]) < set(components):
+            return
+        self._records[key] = (components, design)
+        if self.max_entries is not None:
+            self._records.move_to_end(key)
+            if len(self._records) > self.max_entries:
+                self._records.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every shared record."""
+        self._records.clear()
 
 
 class CachedNetworkEvaluator:

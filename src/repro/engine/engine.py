@@ -6,6 +6,12 @@ owns every cross-cutting evaluation concern:
 * **genotype memo cache** — identical genotypes requested twice (within a
   run or across algorithms sharing one problem) are served without touching
   the model; this replaces the private caches the algorithms used to carry;
+* **cross-problem shared cache** (optional) — engines given one
+  :class:`~repro.engine.cache.SharedGenotypeCache` instance serve each
+  other's computed designs when their problems report the same evaluator
+  fingerprint, with objective vectors projected onto each problem's
+  component set (the Figure-5 full/baseline pair shares one cache this
+  way);
 * **node-level cache** — below a genotype miss, the pure per-node stage of
   the evaluator is memoised by the problem's
   :class:`~repro.engine.cache.CachedNetworkEvaluator` (optionally bounded by
@@ -46,6 +52,7 @@ import time
 from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.engine.backends import ExecutionBackend, make_backend
+from repro.engine.cache import SharedGenotypeCache
 from repro.engine.stats import EngineStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a runtime cycle
@@ -71,6 +78,13 @@ class EvaluationEngine:
         max_workers: pool size for the ``"process"`` backend.
         chunk_size: genotypes per backend work unit in ``evaluate_many``.
         stats: counters to feed; a private instance is created if omitted.
+        shared_cache: a :class:`~repro.engine.cache.SharedGenotypeCache`
+            shared (by reference) with other engines whose problems have the
+            same evaluator fingerprint; designs computed by any of them are
+            served to all, projected onto each problem's objective
+            components.  Requires the genotype cache and a problem exposing
+            ``evaluation_fingerprint`` / ``objective_components``; silently
+            inactive otherwise.
     """
 
     def __init__(
@@ -84,6 +98,7 @@ class EvaluationEngine:
         max_workers: int | None = None,
         chunk_size: int = 64,
         stats: EngineStats | None = None,
+        shared_cache: SharedGenotypeCache | None = None,
     ) -> None:
         if chunk_size <= 0:
             raise ValueError("chunk_size must be positive")
@@ -96,8 +111,11 @@ class EvaluationEngine:
         self.chunk_size = chunk_size
         self.backend = make_backend(backend, max_workers=max_workers)
         self.stats = stats if stats is not None else EngineStats()
+        self.shared_cache = shared_cache
         self._memo: dict[tuple[int, ...], "EvaluatedDesign"] = {}
         self._problem: Any = None
+        self._fingerprint: bytes | None = None
+        self._objective_components: tuple[str, ...] | None = None
 
     # ------------------------------------------------------------------ API
 
@@ -110,6 +128,12 @@ class EvaluationEngine:
                 "the problem must expose a pure 'compute_design(genotype)' method"
             )
         self._problem = problem
+        if self.shared_cache is not None and self.genotype_cache_enabled:
+            fingerprint_hook = getattr(problem, "evaluation_fingerprint", None)
+            components = getattr(problem, "objective_components", None)
+            if callable(fingerprint_hook) and components:
+                self._fingerprint = fingerprint_hook()
+                self._objective_components = tuple(components)
         return self
 
     @property
@@ -133,10 +157,16 @@ class EvaluationEngine:
         self.stats.genotype_requests += 1
         design = self._memo.get(key) if self.genotype_cache_enabled else None
         if design is None:
-            design = self._problem.compute_design(key)
-            self.stats.model_evaluations += 1
-            if self.genotype_cache_enabled:
+            design = self._shared_lookup(key)
+            if design is not None:
+                self.stats.shared_cache_hits += 1
                 self._memo[key] = design
+            else:
+                design = self._problem.compute_design(key)
+                self.stats.model_evaluations += 1
+                if self.genotype_cache_enabled:
+                    self._memo[key] = design
+                self._shared_store(key, design)
         else:
             self.stats.genotype_cache_hits += 1
         self.stats.wall_time_s += time.perf_counter() - started
@@ -164,6 +194,11 @@ class EvaluationEngine:
                 if key in self._memo or key in scheduled:
                     self.stats.genotype_cache_hits += 1
                     continue
+                shared = self._shared_lookup(key)
+                if shared is not None:
+                    self.stats.shared_cache_hits += 1
+                    self._memo[key] = shared
+                    continue
                 scheduled.add(key)
                 pending.append(key)
         else:
@@ -174,6 +209,8 @@ class EvaluationEngine:
         computed = self._compute(pending)
         if self.genotype_cache_enabled:
             self._memo.update(zip(pending, computed))
+            for key, design in zip(pending, computed):
+                self._shared_store(key, design)
             results = [self._memo[key] for key in keys]
         else:
             results = computed
@@ -189,6 +226,24 @@ class EvaluationEngine:
         self._memo.clear()
 
     # ------------------------------------------------------------ internals
+
+    def _shared_lookup(self, key: tuple[int, ...]) -> "EvaluatedDesign | None":
+        """Consult the cross-problem shared cache, when active."""
+        if self.shared_cache is None or self._fingerprint is None:
+            return None
+        assert self._objective_components is not None
+        return self.shared_cache.lookup(
+            self._fingerprint, key, self._objective_components
+        )
+
+    def _shared_store(self, key: tuple[int, ...], design: "EvaluatedDesign") -> None:
+        """Publish a computed design to the cross-problem shared cache."""
+        if self.shared_cache is None or self._fingerprint is None:
+            return
+        assert self._objective_components is not None
+        self.shared_cache.store(
+            self._fingerprint, key, self._objective_components, design
+        )
 
     def _compute(
         self, genotypes: Sequence[tuple[int, ...]]
@@ -222,8 +277,10 @@ class EvaluationEngine:
         return designs
 
     def __getstate__(self) -> dict[str, Any]:
-        # Worker processes only need the compute path; the memo can be large
-        # and is rebuilt on demand, so it stays home.
+        # Worker processes only need the compute path; the memo (and the
+        # shared cache) can be large and are owned by the parent, so they
+        # stay home.
         state = self.__dict__.copy()
         state["_memo"] = {}
+        state["shared_cache"] = None
         return state

@@ -7,8 +7,12 @@ state both the effective serving rate and the raw model rate:
 
 * ``genotype_requests`` / ``genotype_cache_hits`` — requests answered by the
   genotype-level memo cache without touching the model at all;
+* ``shared_cache_hits`` — requests answered by a cross-problem
+  :class:`~repro.engine.cache.SharedGenotypeCache` (designs computed by
+  another problem with the same evaluator fingerprint, projected onto this
+  problem's objective components);
 * ``model_evaluations`` — full-network evaluations actually computed
-  (genotype-cache misses);
+  (misses of both genotype-level caches);
 * ``node_stage_requests`` / ``node_cache_hits`` / ``node_model_calls`` — the
   per-node stage underneath a full-network evaluation: distinct candidates
   that share per-node knob settings reuse node results, so
@@ -35,6 +39,10 @@ class EngineStats:
         genotype_requests: designs served through the engine (cache hits
             included).
         genotype_cache_hits: requests answered by the genotype memo cache.
+        shared_cache_hits: requests answered by the cross-problem shared
+            genotype cache (counted separately from the local memo; the
+            served design is then memoised locally, so repeats become
+            ordinary genotype-cache hits).
         model_evaluations: full-network model evaluations actually computed
             (through either evaluation path).
         vectorized_designs: model evaluations computed by the columnar fast
@@ -50,6 +58,7 @@ class EngineStats:
 
     genotype_requests: int = 0
     genotype_cache_hits: int = 0
+    shared_cache_hits: int = 0
     model_evaluations: int = 0
     vectorized_designs: int = 0
     node_stage_requests: int = 0

@@ -2,7 +2,10 @@
 
 Six patients wear a Shimmer node each; three nodes compress with the DWT,
 three with compressed sensing; the coordinator runs the beacon-enabled
-IEEE 802.15.4 MAC and grants GTSs to every node.
+IEEE 802.15.4 MAC and grants GTSs to every node.  A contention-based variant
+of the same network (every node accessing the channel through unslotted
+CSMA/CA) is provided as well — the scenario family the vectorized CSMA
+column kernels open up.
 """
 
 from __future__ import annotations
@@ -12,13 +15,17 @@ from typing import Sequence
 from repro.core.baseline import EnergyDelayBaselineEvaluator
 from repro.core.evaluator import WBSNEvaluator
 from repro.mac802154.config import Ieee802154MacConfig
+from repro.mac802154.csma import CsmaMacConfig, UnslottedCsmaMacModel
 from repro.mac802154.model import BeaconEnabledMacModel
 from repro.shimmer.platform import ShimmerPlatform, build_case_study_network
 
 __all__ = [
     "DEFAULT_MAC_CONFIG",
+    "DEFAULT_CSMA_MAC_CONFIG",
     "build_case_study_evaluator",
     "build_baseline_evaluator",
+    "build_csma_case_study_evaluator",
+    "build_csma_baseline_evaluator",
 ]
 
 #: MAC configuration used by the accuracy experiments (Figures 3 and 4): an
@@ -26,6 +33,9 @@ __all__ = [
 DEFAULT_MAC_CONFIG = Ieee802154MacConfig(
     payload_bytes=80, superframe_order=4, beacon_order=6
 )
+
+#: Default ``chi_mac`` of the contention-based scenario variant.
+DEFAULT_CSMA_MAC_CONFIG = CsmaMacConfig(payload_bytes=80, macMinBE=3, macMaxBE=5)
 
 
 def build_case_study_evaluator(
@@ -56,4 +66,43 @@ def build_baseline_evaluator(
     """Build the energy/delay-only baseline evaluator (Figure 5 comparison)."""
     return EnergyDelayBaselineEvaluator(
         build_case_study_evaluator(n_nodes=n_nodes, theta=theta, platform=platform)
+    )
+
+
+def build_csma_case_study_evaluator(
+    n_nodes: int = 6,
+    theta: float = 0.5,
+    platform: ShimmerPlatform | None = None,
+    applications: Sequence[str] | None = None,
+    max_backoffs: int = 4,
+    max_frame_retries: int = 3,
+) -> WBSNEvaluator:
+    """The case-study network accessing the channel through unslotted CSMA/CA.
+
+    Same nodes, applications and platform as the GTS case study; only the
+    MAC protocol model changes — every node contends for the channel, so the
+    transmission intervals are the statistical shares of Section 3.2 rather
+    than guaranteed slots.
+    """
+    nodes = build_case_study_network(
+        n_nodes=n_nodes, platform=platform, applications=applications
+    )
+    mac = UnslottedCsmaMacModel(
+        n_contenders=len(nodes),
+        max_backoffs=max_backoffs,
+        max_frame_retries=max_frame_retries,
+    )
+    return WBSNEvaluator(nodes, mac, theta=theta)
+
+
+def build_csma_baseline_evaluator(
+    n_nodes: int = 6,
+    theta: float = 0.5,
+    platform: ShimmerPlatform | None = None,
+) -> EnergyDelayBaselineEvaluator:
+    """Energy/delay-only view of the contention-based scenario."""
+    return EnergyDelayBaselineEvaluator(
+        build_csma_case_study_evaluator(
+            n_nodes=n_nodes, theta=theta, platform=platform
+        )
     )

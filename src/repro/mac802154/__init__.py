@@ -4,9 +4,11 @@ This package maps the abstract MAC quantities of Section 3.2 onto the
 beacon-enabled mode of the IEEE 802.15.4 standard used by the case study:
 superframe structure (beacon order / superframe order), guaranteed time slots
 (GTS), per-packet data overhead, acknowledgements and beacon reception, plus
-the worst-case delay bound of equation (9).  A statistical slotted CSMA/CA
-model is provided as well, following the remark of Section 3.2 that the
-framework also covers contention access.
+the worst-case delay bound of equation (9).  Contention access is covered as
+well, following the remark of Section 3.2: a statistical slotted CSMA/CA
+estimate of the contention access period, and a full
+:class:`~repro.mac802154.csma.UnslottedCsmaMacModel` MAC protocol model (with
+vectorized column kernels) for exploring non-beacon CSMA/CA configurations.
 """
 
 from repro.mac802154.constants import (
@@ -26,7 +28,12 @@ from repro.mac802154.superframe import (
 from repro.mac802154.config import Ieee802154MacConfig
 from repro.mac802154.model import BeaconEnabledMacModel
 from repro.mac802154.gts import GTSDescriptor, allocate_gts_descriptors
-from repro.mac802154.csma import SlottedCsmaModel
+from repro.mac802154.csma import (
+    CsmaMacConfig,
+    CsmaMacTable,
+    SlottedCsmaModel,
+    UnslottedCsmaMacModel,
+)
 
 __all__ = [
     "ACK_BYTES",
@@ -44,4 +51,7 @@ __all__ = [
     "GTSDescriptor",
     "allocate_gts_descriptors",
     "SlottedCsmaModel",
+    "CsmaMacConfig",
+    "CsmaMacTable",
+    "UnslottedCsmaMacModel",
 ]

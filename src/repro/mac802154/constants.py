@@ -18,6 +18,11 @@ __all__ = [
     "MIN_CAP_SLOTS",
     "PHY_BIT_RATE_BPS",
     "MAX_MAC_PAYLOAD_BYTES",
+    "SYMBOL_TIME_S",
+    "UNIT_BACKOFF_PERIOD_S",
+    "CCA_TIME_S",
+    "TURNAROUND_TIME_S",
+    "MAX_BACKOFF_EXPONENT",
 ]
 
 #: MAC header (frame control, sequence number, addressing) — 11 bytes for the
@@ -56,3 +61,18 @@ PHY_BIT_RATE_BPS = 250_000
 
 #: Maximum MAC payload carried by one data frame (aMaxMACPayloadSize).
 MAX_MAC_PAYLOAD_BYTES = 114
+
+#: Duration of one 2.4 GHz O-QPSK symbol (4 bits per symbol at 250 kb/s).
+SYMBOL_TIME_S = 16e-6
+
+#: One CSMA/CA unit backoff period (aUnitBackoffPeriod = 20 symbols).
+UNIT_BACKOFF_PERIOD_S = 20 * SYMBOL_TIME_S
+
+#: Duration of one clear-channel assessment (8 symbols).
+CCA_TIME_S = 8 * SYMBOL_TIME_S
+
+#: RX-to-TX / TX-to-RX turnaround time (aTurnaroundTime = 12 symbols).
+TURNAROUND_TIME_S = 12 * SYMBOL_TIME_S
+
+#: Largest admissible CSMA/CA backoff exponent (macMaxBE upper bound).
+MAX_BACKOFF_EXPONENT = 8

@@ -13,8 +13,17 @@ from repro.dse.simulated_annealing import (
     MultiObjectiveSimulatedAnnealing,
     SimulatedAnnealingSettings,
 )
-from repro.engine import CachedNetworkEvaluator, EngineStats, EvaluationEngine
-from repro.experiments.casestudy import build_case_study_evaluator
+from repro.engine import (
+    CachedNetworkEvaluator,
+    EngineStats,
+    EvaluationEngine,
+    SharedGenotypeCache,
+)
+from repro.experiments.casestudy import (
+    build_baseline_evaluator,
+    build_case_study_evaluator,
+    build_csma_case_study_evaluator,
+)
 
 #: Restricted knob domains giving a 64-configuration space (2 nodes), small
 #: enough for exhaustive sweeps in cached and uncached flavours.
@@ -271,3 +280,315 @@ class TestFigure5ProblemCaching:
         assert result.evaluations_per_second >= result.model_evaluations_per_second
         assert 0.0 <= result.genotype_cache_hit_rate <= 1.0
         assert 0.0 <= result.node_cache_hit_rate <= 1.0
+
+
+class TestSharedGenotypeCache:
+    """Cross-problem reuse: one shared cache across the Figure-5 pair."""
+
+    SMALL = dict(
+        compression_ratios=(0.2, 0.3),
+        frequencies_hz=(4e6, 8e6),
+        payload_bytes=(60, 80),
+        order_pairs=((4, 4), (4, 6)),
+    )
+
+    def _pair(self, shared):
+        full = WbsnDseProblem(
+            build_case_study_evaluator(n_nodes=2, applications=("dwt", "cs")),
+            **self.SMALL,
+            engine=EvaluationEngine(shared_cache=shared),
+        )
+        baseline = WbsnDseProblem(
+            build_baseline_evaluator(n_nodes=2),
+            **self.SMALL,
+            engine=EvaluationEngine(shared_cache=shared),
+        )
+        return full, baseline
+
+    def test_shared_hits_attributed_to_the_consuming_engine(self):
+        shared = SharedGenotypeCache()
+        full, baseline = self._pair(shared)
+        genotypes = list(full.space.enumerate_genotypes())[:32]
+        full.evaluate_batch(genotypes)
+        publisher_stats = full.engine.stats.snapshot()
+        assert publisher_stats.shared_cache_hits == 0  # it computed, not reused
+
+        before = baseline.engine.stats.snapshot()
+        baseline.evaluate_batch(genotypes)
+        delta = baseline.engine.stats.snapshot() - before
+        # Every distinct genotype is served from the shared cache — except
+        # the all-zero probe genotype, which the baseline problem's own
+        # construction already pulled from the shared cache into its local
+        # memo.  No model work either way, and shared hits are counted
+        # separately from local-memo hits.
+        assert delta.shared_cache_hits == len(genotypes) - 1
+        assert delta.model_evaluations == 0
+        assert delta.genotype_cache_hits == 1
+        # Re-requesting now hits the local memo, not the shared cache.
+        before = baseline.engine.stats.snapshot()
+        baseline.evaluate_batch(genotypes)
+        delta = baseline.engine.stats.snapshot() - before
+        assert delta.genotype_cache_hits == len(genotypes)
+        assert delta.shared_cache_hits == 0
+
+    def test_projection_reuses_the_exact_component_floats(self):
+        shared = SharedGenotypeCache()
+        full, baseline = self._pair(shared)
+        genotype = (1, 0, 1, 0, 1, 1)
+        reference = full.evaluate(genotype)
+        served = baseline.evaluate(genotype)
+        assert baseline.engine.stats.shared_cache_hits >= 1
+        # (energy, delay) projected from (energy, quality, delay): bitwise.
+        assert served.objectives == (
+            reference.objectives[0],
+            reference.objectives[2],
+        )
+        assert served.feasible == reference.feasible
+        assert served.phenotype == reference.phenotype
+
+    def test_baseline_records_do_not_serve_the_full_problem(self):
+        shared = SharedGenotypeCache()
+        full, baseline = self._pair(shared)
+        genotype = (0, 1, 0, 1, 0, 0)
+        baseline.evaluate(genotype)
+        before = full.engine.stats.snapshot()
+        full.evaluate(genotype)
+        delta = full.engine.stats.snapshot() - before
+        # Quality is missing from the record: a safe miss, computed locally.
+        assert delta.shared_cache_hits == 0
+        assert delta.model_evaluations == 1
+
+    def test_mismatched_fingerprints_never_share(self):
+        shared = SharedGenotypeCache()
+        problem_a = WbsnDseProblem(
+            build_case_study_evaluator(n_nodes=2, applications=("dwt", "cs")),
+            **self.SMALL,
+            engine=EvaluationEngine(shared_cache=shared),
+        )
+        problem_b = WbsnDseProblem(
+            build_case_study_evaluator(  # different aggregation weight
+                n_nodes=2, applications=("dwt", "cs"), theta=0.9
+            ),
+            **self.SMALL,
+            engine=EvaluationEngine(shared_cache=shared),
+        )
+        genotype = (1, 0, 1, 0, 1, 1)
+        problem_a.evaluate(genotype)
+        before = problem_b.engine.stats.snapshot()
+        problem_b.evaluate(genotype)
+        delta = problem_b.engine.stats.snapshot() - before
+        assert delta.shared_cache_hits == 0
+        assert delta.model_evaluations == 1
+
+    def test_csma_and_beacon_problems_never_cross_share(self):
+        shared = SharedGenotypeCache()
+        from repro.dse.problem import csma_mac_parameterisation
+
+        beacon = WbsnDseProblem(
+            build_case_study_evaluator(theta=0.5),
+            **self.SMALL,
+            engine=EvaluationEngine(shared_cache=shared),
+        )
+        csma = WbsnDseProblem(
+            build_csma_case_study_evaluator(theta=0.5),
+            compression_ratios=self.SMALL["compression_ratios"],
+            frequencies_hz=self.SMALL["frequencies_hz"],
+            mac_parameterisation=csma_mac_parameterisation(
+                payload_bytes=(60, 80), backoff_exponent_pairs=((3, 5), (4, 6))
+            ),
+            engine=EvaluationEngine(shared_cache=shared),
+        )
+        assert len(beacon.space) == len(csma.space)
+        genotype = tuple(1 for _ in range(len(beacon.space)))
+        beacon.evaluate(genotype)
+        before = csma.engine.stats.snapshot()
+        csma.evaluate(genotype)
+        delta = csma.engine.stats.snapshot() - before
+        assert delta.shared_cache_hits == 0
+        assert delta.model_evaluations == 1
+
+    def test_shared_cache_fronts_identical_to_private_caches(self):
+        settings = Nsga2Settings(population_size=16, generations=6, seed=9)
+        shared = SharedGenotypeCache()
+        full_shared, baseline_shared = self._pair(shared)
+        full_private, baseline_private = self._pair(None)
+        assert front_signature(
+            Nsga2(full_shared, settings).run()
+        ) == front_signature(Nsga2(full_private, settings).run())
+        assert front_signature(
+            Nsga2(baseline_shared, settings).run()
+        ) == front_signature(Nsga2(baseline_private, settings).run())
+        # And the reuse actually happened (same seed => shared genotypes).
+        assert baseline_shared.engine.stats.shared_cache_hits > 0
+
+    def test_lru_eviction_counters_unaffected_by_the_shared_cache(self):
+        def run(shared):
+            problem = WbsnDseProblem(
+                build_case_study_evaluator(
+                    n_nodes=2, applications=("dwt", "cs")
+                ),
+                **SMALL_DOMAINS,
+                engine=EvaluationEngine(
+                    node_cache_max_entries=4,
+                    vectorized=False,
+                    shared_cache=shared,
+                ),
+                vectorized=False,
+            )
+            problem.evaluate_batch(list(problem.space.enumerate_genotypes()))
+            return problem.engine.stats.snapshot()
+
+        without = run(None)
+        with_shared = run(SharedGenotypeCache())
+        assert with_shared.node_cache_evictions == without.node_cache_evictions
+        assert with_shared.node_cache_evictions > 0
+        assert with_shared.node_model_calls == without.node_model_calls
+
+    def test_disabled_genotype_cache_deactivates_sharing(self):
+        shared = SharedGenotypeCache()
+        publisher = WbsnDseProblem(
+            build_case_study_evaluator(n_nodes=2, applications=("dwt", "cs")),
+            **self.SMALL,
+            engine=EvaluationEngine(shared_cache=shared),
+        )
+        consumer = WbsnDseProblem(
+            build_case_study_evaluator(n_nodes=2, applications=("dwt", "cs")),
+            **self.SMALL,
+            engine=EvaluationEngine(genotype_cache=False, shared_cache=shared),
+        )
+        genotype = (1, 1, 1, 1, 1, 1)
+        publisher.evaluate(genotype)
+        before = consumer.engine.stats.snapshot()
+        consumer.evaluate(genotype)
+        delta = consumer.engine.stats.snapshot() - before
+        assert delta.shared_cache_hits == 0
+        assert delta.model_evaluations == 1
+
+    def test_fingerprint_covers_the_mac_decode_rule(self):
+        """Same domains, different genotype->chi_mac mapping: no sharing."""
+        from repro.dse.problem import MacParameterisation, beacon_mac_parameterisation
+        from repro.dse.space import ParameterDomain
+
+        reference = beacon_mac_parameterisation(
+            payload_bytes=(60, 80), order_pairs=((4, 4), (4, 6))
+        )
+
+        def swapped_orders(payload, orders):
+            superframe_order, beacon_order = orders
+            # Deliberately different decode of the same domain values.
+            return WbsnDseProblem.build_mac_config(
+                payload, (superframe_order, max(superframe_order, beacon_order))
+            )
+
+        twisted = MacParameterisation(
+            name=reference.name,
+            domains=tuple(
+                ParameterDomain(d.name, d.values) for d in reference.domains
+            ),
+            config_factory=swapped_orders,
+        )
+        evaluator = build_case_study_evaluator(n_nodes=2, applications=("dwt", "cs"))
+        problem_a = WbsnDseProblem(
+            evaluator,
+            compression_ratios=self.SMALL["compression_ratios"],
+            frequencies_hz=self.SMALL["frequencies_hz"],
+            mac_parameterisation=reference,
+        )
+        problem_b = WbsnDseProblem(
+            build_case_study_evaluator(n_nodes=2, applications=("dwt", "cs")),
+            compression_ratios=self.SMALL["compression_ratios"],
+            frequencies_hz=self.SMALL["frequencies_hz"],
+            mac_parameterisation=twisted,
+        )
+        fp_a = problem_a.evaluation_fingerprint()
+        fp_b = problem_b.evaluation_fingerprint()
+        assert fp_a is not None
+        # Local function: unpicklable by reference from a test body is fine
+        # too (None) — either way the fingerprints must not collide.
+        assert fp_a != fp_b
+
+    def test_unpicklable_factories_disable_sharing_safely(self):
+        from repro.dse.problem import MacParameterisation
+        from repro.dse.space import ParameterDomain
+
+        lambda_parameterisation = MacParameterisation(
+            name="beacon",
+            domains=(
+                ParameterDomain("mac.payload_bytes", (60, 80)),
+                ParameterDomain("mac.orders", ((4, 4), (4, 6))),
+            ),
+            config_factory=lambda payload, orders: WbsnDseProblem.build_mac_config(
+                payload, orders
+            ),
+        )
+        problem = WbsnDseProblem(
+            build_case_study_evaluator(n_nodes=2, applications=("dwt", "cs")),
+            compression_ratios=self.SMALL["compression_ratios"],
+            frequencies_hz=self.SMALL["frequencies_hz"],
+            mac_parameterisation=lambda_parameterisation,
+        )
+        assert problem.evaluation_fingerprint() is None
+
+    def test_bounded_shared_cache_evicts_lru_and_stays_correct(self):
+        shared = SharedGenotypeCache(max_entries=8)
+        full, baseline = self._pair(shared)
+        genotypes = list(full.space.enumerate_genotypes())[:32]
+        full.evaluate_batch(genotypes)
+        assert len(shared) == 8
+        assert shared.evictions > 0
+        # Only the 8 most recent genotypes are shared; older ones recompute.
+        before = baseline.engine.stats.snapshot()
+        baseline.evaluate_batch(genotypes)
+        delta = baseline.engine.stats.snapshot() - before
+        assert 0 < delta.shared_cache_hits <= 8
+        # Correctness unaffected: served and recomputed designs agree with
+        # an uncached reference problem.
+        _, reference = self._pair(None)
+        for genotype in genotypes:
+            assert (
+                baseline.engine.evaluate(genotype).objectives
+                == reference.evaluate(genotype).objectives
+            )
+
+    def test_invalid_shared_cache_bound_rejected(self):
+        with pytest.raises(ValueError):
+            SharedGenotypeCache(max_entries=0)
+
+    def test_custom_mac_parameterisation_clears_beacon_attributes(self):
+        from repro.dse.problem import csma_mac_parameterisation
+
+        csma = WbsnDseProblem(
+            build_csma_case_study_evaluator(n_nodes=2, applications=("dwt", "cs")),
+            compression_ratios=self.SMALL["compression_ratios"],
+            frequencies_hz=self.SMALL["frequencies_hz"],
+            mac_parameterisation=csma_mac_parameterisation(),
+        )
+        assert csma.payload_bytes is None
+        assert csma.order_pairs is None
+        beacon = small_problem()
+        assert beacon.payload_bytes == SMALL_DOMAINS["payload_bytes"]
+        assert beacon.order_pairs == SMALL_DOMAINS["order_pairs"]
+
+    def test_fingerprint_covers_the_node_decode_rule(self):
+        """A subclass with a different node decode never shares records."""
+
+        class TwistedNodeProblem(WbsnDseProblem):
+            @staticmethod
+            def build_node_config(values):
+                from repro.shimmer.platform import ShimmerNodeConfig
+
+                # Deliberately ignores the frequency domain value.
+                return ShimmerNodeConfig(
+                    compression_ratio=values["compression_ratio"],
+                    microcontroller_frequency_hz=8e6,
+                )
+
+        plain = small_problem()
+        twisted = TwistedNodeProblem(
+            build_case_study_evaluator(n_nodes=2, applications=("dwt", "cs")),
+            **SMALL_DOMAINS,
+        )
+        fp_plain = plain.evaluation_fingerprint()
+        fp_twisted = twisted.evaluation_fingerprint()
+        assert fp_plain is not None
+        assert fp_plain != fp_twisted

@@ -1,0 +1,131 @@
+"""Golden-front regression fixtures: exact membership *and* ordering.
+
+Small seed-pinned reference fronts for one beacon-enabled and one CSMA/CA
+scenario are committed under ``tests/golden/``; the tests recompute the
+fronts and assert that every design matches the fixture exactly — genotype,
+objective floats (bit for bit, via JSON round-tripped ``repr``), feasibility
+— in the exact order the algorithms return them.  Any semantic drift in the
+model, the kernels, the caches or the Pareto machinery shows up here as a
+diff against a committed artifact.
+
+Regenerate after an *intentional* model change with::
+
+    PYTHONPATH=src python tests/test_golden_fronts.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.dse.exhaustive import ExhaustiveSearch
+from repro.dse.nsga2 import Nsga2, Nsga2Settings
+from repro.dse.problem import WbsnDseProblem, csma_mac_parameterisation
+from repro.engine import EvaluationEngine
+from repro.experiments.casestudy import (
+    build_case_study_evaluator,
+    build_csma_case_study_evaluator,
+)
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+#: Node knobs shared by both golden scenarios (2 nodes, 64-point spaces).
+NODE_DOMAINS = dict(
+    compression_ratios=(0.2, 0.3),
+    frequencies_hz=(4e6, 8e6),
+)
+
+NSGA2_SETTINGS = Nsga2Settings(population_size=16, generations=6, seed=9)
+
+
+def beacon_problem() -> WbsnDseProblem:
+    return WbsnDseProblem(
+        build_case_study_evaluator(n_nodes=2, applications=("dwt", "cs")),
+        **NODE_DOMAINS,
+        payload_bytes=(60, 80),
+        order_pairs=((4, 4), (4, 6)),
+        engine=EvaluationEngine(),
+    )
+
+
+def csma_problem() -> WbsnDseProblem:
+    return WbsnDseProblem(
+        build_csma_case_study_evaluator(n_nodes=2, applications=("dwt", "cs")),
+        **NODE_DOMAINS,
+        mac_parameterisation=csma_mac_parameterisation(
+            payload_bytes=(60, 80),
+            backoff_exponent_pairs=((3, 5), (4, 6)),
+        ),
+        engine=EvaluationEngine(),
+    )
+
+
+SCENARIOS = {"beacon": beacon_problem, "csma": csma_problem}
+
+
+def compute_fronts(scenario: str) -> dict[str, list[dict]]:
+    """The golden payload: exhaustive and seeded NSGA-II fronts, in order."""
+    fronts: dict[str, list[dict]] = {}
+    for algorithm, run in (
+        ("exhaustive", lambda p: ExhaustiveSearch(p).run()),
+        ("nsga2", lambda p: Nsga2(p, NSGA2_SETTINGS).run()),
+    ):
+        front = run(SCENARIOS[scenario]())
+        fronts[algorithm] = [
+            {
+                "genotype": list(design.genotype),
+                "objectives": list(design.objectives),
+                "feasible": design.feasible,
+            }
+            for design in front
+        ]
+    return fronts
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_front_matches_the_golden_fixture(scenario):
+    fixture_path = GOLDEN_DIR / f"fronts_{scenario}.json"
+    golden = json.loads(fixture_path.read_text())
+    computed = compute_fronts(scenario)
+    assert sorted(computed) == sorted(golden), "algorithm set drifted"
+    for algorithm in sorted(golden):
+        expected = golden[algorithm]
+        actual = computed[algorithm]
+        # Exact membership AND ordering: compare position by position.
+        assert len(actual) == len(expected), (scenario, algorithm)
+        for position, (want, got) in enumerate(zip(expected, actual)):
+            assert got["genotype"] == want["genotype"], (
+                scenario,
+                algorithm,
+                position,
+            )
+            # JSON stores repr-round-trippable floats: equality is bitwise.
+            assert got["objectives"] == want["objectives"], (
+                scenario,
+                algorithm,
+                position,
+            )
+            assert got["feasible"] == want["feasible"]
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_golden_fronts_are_nonempty_and_feasible(scenario):
+    golden = json.loads((GOLDEN_DIR / f"fronts_{scenario}.json").read_text())
+    for algorithm, front in golden.items():
+        assert front, (scenario, algorithm)
+        assert all(design["feasible"] for design in front), (scenario, algorithm)
+
+
+def main() -> None:
+    """Regenerate the committed fixtures (intentional model changes only)."""
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for scenario in sorted(SCENARIOS):
+        path = GOLDEN_DIR / f"fronts_{scenario}.json"
+        path.write_text(json.dumps(compute_fronts(scenario), indent=2) + "\n")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()
