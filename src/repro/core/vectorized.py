@@ -39,11 +39,19 @@ When does each path win?  The scalar path (plus the engine's node-stage
 cache) is right for single evaluations and tiny batches; the columnar path
 wins as soon as batches reach tens of genotypes, because the per-candidate
 Python and allocation overhead collapses into a handful of array operations.
+
+Two hooks serve the engine's scale-out layer: ``evaluate_columns`` accepts a
+*cached-row mask* (memoised rows are dropped before any table gather — warm
+batches cost nothing beyond the mask test), and ``shareable_tables`` /
+``adopt_shared_tables`` let the sharded backend
+(:mod:`repro.engine.sharded`) move the compiled lookup tables into a
+``multiprocessing.shared_memory`` arena so worker-process kernels gather
+from one shared copy.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields, is_dataclass, replace
 from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
@@ -64,11 +72,26 @@ __all__ = [
     "VectorizedUnsupported",
     "WbsnBatchColumns",
     "WbsnVectorizedKernel",
+    "cached_miss_rows",
 ]
 
 
 class VectorizedUnsupported(TypeError):
     """Raised when a problem's components cannot take the columnar fast path."""
+
+
+def cached_miss_rows(n_rows: int, cached_mask: Any) -> np.ndarray:
+    """Validate a cached-row mask and return the miss-row indices.
+
+    The single definition of the cached-row mask protocol's shape rule,
+    shared by every layer that applies a mask (the kernel, the problem's
+    batch decode, the sharded backend): one boolean per batch row, ``True``
+    meaning the caller already holds the row's result.
+    """
+    mask = np.asarray(cached_mask, dtype=bool)
+    if mask.shape != (n_rows,):
+        raise ValueError("cached_mask must hold one flag per batch row")
+    return np.flatnonzero(~mask)
 
 
 @dataclass(frozen=True)
@@ -337,8 +360,36 @@ class WbsnVectorizedKernel:
         """Number of objective components produced per candidate."""
         return len(self.objective_components)
 
-    def evaluate_columns(self, index_matrix: np.ndarray) -> WbsnBatchColumns:
-        """Evaluate a validated index matrix into objective/feasibility columns."""
+    def evaluate_columns(
+        self, index_matrix: np.ndarray, cached_mask: np.ndarray | None = None
+    ) -> WbsnBatchColumns:
+        """Evaluate a validated index matrix into objective/feasibility columns.
+
+        Args:
+            index_matrix: validated ``(batch, genes)`` gene-index matrix.
+            cached_mask: optional boolean column marking rows whose results
+                the caller already holds (genotype-cache hits).  Masked rows
+                are never gathered — the kernel compacts the matrix to the
+                miss rows before touching any value lookup table, so cached
+                rows only ever cost their (integer) slot in the index
+                matrix, never the float column gathers or kernel stages.
+                The returned columns then cover only the miss rows, in
+                their original relative order.
+
+        An empty miss set (zero-row matrix, or a mask that is ``True``
+        everywhere) short-circuits into empty columns without invoking any
+        kernel stage — no zero-length gathers reach NumPy.
+        """
+        if cached_mask is not None:
+            # The cache-aware gather: memoised rows are dropped before any
+            # column table is read.
+            index_matrix = index_matrix[cached_miss_rows(len(index_matrix), cached_mask)]
+        if len(index_matrix) == 0:
+            return WbsnBatchColumns(
+                objectives=np.empty((0, self.n_objectives)),
+                feasible=np.empty(0, dtype=bool),
+                violation_counts=np.empty(0, dtype=np.int64),
+            )
         network = self._network
         batch = len(index_matrix)
         node_count = len(self._node_plans)
@@ -459,6 +510,77 @@ class WbsnVectorizedKernel:
                 flat += index_matrix[:, position] * stride
             node_columns.append(plan.config_objects[flat])
         return node_columns, self._mac_config_objects[self._mac_flat_index(index_matrix)]
+
+    # ------------------------------------------- shared-memory table hooks
+
+    def shareable_tables(self) -> dict[str, np.ndarray]:
+        """The kernel's numeric column tables, as one flat named mapping.
+
+        These are every float table a batch evaluation gathers from: the
+        per-node knob lookup tables, the per-MAC-configuration scalar tables
+        and the compiled MAC table columns.  The sharded shared-memory
+        backend (:class:`~repro.engine.sharded.ShardedVectorizedBackend`)
+        packs them into one ``multiprocessing.shared_memory`` arena so every
+        worker's gathers read a single shared copy; feed the attached views
+        back through :meth:`adopt_shared_tables`.  Object tables (the
+        phenotype lookup objects) are deliberately excluded — workers return
+        raw columns and never materialise designs.
+        """
+        tables: dict[str, np.ndarray] = {
+            "mac.base_time_unit_s": self._base_time_unit_s,
+            "mac.control_time_per_second": self._control_time_per_second,
+            "mac.max_assignable_time_per_second": (
+                self._max_assignable_time_per_second
+            ),
+        }
+        for node, plan in enumerate(self._node_plans):
+            for knob, (_, _, table) in enumerate(plan.columns):
+                tables[f"node{node}.knob{knob}"] = table
+        if is_dataclass(self._mac_table):
+            for field in fields(self._mac_table):
+                value = getattr(self._mac_table, field.name)
+                if isinstance(value, np.ndarray) and value.dtype != object:
+                    tables[f"mac_table.{field.name}"] = value
+        return tables
+
+    def adopt_shared_tables(self, tables: Mapping[str, np.ndarray]) -> None:
+        """Rebind the kernel's column tables to externally provided views.
+
+        ``tables`` maps the slot names of :meth:`shareable_tables` to arrays
+        holding the same values (typically zero-copy views into a shared
+        memory segment attached by a worker process).  Unknown slots are
+        ignored and missing slots keep their current arrays, so a partial
+        mapping is safe.  Values must be identical to the compiled tables —
+        the hook relocates storage, it never changes semantics.
+        """
+        self._base_time_unit_s = tables.get(
+            "mac.base_time_unit_s", self._base_time_unit_s
+        )
+        self._control_time_per_second = tables.get(
+            "mac.control_time_per_second", self._control_time_per_second
+        )
+        self._max_assignable_time_per_second = tables.get(
+            "mac.max_assignable_time_per_second",
+            self._max_assignable_time_per_second,
+        )
+        plans = []
+        for node, plan in enumerate(self._node_plans):
+            columns = tuple(
+                (name, position, tables.get(f"node{node}.knob{knob}", table))
+                for knob, (name, position, table) in enumerate(plan.columns)
+            )
+            plans.append(replace(plan, columns=columns))
+        # The group structure is index-based and the replacement tables hold
+        # identical values, so the compiled grouping stays valid as-is.
+        self._node_plans = tuple(plans)
+        if is_dataclass(self._mac_table):
+            updates = {
+                field.name: tables[f"mac_table.{field.name}"]
+                for field in fields(self._mac_table)
+                if f"mac_table.{field.name}" in tables
+            }
+            if updates:
+                self._mac_table = replace(self._mac_table, **updates)
 
     # ------------------------------------------------------------ internals
 

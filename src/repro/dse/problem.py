@@ -17,9 +17,16 @@ import pickle
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
+import numpy as np
+
 from repro.core.baseline import EnergyDelayBaselineEvaluator
 from repro.core.evaluator import NetworkEvaluation, WBSNEvaluator
-from repro.core.vectorized import VectorizedUnsupported, WbsnVectorizedKernel
+from repro.core.vectorized import (
+    VectorizedUnsupported,
+    WbsnBatchColumns,
+    WbsnVectorizedKernel,
+    cached_miss_rows,
+)
 from repro.dse.space import DesignSpace, ParameterDomain
 from repro.engine import CachedNetworkEvaluator, EvaluationEngine
 from repro.mac802154.config import Ieee802154MacConfig
@@ -386,6 +393,11 @@ class WbsnDseProblem(OptimizationProblem):
             },
         )
 
+    #: the engine may hand :meth:`compute_designs_batch` a ``cached_mask``
+    #: (the genotype-cache-aware kernel protocol); problems without this
+    #: flag receive pre-filtered miss rows instead.
+    supports_cached_mask = True
+
     @property
     def supports_vectorized(self) -> bool:
         """Whether a columnar kernel is compiled for this problem."""
@@ -437,7 +449,9 @@ class WbsnDseProblem(OptimizationProblem):
         return hashlib.sha256(payload).digest()
 
     def compute_designs_batch(
-        self, genotypes: Sequence[Sequence[int]]
+        self,
+        genotypes: Sequence[Sequence[int]],
+        cached_mask: Sequence[bool] | None = None,
     ) -> list[EvaluatedDesign]:
         """Raw columnar evaluation of a batch (no run accounting).
 
@@ -445,14 +459,38 @@ class WbsnDseProblem(OptimizationProblem):
         kernel evaluates every genotype column-wise, and design objects are
         materialised only here, from the kernel's phenotype lookup tables
         (repeated knob settings share one frozen configuration instance).
+
+        ``cached_mask`` is the genotype-cache-aware protocol: a boolean flag
+        per genotype marking rows the caller already holds memoised results
+        for.  Masked rows never reach the column gather and produce no
+        design — the returned list covers the miss rows only, in their
+        original relative order.  An all-cached (or empty) batch returns
+        ``[]`` without invoking the kernel at all.
         """
         kernel = self.vectorized_kernel
         if kernel is None:
             raise RuntimeError("this problem has no compiled vectorized kernel")
         matrix = self.space.index_matrix(genotypes)
+        if cached_mask is not None:
+            matrix = matrix[cached_miss_rows(len(matrix), cached_mask)]
         if len(matrix) == 0:
             return []
         batch = kernel.evaluate_columns(matrix)
+        return self.materialise_designs(matrix, batch)
+
+    def materialise_designs(
+        self, matrix: "np.ndarray", batch: WbsnBatchColumns
+    ) -> list[EvaluatedDesign]:
+        """Build design objects from a validated index matrix and its columns.
+
+        Shared by the in-process fast path and the sharded backend (whose
+        workers return raw columns — this is the only place worker results
+        become :class:`EvaluatedDesign` objects, so phenotype decoding and
+        object allocation always stay in the parent process).
+        """
+        kernel = self.vectorized_kernel
+        if kernel is None:
+            raise RuntimeError("this problem has no compiled vectorized kernel")
         node_columns, mac_column = kernel.phenotype_columns(matrix)
         genotype_rows = map(tuple, matrix.tolist())
         objective_rows = map(tuple, batch.objectives.tolist())

@@ -49,9 +49,15 @@ class DseResult:
 
     @property
     def evaluations_per_second(self) -> float:
-        """Designs served per second of wall-clock time (cache-aware)."""
+        """Designs served per second of wall-clock time (cache-aware).
+
+        Zero-duration runs (timer resolution on fully cached replays) report
+        ``0.0`` rather than ``inf`` — infinities are not representable in
+        strict JSON and would corrupt the benchmark artifacts that serialize
+        these throughputs (``BENCH_dse_speed.json``).
+        """
         if self.wall_clock_s <= 0:
-            return float("inf")
+            return 0.0
         return self.evaluations / self.wall_clock_s
 
     @property
@@ -63,10 +69,28 @@ class DseResult:
 
     @property
     def model_evaluations_per_second(self) -> float:
-        """Raw model evaluations per second of wall-clock time."""
+        """Raw model evaluations per second of wall-clock time.
+
+        Clamped to ``0.0`` on zero-duration runs, like
+        :attr:`evaluations_per_second`.
+        """
         if self.wall_clock_s <= 0:
-            return float("inf")
+            return 0.0
         return self.model_evaluations / self.wall_clock_s
+
+    @property
+    def sharded_designs(self) -> int:
+        """Model evaluations computed by the sharded columnar backend."""
+        if self.engine_stats is None:
+            return 0
+        return self.engine_stats.sharded_designs
+
+    @property
+    def rows_skipped_cached(self) -> int:
+        """Batch rows the cached-row mask let the columnar kernels skip."""
+        if self.engine_stats is None:
+            return 0
+        return self.engine_stats.rows_skipped_cached
 
     @property
     def genotype_cache_hit_rate(self) -> float:
@@ -88,15 +112,29 @@ class DseResult:
         return [design.objectives for design in self.front]
 
 
-def run_algorithm(algorithm: SearchAlgorithm) -> DseResult:
-    """Run a search algorithm and record its cost."""
+def run_algorithm(
+    algorithm: SearchAlgorithm, *, close_engine: bool = False
+) -> DseResult:
+    """Run a search algorithm and record its cost.
+
+    With ``close_engine=True`` the problem's evaluation engine is closed
+    once the run finishes (even on failure), releasing backend worker pools
+    and shared-memory segments — use it when the runner owns the last run
+    against that engine.  The default leaves the engine open so several
+    runs can share its warm caches; close it yourself afterwards (engines
+    are context managers).
+    """
     problem = algorithm.problem
     engine = problem.engine
     stats_before = engine.stats.snapshot() if engine is not None else None
     evaluations_before = problem.evaluations
     started = time.perf_counter()
-    front = algorithm.run()
-    wall_clock = time.perf_counter() - started
+    try:
+        front = algorithm.run()
+        wall_clock = time.perf_counter() - started
+    finally:
+        if close_engine and engine is not None:
+            engine.close()
     return DseResult(
         front=tuple(front),
         evaluations=problem.evaluations - evaluations_before,

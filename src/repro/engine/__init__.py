@@ -17,17 +17,25 @@ serving component every search algorithm shares:
   each problem's objective components);
 * :mod:`repro.engine.backends` — ``serial`` (default) and ``process``
   (chunked worker pool) execution backends for the scalar path;
+* :mod:`repro.engine.sharded` — :class:`ShardedVectorizedBackend`
+  (``backend="sharded"``), the multi-core columnar path: batch index
+  matrices and the kernel's column tables live in
+  ``multiprocessing.shared_memory``, miss rows are sharded across workers,
+  and results are reassembled in submission order (bitwise identical to the
+  in-process kernel);
 * :mod:`repro.engine.stats` — :class:`EngineStats`, separating designs served
-  from raw model work (and scalar from vectorized work) so cache-aware
+  from raw model work (and scalar from vectorized from sharded work, plus
+  the rows the cached-row mask let the kernels skip) so cache-aware
   throughput can be reported honestly.
 
-Two evaluation paths, one contract: batch misses go to the problem's
+Three evaluation paths, one contract: batch misses go to the problem's
 compiled columnar kernel (:mod:`repro.core.vectorized`) when it offers one —
-whole batches evaluated with NumPy array kernels, the right choice for
+whole batches evaluated with NumPy array kernels, in-process by default or
+sharded over shared memory with ``backend="sharded"``, the right choice for
 sweeps and population-based search — and to the scalar per-design path
-otherwise (single evaluations, problems without a kernel, non-serial
-backends).  Both paths are floating-point-identical, so the choice is purely
-about throughput.
+otherwise (single evaluations, problems without a kernel, non-columnar
+process backends).  All paths are floating-point-identical, so the choice is
+purely about throughput.
 
 Two cache levels, two reuse patterns: the *genotype* cache pays off when the
 same full configuration recurs (elitist populations, annealing walks
@@ -44,6 +52,7 @@ cheap for IPC to win (see :mod:`repro.engine.backends`).
 from repro.engine.backends import ProcessBackend, SerialBackend, make_backend
 from repro.engine.cache import CachedNetworkEvaluator, SharedGenotypeCache
 from repro.engine.engine import EvaluationEngine
+from repro.engine.sharded import ShardedVectorizedBackend
 from repro.engine.stats import EngineStats
 
 __all__ = [
@@ -53,5 +62,6 @@ __all__ = [
     "EngineStats",
     "SerialBackend",
     "ProcessBackend",
+    "ShardedVectorizedBackend",
     "make_backend",
 ]

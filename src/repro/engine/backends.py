@@ -15,16 +15,43 @@ A backend turns chunks of genotypes into evaluated designs:
   (thousands of genotypes per call, e.g. exhaustive sweeps) or the evaluator
   is genuinely expensive — for the analytical WBSN model the pickling and IPC
   overhead usually exceeds the model cost.
+* :class:`~repro.engine.sharded.ShardedVectorizedBackend` (name
+  ``"sharded"``) is the multi-core counterpart of the *vectorized* fast
+  path: the engine places the batch genotype-index matrix in
+  ``multiprocessing.shared_memory``, the backend splits the miss rows into
+  per-worker shards, and each worker runs the compiled NumPy column kernel
+  on its shard — gathering only its own rows from one shared column store
+  (the kernel's lookup tables live in a shared-memory arena too).  Workers
+  ship back raw objective/feasibility columns, never design objects, and
+  the parent reassembles them in submission order, so fronts stay bitwise
+  identical to the serial kernel.  Prefer it over ``"serial"`` only for
+  large batches (thousands of rows per ``evaluate_many`` call) on a
+  multi-core host; below that, pool dispatch overhead dominates and the
+  in-process kernel wins.
 
 Workers are deliberately chunked: one future per genotype would drown the
 pool in IPC, so the engine groups genotypes and each future evaluates a whole
-chunk against the worker's warm cache.
+chunk against the worker's warm cache (the sharded backend shards *rows of
+one column store* instead of chunking genotype objects).
+
+**Cached-row mask protocol:** ``EvaluationEngine.evaluate_many`` hands the
+columnar paths a boolean mask of memoised rows alongside the batch
+(``compute_designs_batch(genotypes, cached_mask=...)`` down to
+``WbsnVectorizedKernel.evaluate_columns``).  Masked rows are dropped before
+any column table is gathered, so a warm batch skips even the gather; an
+all-cached batch never invokes a kernel or touches a pool at all.  The rows
+spared this way are counted in ``EngineStats.rows_skipped_cached``.
+
+Backends holding real resources (worker pools, shared-memory segments) must
+be released: engines are context managers (``with EvaluationEngine(...)``)
+and forward :meth:`EvaluationEngine.close` to :meth:`ExecutionBackend.close`.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import weakref
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Protocol, Sequence
 
@@ -115,6 +142,7 @@ class ProcessBackend:
             raise ValueError("max_workers must be positive")
         self.max_workers = max_workers or os.cpu_count() or 1
         self._executor: ProcessPoolExecutor | None = None
+        self._pinned: "weakref.ref[Any] | None" = None
 
     def run_chunks(
         self, problem: Any, chunks: Sequence[Sequence[tuple[int, ...]]]
@@ -128,10 +156,31 @@ class ProcessBackend:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        self._pinned = None
 
     # ------------------------------------------------------------ internals
 
+    def _check_pinned(self, problem: Any) -> None:
+        """Refuse to serve a problem the running pool was not built for.
+
+        The workers hold a pickled copy of the *first* problem they were
+        initialised with; silently evaluating a different problem against it
+        would return that problem's numbers under this one's name.  A
+        backend instance can therefore serve one problem per pool lifetime —
+        ``close()`` it to repurpose the instance.
+        """
+        if self._executor is None:
+            self._pinned = weakref.ref(problem)
+            return
+        pinned = self._pinned() if self._pinned is not None else None
+        if pinned is not problem:
+            raise RuntimeError(
+                "this backend's worker pool is initialised for a different "
+                "problem; close() the backend before reusing it"
+            )
+
     def _ensure_executor(self, problem: Any) -> ProcessPoolExecutor:
+        self._check_pinned(problem)
         if self._executor is None:
             payload = pickle.dumps(problem)
             self._executor = ProcessPoolExecutor(
@@ -142,21 +191,40 @@ class ProcessBackend:
         return self._executor
 
     def __getstate__(self) -> dict[str, Any]:
-        # The executor (locks, pipes) cannot cross a pickle boundary; workers
-        # that unpickle the problem never dispatch work themselves.
+        # The executor (locks, pipes) cannot cross a pickle boundary, and
+        # weakrefs cannot be pickled; workers that unpickle the problem
+        # never dispatch work themselves.
         state = self.__dict__.copy()
         state["_executor"] = None
+        state["_pinned"] = None
         return state
 
 
 def make_backend(
     backend: str | ExecutionBackend, max_workers: int | None = None
 ) -> ExecutionBackend:
-    """Resolve a backend name (``"serial"`` / ``"process"``) or instance."""
+    """Resolve a backend name (``"serial"``/``"process"``/``"sharded"``) or
+    an already-constructed instance.
+
+    ``max_workers`` only makes sense when this function constructs the
+    backend itself; combining it with an instance would silently ignore it,
+    so that combination is rejected instead.
+    """
     if not isinstance(backend, str):
+        if max_workers is not None:
+            raise ValueError(
+                "max_workers cannot be combined with a backend instance — "
+                "size the pool when constructing the backend instead"
+            )
         return backend
     if backend == "serial":
         return SerialBackend()
     if backend == "process":
         return ProcessBackend(max_workers=max_workers)
+    if backend == "sharded":
+        # Imported lazily: the sharded backend builds on ProcessBackend, so
+        # a module-level import would be circular.
+        from repro.engine.sharded import ShardedVectorizedBackend
+
+        return ShardedVectorizedBackend(max_workers=max_workers)
     raise ValueError(f"unknown execution backend '{backend}'")

@@ -130,6 +130,11 @@ class SharedGenotypeCache:
         key = (fingerprint, genotype)
         existing = self._records.get(key)
         if existing is not None and not set(existing[0]) < set(components):
+            # The stored record is kept, but the store is still a *use* of
+            # the key: refresh its LRU recency, or a hot, repeatedly
+            # re-stored record could be evicted before a cold one.
+            if self.max_entries is not None:
+                self._records.move_to_end(key)
             return
         self._records[key] = (components, design)
         if self.max_entries is not None:

@@ -23,19 +23,27 @@ owns every cross-cutting evaluation concern:
   separating designs served from raw model work, and scalar from vectorized
   work.
 
-Two compute paths serve a batch of genotype-cache misses:
+Three compute paths serve a batch of genotype-cache misses:
 
 * the **vectorized fast path** (default, when the problem opts in by
   exposing ``compute_designs_batch`` / ``supports_vectorized``): the whole
   miss set is evaluated column-wise by the problem's compiled NumPy kernel
   (:mod:`repro.core.vectorized`) in one call — the right choice for batch
-  workloads (exhaustive sweeps, NSGA-II generations, speculative annealing);
+  workloads (exhaustive sweeps, NSGA-II generations, speculative annealing).
+  The kernel receives a boolean mask of memoised rows, so warm batches skip
+  even the column gather (counted in ``EngineStats.rows_skipped_cached``);
+* the **sharded vectorized path** (``backend="sharded"``): the same kernel,
+  but the batch index matrix is placed in shared memory and its miss rows
+  are sharded across a worker pool
+  (:class:`~repro.engine.sharded.ShardedVectorizedBackend`) — multi-core
+  column kernels for huge uncached batches, reassembled in submission order
+  and therefore bitwise identical to the in-process kernel;
 * the **scalar path**: misses are chunked and dispatched to a pluggable
   execution backend (``"serial"`` in-process, ``"process"`` pool — see
   :mod:`repro.engine.backends`), computing one design at a time through the
   node-stage cache.  Single-genotype requests (:meth:`EvaluationEngine.evaluate`)
   always take this path, as do problems without a kernel and engines with a
-  non-serial backend.
+  non-columnar, non-serial backend.
 
 Both paths are floating-point-identical by construction (the parity suite
 enforces it), so switching between them is a pure performance decision.
@@ -72,10 +80,12 @@ class EvaluationEngine:
             (the problem reads it when wrapping its evaluator); ``None``
             keeps the cache unbounded.
         vectorized: route batch misses through the problem's columnar kernel
-            when it offers one (and the backend is serial).  ``False`` forces
+            when it offers one (in-process for the serial backend, sharded
+            across workers for the ``"sharded"`` backend).  ``False`` forces
             the scalar path everywhere — results are identical either way.
-        backend: ``"serial"``, ``"process"`` or a backend instance.
-        max_workers: pool size for the ``"process"`` backend.
+        backend: ``"serial"``, ``"process"``, ``"sharded"`` or a backend
+            instance (``max_workers`` must be ``None`` with an instance).
+        max_workers: pool size for the ``"process"``/``"sharded"`` backends.
         chunk_size: genotypes per backend work unit in ``evaluate_many``.
         stats: counters to feed; a private instance is created if omitted.
         shared_cache: a :class:`~repro.engine.cache.SharedGenotypeCache`
@@ -186,27 +196,43 @@ class EvaluationEngine:
         self.stats.batches += 1
         self.stats.genotype_requests += len(genotypes)
 
+        cached_mask: list[bool] | None = None
+        unique: list[tuple[int, ...]] | None = None
         if self.genotype_cache_enabled:
             keys = [tuple(map(int, genotype)) for genotype in genotypes]
+            # One row per *distinct* genotype, plus a flag marking the rows a
+            # cache already answered — the cached-row mask handed to the
+            # columnar paths, so memoised rows skip even the column gather.
+            unique = []
+            cached_mask = []
             pending: list[tuple[int, ...]] = []
-            scheduled: set[tuple[int, ...]] = set()
+            seen: set[tuple[int, ...]] = set()
             for key in keys:
-                if key in self._memo or key in scheduled:
+                if key in seen:
                     self.stats.genotype_cache_hits += 1
+                    continue
+                seen.add(key)
+                if key in self._memo:
+                    self.stats.genotype_cache_hits += 1
+                    unique.append(key)
+                    cached_mask.append(True)
                     continue
                 shared = self._shared_lookup(key)
                 if shared is not None:
                     self.stats.shared_cache_hits += 1
                     self._memo[key] = shared
+                    unique.append(key)
+                    cached_mask.append(True)
                     continue
-                scheduled.add(key)
+                unique.append(key)
+                cached_mask.append(False)
                 pending.append(key)
         else:
             # Without the memo there is nothing to key by — ship the
             # genotypes through as-is (the compute paths normalise them).
             pending = list(genotypes)
 
-        computed = self._compute(pending)
+        computed = self._compute(pending, unique=unique, cached_mask=cached_mask)
         if self.genotype_cache_enabled:
             self._memo.update(zip(pending, computed))
             for key, design in zip(pending, computed):
@@ -218,8 +244,16 @@ class EvaluationEngine:
         return results
 
     def close(self) -> None:
-        """Release backend resources (worker pools)."""
+        """Release backend resources (worker pools, shared memory)."""
         self.backend.close()
+
+    def __enter__(self) -> "EvaluationEngine":
+        """Engines are context managers: leaving the block releases the
+        backend's pools and shared-memory segments deterministically."""
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     def clear_caches(self) -> None:
         """Drop the genotype memo (the node cache lives with the problem)."""
@@ -246,23 +280,68 @@ class EvaluationEngine:
         )
 
     def _compute(
-        self, genotypes: Sequence[tuple[int, ...]]
+        self,
+        genotypes: Sequence[tuple[int, ...]],
+        unique: Sequence[tuple[int, ...]] | None = None,
+        cached_mask: Sequence[bool] | None = None,
     ) -> list["EvaluatedDesign"]:
+        vectorizable = (
+            self.vectorized_enabled
+            and self._problem is not None
+            and getattr(self._problem, "supports_vectorized", False)
+        )
+        in_process = getattr(self.backend, "in_process", False)
+        sharded = getattr(self.backend, "supports_columns", False)
+        if vectorizable and (in_process or sharded) and cached_mask is not None:
+            # The cached-row mask protocol: every memoised row is skipped
+            # before any column gather — including the degenerate all-cached
+            # batch, which never invokes a kernel or touches a pool at all.
+            self.stats.rows_skipped_cached += sum(map(bool, cached_mask))
+        # All-cached (or empty) batches never reach a kernel or a pool: the
+        # columnar paths would otherwise be invoked with a zero-row gather.
         if not genotypes:
             return []
         if self._problem is None:
             raise RuntimeError("the engine must be bound to a problem first")
-        if (
-            self.vectorized_enabled
-            and getattr(self.backend, "in_process", False)
-            and getattr(self._problem, "supports_vectorized", False)
-        ):
-            # Columnar fast path: the whole miss set in one kernel call.  The
-            # kernel is in-process by design, so a non-serial backend keeps
-            # the scalar chunked path below.
-            designs = list(self._problem.compute_designs_batch(genotypes))
+        # Problems advertising ``supports_cached_mask`` receive the batch's
+        # distinct rows plus the mask (the cached-row protocol); others get
+        # the pre-filtered miss rows — identical results either way.
+        masked = (
+            unique is not None
+            and cached_mask is not None
+            and any(cached_mask)
+            and getattr(self._problem, "supports_cached_mask", False)
+        )
+        if vectorizable and in_process:
+            # Columnar fast path: the whole miss set in one kernel call,
+            # handing the kernel the cached-row mask so memoised rows skip
+            # even the column gather.
+            if masked:
+                designs = list(
+                    self._problem.compute_designs_batch(
+                        unique, cached_mask=cached_mask
+                    )
+                )
+            else:
+                designs = list(self._problem.compute_designs_batch(genotypes))
             self.stats.model_evaluations += len(designs)
             self.stats.vectorized_designs += len(designs)
+            return designs
+        if vectorizable and sharded:
+            # Sharded columnar path: the batch matrix goes to shared memory,
+            # the miss rows are sharded across the backend's workers, and
+            # the reassembled columns are materialised in submission order.
+            if masked:
+                designs = list(
+                    self.backend.run_columns(
+                        self._problem, unique, cached_mask=cached_mask
+                    )
+                )
+            else:
+                designs = list(self.backend.run_columns(self._problem, genotypes))
+            self.stats.model_evaluations += len(designs)
+            self.stats.vectorized_designs += len(designs)
+            self.stats.sharded_designs += len(designs)
             return designs
         chunks = [
             genotypes[start : start + self.chunk_size]

@@ -1,0 +1,352 @@
+"""Sharded shared-memory execution of the vectorized column kernels.
+
+The columnar fast path (:mod:`repro.core.vectorized`) evaluates a whole
+batch of genotypes with NumPy array kernels, but only in the calling
+process; the scalar :class:`~repro.engine.backends.ProcessBackend` spreads
+work over cores, but one design at a time.  This module combines the two —
+the same partition-the-column-store shape large physics DAQ systems use
+(split one shared store across workers instead of shipping objects per
+item):
+
+1. the parent places the batch genotype-index matrix in a
+   ``multiprocessing.shared_memory`` segment (one per ``evaluate_many``
+   batch) and the kernel's compiled column tables in a second, long-lived
+   segment (the :class:`SharedArrayArena`, built once per pool);
+2. the miss rows of the batch — rows the genotype cache could not serve,
+   after the engine's cached-row mask is applied — are split into
+   per-worker shards;
+3. each worker gathers *only its shard's rows* from the shared matrix
+   (the cache-aware gather: memoised rows are never read), runs the
+   compiled :class:`~repro.core.vectorized.WbsnVectorizedKernel` on the
+   gathered block, and ships back raw objective/feasibility/violation
+   columns — never per-design Python objects;
+4. the parent concatenates the shard columns in submission order and
+   materialises :class:`~repro.dse.problem.EvaluatedDesign` objects from
+   the problem's phenotype tables, so results are bitwise identical to the
+   serial kernel (row sharding is safe by construction: every kernel stage
+   is elementwise across the batch axis; reductions only run across nodes).
+
+The backend subclasses :class:`~repro.engine.backends.ProcessBackend`, so a
+problem *without* a compiled kernel still gets the chunked scalar path on
+the same pool — but the engine counts the two separately
+(``EngineStats.sharded_designs`` covers only kernel work), which is what
+lets the benchmark gate fail on a silent fallback to the scalar path.
+
+Shared-memory segments and the worker pool are real resources: close the
+backend (or use the owning :class:`~repro.engine.EvaluationEngine` as a
+context manager) to release them deterministically.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.engine import backends as _backends
+from repro.engine.backends import ProcessBackend
+
+__all__ = ["SharedArrayArena", "ShardedVectorizedBackend"]
+
+#: Alignment of every array inside an arena segment, in bytes.  Cache-line
+#: alignment keeps a worker's gathers from straddling lines shared with a
+#: neighbouring table.
+_ARENA_ALIGNMENT = 64
+
+
+@dataclass(frozen=True)
+class _ArenaSlot:
+    """Location of one array inside an arena segment."""
+
+    offset: int
+    shape: tuple[int, ...]
+    dtype: str
+
+
+class SharedArrayArena:
+    """Named numeric arrays packed into one shared-memory segment.
+
+    The parent builds the arena from a ``{name: array}`` mapping (copying
+    each array once, cache-line aligned); workers re-attach zero-copy views
+    with :func:`attach_arena_views` using the pickled ``manifest``.  The
+    creator owns the segment: :meth:`close` both closes and unlinks it.
+    """
+
+    def __init__(self, arrays: Mapping[str, np.ndarray]) -> None:
+        slots: dict[str, _ArenaSlot] = {}
+        offset = 0
+        materialised = {
+            name: np.ascontiguousarray(array) for name, array in arrays.items()
+        }
+        for name, array in materialised.items():
+            offset = _align(offset)
+            slots[name] = _ArenaSlot(offset, array.shape, array.dtype.str)
+            offset += array.nbytes
+        self.manifest = slots
+        self._shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        for name, array in materialised.items():
+            slot = slots[name]
+            view = np.ndarray(
+                slot.shape, dtype=slot.dtype, buffer=self._shm.buf, offset=slot.offset
+            )
+            view[...] = array
+
+    @property
+    def name(self) -> str:
+        """The shared-memory segment name workers attach by."""
+        return self._shm.name
+
+    def close(self) -> None:
+        """Release and unlink the backing segment (creator side)."""
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+
+def _align(offset: int) -> int:
+    return (offset + _ARENA_ALIGNMENT - 1) // _ARENA_ALIGNMENT * _ARENA_ALIGNMENT
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing segment without adopting its lifetime.
+
+    Ownership stays with the creating process; an attaching worker must not
+    let the resource tracker unlink the segment on its behalf.  Python 3.13
+    makes that explicit with ``track=False``.  On older versions a POSIX
+    attach *does* register with the resource tracker, but fork-started pool
+    workers (the Linux default this package targets) inherit the creator's
+    tracker, where registrations are name-keyed — the creator's single
+    unregister-on-unlink clears the entry exactly once, so a plain attach
+    is safe.  (Spawn-started workers on old Pythons would get a private
+    tracker that unlinks on worker exit; 3.13's ``track=False`` is the
+    proper fix there.)
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no ``track`` parameter
+        return shared_memory.SharedMemory(name=name)
+
+
+def attach_arena_views(
+    name: str, manifest: Mapping[str, _ArenaSlot]
+) -> tuple[shared_memory.SharedMemory, dict[str, np.ndarray]]:
+    """Attach an arena segment and rebuild its named array views.
+
+    Returns the segment handle (keep it referenced for as long as the views
+    are used) alongside the zero-copy views.
+    """
+    shm = _attach_segment(name)
+    views = {
+        slot_name: np.ndarray(
+            slot.shape, dtype=slot.dtype, buffer=shm.buf, offset=slot.offset
+        )
+        for slot_name, slot in manifest.items()
+    }
+    return shm, views
+
+
+# --------------------------------------------------------------------------
+# Worker side.  The problem travels once through the pool initialiser (like
+# the scalar process backend); the kernel's tables are then rebound to the
+# arena views so every worker gathers from the same physical store.
+
+_WORKER_KERNEL: Any = None
+_WORKER_ARENA: shared_memory.SharedMemory | None = None
+
+
+def _init_sharded_worker(
+    payload: bytes,
+    arena_name: str | None,
+    manifest: Mapping[str, _ArenaSlot] | None,
+) -> None:
+    global _WORKER_KERNEL, _WORKER_ARENA
+    problem = pickle.loads(payload)
+    # The scalar chunk path (kernel-less problems) reuses the plain process
+    # machinery, so its worker global must point at the same problem.
+    _backends._WORKER_PROBLEM = problem
+    _WORKER_KERNEL = getattr(problem, "vectorized_kernel", None)
+    if arena_name is not None and manifest is not None and _WORKER_KERNEL is not None:
+        _WORKER_ARENA, views = attach_arena_views(arena_name, manifest)
+        _WORKER_KERNEL.adopt_shared_tables(views)
+
+
+def _evaluate_shard(
+    matrix_name: str,
+    shape: tuple[int, ...],
+    dtype: str,
+    rows: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Evaluate one shard of miss rows against the shared index matrix."""
+    kernel = _WORKER_KERNEL
+    if kernel is None:  # pragma: no cover - guarded by the engine
+        raise RuntimeError("worker has no compiled vectorized kernel")
+    shm = _attach_segment(matrix_name)
+    try:
+        matrix = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+        # Fancy indexing copies, so the shared buffer can be dropped as soon
+        # as the shard's rows are gathered.
+        gathered = matrix[rows]
+    finally:
+        shm.close()
+    columns = kernel.evaluate_columns(gathered)
+    return columns.objectives, columns.feasible, columns.violation_counts
+
+
+class ShardedVectorizedBackend(ProcessBackend):
+    """Vectorized evaluation sharded over a process pool via shared memory.
+
+    Args:
+        max_workers: pool size (defaults to the CPU count).
+        min_rows_per_shard: lower bound on shard size.  Small batches are
+            given to fewer workers (down to one) so dispatch overhead never
+            exceeds the kernel work it parallelises.
+    """
+
+    name = "sharded"
+    in_process = False
+    #: engines route vectorized batches through :meth:`run_columns` when the
+    #: backend advertises this flag
+    supports_columns = True
+
+    def __init__(
+        self, max_workers: int | None = None, min_rows_per_shard: int = 256
+    ) -> None:
+        super().__init__(max_workers=max_workers)
+        if min_rows_per_shard <= 0:
+            raise ValueError("min_rows_per_shard must be positive")
+        self.min_rows_per_shard = min_rows_per_shard
+        self._arena: SharedArrayArena | None = None
+
+    # ----------------------------------------------------------------- API
+
+    def run_columns(
+        self,
+        problem: Any,
+        genotypes: Sequence[tuple[int, ...]],
+        cached_mask: np.ndarray | None = None,
+    ) -> list[Any]:
+        """Evaluate a batch's miss rows on the pool, preserving row order.
+
+        The full batch index matrix is published once in shared memory; the
+        miss rows (``cached_mask`` false, or all rows without a mask) are
+        sharded across the workers, and the concatenated shard columns are
+        materialised into designs by the parent.  Returns one design per
+        miss row, in the rows' original relative order — an all-cached or
+        empty batch returns ``[]`` without touching the pool.
+        """
+        from repro.core.vectorized import cached_miss_rows
+
+        matrix = problem.space.index_matrix(genotypes)
+        if cached_mask is not None:
+            miss_rows = cached_miss_rows(len(matrix), cached_mask)
+        else:
+            miss_rows = np.arange(len(matrix))
+        if miss_rows.size == 0:
+            return []
+        columns = self.evaluate_columns_sharded(problem, matrix, miss_rows)
+        return problem.materialise_designs(matrix[miss_rows], columns)
+
+    def evaluate_columns_sharded(
+        self,
+        problem: Any,
+        matrix: np.ndarray,
+        miss_rows: np.ndarray | None = None,
+    ) -> Any:
+        """Columns-only sharded evaluation of a validated index matrix.
+
+        The parallel core of :meth:`run_columns`, exposed separately so the
+        benchmark suite can compare it against the in-process kernel without
+        the (parent-side, inherently serial) design materialisation.
+        Returns the concatenated
+        :class:`~repro.core.vectorized.WbsnBatchColumns` of the requested
+        rows, in row order.
+        """
+        from repro.core.vectorized import WbsnBatchColumns
+
+        if miss_rows is None:
+            miss_rows = np.arange(len(matrix))
+        if miss_rows.size == 0:
+            # Same contract as the in-process kernel: an empty miss set
+            # produces empty columns without touching the pool (a zero-byte
+            # shared-memory segment cannot even be created).
+            kernel = getattr(problem, "vectorized_kernel", None)
+            n_objectives = getattr(kernel, "n_objectives", 0)
+            return WbsnBatchColumns(
+                objectives=np.empty((0, n_objectives)),
+                feasible=np.empty(0, dtype=bool),
+                violation_counts=np.empty(0, dtype=np.int64),
+            )
+        executor = self._ensure_executor(problem)
+        shards = [
+            shard
+            for shard in np.array_split(miss_rows, self._shard_count(miss_rows.size))
+            if shard.size
+        ]
+        shm = shared_memory.SharedMemory(create=True, size=matrix.nbytes)
+        try:
+            view = np.ndarray(matrix.shape, dtype=matrix.dtype, buffer=shm.buf)
+            view[...] = matrix
+            futures = [
+                executor.submit(
+                    _evaluate_shard, shm.name, matrix.shape, matrix.dtype.str, shard
+                )
+                for shard in shards
+            ]
+            # Submission order == miss-row order, so plain concatenation
+            # reassembles the batch exactly as the serial kernel would have
+            # produced it.
+            results = [future.result() for future in futures]
+        finally:
+            shm.close()
+            shm.unlink()
+        return WbsnBatchColumns(
+            objectives=np.concatenate([r[0] for r in results], axis=0),
+            feasible=np.concatenate([r[1] for r in results], axis=0),
+            violation_counts=np.concatenate([r[2] for r in results], axis=0),
+        )
+
+    def close(self) -> None:
+        """Shut the pool down and unlink the shared table arena."""
+        super().close()
+        if self._arena is not None:
+            self._arena.close()
+            self._arena = None
+
+    # ------------------------------------------------------------ internals
+
+    def _shard_count(self, rows: int) -> int:
+        by_floor = math.ceil(rows / self.min_rows_per_shard)
+        return max(1, min(self.max_workers, by_floor))
+
+    def _ensure_executor(self, problem: Any):
+        self._check_pinned(problem)
+        if self._executor is None:
+            kernel = getattr(problem, "vectorized_kernel", None)
+            arena_name = None
+            manifest = None
+            if kernel is not None and hasattr(kernel, "shareable_tables"):
+                self._arena = SharedArrayArena(kernel.shareable_tables())
+                arena_name = self._arena.name
+                manifest = self._arena.manifest
+            payload = pickle.dumps(problem)
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                initializer=_init_sharded_worker,
+                initargs=(payload, arena_name, manifest),
+            )
+        return self._executor
+
+    def __getstate__(self) -> dict[str, Any]:
+        # Neither the pool nor the arena handle can cross a pickle boundary
+        # (workers re-attach the arena by name through the initialiser).
+        state = super().__getstate__()
+        state["_arena"] = None
+        return state

@@ -45,8 +45,15 @@ class EngineStats:
             ordinary genotype-cache hits).
         model_evaluations: full-network model evaluations actually computed
             (through either evaluation path).
-        vectorized_designs: model evaluations computed by the columnar fast
-            path (a subset of ``model_evaluations``).
+        vectorized_designs: model evaluations computed by a columnar kernel,
+            in-process or sharded (a subset of ``model_evaluations``).
+        sharded_designs: model evaluations computed by the sharded
+            shared-memory columnar backend (a subset of
+            ``vectorized_designs``; zero when every kernel call ran
+            in-process).
+        rows_skipped_cached: batch rows the cached-row mask protocol let the
+            columnar paths skip — memoised rows never reach the column
+            gather (see ``WbsnVectorizedKernel.evaluate_columns``).
         node_stage_requests: per-node stage evaluations requested.
         node_cache_hits: per-node stage requests answered by the node cache.
         node_model_calls: raw per-node model executions (node-cache misses).
@@ -61,6 +68,8 @@ class EngineStats:
     shared_cache_hits: int = 0
     model_evaluations: int = 0
     vectorized_designs: int = 0
+    sharded_designs: int = 0
+    rows_skipped_cached: int = 0
     node_stage_requests: int = 0
     node_cache_hits: int = 0
     node_model_calls: int = 0

@@ -98,18 +98,23 @@ def run_fig5(
     (energy, delay) — identical floats, fewer model evaluations.
     """
     shared_cache = SharedGenotypeCache()
-    full_problem = WbsnDseProblem(
-        build_case_study_evaluator(theta=theta),
-        record_evaluations=True,
-        engine=EvaluationEngine(backend=backend, shared_cache=shared_cache),
-    )
-    baseline_problem = WbsnDseProblem(
-        build_baseline_evaluator(theta=theta),
-        record_evaluations=True,
-        engine=EvaluationEngine(backend=backend, shared_cache=shared_cache),
-    )
-
-    try:
+    # Engines are context managers: worker pools and shared-memory segments
+    # of non-serial backends are released even when a run fails.
+    with EvaluationEngine(
+        backend=backend, shared_cache=shared_cache
+    ) as full_engine, EvaluationEngine(
+        backend=backend, shared_cache=shared_cache
+    ) as baseline_engine:
+        full_problem = WbsnDseProblem(
+            build_case_study_evaluator(theta=theta),
+            record_evaluations=True,
+            engine=full_engine,
+        )
+        baseline_problem = WbsnDseProblem(
+            build_baseline_evaluator(theta=theta),
+            record_evaluations=True,
+            engine=baseline_engine,
+        )
         return _run_fig5(
             full_problem,
             baseline_problem,
@@ -118,9 +123,6 @@ def run_fig5(
             annealing_iterations=annealing_iterations,
             seed=seed,
         )
-    finally:
-        full_problem.engine.close()
-        baseline_problem.engine.close()
 
 
 def _run_fig5(

@@ -592,3 +592,68 @@ class TestSharedGenotypeCache:
         fp_twisted = twisted.evaluation_fingerprint()
         assert fp_plain is not None
         assert fp_plain != fp_twisted
+
+
+class TestSharedCacheLruRecency:
+    """Regression: re-storing a hot record must refresh its LRU position."""
+
+    @staticmethod
+    def _design(tag: int):
+        from repro.dse.problem import EvaluatedDesign
+
+        return EvaluatedDesign(
+            genotype=(tag,), objectives=(float(tag),), feasible=True, phenotype={}
+        )
+
+    def test_refreshed_record_outlives_a_cold_one(self):
+        cache = SharedGenotypeCache(max_entries=2)
+        components = ("energy",)
+        hot, cold, newcomer = (b"fp", (0,)), (b"fp", (1,)), (b"fp", (2,))
+        cache.store(*hot, components, self._design(0))
+        cache.store(*cold, components, self._design(1))
+        # Re-store the hot key (same component set: the record is kept, but
+        # the store is a use and must refresh recency).
+        cache.store(*hot, components, self._design(0))
+        cache.store(*newcomer, components, self._design(2))
+        assert cache.evictions == 1
+        # The cold key was evicted, the refreshed hot key survived.
+        assert cache.lookup(b"fp", (0,), components) is not None
+        assert cache.lookup(b"fp", (1,), components) is None
+        assert cache.lookup(b"fp", (2,), components) is not None
+
+    def test_eviction_order_without_refresh_is_plain_fifo_of_use(self):
+        cache = SharedGenotypeCache(max_entries=2)
+        components = ("energy",)
+        cache.store(b"fp", (0,), components, self._design(0))
+        cache.store(b"fp", (1,), components, self._design(1))
+        cache.store(b"fp", (2,), components, self._design(2))
+        assert cache.lookup(b"fp", (0,), components) is None
+        assert cache.lookup(b"fp", (1,), components) is not None
+        assert cache.lookup(b"fp", (2,), components) is not None
+
+
+class TestDseResultThroughputClamp:
+    """Regression: zero-duration runs must serialize as valid strict JSON."""
+
+    def test_zero_duration_reports_zero_not_inf(self):
+        import json
+
+        from repro.dse.runner import DseResult
+
+        result = DseResult(front=(), evaluations=128, wall_clock_s=0.0)
+        assert result.evaluations_per_second == 0.0
+        assert result.model_evaluations_per_second == 0.0
+        payload = json.dumps(
+            {
+                "evaluations_per_second": result.evaluations_per_second,
+                "model_evaluations_per_second": result.model_evaluations_per_second,
+            },
+            allow_nan=False,
+        )
+        assert "Infinity" not in payload
+
+    def test_positive_duration_unchanged(self):
+        from repro.dse.runner import DseResult
+
+        result = DseResult(front=(), evaluations=100, wall_clock_s=2.0)
+        assert result.evaluations_per_second == 50.0

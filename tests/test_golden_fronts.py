@@ -40,17 +40,17 @@ NODE_DOMAINS = dict(
 NSGA2_SETTINGS = Nsga2Settings(population_size=16, generations=6, seed=9)
 
 
-def beacon_problem() -> WbsnDseProblem:
+def beacon_problem(engine: EvaluationEngine | None = None) -> WbsnDseProblem:
     return WbsnDseProblem(
         build_case_study_evaluator(n_nodes=2, applications=("dwt", "cs")),
         **NODE_DOMAINS,
         payload_bytes=(60, 80),
         order_pairs=((4, 4), (4, 6)),
-        engine=EvaluationEngine(),
+        engine=engine if engine is not None else EvaluationEngine(),
     )
 
 
-def csma_problem() -> WbsnDseProblem:
+def csma_problem(engine: EvaluationEngine | None = None) -> WbsnDseProblem:
     return WbsnDseProblem(
         build_csma_case_study_evaluator(n_nodes=2, applications=("dwt", "cs")),
         **NODE_DOMAINS,
@@ -58,7 +58,7 @@ def csma_problem() -> WbsnDseProblem:
             payload_bytes=(60, 80),
             backoff_exponent_pairs=((3, 5), (4, 6)),
         ),
-        engine=EvaluationEngine(),
+        engine=engine if engine is not None else EvaluationEngine(),
     )
 
 
@@ -108,6 +108,38 @@ def test_front_matches_the_golden_fixture(scenario):
                 position,
             )
             assert got["feasible"] == want["feasible"]
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_sharded_backend_matches_the_golden_fixture(scenario):
+    """The sharded shared-memory backend reproduces the committed fronts.
+
+    Same fixtures, same exactness: worker-sharded column evaluation must be
+    bitwise indistinguishable from the serial kernel that generated the
+    golden files.
+    """
+    golden = json.loads((GOLDEN_DIR / f"fronts_{scenario}.json").read_text())
+    for algorithm, run in (
+        ("exhaustive", lambda p: ExhaustiveSearch(p).run()),
+        ("nsga2", lambda p: Nsga2(p, NSGA2_SETTINGS).run()),
+    ):
+        with EvaluationEngine(backend="sharded", max_workers=2) as engine:
+            front = run(SCENARIOS[scenario](engine))
+            expected = golden[algorithm]
+            assert len(front) == len(expected), (scenario, algorithm)
+            for position, (design, want) in enumerate(zip(front, expected)):
+                assert list(design.genotype) == want["genotype"], (
+                    scenario,
+                    algorithm,
+                    position,
+                )
+                assert list(design.objectives) == want["objectives"], (
+                    scenario,
+                    algorithm,
+                    position,
+                )
+                assert design.feasible == want["feasible"]
+            assert engine.stats.sharded_designs > 0
 
 
 @pytest.mark.parametrize("scenario", sorted(SCENARIOS))

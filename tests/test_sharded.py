@@ -1,0 +1,378 @@
+"""Sharded shared-memory backend: parity, lifecycle and cache-aware masks.
+
+The sharded backend must be *semantically invisible*: identical fronts, bit
+for bit, for all four algorithms and both MAC families (the parity fuzz and
+golden-front suites extend this further).  On top of parity, these tests pin
+the resource lifecycle — pools and shared-memory segments are released by
+``close()`` / the engine context manager — and the engine-edge behaviours
+this PR fixes: empty/all-cached/duplicate-only batches never invoke a
+kernel, and ``make_backend`` rejects the silently-ignored
+instance-plus-``max_workers`` combination.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.dse.exhaustive import ExhaustiveSearch
+from repro.dse.nsga2 import Nsga2, Nsga2Settings
+from repro.dse.problem import WbsnDseProblem, csma_mac_parameterisation
+from repro.dse.random_search import RandomSearch
+from repro.dse.runner import run_algorithm
+from repro.dse.simulated_annealing import (
+    MultiObjectiveSimulatedAnnealing,
+    SimulatedAnnealingSettings,
+)
+from repro.engine import (
+    EvaluationEngine,
+    ProcessBackend,
+    SerialBackend,
+    ShardedVectorizedBackend,
+    make_backend,
+)
+from repro.engine.sharded import SharedArrayArena, attach_arena_views
+from repro.experiments.casestudy import (
+    build_case_study_evaluator,
+    build_csma_case_study_evaluator,
+)
+
+#: Small two-node spaces (64 configurations) keep the pool runs fast.
+NODE_DOMAINS = dict(
+    compression_ratios=(0.2, 0.3),
+    frequencies_hz=(4e6, 8e6),
+)
+
+
+def beacon_problem(engine: EvaluationEngine) -> WbsnDseProblem:
+    return WbsnDseProblem(
+        build_case_study_evaluator(n_nodes=2, applications=("dwt", "cs")),
+        **NODE_DOMAINS,
+        payload_bytes=(60, 80),
+        order_pairs=((4, 4), (4, 6)),
+        engine=engine,
+    )
+
+
+def csma_problem(engine: EvaluationEngine) -> WbsnDseProblem:
+    return WbsnDseProblem(
+        build_csma_case_study_evaluator(n_nodes=2, applications=("dwt", "cs")),
+        **NODE_DOMAINS,
+        mac_parameterisation=csma_mac_parameterisation(
+            payload_bytes=(60, 80),
+            backoff_exponent_pairs=((3, 5), (4, 6)),
+        ),
+        engine=engine,
+    )
+
+
+SCENARIOS = {"beacon": beacon_problem, "csma": csma_problem}
+
+
+def sharded_engine(**kwargs) -> EvaluationEngine:
+    return EvaluationEngine(backend="sharded", max_workers=2, **kwargs)
+
+
+def front_signature(front):
+    return [(design.genotype, design.objectives, design.feasible) for design in front]
+
+
+class TestBitwiseParity:
+    """Sharded fronts are identical to serial-kernel fronts, all algorithms."""
+
+    ALGORITHMS = {
+        "exhaustive": lambda problem: ExhaustiveSearch(problem, chunk_size=16),
+        "random": lambda problem: RandomSearch(problem, samples=40, seed=5),
+        "nsga2": lambda problem: Nsga2(
+            problem, Nsga2Settings(population_size=12, generations=4, seed=5)
+        ),
+        "annealing": lambda problem: MultiObjectiveSimulatedAnnealing(
+            problem, SimulatedAnnealingSettings(iterations=60, seed=5)
+        ),
+    }
+
+    @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+    def test_all_four_algorithms_identical(self, scenario):
+        build = SCENARIOS[scenario]
+        serial = build(EvaluationEngine())
+        with sharded_engine() as engine:
+            sharded = build(engine)
+            for name in sorted(self.ALGORITHMS):
+                factory = self.ALGORITHMS[name]
+                want = front_signature(factory(serial).run())
+                got = front_signature(factory(sharded).run())
+                assert got == want, (scenario, name)
+            # Every batch miss went through worker kernels, none through the
+            # scalar fallback.
+            assert engine.stats.sharded_designs > 0
+            assert engine.stats.sharded_designs == engine.stats.vectorized_designs
+
+    def test_sharded_matches_serial_on_random_batches(self):
+        serial = beacon_problem(EvaluationEngine())
+        with sharded_engine() as engine:
+            sharded = beacon_problem(engine)
+            rng = np.random.default_rng(11)
+            genotypes = [sharded.space.random_genotype(rng) for _ in range(150)]
+            genotypes += genotypes[:30]  # duplicates exercise the dedup path
+            fast = sharded.evaluate_batch(genotypes)
+            slow = serial.evaluate_batch(genotypes)
+            assert [d.objectives for d in fast] == [d.objectives for d in slow]
+            assert [d.feasible for d in fast] == [d.feasible for d in slow]
+            assert [d.genotype for d in fast] == [d.genotype for d in slow]
+
+
+class TestCachedRowMask:
+    """Memoised rows skip the column gather; warm batches skip the pool."""
+
+    def test_warm_batch_skips_the_kernel_entirely(self):
+        with sharded_engine() as engine:
+            problem = beacon_problem(engine)
+            rng = np.random.default_rng(3)
+            genotypes = [problem.space.random_genotype(rng) for _ in range(40)]
+            problem.evaluate_batch(genotypes)
+            before = engine.stats.snapshot()
+            again = problem.evaluate_batch(genotypes)
+            delta = engine.stats.snapshot() - before
+            assert delta.model_evaluations == 0
+            assert delta.sharded_designs == 0
+            assert delta.rows_skipped_cached == len(set(genotypes))
+            assert [d.objectives for d in again] == [
+                d.objectives for d in problem.evaluate_batch(genotypes)
+            ]
+
+    def test_mixed_batch_only_computes_the_misses(self):
+        with sharded_engine() as engine:
+            problem = beacon_problem(engine)
+            warm = [(0, 0, 0, 0, 0, 0), (1, 1, 1, 1, 1, 1)]
+            problem.evaluate_batch(warm)
+            cold = [(0, 1, 0, 1, 0, 1), (1, 0, 1, 0, 1, 0)]
+            before = engine.stats.snapshot()
+            problem.evaluate_batch(warm + cold)
+            delta = engine.stats.snapshot() - before
+            assert delta.model_evaluations == len(cold)
+            assert delta.sharded_designs == len(cold)
+            assert delta.rows_skipped_cached == len(warm)
+
+    def test_serial_kernel_honours_the_mask_too(self):
+        with EvaluationEngine() as engine:
+            problem = beacon_problem(engine)
+            warm = [(0, 0, 0, 0, 0, 0)]
+            problem.evaluate_batch(warm)
+            before = engine.stats.snapshot()
+            problem.evaluate_batch(warm + [(1, 1, 1, 1, 1, 1)])
+            delta = engine.stats.snapshot() - before
+            assert delta.model_evaluations == 1
+            assert delta.vectorized_designs == 1
+            assert delta.rows_skipped_cached == 1
+
+
+class TestDegenerateBatches:
+    """Empty, all-cached and duplicate-only batches never reach a kernel."""
+
+    @pytest.mark.parametrize("backend", ["serial", "sharded"])
+    def test_empty_batch(self, backend):
+        with EvaluationEngine(backend=backend) as engine:
+            problem = beacon_problem(engine)
+            before = engine.stats.snapshot()
+            assert problem.evaluate_batch([]) == []
+            delta = engine.stats.snapshot() - before
+            assert delta.model_evaluations == 0
+            assert delta.vectorized_designs == 0
+
+    @pytest.mark.parametrize("backend", ["serial", "sharded"])
+    def test_all_cached_batch(self, backend):
+        with EvaluationEngine(backend=backend) as engine:
+            problem = beacon_problem(engine)
+            genotypes = [(0, 0, 0, 0, 0, 0), (1, 1, 1, 1, 1, 1)]
+            first = problem.evaluate_batch(genotypes)
+            before = engine.stats.snapshot()
+            again = problem.evaluate_batch(genotypes)
+            delta = engine.stats.snapshot() - before
+            assert delta.model_evaluations == 0
+            assert delta.vectorized_designs == 0
+            assert delta.genotype_cache_hits == len(genotypes)
+            assert front_signature(again) == front_signature(first)
+
+    @pytest.mark.parametrize("backend", ["serial", "sharded"])
+    def test_duplicate_only_batch(self, backend):
+        with EvaluationEngine(backend=backend) as engine:
+            problem = beacon_problem(engine)
+            genotype = (1, 0, 1, 0, 1, 0)
+            before = engine.stats.snapshot()
+            designs = problem.evaluate_batch([genotype] * 7)
+            delta = engine.stats.snapshot() - before
+            assert delta.model_evaluations == 1
+            assert delta.genotype_cache_hits == 6
+            assert len({front_signature([d])[0] for d in designs}) == 1
+
+    def test_zero_length_gather_never_reaches_the_kernel(self):
+        """The kernel itself early-returns on an empty or fully masked batch."""
+        problem = beacon_problem(EvaluationEngine())
+        kernel = problem.vectorized_kernel
+        empty = kernel.evaluate_columns(problem.space.index_matrix([]))
+        assert empty.objectives.shape == (0, problem.n_objectives)
+        matrix = problem.space.index_matrix([(0, 0, 0, 0, 0, 0)])
+        masked = kernel.evaluate_columns(matrix, cached_mask=np.array([True]))
+        assert masked.objectives.shape == (0, problem.n_objectives)
+        assert masked.feasible.shape == (0,)
+        assert masked.violation_counts.shape == (0,)
+
+
+class TestSharedArrayArena:
+    """Kernel tables survive the shared-memory round trip bit for bit."""
+
+    def test_roundtrip_and_adoption_preserve_results(self):
+        problem = beacon_problem(EvaluationEngine())
+        kernel = problem.vectorized_kernel
+        tables = kernel.shareable_tables()
+        assert tables, "the compiled kernel should expose column tables"
+        arena = SharedArrayArena(tables)
+        try:
+            shm, views = attach_arena_views(arena.name, arena.manifest)
+            try:
+                for name, table in tables.items():
+                    assert np.array_equal(views[name], table), name
+                rng = np.random.default_rng(7)
+                genotypes = [problem.space.random_genotype(rng) for _ in range(32)]
+                matrix = problem.space.index_matrix(genotypes)
+                want = kernel.evaluate_columns(matrix)
+                kernel.adopt_shared_tables(views)
+                got = kernel.evaluate_columns(matrix)
+                assert np.array_equal(got.objectives, want.objectives)
+                assert np.array_equal(got.feasible, want.feasible)
+                assert np.array_equal(got.violation_counts, want.violation_counts)
+            finally:
+                shm.close()
+        finally:
+            arena.close()
+
+
+class TestResourceLifecycle:
+    """Pools and shared-memory segments are released deterministically."""
+
+    def test_close_shuts_pool_and_unlinks_arena(self):
+        engine = sharded_engine()
+        problem = beacon_problem(engine)
+        problem.evaluate_batch(
+            [problem.space.random_genotype(np.random.default_rng(1)) for _ in range(16)]
+        )
+        backend = engine.backend
+        assert backend._executor is not None
+        assert backend._arena is not None
+        arena_name = backend._arena.name
+        engine.close()
+        assert backend._executor is None
+        assert backend._arena is None
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=arena_name)
+        engine.close()  # idempotent
+
+    def test_engine_context_manager_closes_the_backend(self):
+        with EvaluationEngine(backend="process", max_workers=1) as engine:
+            problem = beacon_problem(engine)
+            problem.evaluate_batch([(0, 0, 0, 0, 0, 0)] * 2)
+        assert engine.backend._executor is None
+
+    def test_run_algorithm_can_close_the_engine(self):
+        engine = sharded_engine()
+        problem = beacon_problem(engine)
+        result = run_algorithm(
+            ExhaustiveSearch(problem, chunk_size=16), close_engine=True
+        )
+        assert result.front
+        assert result.sharded_designs > 0
+        assert engine.backend._executor is None
+        assert engine.backend._arena is None
+
+    def test_reusing_a_live_pool_for_another_problem_is_rejected(self):
+        """Regression: the pool pins the first problem's pickled copy, so a
+        second problem must be refused instead of silently evaluated against
+        the wrong kernel."""
+        backend = ShardedVectorizedBackend(max_workers=2)
+        first_engine = EvaluationEngine(backend=backend)
+        first = beacon_problem(first_engine)
+        first.evaluate_batch([(1, 0, 1, 0, 1, 0)] * 2)
+        second_engine = EvaluationEngine(backend=backend)
+        second = csma_problem(second_engine)
+        with pytest.raises(RuntimeError, match="different problem"):
+            second.evaluate_batch([(1, 0, 1, 0, 1, 0)] * 2)
+        # After close() the backend can be repurposed.
+        backend.close()
+        fresh = second.evaluate_batch([(1, 0, 1, 0, 1, 0)] * 2)
+        reference = csma_problem(EvaluationEngine()).evaluate_batch(
+            [(1, 0, 1, 0, 1, 0)] * 2
+        )
+        assert [d.objectives for d in fresh] == [d.objectives for d in reference]
+        backend.close()
+
+    def test_process_backend_also_rejects_pool_reuse(self):
+        backend = ProcessBackend(max_workers=1)
+        first = beacon_problem(EvaluationEngine(backend=backend, vectorized=False))
+        first.evaluate_batch([(1, 0, 1, 0, 1, 0)] * 2)
+        second = csma_problem(EvaluationEngine(backend=backend, vectorized=False))
+        with pytest.raises(RuntimeError, match="different problem"):
+            second.evaluate_batch([(1, 0, 1, 0, 1, 0)] * 2)
+        backend.close()
+
+    def test_columns_only_api_handles_an_empty_matrix(self):
+        with sharded_engine() as engine:
+            problem = beacon_problem(engine)
+            backend = engine.backend
+            columns = backend.evaluate_columns_sharded(
+                problem, problem.space.index_matrix([])
+            )
+            assert columns.objectives.shape == (0, problem.n_objectives)
+            assert columns.feasible.shape == (0,)
+            assert columns.violation_counts.shape == (0,)
+
+    def test_scalar_fallback_for_kernel_less_problems(self):
+        """No kernel: the sharded pool runs the chunked scalar path instead."""
+        serial = beacon_problem(EvaluationEngine())
+        with sharded_engine() as engine:
+            problem = WbsnDseProblem(
+                build_case_study_evaluator(n_nodes=2, applications=("dwt", "cs")),
+                **NODE_DOMAINS,
+                payload_bytes=(60, 80),
+                order_pairs=((4, 4), (4, 6)),
+                engine=engine,
+                vectorized=False,
+            )
+            rng = np.random.default_rng(2)
+            genotypes = [problem.space.random_genotype(rng) for _ in range(24)]
+            fast = problem.evaluate_batch(genotypes)
+            slow = serial.evaluate_batch(genotypes)
+            assert [d.objectives for d in fast] == [d.objectives for d in slow]
+            assert engine.stats.sharded_designs == 0
+            assert engine.stats.vectorized_designs == 0
+            assert engine.stats.model_evaluations > 0
+
+
+class TestMakeBackend:
+    """Backend resolution edges (the silently-ignored max_workers bug)."""
+
+    def test_instance_with_max_workers_is_rejected(self):
+        for instance in (SerialBackend(), ProcessBackend(max_workers=1)):
+            with pytest.raises(ValueError, match="max_workers"):
+                make_backend(instance, max_workers=2)
+
+    def test_engine_rejects_instance_plus_max_workers(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            EvaluationEngine(backend=SerialBackend(), max_workers=2)
+
+    def test_instance_without_max_workers_passes_through(self):
+        backend = SerialBackend()
+        assert make_backend(backend) is backend
+        assert make_backend(backend, max_workers=None) is backend
+
+    def test_sharded_name_resolves(self):
+        backend = make_backend("sharded", max_workers=3)
+        assert isinstance(backend, ShardedVectorizedBackend)
+        assert backend.max_workers == 3
+        assert backend.supports_columns
+        backend.close()
+
+    def test_invalid_min_rows_per_shard_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedVectorizedBackend(min_rows_per_shard=0)
