@@ -14,20 +14,25 @@ Run with::
 from __future__ import annotations
 
 from repro.dse import Nsga2, Nsga2Settings, WbsnDseProblem, run_algorithm
+from repro.engine import EvaluationEngine
 from repro.experiments.casestudy import build_case_study_evaluator
 from repro.shimmer import BatteryModel
 
 
 def main() -> None:
     evaluator = build_case_study_evaluator()
-    problem = WbsnDseProblem(evaluator, record_evaluations=True)
+    # Engines own real resources (worker pools, shared-memory segments with
+    # the "process"/"sharded" backends); run_algorithm(close_engine=True)
+    # releases them deterministically when the run finishes, even on failure.
+    engine = EvaluationEngine()
+    problem = WbsnDseProblem(evaluator, record_evaluations=True, engine=engine)
     settings = Nsga2Settings(population_size=48, generations=25, seed=11)
 
     print(
         f"design space size: {problem.space.size:,} configurations "
         f"({len(problem.space)} tunable parameters)"
     )
-    result = run_algorithm(Nsga2(problem, settings))
+    result = run_algorithm(Nsga2(problem, settings), close_engine=True)
     print(
         f"explored {result.evaluations} configurations in {result.wall_clock_s:.1f} s "
         f"({result.evaluations_per_second:.0f} served/s, "

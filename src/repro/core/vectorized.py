@@ -72,8 +72,22 @@ __all__ = [
     "VectorizedUnsupported",
     "WbsnBatchColumns",
     "WbsnVectorizedKernel",
+    "as_row_indices",
     "cached_miss_rows",
 ]
+
+
+def as_row_indices(rows: Any) -> np.ndarray:
+    """Normalise a row selection: integer indices, or a boolean mask.
+
+    The single definition of the row-selection rule shared by every column
+    container's ``take``/``materialise`` — a boolean array selects the rows
+    where it is ``True``; anything else is coerced to integer indices.
+    """
+    rows = np.asarray(rows)
+    if rows.dtype == bool:
+        return np.flatnonzero(rows)
+    return rows.astype(np.int64, copy=False)
 
 
 class VectorizedUnsupported(TypeError):
@@ -109,6 +123,28 @@ class WbsnBatchColumns:
     objectives: np.ndarray
     feasible: np.ndarray
     violation_counts: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.objectives)
+
+    @classmethod
+    def empty(cls, n_objectives: int) -> "WbsnBatchColumns":
+        """Zero-row columns — the result of an empty (or all-cached) batch."""
+        return cls(
+            objectives=np.empty((0, n_objectives)),
+            feasible=np.empty(0, dtype=bool),
+            violation_counts=np.empty(0, dtype=np.int64),
+        )
+
+    def take(self, rows: Any) -> "WbsnBatchColumns":
+        """Row subset of the columns, by integer indices or a boolean mask
+        (fancy-indexed, preserving order)."""
+        rows = as_row_indices(rows)
+        return WbsnBatchColumns(
+            objectives=self.objectives[rows],
+            feasible=self.feasible[rows],
+            violation_counts=self.violation_counts[rows],
+        )
 
 
 @dataclass(frozen=True)
@@ -385,11 +421,7 @@ class WbsnVectorizedKernel:
             # column table is read.
             index_matrix = index_matrix[cached_miss_rows(len(index_matrix), cached_mask)]
         if len(index_matrix) == 0:
-            return WbsnBatchColumns(
-                objectives=np.empty((0, self.n_objectives)),
-                feasible=np.empty(0, dtype=bool),
-                violation_counts=np.empty(0, dtype=np.int64),
-            )
+            return WbsnBatchColumns.empty(self.n_objectives)
         network = self._network
         batch = len(index_matrix)
         node_count = len(self._node_plans)

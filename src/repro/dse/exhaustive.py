@@ -13,7 +13,7 @@ from itertools import islice
 
 import numpy as np
 
-from repro.dse.pareto import pareto_front_indices
+from repro.dse.pareto import running_front_indices
 from repro.dse.problem import EvaluatedDesign, OptimizationProblem
 
 __all__ = ["ExhaustiveSearch"]
@@ -22,12 +22,32 @@ __all__ = ["ExhaustiveSearch"]
 class ExhaustiveSearch:
     """Evaluates every configuration of the design space.
 
-    The sweep is chunked: genotypes are enumerated lazily and handed to
-    :meth:`~repro.dse.problem.OptimizationProblem.evaluate_batch` in blocks of
-    ``chunk_size``, and after every block the evaluated designs are pruned to
-    the running non-dominated set — memory stays bounded by the front size
-    plus one chunk, not by the size of the space, while an evaluation engine
-    can still deduplicate, vectorize or parallelise each block.
+    The sweep is chunked: genotypes are enumerated lazily and handed to the
+    problem in blocks of ``chunk_size``, and after every block the results
+    are pruned to the running non-dominated set — memory stays bounded by
+    the front size plus one chunk, not by the size of the space, while an
+    evaluation engine can still deduplicate, vectorize or parallelise each
+    block.
+
+    Problems advertising ``supports_columnar`` are swept **columnar to the
+    front** by default: chunks are served as raw objective/feasibility
+    columns (:meth:`~repro.dse.problem.OptimizationProblem.evaluate_batch_columns`),
+    the running archive is pruned as column arrays, and
+    :class:`~repro.dse.problem.EvaluatedDesign` objects are materialised
+    only for the final front — removing the dominant parent-side cost of
+    large sweeps.  Both paths share one pruning kernel
+    (:func:`~repro.dse.pareto.running_front_indices`), so their fronts are
+    bitwise identical, membership and ordering alike.
+
+    Args:
+        problem: the optimisation problem to enumerate.
+        max_configurations: refuse spaces larger than this (sweeping tens of
+            millions of configurations by accident is rarely intended).
+        chunk_size: genotypes per evaluated block.
+        columnar: force the columnar sweep on (``True``, requires a problem
+            with ``supports_columnar``) or off (``False``, always
+            materialise per chunk); ``None`` picks columnar whenever the
+            problem supports it.
     """
 
     def __init__(
@@ -35,14 +55,21 @@ class ExhaustiveSearch:
         problem: OptimizationProblem,
         max_configurations: int = 200_000,
         chunk_size: int = 1024,
+        columnar: bool | None = None,
     ) -> None:
         if max_configurations <= 0:
             raise ValueError("max_configurations must be positive")
         if chunk_size <= 0:
             raise ValueError("chunk_size must be positive")
+        if columnar and not getattr(problem, "supports_columnar", False):
+            raise ValueError(
+                "columnar=True needs a problem with columnar batch support "
+                "(an engine-backed problem not recording its evaluations)"
+            )
         self.problem = problem
         self.max_configurations = max_configurations
         self.chunk_size = chunk_size
+        self.columnar = columnar
 
     def run(self) -> list[EvaluatedDesign]:
         """Enumerate the space and return the feasible non-dominated designs."""
@@ -50,8 +77,48 @@ class ExhaustiveSearch:
         if size > self.max_configurations:
             raise ValueError(
                 f"the design space holds {size} configurations, above the "
-                f"exhaustive-search limit of {self.max_configurations}"
+                f"exhaustive-search cap of {self.max_configurations}; pass "
+                f"ExhaustiveSearch(problem, max_configurations={size}) or "
+                "higher to sweep it anyway"
             )
+        columnar = self.columnar
+        if columnar is None:
+            columnar = getattr(self.problem, "supports_columnar", False)
+        if columnar:
+            return self._run_columnar()
+        return self._run_objects()
+
+    # ------------------------------------------------------- columnar sweep
+
+    def _run_columnar(self) -> list[EvaluatedDesign]:
+        """Prune on raw objective columns; materialise only the final front."""
+        archive = None  # ColumnarBatchResult of the running front
+        any_feasible = False
+        genotypes = self.problem.space.enumerate_genotypes()
+        while chunk := list(islice(genotypes, self.chunk_size)):
+            batch = self.problem.evaluate_batch_columns(chunk)
+            feasible_rows = np.flatnonzero(batch.feasible)
+            if feasible_rows.size and not any_feasible:
+                # First feasible design seen: drop the infeasible archive.
+                archive = None
+                any_feasible = True
+            candidates = batch.take(feasible_rows) if any_feasible else batch
+            if archive is None:
+                front_objectives = candidates.objectives[:0]
+                pool = candidates
+            else:
+                front_objectives = archive.objectives
+                pool = archive.concatenate([archive, candidates])
+            indices = running_front_indices(front_objectives, candidates.objectives)
+            archive = pool.take(indices)
+        if archive is None or len(archive) == 0:
+            return []
+        return archive.materialise()
+
+    # --------------------------------------------------------- object sweep
+
+    def _run_objects(self) -> list[EvaluatedDesign]:
+        """Classic per-chunk materialisation (the columnar path's reference)."""
         # Running non-dominated archive.  As long as no feasible design has
         # been seen the archive tracks the front of the infeasible designs,
         # so an entirely infeasible space still yields its best trade-offs
@@ -77,23 +144,9 @@ class ExhaustiveSearch:
             archive = []
             any_feasible = True
         candidates = feasible if any_feasible else designs
-        if archive and candidates:
-            # Cheap pre-filter: most of a sweep is dominated by the running
-            # front, so drop those candidates (and duplicates of archived
-            # points) before the quadratic self-prune.  Removing them cannot
-            # change the joint front — every removal has a surviving witness
-            # in the archive.
-            front_points = np.asarray([design.objectives for design in archive])
-            points = np.asarray([design.objectives for design in candidates])
-            less_equal = (front_points[:, None, :] <= points[None, :, :]).all(-1)
-            strictly_less = (front_points[:, None, :] < points[None, :, :]).any(-1)
-            equal = (front_points[:, None, :] == points[None, :, :]).all(-1)
-            beaten = ((less_equal & strictly_less) | equal).any(axis=0)
-            candidates = [
-                design
-                for design, dominated in zip(candidates, beaten.tolist())
-                if not dominated
-            ]
+        indices = running_front_indices(
+            [design.objectives for design in archive],
+            [design.objectives for design in candidates],
+        )
         pool = archive + candidates
-        front = pareto_front_indices([design.objectives for design in pool])
-        return [pool[index] for index in front], any_feasible
+        return [pool[index] for index in indices], any_feasible

@@ -16,7 +16,11 @@ Duplicate-genotype memoisation is the engine's job — the algorithm no longer
 carries a private cache.  Selection itself leans on the NumPy Pareto kernels
 of :mod:`repro.dse.pareto`: non-dominated sorting and crowding run on
 broadcasted dominance matrices, so generation turnover stays array-bound
-rather than Python-bound.
+rather than Python-bound.  The objective matrix is carried *alongside* the
+population across generations — built once per batch of freshly evaluated
+offspring and thereafter sliced with index arrays — so rank/crowding
+selection consumes the matrix directly instead of re-extracting objective
+tuples from the design objects every generation.
 """
 
 from __future__ import annotations
@@ -74,31 +78,38 @@ class Nsga2:
 
     def run(self) -> list[EvaluatedDesign]:
         """Run the optimisation and return the final non-dominated set."""
-        population = self._initial_population()
+        population, matrix = self._initial_population()
         for _ in range(self.settings.generations):
-            offspring = self._make_offspring(population)
-            population = self._environmental_selection(population + offspring)
-        front = pareto_front_indices([design.objectives for design in population])
+            offspring, offspring_matrix = self._make_offspring(population, matrix)
+            population, matrix = self._environmental_selection(
+                population + offspring, np.vstack([matrix, offspring_matrix])
+            )
+        front = pareto_front_indices(matrix)
         return [population[index] for index in front]
 
     # ------------------------------------------------------------- internals
 
-    def _initial_population(self) -> list[EvaluatedDesign]:
+    @staticmethod
+    def _objective_matrix(designs: list[EvaluatedDesign]) -> np.ndarray:
+        """Objective rows of freshly evaluated designs, as one float matrix."""
+        return np.asarray([design.objectives for design in designs], dtype=float)
+
+    def _initial_population(self) -> tuple[list[EvaluatedDesign], np.ndarray]:
         genotypes = [
             self.problem.space.random_genotype(self._rng)
             for _ in range(self.settings.population_size)
         ]
-        return self.problem.evaluate_batch(genotypes)
+        designs = self.problem.evaluate_batch(genotypes)
+        return designs, self._objective_matrix(designs)
 
     def _ranks_and_crowding(
-        self, population: list[EvaluatedDesign]
+        self, matrix: np.ndarray
     ) -> tuple[list[int], list[float]]:
-        objectives = [design.objectives for design in population]
-        fronts = non_dominated_sort(objectives)
-        ranks = [0] * len(population)
-        crowding = [0.0] * len(population)
+        fronts = non_dominated_sort(matrix)
+        ranks = [0] * len(matrix)
+        crowding = [0.0] * len(matrix)
         for rank, front in enumerate(fronts):
-            front_distances = crowding_distance([objectives[i] for i in front])
+            front_distances = crowding_distance(matrix[front])
             for position, index in enumerate(front):
                 ranks[index] = rank
                 crowding[index] = front_distances[position]
@@ -133,9 +144,9 @@ class Nsga2:
         return tuple(child)
 
     def _make_offspring(
-        self, population: list[EvaluatedDesign]
-    ) -> list[EvaluatedDesign]:
-        ranks, crowding = self._ranks_and_crowding(population)
+        self, population: list[EvaluatedDesign], matrix: np.ndarray
+    ) -> tuple[list[EvaluatedDesign], np.ndarray]:
+        ranks, crowding = self._ranks_and_crowding(matrix)
         children: list[tuple[int, ...]] = []
         for _ in range(self.settings.population_size):
             parent_a = self._tournament(population, ranks, crowding)
@@ -146,39 +157,50 @@ class Nsga2:
                     child, self._rng, self.settings.mutation_rate
                 )
             )
-        return self.problem.evaluate_batch(children)
+        designs = self.problem.evaluate_batch(children)
+        return designs, self._objective_matrix(designs)
 
     def _environmental_selection(
-        self, combined: list[EvaluatedDesign]
-    ) -> list[EvaluatedDesign]:
+        self, combined: list[EvaluatedDesign], matrix: np.ndarray
+    ) -> tuple[list[EvaluatedDesign], np.ndarray]:
         # Duplicate genotypes quickly take over an elitist population on a
         # discrete space; keeping a single copy of each preserves diversity.
-        unique: dict[tuple[int, ...], EvaluatedDesign] = {}
-        for design in combined:
-            unique.setdefault(design.genotype, design)
-        combined = list(unique.values())
+        seen: set[tuple[int, ...]] = set()
+        unique_indices: list[int] = []
+        for index, design in enumerate(combined):
+            if design.genotype in seen:
+                continue
+            seen.add(design.genotype)
+            unique_indices.append(index)
+        combined = [combined[index] for index in unique_indices]
+        matrix = matrix[unique_indices]
         if len(combined) < self.settings.population_size:
+            extra_rows: list[tuple[float, ...]] = []
             while len(combined) < self.settings.population_size:
                 genotype = self.problem.space.random_genotype(self._rng)
-                if genotype in unique:
+                if genotype in seen:
                     continue
                 design = self.problem.evaluate(genotype)
-                unique[genotype] = design
+                seen.add(genotype)
                 combined.append(design)
+                extra_rows.append(design.objectives)
+            matrix = np.vstack([matrix, np.asarray(extra_rows, dtype=float)])
 
-        objectives = [design.objectives for design in combined]
-        fronts = non_dominated_sort(objectives)
+        fronts = non_dominated_sort(matrix)
         survivors: list[EvaluatedDesign] = []
+        survivor_indices: list[int] = []
         for front in fronts:
             if len(survivors) + len(front) <= self.settings.population_size:
                 survivors.extend(combined[i] for i in front)
+                survivor_indices.extend(front)
                 continue
             # Partial front: keep the most spread-out individuals.
-            distances = crowding_distance([objectives[i] for i in front])
+            distances = crowding_distance(matrix[front])
             order = sorted(
                 range(len(front)), key=lambda pos: distances[pos], reverse=True
             )
             remaining = self.settings.population_size - len(survivors)
             survivors.extend(combined[front[pos]] for pos in order[:remaining])
+            survivor_indices.extend(front[pos] for pos in order[:remaining])
             break
-        return survivors
+        return survivors, matrix[survivor_indices]

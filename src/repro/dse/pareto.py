@@ -26,6 +26,7 @@ _DOMINANCE_BLOCK = 512
 __all__ = [
     "dominates",
     "pareto_front_indices",
+    "running_front_indices",
     "non_dominated_sort",
     "crowding_distance",
     "hypervolume",
@@ -103,6 +104,50 @@ def pareto_front_indices(objectives: Sequence[Sequence[float]]) -> list[int]:
         # Mutual non-domination: block pruning cannot shrink the set.
         return _pareto_front_indices_direct(points)
     return [survivors[i] for i in pareto_front_indices(points[survivors])]
+
+
+def running_front_indices(
+    front_objectives: Sequence[Sequence[float]],
+    candidate_objectives: Sequence[Sequence[float]],
+) -> list[int]:
+    """Update a running non-dominated archive from raw objective columns.
+
+    The columns-in/indices-out kernel behind chunked sweeps: given the
+    objective rows of the current front (which must be mutually
+    non-dominated — the output of a previous call qualifies) and the rows of
+    a new candidate block, it returns the indices of the new joint front
+    into the *virtual pool* ``[front; candidates]``, in the exact membership
+    and ordering :func:`pareto_front_indices` would produce for the
+    archive-plus-surviving-candidates pool.  Candidates beaten by the
+    archive (dominated, or duplicating an archived point) are pre-filtered
+    with one broadcasted pass before the joint prune — removing them cannot
+    change the joint front, because every removal has a surviving witness in
+    the archive.
+
+    Callers index whatever per-row payload they carry — design objects on
+    the object path, raw column rows on the columnar path — with the
+    returned indices, so both paths share one pruning semantics.
+    """
+    front = np.asarray(front_objectives, dtype=float)
+    candidates = np.asarray(candidate_objectives, dtype=float)
+    if len(front) == 0:
+        return pareto_front_indices(candidates) if len(candidates) else []
+    if len(candidates) == 0:
+        # The archive is a front already: everything survives, in order.
+        return list(range(len(front)))
+    if front.ndim != 2 or candidates.ndim != 2 or front.shape[1] != candidates.shape[1]:
+        raise ValueError("objective vectors must have the same length")
+    less_equal = (front[:, None, :] <= candidates[None, :, :]).all(-1)
+    strictly_less = (front[:, None, :] < candidates[None, :, :]).any(-1)
+    equal = (front[:, None, :] == candidates[None, :, :]).all(-1)
+    beaten = ((less_equal & strictly_less) | equal).any(axis=0)
+    kept = np.flatnonzero(~beaten)
+    joint = pareto_front_indices(np.concatenate([front, candidates[kept]], axis=0))
+    offset = len(front)
+    return [
+        index if index < offset else offset + int(kept[index - offset])
+        for index in joint
+    ]
 
 
 def _domination_matrix(points: np.ndarray) -> np.ndarray:

@@ -28,7 +28,11 @@ from repro.core.vectorized import (
     cached_miss_rows,
 )
 from repro.dse.space import DesignSpace, ParameterDomain
-from repro.engine import CachedNetworkEvaluator, EvaluationEngine
+from repro.engine import (
+    CachedNetworkEvaluator,
+    ColumnarBatchResult,
+    EvaluationEngine,
+)
 from repro.mac802154.config import Ieee802154MacConfig
 from repro.mac802154.csma import CsmaMacConfig
 from repro.shimmer.platform import ShimmerNodeConfig
@@ -148,12 +152,16 @@ class EvaluatedDesign:
         objectives: the objective vector (all components to be minimised).
         feasible: whether every model constraint is satisfied.
         phenotype: the decoded configuration (node configs and MAC config).
+        violation_count: number of violated model constraints (``0`` iff
+            feasible); ``None`` on hand-built designs that never went
+            through an evaluation path.
     """
 
     genotype: tuple[int, ...]
     objectives: tuple[float, ...]
     feasible: bool
     phenotype: dict[str, Any]
+    violation_count: int | None = None
 
 
 class OptimizationProblem(abc.ABC):
@@ -169,6 +177,10 @@ class OptimizationProblem(abc.ABC):
     evaluations: int = 0
     #: the evaluation engine routing this problem's evaluations, when any.
     engine: EvaluationEngine | None = None
+    #: whether :meth:`evaluate_batch_columns` is available — engine-backed
+    #: problems override this; search algorithms that can prune on raw
+    #: columns consult it before choosing the columnar sweep path.
+    supports_columnar: bool = False
 
     @abc.abstractmethod
     def evaluate(self, genotype: Sequence[int]) -> EvaluatedDesign:
@@ -369,6 +381,39 @@ class WbsnDseProblem(OptimizationProblem):
             self.history.extend(designs)
         return designs
 
+    @property
+    def supports_columnar(self) -> bool:
+        """Whether batches can be served as raw columns instead of objects.
+
+        Engine-backed problems always can — all three compute paths feed
+        :meth:`~repro.engine.EvaluationEngine.evaluate_many_columnar` —
+        except when the run records every evaluated design in
+        :attr:`history` (``record_evaluations=True``), which needs the
+        materialised objects the columnar path exists to avoid.
+        """
+        return self.engine is not None and not self.record_evaluations
+
+    def evaluate_batch_columns(
+        self, genotypes: Sequence[Sequence[int]]
+    ) -> "ColumnarBatchResult":
+        """Evaluate a batch into raw column rows (dedup, caches, fast path).
+
+        The columnar sibling of :meth:`evaluate_batch`: one row per
+        genotype, in order, with no design object built until the caller
+        materialises its survivors
+        (:meth:`~repro.engine.ColumnarBatchResult.materialise`).
+        """
+        if not self.supports_columnar:
+            raise RuntimeError(
+                "this problem cannot serve columnar batch results: it needs "
+                "an evaluation engine, and record_evaluations=False (the "
+                "history records materialised design objects, which the "
+                "columnar path exists to avoid building)"
+            )
+        result = self.engine.evaluate_many_columnar(genotypes)
+        self.evaluations += len(genotypes)
+        return result
+
     def compute_design(self, genotype: Sequence[int]) -> EvaluatedDesign:
         """Raw model evaluation of one genotype (no run accounting).
 
@@ -391,6 +436,7 @@ class WbsnDseProblem(OptimizationProblem):
                 "node_configs": tuple(node_configs),
                 "mac_config": mac_config,
             },
+            violation_count=len(evaluation.violations),
         )
 
     #: the engine may hand :meth:`compute_designs_batch` a ``cached_mask``
@@ -478,6 +524,29 @@ class WbsnDseProblem(OptimizationProblem):
         batch = kernel.evaluate_columns(matrix)
         return self.materialise_designs(matrix, batch)
 
+    def compute_columns_batch(
+        self,
+        genotypes: Sequence[Sequence[int]],
+        cached_mask: Sequence[bool] | None = None,
+    ) -> WbsnBatchColumns:
+        """Raw columnar evaluation of a batch, *without* materialisation.
+
+        The columns-only sibling of :meth:`compute_designs_batch`: the same
+        kernel call and cached-row mask protocol, but the objective /
+        feasibility / violation columns are returned as-is — the engine's
+        columnar result path threads them through Pareto pruning and
+        materialises only the survivors.
+        """
+        kernel = self.vectorized_kernel
+        if kernel is None:
+            raise RuntimeError("this problem has no compiled vectorized kernel")
+        matrix = self.space.index_matrix(genotypes)
+        if cached_mask is not None:
+            matrix = matrix[cached_miss_rows(len(matrix), cached_mask)]
+        if len(matrix) == 0:
+            return WbsnBatchColumns.empty(kernel.n_objectives)
+        return kernel.evaluate_columns(matrix)
+
     def materialise_designs(
         self, matrix: "np.ndarray", batch: WbsnBatchColumns
     ) -> list[EvaluatedDesign]:
@@ -495,6 +564,7 @@ class WbsnDseProblem(OptimizationProblem):
         genotype_rows = map(tuple, matrix.tolist())
         objective_rows = map(tuple, batch.objectives.tolist())
         feasible_flags = batch.feasible.tolist()
+        violation_rows = batch.violation_counts.tolist()
         node_config_rows = zip(*node_columns)
         return [
             EvaluatedDesign(
@@ -502,11 +572,14 @@ class WbsnDseProblem(OptimizationProblem):
                 objectives=objectives,
                 feasible=feasible,
                 phenotype={"node_configs": node_configs, "mac_config": mac_config},
+                violation_count=violations,
             )
-            for genotype, objectives, feasible, node_configs, mac_config in zip(
+            for genotype, objectives, feasible, violations, node_configs, mac_config
+            in zip(
                 genotype_rows,
                 objective_rows,
                 feasible_flags,
+                violation_rows,
                 node_config_rows,
                 mac_column,
             )

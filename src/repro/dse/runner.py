@@ -93,6 +93,17 @@ class DseResult:
         return self.engine_stats.rows_skipped_cached
 
     @property
+    def designs_materialised(self) -> int:
+        """Design objects built from raw columns on the columnar result path.
+
+        Columnar sweeps materialise only their surviving designs, so this
+        tracks the front size — ``0`` for object-path runs.
+        """
+        if self.engine_stats is None:
+            return 0
+        return self.engine_stats.designs_materialised
+
+    @property
     def genotype_cache_hit_rate(self) -> float:
         """Fraction of served designs answered by the genotype memo cache."""
         if self.engine_stats is None:

@@ -106,9 +106,14 @@ class DesignSpace:
         """Validate a batch of genotypes into an ``(batch, genes)`` matrix.
 
         The batched counterpart of :meth:`validate_genotype`: one row per
-        genotype, every gene bounds-checked against its domain.
+        genotype, every gene bounds-checked against its domain.  An integer
+        ndarray input is taken as-is (no copy, bounds re-check only), so
+        layers can hand validated matrices to each other for free.
         """
-        matrix = np.asarray(list(genotypes), dtype=np.int64)
+        if isinstance(genotypes, np.ndarray):
+            matrix = genotypes.astype(np.int64, copy=False)
+        else:
+            matrix = np.asarray(list(genotypes), dtype=np.int64)
         if matrix.size == 0:
             return matrix.reshape(0, len(self.domains))
         if matrix.ndim != 2 or matrix.shape[1] != len(self.domains):

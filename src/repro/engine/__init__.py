@@ -7,7 +7,10 @@ serving component every search algorithm shares:
 
 * :mod:`repro.engine.engine` — :class:`EvaluationEngine`, the genotype-level
   memo cache and the batch API ``evaluate_many`` routing misses to either
-  the vectorized fast path or a pluggable scalar execution backend;
+  the vectorized fast path or a pluggable scalar execution backend; its
+  columnar sibling ``evaluate_many_columnar`` serves the same batch as a
+  :class:`ColumnarBatchResult` of raw columns so sweeps can prune before
+  materialising any design object;
 * :mod:`repro.engine.cache` — :class:`CachedNetworkEvaluator`, the node-level
   cache over the evaluator's pure per-node stage, optionally bounded by an
   LRU eviction policy (``max_entries``); and :class:`SharedGenotypeCache`,
@@ -51,12 +54,13 @@ cheap for IPC to win (see :mod:`repro.engine.backends`).
 
 from repro.engine.backends import ProcessBackend, SerialBackend, make_backend
 from repro.engine.cache import CachedNetworkEvaluator, SharedGenotypeCache
-from repro.engine.engine import EvaluationEngine
+from repro.engine.engine import ColumnarBatchResult, EvaluationEngine
 from repro.engine.sharded import ShardedVectorizedBackend
 from repro.engine.stats import EngineStats
 
 __all__ = [
     "EvaluationEngine",
+    "ColumnarBatchResult",
     "CachedNetworkEvaluator",
     "SharedGenotypeCache",
     "EngineStats",

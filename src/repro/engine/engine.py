@@ -19,6 +19,14 @@ owns every cross-cutting evaluation concern:
   reuse node energy/quality/MAC results;
 * **batching** — :meth:`EvaluationEngine.evaluate_many` deduplicates a batch,
   and dispatches only the misses to one of two compute paths;
+* **columnar results** — :meth:`EvaluationEngine.evaluate_many_columnar`
+  serves the same batch as a :class:`ColumnarBatchResult` of raw columns
+  (objective matrix, feasibility mask, violation column, genotype-index
+  rows): search algorithms prune directly on the columns and materialise
+  design objects only for the survivors
+  (:meth:`ColumnarBatchResult.materialise`, counted in
+  ``EngineStats.designs_materialised``), removing the dominant parent-side
+  cost of large sweeps;
 * **instrumentation** — an :class:`~repro.engine.stats.EngineStats` instance
   separating designs served from raw model work, and scalar from vectorized
   work.
@@ -57,8 +65,12 @@ is what keeps cached and uncached runs bitwise identical.
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Sequence
 
+import numpy as np
+
+from repro.core.vectorized import WbsnBatchColumns, as_row_indices
 from repro.engine.backends import ExecutionBackend, make_backend
 from repro.engine.cache import SharedGenotypeCache
 from repro.engine.stats import EngineStats
@@ -66,7 +78,86 @@ from repro.engine.stats import EngineStats
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a runtime cycle
     from repro.dse.problem import EvaluatedDesign
 
-__all__ = ["EvaluationEngine"]
+__all__ = ["ColumnarBatchResult", "EvaluationEngine"]
+
+#: Column-row record memoised per genotype on the columnar path:
+#: ``(objectives, feasible, violation count)`` — never a design object.
+_ColumnRow = tuple[tuple[float, ...], bool, int]
+
+
+@dataclass(frozen=True, eq=False)
+class ColumnarBatchResult:
+    """Raw column results of one batched evaluation — no design objects.
+
+    One row per requested genotype, in request order (duplicates included,
+    served from the same computed row).  Search algorithms prune directly on
+    :attr:`objectives` / :attr:`feasible` and call :meth:`materialise` only
+    for the survivors they return — the columnar-to-the-front discipline
+    that keeps the parent-side cost of a sweep proportional to the front,
+    not to the space.
+
+    Attributes:
+        genotypes: validated ``(batch, genes)`` gene-index rows.
+        objectives: penalised objective matrix, shape ``(batch, n_obj)``.
+        feasible: per-row feasibility flags.
+        violation_counts: violated model constraints per row (the scalar
+            evaluation's ``len(violations)``).
+    """
+
+    genotypes: np.ndarray
+    objectives: np.ndarray
+    feasible: np.ndarray
+    violation_counts: np.ndarray
+    _engine: "EvaluationEngine" = field(repr=False, compare=False)
+
+    def __len__(self) -> int:
+        return len(self.genotypes)
+
+    def take(self, rows: Any) -> "ColumnarBatchResult":
+        """Row subset of the result, by integer indices or a boolean mask
+        (fancy-indexed, preserving order)."""
+        rows = as_row_indices(rows)
+        return ColumnarBatchResult(
+            genotypes=self.genotypes[rows],
+            objectives=self.objectives[rows],
+            feasible=self.feasible[rows],
+            violation_counts=self.violation_counts[rows],
+            _engine=self._engine,
+        )
+
+    @staticmethod
+    def concatenate(results: Sequence["ColumnarBatchResult"]) -> "ColumnarBatchResult":
+        """Stack several results row-wise (e.g. a running archive + a chunk)."""
+        if not results:
+            raise ValueError("need at least one result to concatenate")
+        return ColumnarBatchResult(
+            genotypes=np.concatenate([r.genotypes for r in results], axis=0),
+            objectives=np.concatenate([r.objectives for r in results], axis=0),
+            feasible=np.concatenate([r.feasible for r in results], axis=0),
+            violation_counts=np.concatenate(
+                [r.violation_counts for r in results], axis=0
+            ),
+            _engine=results[0]._engine,
+        )
+
+    def materialise(self, indices: Any | None = None) -> list["EvaluatedDesign"]:
+        """Build design objects for the selected rows (all rows by default).
+
+        Lazy by design: rows already memoised as designs by the producing
+        engine are served as-is; the rest are materialised through
+        ``problem.materialise_designs`` (phenotype lookup tables, no model
+        re-evaluation) and counted in ``EngineStats.designs_materialised``.
+        """
+        if indices is None:
+            rows = np.arange(len(self))
+        else:
+            rows = as_row_indices(indices)
+        return self._engine.materialise_rows(
+            self.genotypes[rows],
+            self.objectives[rows],
+            self.feasible[rows],
+            self.violation_counts[rows],
+        )
 
 
 class EvaluationEngine:
@@ -123,6 +214,10 @@ class EvaluationEngine:
         self.stats = stats if stats is not None else EngineStats()
         self.shared_cache = shared_cache
         self._memo: dict[tuple[int, ...], "EvaluatedDesign"] = {}
+        # Columnar twin of the design memo: raw column rows keyed by
+        # genotype, so cached rows re-enter pruning as columns without an
+        # object round-trip (see :meth:`evaluate_many_columnar`).
+        self._column_memo: dict[tuple[int, ...], _ColumnRow] = {}
         self._problem: Any = None
         self._fingerprint: bytes | None = None
         self._objective_components: tuple[str, ...] | None = None
@@ -166,7 +261,14 @@ class EvaluationEngine:
         key = tuple(int(gene) for gene in genotype)
         self.stats.genotype_requests += 1
         design = self._memo.get(key) if self.genotype_cache_enabled else None
-        if design is None:
+        if design is None and self.genotype_cache_enabled and (
+            key in self._column_memo
+        ):
+            # Columnar sweeps memoise raw column rows; serve the object path
+            # from them too (materialised on demand, then memoised).
+            design = self._materialise_column_keys([key])[0]
+            self.stats.genotype_cache_hits += 1
+        elif design is None:
             design = self._shared_lookup(key)
             if design is not None:
                 self.stats.shared_cache_hits += 1
@@ -206,6 +308,7 @@ class EvaluationEngine:
             unique = []
             cached_mask = []
             pending: list[tuple[int, ...]] = []
+            column_hits: list[tuple[int, ...]] = []
             seen: set[tuple[int, ...]] = set()
             for key in keys:
                 if key in seen:
@@ -217,6 +320,14 @@ class EvaluationEngine:
                     unique.append(key)
                     cached_mask.append(True)
                     continue
+                if key in self._column_memo:
+                    # Rows memoised as raw columns by a columnar sweep serve
+                    # the object path too — materialised below, in one batch.
+                    self.stats.genotype_cache_hits += 1
+                    unique.append(key)
+                    cached_mask.append(True)
+                    column_hits.append(key)
+                    continue
                 shared = self._shared_lookup(key)
                 if shared is not None:
                     self.stats.shared_cache_hits += 1
@@ -227,6 +338,10 @@ class EvaluationEngine:
                 unique.append(key)
                 cached_mask.append(False)
                 pending.append(key)
+            if column_hits:
+                # Materialise column-memoised rows into the design memo so
+                # the result lookup below can serve them.
+                self._materialise_column_keys(column_hits)
         else:
             # Without the memo there is nothing to key by — ship the
             # genotypes through as-is (the compute paths normalise them).
@@ -243,6 +358,195 @@ class EvaluationEngine:
         self.stats.wall_time_s += time.perf_counter() - started
         return results
 
+    def evaluate_many_columnar(
+        self, genotypes: Sequence[Sequence[int]]
+    ) -> ColumnarBatchResult:
+        """Evaluate a batch into raw column rows, preserving the input order.
+
+        The columnar counterpart of :meth:`evaluate_many`: the same dedup
+        and cache consultation per distinct genotype, but results stay flat
+        columns — objective matrix, feasibility mask, violation column,
+        genotype-index rows — and no :class:`EvaluatedDesign` is built until
+        the caller's :meth:`ColumnarBatchResult.materialise`.  All three
+        compute paths feed it: the in-process kernel and the sharded backend
+        hand their columns straight through, while the scalar fallback
+        computes per-design results and flattens them into columns (those
+        designs are memoised, so their later materialisation is free).
+
+        Genotype-cache hits are served from a *column-row memo* (raw rows,
+        not designs) — cached rows re-enter pruning as columns without an
+        object round-trip, and are counted in
+        ``EngineStats.rows_skipped_cached`` exactly like the cached-row mask
+        of the object path.  Rows only ever memoised as designs (e.g. by
+        :meth:`evaluate`) are flattened from the stored design.  Columnar
+        results are not published to the cross-problem shared cache (only
+        materialised designs are).
+        """
+        started = time.perf_counter()
+        if self._problem is None:
+            raise RuntimeError("the engine must be bound to a problem first")
+        problem = self._problem
+        stats = self.stats
+        stats.batches += 1
+        stats.genotype_requests += len(genotypes)
+
+        positions: dict[tuple[int, ...], int] | None = None
+        cached_rows: dict[int, _ColumnRow] = {}
+        if self.genotype_cache_enabled:
+            keys = [tuple(int(gene) for gene in genotype) for genotype in genotypes]
+            positions = {}
+            unique: list[tuple[int, ...]] = []
+            pending: list[tuple[int, ...]] = []
+            pending_rows: list[int] = []
+            for key in keys:
+                if key in positions:
+                    stats.genotype_cache_hits += 1
+                    continue
+                row_index = len(unique)
+                positions[key] = row_index
+                unique.append(key)
+                row = self._column_memo.get(key)
+                if row is not None:
+                    stats.genotype_cache_hits += 1
+                    cached_rows[row_index] = row
+                    continue
+                design = self._memo.get(key)
+                if design is not None:
+                    stats.genotype_cache_hits += 1
+                    cached_rows[row_index] = _design_row(design)
+                    continue
+                design = self._shared_lookup(key)
+                if design is not None:
+                    stats.shared_cache_hits += 1
+                    self._memo[key] = design
+                    cached_rows[row_index] = _design_row(design)
+                    continue
+                pending.append(key)
+                pending_rows.append(row_index)
+        else:
+            # Without the memo there is nothing to key by: every row is
+            # computed as-is, duplicates included (mirrors ``evaluate_many``
+            # — and skips the per-row key normalisation entirely).
+            keys = list(genotypes)
+            unique = keys
+            pending = keys
+            pending_rows = list(range(len(keys)))
+
+        # One bounds-checked index matrix for the whole batch; the compute
+        # paths receive their (pre-validated) miss rows as a slice of it.
+        matrix = problem.space.index_matrix(unique)
+        if not pending:
+            pending_matrix = matrix[:0]
+        elif len(pending) == len(unique):
+            pending_matrix = matrix
+        else:
+            pending_matrix = matrix[np.asarray(pending_rows, dtype=np.int64)]
+        columns = self._compute_columns(
+            pending, pending_matrix, n_cached=len(cached_rows)
+        )
+        if self.genotype_cache_enabled and pending:
+            for key, row_objectives, row_feasible, row_violations in zip(
+                pending,
+                columns.objectives.tolist(),
+                columns.feasible.tolist(),
+                columns.violation_counts.tolist(),
+            ):
+                self._column_memo[key] = (
+                    tuple(row_objectives),
+                    bool(row_feasible),
+                    int(row_violations),
+                )
+
+        if pending:
+            n_objectives = columns.objectives.shape[1]
+        elif cached_rows:
+            n_objectives = len(next(iter(cached_rows.values()))[0])
+        else:
+            n_objectives = int(getattr(problem, "n_objectives", 0))
+        count = len(unique)
+        objectives = np.empty((count, n_objectives))
+        feasible = np.empty(count, dtype=bool)
+        violations = np.empty(count, dtype=np.int64)
+        for row_index, (row_objectives, row_feasible, row_violations) in (
+            cached_rows.items()
+        ):
+            objectives[row_index] = row_objectives
+            feasible[row_index] = row_feasible
+            violations[row_index] = row_violations
+        if pending:
+            rows = np.asarray(pending_rows, dtype=np.int64)
+            objectives[rows] = columns.objectives
+            feasible[rows] = columns.feasible
+            violations[rows] = columns.violation_counts
+        if positions is not None and count != len(keys):
+            # Expand the distinct rows back to the (duplicated) request order.
+            inverse = np.asarray([positions[key] for key in keys], dtype=np.int64)
+            matrix = matrix[inverse]
+            objectives = objectives[inverse]
+            feasible = feasible[inverse]
+            violations = violations[inverse]
+        stats.wall_time_s += time.perf_counter() - started
+        return ColumnarBatchResult(
+            genotypes=matrix,
+            objectives=objectives,
+            feasible=feasible,
+            violation_counts=violations,
+            _engine=self,
+        )
+
+    def materialise_rows(
+        self,
+        matrix: np.ndarray,
+        objectives: np.ndarray,
+        feasible: np.ndarray,
+        violation_counts: np.ndarray,
+    ) -> list["EvaluatedDesign"]:
+        """Build design objects for validated column rows, memo-aware.
+
+        Rows whose designs the genotype memo already holds are served as-is
+        (no new object, not counted); the rest are materialised from the
+        columns through ``problem.materialise_designs`` — phenotype lookup
+        tables only, never a model re-evaluation — counted in
+        ``EngineStats.designs_materialised``, memoised, and published to the
+        shared cache.  Problems without a compiled kernel fall back to
+        ``problem.compute_design`` for rows the memo cannot serve (a real
+        model evaluation, counted as such) — with the genotype cache on,
+        the scalar columnar path memoises every computed design, so this
+        fallback only triggers on cache-disabled engines.
+        """
+        problem = self._problem
+        keys = [tuple(row) for row in matrix.tolist()]
+        results: list["EvaluatedDesign | None"] = [None] * len(keys)
+        if self.genotype_cache_enabled:
+            for index, key in enumerate(keys):
+                design = self._memo.get(key)
+                if design is not None:
+                    results[index] = design
+        missing = [index for index, design in enumerate(results) if design is None]
+        if missing:
+            rows = np.asarray(missing, dtype=np.int64)
+            if getattr(problem, "supports_vectorized", False) and hasattr(
+                problem, "materialise_designs"
+            ):
+                built = problem.materialise_designs(
+                    matrix[rows],
+                    WbsnBatchColumns(
+                        objectives=objectives[rows],
+                        feasible=feasible[rows],
+                        violation_counts=violation_counts[rows],
+                    ),
+                )
+            else:
+                built = [problem.compute_design(keys[index]) for index in missing]
+                self.stats.model_evaluations += len(missing)
+            self.stats.designs_materialised += len(missing)
+            for index, design in zip(missing, built):
+                results[index] = design
+                if self.genotype_cache_enabled:
+                    self._memo[keys[index]] = design
+                self._shared_store(keys[index], design)
+        return results
+
     def close(self) -> None:
         """Release backend resources (worker pools, shared memory)."""
         self.backend.close()
@@ -256,8 +560,9 @@ class EvaluationEngine:
         self.close()
 
     def clear_caches(self) -> None:
-        """Drop the genotype memo (the node cache lives with the problem)."""
+        """Drop the genotype memos (the node cache lives with the problem)."""
         self._memo.clear()
+        self._column_memo.clear()
 
     # ------------------------------------------------------------ internals
 
@@ -343,6 +648,14 @@ class EvaluationEngine:
             self.stats.vectorized_designs += len(designs)
             self.stats.sharded_designs += len(designs)
             return designs
+        designs = self._compute_scalar_chunks(genotypes)
+        self.stats.model_evaluations += len(designs)
+        return designs
+
+    def _compute_scalar_chunks(
+        self, genotypes: Sequence[tuple[int, ...]]
+    ) -> list["EvaluatedDesign"]:
+        """Per-design evaluation through the backend, in chunked work units."""
         chunks = [
             genotypes[start : start + self.chunk_size]
             for start in range(0, len(genotypes), self.chunk_size)
@@ -352,14 +665,93 @@ class EvaluationEngine:
             designs.extend(chunk_designs)
             if delta is not None:
                 self.stats.merge(delta)
-        self.stats.model_evaluations += len(designs)
         return designs
 
+    def _materialise_column_keys(
+        self, keys: Sequence[tuple[int, ...]]
+    ) -> list["EvaluatedDesign"]:
+        """Materialise designs for keys memoised as raw column rows."""
+        rows = [self._column_memo[key] for key in keys]
+        return self.materialise_rows(
+            self._problem.space.index_matrix(keys),
+            np.asarray([row[0] for row in rows], dtype=float),
+            np.asarray([row[1] for row in rows], dtype=bool),
+            np.asarray([row[2] for row in rows], dtype=np.int64),
+        )
+
+    def _compute_columns(
+        self,
+        pending: Sequence[tuple[int, ...]],
+        pending_matrix: np.ndarray,
+        n_cached: int,
+    ) -> WbsnBatchColumns:
+        """Compute raw column rows for a batch's miss keys (any path).
+
+        The columnar sibling of :meth:`_compute`: the in-process kernel and
+        the sharded backend return their columns untouched, and the scalar
+        fallback flattens per-design results into columns (memoising the
+        computed designs so their materialisation later is free).
+        ``pending_matrix`` holds the miss keys as already-validated index
+        rows — the kernel paths consume it directly, so the batch matrix is
+        bounds-checked once, not per path.
+        """
+        stats = self.stats
+        problem = self._problem
+        vectorizable = self.vectorized_enabled and getattr(
+            problem, "supports_vectorized", False
+        )
+        in_process = getattr(self.backend, "in_process", False)
+        sharded = getattr(self.backend, "supports_columns", False)
+        if vectorizable and (in_process or sharded) and n_cached:
+            # Cached rows never reach a column gather, exactly like the
+            # cached-row mask of the object path.
+            stats.rows_skipped_cached += n_cached
+        if not pending:
+            return WbsnBatchColumns.empty(0)
+        if vectorizable and in_process and hasattr(problem, "compute_columns_batch"):
+            columns = problem.compute_columns_batch(pending_matrix)
+            stats.vectorized_designs += len(pending)
+        elif vectorizable and sharded:
+            columns = self.backend.evaluate_columns_sharded(problem, pending_matrix)
+            stats.vectorized_designs += len(pending)
+            stats.sharded_designs += len(pending)
+        else:
+            designs = self._compute_scalar_chunks(pending)
+            if self.genotype_cache_enabled:
+                self._memo.update(zip(pending, designs))
+            for key, design in zip(pending, designs):
+                self._shared_store(key, design)
+            rows = [_design_row(design) for design in designs]
+            columns = WbsnBatchColumns(
+                objectives=np.asarray([row[0] for row in rows], dtype=float),
+                feasible=np.asarray([row[1] for row in rows], dtype=bool),
+                violation_counts=np.asarray(
+                    [row[2] for row in rows], dtype=np.int64
+                ),
+            )
+        stats.model_evaluations += len(pending)
+        return columns
+
     def __getstate__(self) -> dict[str, Any]:
-        # Worker processes only need the compute path; the memo (and the
+        # Worker processes only need the compute path; the memos (and the
         # shared cache) can be large and are owned by the parent, so they
         # stay home.
         state = self.__dict__.copy()
         state["_memo"] = {}
+        state["_column_memo"] = {}
         state["shared_cache"] = None
         return state
+
+
+def _design_row(design: "EvaluatedDesign") -> _ColumnRow:
+    """Flatten a memoised design into a raw column row.
+
+    Designs produced by the engine's compute paths always carry their
+    violation count; for hand-built designs that predate the field the
+    count is derived from feasibility (feasible means zero violations; an
+    unknown infeasible row is recorded as one).
+    """
+    violations = getattr(design, "violation_count", None)
+    if violations is None:
+        violations = 0 if design.feasible else 1
+    return (tuple(design.objectives), bool(design.feasible), int(violations))

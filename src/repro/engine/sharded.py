@@ -20,11 +20,16 @@ item):
    compiled :class:`~repro.core.vectorized.WbsnVectorizedKernel` on the
    gathered block, and ships back raw objective/feasibility/violation
    columns — never per-design Python objects;
-4. the parent concatenates the shard columns in submission order and
-   materialises :class:`~repro.dse.problem.EvaluatedDesign` objects from
-   the problem's phenotype tables, so results are bitwise identical to the
-   serial kernel (row sharding is safe by construction: every kernel stage
-   is elementwise across the batch axis; reductions only run across nodes).
+4. the parent concatenates the shard columns in submission order, so
+   results are bitwise identical to the serial kernel (row sharding is safe
+   by construction: every kernel stage is elementwise across the batch
+   axis; reductions only run across nodes).  On the object path
+   (``evaluate_many``) the columns are then materialised into
+   :class:`~repro.dse.problem.EvaluatedDesign` objects from the problem's
+   phenotype tables; on the columnar result path
+   (``evaluate_many_columnar``) they travel onwards *as columns*, all the
+   way into Pareto pruning, and only front survivors are ever
+   materialised.
 
 The backend subclasses :class:`~repro.engine.backends.ProcessBackend`, so a
 problem *without* a compiled kernel still gets the chunked scalar path on
@@ -276,12 +281,7 @@ class ShardedVectorizedBackend(ProcessBackend):
             # produces empty columns without touching the pool (a zero-byte
             # shared-memory segment cannot even be created).
             kernel = getattr(problem, "vectorized_kernel", None)
-            n_objectives = getattr(kernel, "n_objectives", 0)
-            return WbsnBatchColumns(
-                objectives=np.empty((0, n_objectives)),
-                feasible=np.empty(0, dtype=bool),
-                violation_counts=np.empty(0, dtype=np.int64),
-            )
+            return WbsnBatchColumns.empty(getattr(kernel, "n_objectives", 0))
         executor = self._ensure_executor(problem)
         shards = [
             shard

@@ -54,6 +54,14 @@ class EngineStats:
         rows_skipped_cached: batch rows the cached-row mask protocol let the
             columnar paths skip — memoised rows never reach the column
             gather (see ``WbsnVectorizedKernel.evaluate_columns``).
+        designs_materialised: ``EvaluatedDesign`` objects built from raw
+            column rows on the columnar result path
+            (``EvaluationEngine.evaluate_many_columnar`` /
+            ``ColumnarBatchResult.materialise``).  Columnar sweeps prune on
+            raw objective columns and materialise only survivors, so this
+            counter should track the front size, not the batch size; rows
+            served from the design memo are not re-materialised and are not
+            counted.
         node_stage_requests: per-node stage evaluations requested.
         node_cache_hits: per-node stage requests answered by the node cache.
         node_model_calls: raw per-node model executions (node-cache misses).
@@ -70,6 +78,7 @@ class EngineStats:
     vectorized_designs: int = 0
     sharded_designs: int = 0
     rows_skipped_cached: int = 0
+    designs_materialised: int = 0
     node_stage_requests: int = 0
     node_cache_hits: int = 0
     node_model_calls: int = 0

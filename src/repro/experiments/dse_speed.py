@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.dse.pareto import pareto_front_indices
 from repro.dse.problem import WbsnDseProblem
 from repro.engine import EvaluationEngine
 from repro.experiments.casestudy import DEFAULT_MAC_CONFIG, build_case_study_evaluator
@@ -50,6 +51,17 @@ class DseSpeedResult:
     #: designs served through the vectorized fast path (0 = not measured)
     vectorized_evaluations: int = 0
     vectorized_wall_clock_s: float = 0.0
+    #: designs swept *to the front* through the columnar result path
+    #: (0 = not measured): the batch is pruned on raw objective columns and
+    #: only the non-dominated survivors are materialised (their count is in
+    #: ``columnar_designs_materialised``); ``columnar_object_wall_clock_s``
+    #: times the same evaluate-prune-front workload on the object path
+    #: (materialise everything, then prune), so the pair isolates the cost
+    #: of parent-side design materialisation
+    columnar_evaluations: int = 0
+    columnar_wall_clock_s: float = 0.0
+    columnar_object_wall_clock_s: float = 0.0
+    columnar_designs_materialised: int = 0
     #: designs served through the sharded shared-memory backend (0 = not
     #: measured); ``sharded_designs`` counts the rows the workers' column
     #: kernels actually computed (a silent fallback to the scalar path would
@@ -85,6 +97,20 @@ class DseSpeedResult:
         if scalar <= 0:
             return 0.0
         return self.vectorized_evaluations_per_second / scalar
+
+    @property
+    def columnar_evaluations_per_second(self) -> float:
+        """Designs swept to the front per second on the columnar path."""
+        if self.columnar_wall_clock_s <= 0:
+            return 0.0
+        return self.columnar_evaluations / self.columnar_wall_clock_s
+
+    @property
+    def columnar_speedup(self) -> float:
+        """Columnar to-the-front sweep relative to the object-path sweep."""
+        if self.columnar_wall_clock_s <= 0:
+            return 0.0
+        return self.columnar_object_wall_clock_s / self.columnar_wall_clock_s
 
     @property
     def sharded_evaluations_per_second(self) -> float:
@@ -124,6 +150,7 @@ def run_dse_speed(
     engine_evaluations: int = 2000,
     engine_seed: int = 0,
     vectorized_evaluations: int = 2000,
+    columnar_evaluations: int = 2000,
     sharded_evaluations: int = 0,
     sharded_max_workers: int | None = None,
 ) -> DseSpeedResult:
@@ -133,10 +160,14 @@ def run_dse_speed(
     throughput of the *engine paths* used by the actual exploration: a
     stream of random case-study genotypes evaluated in one batch through a
     :class:`~repro.engine.EvaluationEngine` — once on the scalar path (two
-    cache levels, per-design model work) and once on the vectorized fast
-    path (the whole batch through the columnar NumPy kernel).  Set
-    ``engine_evaluations=0`` / ``vectorized_evaluations=0`` to skip either
-    measurement.
+    cache levels, per-design model work), once on the vectorized fast
+    path (the whole batch through the columnar NumPy kernel, one design
+    object per served genotype), and once on the columnar *result* path
+    (``evaluate_batch_columns``: the batch is pruned on raw objective
+    columns and only the non-dominated survivors are ever materialised —
+    the sweep discipline the search algorithms use).  Set
+    ``engine_evaluations=0`` / ``vectorized_evaluations=0`` /
+    ``columnar_evaluations=0`` to skip a measurement.
 
     ``sharded_evaluations`` additionally measures the sharded shared-memory
     backend (``backend="sharded"``): the same batch shape, sharded across
@@ -151,6 +182,8 @@ def run_dse_speed(
         raise ValueError("engine_evaluations cannot be negative")
     if vectorized_evaluations < 0:
         raise ValueError("vectorized_evaluations cannot be negative")
+    if columnar_evaluations < 0:
+        raise ValueError("columnar_evaluations cannot be negative")
     if sharded_evaluations < 0:
         raise ValueError("sharded_evaluations cannot be negative")
     evaluator = build_case_study_evaluator()
@@ -199,6 +232,47 @@ def run_dse_speed(
             started = time.perf_counter()
             problem.evaluate_batch(genotypes)
             vectorized_wall_clock = time.perf_counter() - started
+
+    columnar_wall_clock = 0.0
+    columnar_object_wall_clock = 0.0
+    columnar_materialised = 0
+    if columnar_evaluations:
+        # Same workload on both sides — evaluate the batch, extract its
+        # non-dominated front — so the pair isolates what the columnar path
+        # removes: materialising one design object per evaluated genotype.
+        with EvaluationEngine() as engine:
+            problem = WbsnDseProblem(
+                build_case_study_evaluator(), engine=engine
+            )
+            rng = np.random.default_rng(engine_seed)
+            genotypes = [
+                problem.space.random_genotype(rng)
+                for _ in range(columnar_evaluations)
+            ]
+            started = time.perf_counter()
+            designs = problem.evaluate_batch(genotypes)
+            front = pareto_front_indices(
+                [design.objectives for design in designs]
+            )
+            [designs[index] for index in front]
+            columnar_object_wall_clock = time.perf_counter() - started
+        with EvaluationEngine() as engine:
+            problem = WbsnDseProblem(
+                build_case_study_evaluator(), engine=engine
+            )
+            rng = np.random.default_rng(engine_seed)
+            genotypes = [
+                problem.space.random_genotype(rng)
+                for _ in range(columnar_evaluations)
+            ]
+            stats_before = engine.stats.snapshot()
+            started = time.perf_counter()
+            batch = problem.evaluate_batch_columns(genotypes)
+            batch.materialise(pareto_front_indices(batch.objectives))
+            columnar_wall_clock = time.perf_counter() - started
+            columnar_materialised = (
+                engine.stats.snapshot() - stats_before
+            ).designs_materialised
 
     sharded_wall_clock = 0.0
     sharded_designs = 0
@@ -252,6 +326,10 @@ def run_dse_speed(
         engine_node_cache_hit_rate=engine_node_hit_rate,
         vectorized_evaluations=vectorized_evaluations,
         vectorized_wall_clock_s=vectorized_wall_clock,
+        columnar_evaluations=columnar_evaluations,
+        columnar_wall_clock_s=columnar_wall_clock,
+        columnar_object_wall_clock_s=columnar_object_wall_clock,
+        columnar_designs_materialised=columnar_materialised,
         sharded_evaluations=sharded_evaluations,
         sharded_wall_clock_s=sharded_wall_clock,
         sharded_designs=sharded_designs,
@@ -282,6 +360,14 @@ def main() -> DseSpeedResult:
             f"served in {result.vectorized_wall_clock_s:.2f} s "
             f"({result.vectorized_evaluations_per_second:.0f} served/s; "
             f"{result.vectorized_speedup:.1f}x the scalar engine path)"
+        )
+    if result.columnar_evaluations:
+        print(
+            f"engine path (columnar-to-the-front): {result.columnar_evaluations} "
+            f"designs swept to the front in {result.columnar_wall_clock_s:.3f} s "
+            f"vs {result.columnar_object_wall_clock_s:.3f} s on the object path "
+            f"({result.columnar_speedup:.2f}x; only "
+            f"{result.columnar_designs_materialised} front designs materialised)"
         )
     if result.sharded_evaluations:
         print(

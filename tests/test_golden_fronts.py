@@ -143,6 +143,58 @@ def test_sharded_backend_matches_the_golden_fixture(scenario):
 
 
 @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+@pytest.mark.parametrize("columnar", [False, True])
+def test_columnar_sweep_matches_the_golden_fixture(scenario, columnar):
+    """Both exhaustive sweep paths reproduce the committed front exactly.
+
+    The columnar path prunes on raw objective columns and materialises only
+    the survivors; the object path materialises every chunk.  Same fixture,
+    same exactness — membership and ordering — for both, which pins the
+    columnar seam against the committed artifacts.
+    """
+    golden = json.loads((GOLDEN_DIR / f"fronts_{scenario}.json").read_text())
+    problem = SCENARIOS[scenario]()
+    front = ExhaustiveSearch(problem, columnar=columnar).run()
+    expected = golden["exhaustive"]
+    assert len(front) == len(expected), (scenario, columnar)
+    for position, (design, want) in enumerate(zip(front, expected)):
+        assert list(design.genotype) == want["genotype"], (scenario, position)
+        assert list(design.objectives) == want["objectives"], (scenario, position)
+        assert design.feasible == want["feasible"]
+    if columnar:
+        # Lazy materialisation: only front designs became objects (the
+        # constructor's all-zeros probe is already memoised, so it would be
+        # served, not rebuilt, if it ever landed on a front).
+        probe = tuple(0 for _ in range(len(problem.space)))
+        assert problem.engine.stats.designs_materialised == sum(
+            1 for design in front if design.genotype != probe
+        )
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_sharded_columnar_sweep_matches_the_golden_fixture(scenario):
+    """Columnar sweep over the sharded backend: same committed front."""
+    golden = json.loads((GOLDEN_DIR / f"fronts_{scenario}.json").read_text())
+    with EvaluationEngine(backend="sharded", max_workers=2) as engine:
+        problem = SCENARIOS[scenario](engine)
+        front = ExhaustiveSearch(problem, columnar=True).run()
+        expected = golden["exhaustive"]
+        assert len(front) == len(expected), scenario
+        for position, (design, want) in enumerate(zip(front, expected)):
+            assert list(design.genotype) == want["genotype"], (scenario, position)
+            assert list(design.objectives) == want["objectives"], (
+                scenario,
+                position,
+            )
+            assert design.feasible == want["feasible"]
+        assert engine.stats.sharded_designs > 0
+        probe = tuple(0 for _ in range(len(problem.space)))
+        assert engine.stats.designs_materialised == sum(
+            1 for design in front if design.genotype != probe
+        )
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
 def test_golden_fronts_are_nonempty_and_feasible(scenario):
     golden = json.loads((GOLDEN_DIR / f"fronts_{scenario}.json").read_text())
     for algorithm, front in golden.items():

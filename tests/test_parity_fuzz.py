@@ -8,7 +8,10 @@ violation counts.  This is the differential harness locking down the seam's
 core invariant — vectorization is semantically invisible, bit for bit — on
 inputs nobody hand-picked.  The sharded shared-memory backend is fuzzed
 through the same harness: worker-computed columns reassembled across process
-boundaries must equal the scalar path exactly as well.
+boundaries must equal the scalar path exactly as well.  The columnar result
+path (``evaluate_batch_columns`` + lazy materialisation) is fuzzed against
+the same scalar reference: raw column rows, their materialised designs, and
+the scalar-fallback columns must all agree bit for bit.
 """
 
 from __future__ import annotations
@@ -120,6 +123,82 @@ def test_sharded_batches_are_bit_identical(scenario):
         assert [d.objectives for d in fast] == [d.objectives for d in slow]
         assert [d.feasible for d in fast] == [d.feasible for d in slow]
         assert [d.genotype for d in fast] == [d.genotype for d in slow]
+        # Every miss was computed by worker kernels — no scalar fallback.
+        assert engine.stats.sharded_designs == engine.stats.vectorized_designs
+        assert engine.stats.sharded_designs > 0
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+@pytest.mark.parametrize("seed", FUZZ_SEEDS)
+def test_columnar_batches_are_bit_identical(scenario, seed):
+    """Columnar result rows equal the scalar path exactly, row for row."""
+    vectorized, scalar = build_pair(scenario)
+    rng = np.random.default_rng(seed)
+    genotypes = [vectorized.space.random_genotype(rng) for _ in range(BATCH)]
+    genotypes += genotypes[:16]  # duplicates exercise the dedup+inverse path
+
+    batch = vectorized.evaluate_batch_columns(genotypes)
+    assert len(batch) == len(genotypes)
+    for row, genotype in enumerate(genotypes):
+        slow = scalar.compute_design(genotype)
+        assert tuple(batch.objectives[row].tolist()) == slow.objectives, (
+            scenario,
+            seed,
+            genotype,
+        )
+        assert bool(batch.feasible[row]) == slow.feasible
+        assert int(batch.violation_counts[row]) == slow.violation_count
+        assert tuple(batch.genotypes[row].tolist()) == slow.genotype
+    # Materialised designs reproduce the rows they came from.
+    designs = batch.materialise()
+    assert [d.objectives for d in designs] == [
+        tuple(row) for row in batch.objectives.tolist()
+    ]
+    assert [d.genotype for d in designs] == [
+        tuple(row) for row in batch.genotypes.tolist()
+    ]
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_scalar_fallback_columns_match_the_kernel_columns(scenario):
+    """Kernel-less problems flatten per-design results into identical columns."""
+    vectorized, scalar = build_pair(scenario)
+    rng = np.random.default_rng(FUZZ_SEEDS[1])
+    genotypes = [vectorized.space.random_genotype(rng) for _ in range(64)]
+    fast = vectorized.evaluate_batch_columns(genotypes)
+    slow = scalar.evaluate_batch_columns(genotypes)
+    assert fast.objectives.tolist() == slow.objectives.tolist()
+    assert fast.feasible.tolist() == slow.feasible.tolist()
+    assert fast.violation_counts.tolist() == slow.violation_counts.tolist()
+    assert fast.genotypes.tolist() == slow.genotypes.tolist()
+    # The fallback really was scalar: no kernel work on the scalar side.
+    assert scalar.engine.stats.vectorized_designs == 0
+    assert vectorized.engine.stats.vectorized_designs > 0
+
+
+@pytest.mark.parametrize("scenario", ["beacon-full", "csma-full"])
+def test_sharded_columnar_batches_are_bit_identical(scenario):
+    """Sharded worker columns on the columnar path equal the scalar path."""
+    build, mac_parameterisation = SCENARIOS[scenario]
+    kwargs = {}
+    if mac_parameterisation is not None:
+        kwargs["mac_parameterisation"] = mac_parameterisation()
+    scalar = WbsnDseProblem(
+        build(), engine=EvaluationEngine(), vectorized=False, **kwargs
+    )
+    with EvaluationEngine(backend="sharded", max_workers=2) as engine:
+        sharded = WbsnDseProblem(build(), engine=engine, **kwargs)
+        rng = np.random.default_rng(FUZZ_SEEDS[0])
+        genotypes = [sharded.space.random_genotype(rng) for _ in range(BATCH)]
+        batch = sharded.evaluate_batch_columns(genotypes)
+        slow = scalar.evaluate_batch(genotypes)
+        assert [tuple(row) for row in batch.objectives.tolist()] == [
+            d.objectives for d in slow
+        ]
+        assert batch.feasible.tolist() == [d.feasible for d in slow]
+        assert batch.violation_counts.tolist() == [
+            d.violation_count for d in slow
+        ]
         # Every miss was computed by worker kernels — no scalar fallback.
         assert engine.stats.sharded_designs == engine.stats.vectorized_designs
         assert engine.stats.sharded_designs > 0
