@@ -628,3 +628,147 @@ def test_fig5_pair_shares_one_genotype_cache(reporter):
             f"{shared_hit_rate * 100:.0f}%",
         ],
     )
+
+
+@pytest.mark.paper_figure("dse-speed")
+def test_pruning_kernel_speedup_and_dispatch(reporter):
+    """Sort-based skyline pruning vs blockwise dominance matrices.
+
+    Measured on the real 8192-design sweep columns (not synthetic random
+    points, whose uniform geometry inflates front sizes), and recorded in
+    ``BENCH_dse_speed.json`` (``pruning_kernel``):
+
+    * **front extraction**: one ``pareto_front_indices`` call over all 8192
+      feasible objective rows, blockwise vs skyline — the ≥3x floor is the
+      PR's acceptance criterion, with the fronts asserted exactly equal;
+    * **archive updates**: the sweep's per-chunk ``running_front_indices``
+      loop (chunk size 2048), blockwise vs skyline, with identical running
+      fronts — the per-chunk update time lands in the artifact;
+    * **dispatch hard gate**: a 2-objective (baseline-evaluator) sweep over
+      the same space must route every top-level prune through the 2-D
+      skyline scan — the job **fails** if it silently falls back to the
+      blockwise dominance matrix.
+    """
+    from repro.dse.pareto import (
+        pareto_front_indices,
+        prune_kernel_counts,
+        reset_prune_kernel_counts,
+        running_front_indices,
+        use_skyline,
+    )
+
+    import numpy as np
+
+    # --- capture the real sweep columns once ------------------------------
+    chunk_size = 2048
+    with _uncached_engine() as engine:
+        problem = WbsnDseProblem(
+            build_case_study_evaluator(), **SWEEP_DOMAINS, engine=engine
+        )
+        genotypes = list(problem.space.enumerate_genotypes())
+        chunks = []
+        for start in range(0, len(genotypes), chunk_size):
+            batch = problem.evaluate_batch_columns(
+                genotypes[start : start + chunk_size]
+            )
+            chunks.append(batch.objectives[batch.feasible])
+    matrix = np.vstack(chunks)
+    space_size = problem.space.size
+    assert len(matrix) == space_size  # the sweep space is fully feasible
+
+    # --- front extraction: one call over all rows -------------------------
+    def time_extraction(enabled: bool, rounds: int = 3):
+        with use_skyline(enabled):
+            front, elapsed = None, float("inf")
+            for _ in range(rounds):
+                started = time.perf_counter()
+                front = pareto_front_indices(matrix)
+                elapsed = min(elapsed, time.perf_counter() - started)
+        return front, elapsed
+
+    blockwise_front, blockwise_s = time_extraction(False)
+    skyline_front, skyline_s = time_extraction(True)
+    assert skyline_front == blockwise_front  # membership AND ordering
+    extraction_speedup = blockwise_s / skyline_s
+
+    # --- archive updates: the sweep's per-chunk pruning loop --------------
+    def archive_loop():
+        archive = None
+        for candidates in chunks:
+            if archive is None:
+                front, pool = candidates[:0], candidates
+            else:
+                front, pool = archive, np.vstack([archive, candidates])
+            indices = running_front_indices(front, candidates)
+            archive = pool[np.asarray(indices, dtype=np.int64)]
+        return archive
+
+    def time_archive(enabled: bool, rounds: int = 3):
+        with use_skyline(enabled):
+            archive, elapsed = None, float("inf")
+            for _ in range(rounds):
+                started = time.perf_counter()
+                archive = archive_loop()
+                elapsed = min(elapsed, time.perf_counter() - started)
+        return archive, elapsed
+
+    blockwise_archive, blockwise_archive_s = time_archive(False)
+    skyline_archive, skyline_archive_s = time_archive(True)
+    assert skyline_archive.tolist() == blockwise_archive.tolist()
+    assert len(skyline_archive) == len(pareto_front_indices(matrix))
+    archive_speedup = blockwise_archive_s / skyline_archive_s
+
+    # --- dispatch hard gate: 2-objective sweeps take the 2-D scan ---------
+    baseline_problem = WbsnDseProblem(
+        build_baseline_evaluator(), **SWEEP_DOMAINS, engine=EvaluationEngine()
+    )
+    assert baseline_problem.n_objectives == 2
+    reset_prune_kernel_counts()
+    baseline_front = ExhaustiveSearch(
+        baseline_problem, chunk_size=chunk_size, columnar=True
+    ).run()
+    counts = prune_kernel_counts()
+    assert baseline_front
+    # The gate: every top-level prune of the 2-objective sweep went through
+    # the sort-based 2-D scan; a silent blockwise fallback fails the job.
+    assert counts["skyline_2d"] > 0
+    assert counts["blockwise"] == 0
+
+    _merge_artifact(
+        {
+            "pruning_kernel": {
+                "space_size": space_size,
+                "n_objectives": int(matrix.shape[1]),
+                "front_size": len(skyline_front),
+                "extraction_blockwise_wall_clock_s": blockwise_s,
+                "extraction_skyline_wall_clock_s": skyline_s,
+                "extraction_speedup": extraction_speedup,
+                "archive_chunk_size": chunk_size,
+                "archive_blockwise_wall_clock_s": blockwise_archive_s,
+                "archive_skyline_wall_clock_s": skyline_archive_s,
+                "archive_update_per_chunk_s": skyline_archive_s / len(chunks),
+                "archive_speedup": archive_speedup,
+                "baseline_2d_dispatch": dict(counts),
+            }
+        }
+    )
+    reporter(
+        "Skyline pruning kernel vs blockwise dominance",
+        [
+            f"front extraction ({space_size}x{matrix.shape[1]}): "
+            f"{blockwise_s * 1e3:.1f} ms blockwise vs "
+            f"{skyline_s * 1e3:.1f} ms skyline ({extraction_speedup:.1f}x), "
+            f"front size {len(skyline_front)}",
+            f"archive updates ({len(chunks)} chunks of {chunk_size}): "
+            f"{blockwise_archive_s * 1e3:.1f} ms vs "
+            f"{skyline_archive_s * 1e3:.1f} ms ({archive_speedup:.1f}x)",
+            f"2-objective dispatch: {counts['skyline_2d']} skyline_2d, "
+            f"{counts['blockwise']} blockwise (gate: no fallback)",
+        ],
+    )
+    # The acceptance floor: ≥3x on front extraction over the sweep columns,
+    # fronts bitwise identical (asserted above).
+    assert extraction_speedup >= 3.0
+    # Archive updates run on mostly-prefiltered candidates; the win is
+    # smaller but must stay a win.
+    assert archive_speedup >= 1.2

@@ -84,6 +84,10 @@ class Nsga2:
             population, matrix = self._environmental_selection(
                 population + offspring, np.vstack([matrix, offspring_matrix])
             )
+        # Final-front extraction rides the skyline kernel dispatch in
+        # repro.dse.pareto (sort-based for <=2 objectives, divide-and-conquer
+        # above the base size for k>=3) — membership and ordering are
+        # identical to the blockwise dominance matrices it replaces.
         front = pareto_front_indices(matrix)
         return [population[index] for index in front]
 

@@ -1,27 +1,64 @@
-"""Pareto-dominance utilities on broadcasted NumPy dominance matrices.
+"""Pareto-dominance utilities: sort-based skyline kernels + dominance matrices.
 
 All objectives are minimised.  The helpers operate on plain sequences of
 objective vectors so they can be reused by every search algorithm and by the
 front-comparison experiments (Figure 5).
 
-The set-level kernels (front extraction, non-dominated sorting, crowding,
-hypervolume) compare whole objective matrices at once instead of looping
-over Python tuples — the O(n²) pairwise comparisons that dominate NSGA-II
-selection and exhaustive-sweep pruning run inside NumPy.  Pairwise dominance
-checks are processed in bounded-size blocks so memory stays linear in the
-input for large sets.  Results — membership *and* ordering — are identical
-to the original pure-Python implementations (the property tests in
-``tests/test_vectorized.py`` compare against reference implementations).
+Front extraction dispatches between two kernel families behind one public
+surface (:func:`pareto_front_indices` / :func:`running_front_indices`):
+
+* **sort-based skyline kernels** — for 1- and 2-objective sets an
+  O(n log n) lexicographic sort plus a prefix-minimum scan finds every
+  dominated-or-duplicate row in two vector operations; for k ≥ 3 objectives
+  a divide-and-conquer skyline sorts once, prunes the two halves
+  recursively and filters the right half against the *front* of the left —
+  so the quadratic comparisons only ever run between survivors;
+* **blockwise dominance matrices** — broadcasted ``(n, block, m)``
+  comparisons in bounded-size blocks, retained as the divide-and-conquer
+  base case, as the small-``n`` k-D path, and as the reference
+  implementation behind :func:`use_skyline` for differential testing.
+
+Both families compute the same dominated/duplicate mask — first occurrence
+of duplicated points survives, NaN rows neither dominate nor are dominated
+(matching the pairwise :func:`dominates`) — and the public functions emit
+survivors in original index order, so membership *and* ordering are bitwise
+identical whichever kernel runs (the property tests in
+``tests/test_dse_pareto.py`` compare the families on randomized inputs, and
+the golden-front suite pins the end-to-end fronts).  The per-process
+:func:`prune_kernel_counts` counters record which kernel answered each
+dispatch; the benchmark suite uses them to hard-fail if a 2-objective
+workload ever silently falls back to the dominance matrices.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from contextlib import contextmanager
+from typing import Iterator, Sequence
 
 import numpy as np
 
 #: Candidate-block size bounding the memory of the pairwise comparisons.
 _DOMINANCE_BLOCK = 512
+
+#: Below this many rows a k>=3-objective set is pruned by the blockwise
+#: dominance matrix directly — the divide-and-conquer bookkeeping only pays
+#: for itself on larger sets.  (1- and 2-objective sets always take the
+#: sort-based kernels: a single sort wins at every size.)
+_SKYLINE_BASE = 128
+
+#: Module switch for the sort-based kernels.  Results are identical either
+#: way; the switch exists so tests and benchmarks can compare against the
+#: blockwise reference (see :func:`use_skyline`).
+_skyline_enabled = True
+
+#: Per-process dispatch counters, keyed by kernel (see
+#: :func:`prune_kernel_counts`).
+_KERNEL_COUNTS = {
+    "skyline_1d": 0,
+    "skyline_2d": 0,
+    "skyline_kd": 0,
+    "blockwise": 0,
+}
 
 __all__ = [
     "dominates",
@@ -32,6 +69,11 @@ __all__ = [
     "hypervolume",
     "front_coverage",
     "front_contribution",
+    "skyline_enabled",
+    "set_skyline_enabled",
+    "use_skyline",
+    "prune_kernel_counts",
+    "reset_prune_kernel_counts",
 ]
 
 
@@ -48,6 +90,61 @@ def dominates(first: Sequence[float], second: Sequence[float]) -> bool:
     return at_least_one_better
 
 
+# --------------------------------------------------------------------- switch
+
+
+def skyline_enabled() -> bool:
+    """Whether front extraction dispatches to the sort-based skyline kernels."""
+    return _skyline_enabled
+
+
+def set_skyline_enabled(enabled: bool) -> bool:
+    """Switch the sort-based kernels on or off, returning the previous value.
+
+    Fronts are bitwise identical either way — membership and ordering — so
+    the switch is purely a differential-testing and benchmarking hook, never
+    a semantic knob.
+    """
+    global _skyline_enabled
+    previous = _skyline_enabled
+    _skyline_enabled = bool(enabled)
+    return previous
+
+
+@contextmanager
+def use_skyline(enabled: bool) -> Iterator[None]:
+    """Scoped :func:`set_skyline_enabled` (differential tests, benchmarks)."""
+    previous = set_skyline_enabled(enabled)
+    try:
+        yield
+    finally:
+        set_skyline_enabled(previous)
+
+
+def prune_kernel_counts() -> dict[str, int]:
+    """How often each front-extraction kernel answered a dispatch (this
+    process).
+
+    Keys: ``skyline_1d`` / ``skyline_2d`` (lexicographic sort + prefix-min
+    scan), ``skyline_kd`` (divide-and-conquer skyline, k ≥ 3 objectives) and
+    ``blockwise`` (broadcasted dominance matrices — the fallback the
+    benchmark gate watches for on 2-objective workloads).  Counted once per
+    top-level dispatch; the blockwise base cases inside the
+    divide-and-conquer recursion are part of ``skyline_kd`` and are not
+    counted separately.
+    """
+    return dict(_KERNEL_COUNTS)
+
+
+def reset_prune_kernel_counts() -> None:
+    """Zero the per-process dispatch counters."""
+    for key in _KERNEL_COUNTS:
+        _KERNEL_COUNTS[key] = 0
+
+
+# ----------------------------------------------------------- front extraction
+
+
 def _points_matrix(objectives: Sequence[Sequence[float]]) -> np.ndarray:
     """Objective vectors as a float matrix, validating equal dimensions."""
     points = np.asarray(objectives, dtype=float)
@@ -56,8 +153,8 @@ def _points_matrix(objectives: Sequence[Sequence[float]]) -> np.ndarray:
     return points
 
 
-def _pareto_front_indices_direct(points: np.ndarray) -> list[int]:
-    """Single-level front extraction on broadcasted comparison matrices."""
+def _blockwise_dominated_mask(points: np.ndarray) -> np.ndarray:
+    """Dominated/duplicate mask on broadcasted comparison matrices."""
     count = len(points)
     dominated = np.zeros(count, dtype=bool)
     indices = np.arange(count)
@@ -77,33 +174,175 @@ def _pareto_front_indices_direct(points: np.ndarray) -> list[int]:
         dominated[start : start + len(block)] |= (
             less_equal & greater_equal & earlier
         ).any(axis=0)
-    return np.flatnonzero(~dominated).tolist()
+    return dominated
+
+
+def _blockwise_front_indices(points: np.ndarray) -> np.ndarray:
+    """Hierarchical blockwise extraction: block-local fronts, then the joint
+    front of the survivors — collapses the quadratic cost whenever most
+    points are dominated (the typical shape of an exploration sweep)."""
+    count = len(points)
+    if count <= 2 * _DOMINANCE_BLOCK:
+        return np.flatnonzero(~_blockwise_dominated_mask(points))
+    survivors_per_block = []
+    for start in range(0, count, _DOMINANCE_BLOCK):
+        block = points[start : start + _DOMINANCE_BLOCK]
+        survivors_per_block.append(
+            start + np.flatnonzero(~_blockwise_dominated_mask(block))
+        )
+    survivors = np.concatenate(survivors_per_block)
+    if survivors.size == count:
+        # Mutual non-domination: block pruning cannot shrink the set.
+        return np.flatnonzero(~_blockwise_dominated_mask(points))
+    return survivors[_blockwise_front_indices(points[survivors])]
+
+
+def _scan_1d(finite: np.ndarray) -> np.ndarray:
+    """Single-objective mask: everything but the first minimum is beaten."""
+    dominated = np.ones(len(finite), dtype=bool)
+    # argmin returns the first occurrence, which is exactly the
+    # duplicates-keep-first-occurrence survivor.
+    dominated[int(np.argmin(finite[:, 0]))] = False
+    return dominated
+
+
+def _scan_2d(finite: np.ndarray) -> np.ndarray:
+    """2-objective skyline: lexicographic sort + prefix-minimum scan.
+
+    After a stable sort on (first objective, second objective) — stability
+    being the implicit original-index tiebreak — every earlier-sorted point
+    has a first objective less than or equal to the current one.  A point is
+    therefore dominated, or a later duplicate, exactly when some earlier
+    point's second objective is at or below its own: one prefix-minimum
+    scan replaces the whole broadcasted dominance matrix.
+    """
+    order = np.lexsort((finite[:, 1], finite[:, 0]))
+    sorted_second = finite[order, 1]
+    prefix_min = np.minimum.accumulate(sorted_second)
+    dropped = np.empty(len(finite), dtype=bool)
+    dropped[0] = False
+    dropped[1:] = prefix_min[:-1] <= sorted_second[1:]
+    dominated = np.empty(len(finite), dtype=bool)
+    dominated[order] = dropped
+    return dominated
+
+
+def _beaten_by(front: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+    """Which candidates some front row dominates *or equals*.
+
+    ``front[i] <= candidate`` componentwise already covers both outcomes —
+    strict domination when any component is strictly below, an
+    earlier-sorted duplicate otherwise — so one comparison matrix decides
+    the cross-filter.  Candidates are processed in bounded blocks.
+    """
+    beaten = np.zeros(len(candidates), dtype=bool)
+    for start in range(0, len(candidates), _DOMINANCE_BLOCK):
+        block = candidates[start : start + _DOMINANCE_BLOCK]
+        beaten[start : start + len(block)] = (
+            (front[:, None, :] <= block[None, :, :]).all(axis=-1).any(axis=0)
+        )
+    return beaten
+
+
+def _skyline_halves(points: np.ndarray) -> np.ndarray:
+    """Dominated mask of lexicographically sorted rows, divide and conquer.
+
+    The full-row lexicographic sort makes the cross-filter one-directional:
+    a later-sorted row can never dominate (nor be the first occurrence of a
+    duplicate of) an earlier one.  So after pruning each half recursively,
+    only the right half's survivors need filtering — and only against the
+    *front* of the left half, because every dropped left row has a surviving
+    left witness that dominates-or-equals it.
+    """
+    count = len(points)
+    if count <= _SKYLINE_BASE:
+        # Positional order inside the sorted array is the lexicographic
+        # order, so the blockwise first-occurrence duplicate rule matches
+        # the original-index rule exactly.
+        return _blockwise_dominated_mask(points)
+    half = count // 2
+    left = _skyline_halves(points[:half])
+    right = _skyline_halves(points[half:])
+    left_front = points[:half][~left]
+    alive = np.flatnonzero(~right)
+    if len(left_front) and alive.size:
+        right[alive[_beaten_by(left_front, points[half:][alive])]] = True
+    return np.concatenate([left, right])
+
+
+def _skyline_kd(finite: np.ndarray) -> np.ndarray:
+    """k>=3-objective skyline mask: sort once, divide and conquer."""
+    width = finite.shape[1]
+    # ``lexsort`` sorts by the *last* key first: pass the columns reversed
+    # so column 0 is the primary key.  The sort is stable, so fully equal
+    # rows keep their original relative order (the duplicate tiebreak).
+    order = np.lexsort(tuple(finite[:, column] for column in range(width - 1, -1, -1)))
+    dropped = _skyline_halves(finite[order])
+    dominated = np.empty(len(finite), dtype=bool)
+    dominated[order] = dropped
+    return dominated
+
+
+def _skyline_apply(points: np.ndarray, kernel) -> np.ndarray:
+    """Run a sort-based kernel on the NaN-free rows of a set.
+
+    Rows containing NaN fail every comparison: they neither dominate, nor
+    are dominated, nor duplicate anything — permanent survivors that the
+    sort kernels must not see (NaN breaks sort transitivity).
+    """
+    nan_rows = np.isnan(points).any(axis=1)
+    if nan_rows.any():
+        dominated = np.zeros(len(points), dtype=bool)
+        rows = np.flatnonzero(~nan_rows)
+        if rows.size:
+            dominated[rows] = kernel(points[rows])
+        return dominated
+    if len(points) == 0:
+        return np.zeros(0, dtype=bool)
+    return kernel(points)
+
+
+def _dominated_mask(points: np.ndarray) -> np.ndarray:
+    """Dominated-or-duplicate mask of a set, behind the kernel dispatch.
+
+    Dispatch rules (documented in the ROADMAP architecture notes): 1- and
+    2-objective sets take the sort-based skyline kernels at every size;
+    k >= 3-objective sets take the divide-and-conquer skyline above
+    ``_SKYLINE_BASE`` rows; everything else — small k-D sets, zero-width
+    points, and every call with the skyline disabled — runs on the
+    blockwise dominance matrices.  All kernels agree bitwise on the mask.
+    """
+    count, width = points.shape
+    if _skyline_enabled and width == 1:
+        _KERNEL_COUNTS["skyline_1d"] += 1
+        return _skyline_apply(points, _scan_1d)
+    if _skyline_enabled and width == 2:
+        _KERNEL_COUNTS["skyline_2d"] += 1
+        return _skyline_apply(points, _scan_2d)
+    if _skyline_enabled and width >= 3 and count > _SKYLINE_BASE:
+        _KERNEL_COUNTS["skyline_kd"] += 1
+        return _skyline_apply(points, _skyline_kd)
+    _KERNEL_COUNTS["blockwise"] += 1
+    mask = np.ones(count, dtype=bool)
+    mask[_blockwise_front_indices(points)] = False
+    return mask
 
 
 def pareto_front_indices(objectives: Sequence[Sequence[float]]) -> list[int]:
     """Indices of the non-dominated points of a set.
 
-    Duplicated points keep their first occurrence only.  Dominance runs on
-    broadcasted comparison matrices; large sets are pruned hierarchically —
-    block-local fronts first, then the joint front of the survivors — which
-    collapses the quadratic cost whenever most points are dominated (the
-    typical shape of an exploration sweep).  Membership and ordering are
+    Duplicated points keep their first occurrence only.  The kernel
+    dispatch (see :func:`prune_kernel_counts`) picks a sort-based skyline
+    kernel — O(n log n) for one or two objectives, divide-and-conquer for
+    more — or the blockwise dominance matrices; survivors are emitted in
+    original index order either way, so membership and ordering are
     identical to a direct quadratic scan.
     """
     count = len(objectives)
     if count == 0:
         return []
     points = _points_matrix(objectives)
-    if count <= 2 * _DOMINANCE_BLOCK:
-        return _pareto_front_indices_direct(points)
-    survivors: list[int] = []
-    for start in range(0, count, _DOMINANCE_BLOCK):
-        block = points[start : start + _DOMINANCE_BLOCK]
-        survivors.extend(start + i for i in _pareto_front_indices_direct(block))
-    if len(survivors) == count:
-        # Mutual non-domination: block pruning cannot shrink the set.
-        return _pareto_front_indices_direct(points)
-    return [survivors[i] for i in pareto_front_indices(points[survivors])]
+    return np.flatnonzero(~_dominated_mask(points)).tolist()
 
 
 def running_front_indices(
@@ -230,7 +469,11 @@ def hypervolume(
 
     The implementation recursively slices along the last objective, which is
     exact and fast enough for the two- and three-objective fronts produced by
-    the case study.
+    the case study.  Validation, clipping and front extraction happen once
+    at the top level; the 2-D recursion bottoms out in a sorted staircase
+    sum (prefix minima of the first objective), so no slice prefix is ever
+    re-extracted — the floats are identical to the slice-by-slice recursion
+    it replaces (the property tests compare against it).
     """
     if len(objectives) == 0:
         return 0.0
@@ -243,23 +486,47 @@ def hypervolume(
     points = points[(points < reference_point).all(axis=1)]
     if len(points) == 0:
         return 0.0
-    front = points[pareto_front_indices(points)]
+    return _front_hypervolume(points[pareto_front_indices(points)], reference_point)
 
+
+def _front_hypervolume(front: np.ndarray, reference_point: np.ndarray) -> float:
+    """Hypervolume of an extracted front lying strictly inside the reference.
+
+    The recursion core of :func:`hypervolume`, free of re-validation and
+    re-clipping.  Every slice prefix of a front sorted by the last objective
+    is already mutually non-dominated *after projecting away that
+    objective* only for d == 2 — the 1-D volume of a prefix is just the
+    prefix minimum, accumulated in one pass (the staircase).  For d >= 3
+    each prefix projection is pruned once, exactly as the slice recursion
+    it replaces did, but without re-running validation or clipping per
+    slab.
+    """
+    dimension = reference_point.size
     if dimension == 1:
         return float(reference_point[0] - front[:, 0].min())
-
-    # Sort by the last objective and accumulate slice volumes.
     front = front[np.argsort(front[:, -1], kind="stable")]
+    if dimension == 2:
+        prefix_min = np.minimum.accumulate(front[:, 0])
+        volume = 0.0
+        previous_last = reference_point[-1]
+        for index in range(len(front) - 1, -1, -1):
+            slab_height = previous_last - front[index, -1]
+            if slab_height > 0:
+                volume += slab_height * float(
+                    reference_point[0] - prefix_min[index]
+                )
+                previous_last = front[index, -1]
+        return float(volume)
     volume = 0.0
     previous_last = reference_point[-1]
     for index in range(len(front) - 1, -1, -1):
-        point = front[index]
-        slab_height = previous_last - point[-1]
+        slab_height = previous_last - front[index, -1]
         if slab_height > 0:
-            volume += slab_height * hypervolume(
-                front[: index + 1, :-1], reference_point[:-1]
+            prefix = front[: index + 1, :-1]
+            volume += slab_height * _front_hypervolume(
+                prefix[pareto_front_indices(prefix)], reference_point[:-1]
             )
-            previous_last = point[-1]
+            previous_last = front[index, -1]
     return float(volume)
 
 
@@ -275,28 +542,40 @@ def front_coverage(
     This is the metric behind the paper's observation that the energy/delay
     baseline only finds about 7 % of the trade-offs exposed by the proposed
     three-metric model.
+
+    The check runs on one broadcasted ``(candidates, reference, m)``
+    comparison block — the same float operations as the original per-pair
+    loops (``abs(c - p) <= tol * max(abs(p), 1e-12)``), so the recovered set
+    is bit-for-bit identical.
     """
-    reference = [tuple(float(v) for v in point) for point in reference_front]
-    candidates = [tuple(float(v) for v in point) for point in candidate_front]
-    if not reference:
+    if len(reference_front) == 0:
         raise ValueError("the reference front must not be empty")
-    if not candidates:
+    if len(candidate_front) == 0:
         return 0.0
-
-    def recovered(point: tuple[float, ...]) -> bool:
-        for candidate in candidates:
-            if len(candidate) != len(point):
-                raise ValueError("fronts must share the objective dimension")
-            close = all(
-                abs(c - p) <= relative_tolerance * max(abs(p), 1e-12)
-                for c, p in zip(candidate, point)
-            )
-            if close or dominates(candidate, point):
-                return True
-        return False
-
-    found = sum(1 for point in reference if recovered(point))
-    return found / len(reference)
+    try:
+        reference = np.asarray(
+            [tuple(float(v) for v in point) for point in reference_front],
+            dtype=float,
+        )
+        candidates = np.asarray(
+            [tuple(float(v) for v in point) for point in candidate_front],
+            dtype=float,
+        )
+    except ValueError:  # ragged nested sequences
+        raise ValueError("fronts must share the objective dimension") from None
+    if (
+        reference.ndim != 2
+        or candidates.ndim != 2
+        or reference.shape[1] != candidates.shape[1]
+    ):
+        raise ValueError("fronts must share the objective dimension")
+    tolerance = relative_tolerance * np.maximum(np.abs(reference), 1e-12)
+    difference = np.abs(candidates[:, None, :] - reference[None, :, :])
+    close = (difference <= tolerance[None, :, :]).all(axis=-1)
+    less_equal = (candidates[:, None, :] <= reference[None, :, :]).all(axis=-1)
+    strictly_less = (candidates[:, None, :] < reference[None, :, :]).any(axis=-1)
+    recovered = (close | (less_equal & strictly_less)).any(axis=0)
+    return int(recovered.sum()) / len(reference)
 
 
 def front_contribution(

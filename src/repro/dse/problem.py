@@ -394,7 +394,11 @@ class WbsnDseProblem(OptimizationProblem):
         return self.engine is not None and not self.record_evaluations
 
     def evaluate_batch_columns(
-        self, genotypes: Sequence[Sequence[int]]
+        self,
+        genotypes: Sequence[Sequence[int]],
+        *,
+        prune_to_front: bool = False,
+        include_infeasible: bool = True,
     ) -> "ColumnarBatchResult":
         """Evaluate a batch into raw column rows (dedup, caches, fast path).
 
@@ -402,6 +406,14 @@ class WbsnDseProblem(OptimizationProblem):
         genotype, in order, with no design object built until the caller
         materialises its survivors
         (:meth:`~repro.engine.ColumnarBatchResult.materialise`).
+
+        ``prune_to_front`` / ``include_infeasible`` are passed through to
+        :meth:`~repro.engine.EvaluationEngine.evaluate_many_columnar`: on a
+        worker-pruning backend the result then holds only the batch's
+        locally non-dominated rows (distinct genotypes, duplicates
+        collapsed); on any other backend the hint is a no-op.  Either way
+        every served genotype counts as an evaluation — pruning changes
+        what is shipped, not what is computed.
         """
         if not self.supports_columnar:
             raise RuntimeError(
@@ -410,7 +422,11 @@ class WbsnDseProblem(OptimizationProblem):
                 "history records materialised design objects, which the "
                 "columnar path exists to avoid building)"
             )
-        result = self.engine.evaluate_many_columnar(genotypes)
+        result = self.engine.evaluate_many_columnar(
+            genotypes,
+            prune_to_front=prune_to_front,
+            include_infeasible=include_infeasible,
+        )
         self.evaluations += len(genotypes)
         return result
 

@@ -71,7 +71,14 @@ class RandomSearch:
         if columnar is None:
             columnar = getattr(self.problem, "supports_columnar", False)
         if columnar:
-            batch = self.problem.evaluate_batch_columns(genotypes)
+            # The sampled genotypes are already distinct, so the pruned
+            # result's duplicates-collapse contract is vacuous; a
+            # worker-pruning backend ships back only shard-local fronts and
+            # the extraction below runs on those few rows (other backends
+            # ignore the hint and the full batch is pruned here).
+            batch = self.problem.evaluate_batch_columns(
+                genotypes, prune_to_front=True
+            )
             feasible_rows = np.flatnonzero(batch.feasible)
             pool = batch.take(feasible_rows) if feasible_rows.size else batch
             front = pareto_front_indices(pool.objectives)

@@ -93,6 +93,18 @@ class DseResult:
         return self.engine_stats.rows_skipped_cached
 
     @property
+    def rows_pruned_in_workers(self) -> int:
+        """Batch rows dominated inside their own shard and pruned worker-side.
+
+        Non-zero only for columnar sweeps over the sharded backend: those
+        rows were evaluated but never shipped back, so parent-side archive
+        merges scaled with the shard front sizes, not the space size.
+        """
+        if self.engine_stats is None:
+            return 0
+        return self.engine_stats.rows_pruned_in_workers
+
+    @property
     def designs_materialised(self) -> int:
         """Design objects built from raw columns on the columnar result path.
 

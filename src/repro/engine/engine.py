@@ -359,7 +359,11 @@ class EvaluationEngine:
         return results
 
     def evaluate_many_columnar(
-        self, genotypes: Sequence[Sequence[int]]
+        self,
+        genotypes: Sequence[Sequence[int]],
+        *,
+        prune_to_front: bool = False,
+        include_infeasible: bool = True,
     ) -> ColumnarBatchResult:
         """Evaluate a batch into raw column rows, preserving the input order.
 
@@ -381,6 +385,23 @@ class EvaluationEngine:
         :meth:`evaluate`) are flattened from the stored design.  Columnar
         results are not published to the cross-problem shared cache (only
         materialised designs are).
+
+        ``prune_to_front=True`` is a *hint* for chunked sweeps: when the
+        batch runs on a worker-pruning backend (``backend="sharded"`` with a
+        vectorized problem), every worker prunes its own shard to its local
+        per-feasibility-class fronts before shipping columns back, and the
+        result holds only the surviving rows — cached rows (passed through
+        unpruned) plus the shard fronts — as *distinct* genotypes in
+        first-occurrence order (duplicates collapse; pruned rows counted in
+        ``EngineStats.rows_pruned_in_workers``).  Any row the pruned result
+        omits is dominated by (or duplicates) a row it contains, so archive
+        merges over it produce bitwise-identical fronts.  On every other
+        backend the hint is a no-op and the full batch contract holds, so
+        callers must still prune whatever they receive.
+        ``include_infeasible=False`` additionally lets workers drop
+        infeasible rows outright — only pass it when infeasible rows can no
+        longer matter (the caller's archive already holds a feasible
+        design).
         """
         started = time.perf_counter()
         if self._problem is None:
@@ -441,12 +462,45 @@ class EvaluationEngine:
             pending_matrix = matrix
         else:
             pending_matrix = matrix[np.asarray(pending_rows, dtype=np.int64)]
-        columns = self._compute_columns(
-            pending, pending_matrix, n_cached=len(cached_rows)
+        prune_capable = (
+            prune_to_front
+            and self.vectorized_enabled
+            and getattr(problem, "supports_vectorized", False)
+            and getattr(self.backend, "supports_worker_pruning", False)
         )
+        kept_pending: np.ndarray | None = None
+        if prune_capable and pending:
+            # Worker-side pruning: shards ship back only their local
+            # per-feasibility-class fronts, so the parent never touches a
+            # dominated row.  Counter bookkeeping mirrors _compute_columns's
+            # sharded branch (prune_capable implies that dispatch).
+            if cached_rows:
+                stats.rows_skipped_cached += len(cached_rows)
+            columns, kept_pending, rows_pruned = (
+                self.backend.evaluate_front_columns_sharded(
+                    problem,
+                    pending_matrix,
+                    include_infeasible=include_infeasible,
+                )
+            )
+            stats.model_evaluations += len(pending)
+            stats.vectorized_designs += len(pending)
+            stats.sharded_designs += len(pending)
+            stats.rows_pruned_in_workers += int(rows_pruned)
+        else:
+            columns = self._compute_columns(
+                pending, pending_matrix, n_cached=len(cached_rows)
+            )
         if self.genotype_cache_enabled and pending:
+            # In pruned mode only surviving rows came back — only they can
+            # be memoised (dominated rows are recomputed if ever re-asked,
+            # a pure performance trade the caches are allowed to make).
+            if kept_pending is None:
+                computed_keys = pending
+            else:
+                computed_keys = [pending[int(row)] for row in kept_pending]
             for key, row_objectives, row_feasible, row_violations in zip(
-                pending,
+                computed_keys,
                 columns.objectives.tolist(),
                 columns.feasible.tolist(),
                 columns.violation_counts.tolist(),
@@ -473,12 +527,29 @@ class EvaluationEngine:
             objectives[row_index] = row_objectives
             feasible[row_index] = row_feasible
             violations[row_index] = row_violations
+        rows = np.asarray(pending_rows, dtype=np.int64)
         if pending:
-            rows = np.asarray(pending_rows, dtype=np.int64)
+            if kept_pending is not None:
+                rows = rows[kept_pending]
             objectives[rows] = columns.objectives
             feasible[rows] = columns.feasible
             violations[rows] = columns.violation_counts
-        if positions is not None and count != len(keys):
+        if prune_capable:
+            # Pruned result: only the candidate rows — cached rows (passed
+            # through unpruned) plus the shard fronts — in distinct-genotype
+            # first-occurrence order; the duplicate expansion below never
+            # applies (duplicates collapse by contract).
+            cached_positions = np.fromiter(
+                cached_rows.keys(), dtype=np.int64, count=len(cached_rows)
+            )
+            selected = np.sort(
+                np.concatenate([cached_positions, rows if pending else rows[:0]])
+            )
+            matrix = matrix[selected]
+            objectives = objectives[selected]
+            feasible = feasible[selected]
+            violations = violations[selected]
+        elif positions is not None and count != len(keys):
             # Expand the distinct rows back to the (duplicated) request order.
             inverse = np.asarray([positions[key] for key in keys], dtype=np.int64)
             matrix = matrix[inverse]

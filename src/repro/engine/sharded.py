@@ -203,6 +203,58 @@ def _evaluate_shard(
     return columns.objectives, columns.feasible, columns.violation_counts
 
 
+def _local_front_rows(
+    objectives: np.ndarray,
+    feasible: np.ndarray,
+    include_infeasible: bool,
+) -> np.ndarray:
+    """Shard-local positions (ascending) of the per-feasibility-class fronts.
+
+    Feasible and infeasible rows are pruned as *separate* classes: the
+    sweeps' archive semantics switch on whether any feasible design exists,
+    so an infeasible row must never eliminate a feasible one (nor the other
+    way around) inside a worker.  With ``include_infeasible`` false —  the
+    caller already holds a feasible design, so infeasible rows can never
+    reach its archive — the infeasible class is dropped entirely instead of
+    pruned.
+    """
+    from repro.dse.pareto import pareto_front_indices
+
+    classes = [np.flatnonzero(feasible)]
+    if include_infeasible:
+        classes.append(np.flatnonzero(~feasible))
+    kept: list[np.ndarray] = []
+    for class_rows in classes:
+        if class_rows.size:
+            front = pareto_front_indices(objectives[class_rows])
+            kept.append(class_rows[np.asarray(front, dtype=np.int64)])
+    if not kept:
+        return np.empty(0, dtype=np.int64)
+    return np.sort(np.concatenate(kept))
+
+
+def _evaluate_shard_front(
+    matrix_name: str,
+    shape: tuple[int, ...],
+    dtype: str,
+    rows: np.ndarray,
+    include_infeasible: bool,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]:
+    """Evaluate one shard and prune it to its local fronts, worker-side.
+
+    The dominated rows never cross the process boundary: the worker ships
+    back only the surviving columns, their positions within ``rows``
+    (ascending, so shard order is original row order) and the number of
+    rows it pruned away.
+    """
+    objectives, feasible, violations = _evaluate_shard(
+        matrix_name, shape, dtype, rows
+    )
+    kept = _local_front_rows(objectives, feasible, include_infeasible)
+    pruned = int(len(rows) - kept.size)
+    return objectives[kept], feasible[kept], violations[kept], kept, pruned
+
+
 class ShardedVectorizedBackend(ProcessBackend):
     """Vectorized evaluation sharded over a process pool via shared memory.
 
@@ -218,6 +270,11 @@ class ShardedVectorizedBackend(ProcessBackend):
     #: engines route vectorized batches through :meth:`run_columns` when the
     #: backend advertises this flag
     supports_columns = True
+    #: engines route ``prune_to_front`` columnar batches through
+    #: :meth:`evaluate_front_columns_sharded` when the backend advertises
+    #: this flag — workers prune their shards to local fronts before
+    #: shipping columns back
+    supports_worker_pruning = True
 
     def __init__(
         self, max_workers: int | None = None, min_rows_per_shard: int = 256
@@ -310,6 +367,84 @@ class ShardedVectorizedBackend(ProcessBackend):
             feasible=np.concatenate([r[1] for r in results], axis=0),
             violation_counts=np.concatenate([r[2] for r in results], axis=0),
         )
+
+    def evaluate_front_columns_sharded(
+        self,
+        problem: Any,
+        matrix: np.ndarray,
+        miss_rows: np.ndarray | None = None,
+        include_infeasible: bool = True,
+    ) -> tuple[Any, np.ndarray, int]:
+        """Sharded columns-only evaluation, pruned to local fronts in-worker.
+
+        The worker-side-pruning protocol behind the engine's
+        ``prune_to_front`` columnar path: every shard is evaluated exactly
+        like :meth:`evaluate_columns_sharded`, but each worker prunes its
+        own rows to the shard's per-feasibility-class local fronts before
+        shipping anything back — dominated rows never cross the process
+        boundary, so the parent-side merge input is bounded by the sum of
+        the shard front sizes, not by the batch size.  Returns the
+        concatenated surviving :class:`~repro.core.vectorized.WbsnBatchColumns`,
+        the survivors' positions into ``miss_rows`` (ascending — per-shard
+        fronts are ascending-position subsets and shards are concatenated in
+        submission order) and the total number of rows pruned in workers.
+
+        Feasible and infeasible rows are pruned as separate classes (an
+        infeasible row must never eliminate a feasible one inside a worker);
+        ``include_infeasible=False`` lets workers drop infeasible rows
+        outright — only valid when the caller's archive can no longer accept
+        them (it already holds a feasible design).
+
+        Pruning a shard to its front then merging the fronts yields the same
+        joint front as pruning everything in the parent —
+        ``front(A ∪ B) == front(front(A) ∪ front(B))``, with every removal
+        witnessed by an earlier-or-dominating survivor — so downstream
+        archives are bitwise identical, membership and ordering.
+        """
+        from repro.core.vectorized import WbsnBatchColumns
+
+        if miss_rows is None:
+            miss_rows = np.arange(len(matrix))
+        if miss_rows.size == 0:
+            kernel = getattr(problem, "vectorized_kernel", None)
+            empty = WbsnBatchColumns.empty(getattr(kernel, "n_objectives", 0))
+            return empty, np.empty(0, dtype=np.int64), 0
+        executor = self._ensure_executor(problem)
+        shards = [
+            shard
+            for shard in np.array_split(miss_rows, self._shard_count(miss_rows.size))
+            if shard.size
+        ]
+        shm = shared_memory.SharedMemory(create=True, size=matrix.nbytes)
+        try:
+            view = np.ndarray(matrix.shape, dtype=matrix.dtype, buffer=shm.buf)
+            view[...] = matrix
+            futures = [
+                executor.submit(
+                    _evaluate_shard_front,
+                    shm.name,
+                    matrix.shape,
+                    matrix.dtype.str,
+                    shard,
+                    include_infeasible,
+                )
+                for shard in shards
+            ]
+            results = [future.result() for future in futures]
+        finally:
+            shm.close()
+            shm.unlink()
+        offsets = np.cumsum([0] + [len(shard) for shard in shards[:-1]])
+        kept = np.concatenate(
+            [offset + result[3] for offset, result in zip(offsets, results)]
+        )
+        columns = WbsnBatchColumns(
+            objectives=np.concatenate([r[0] for r in results], axis=0),
+            feasible=np.concatenate([r[1] for r in results], axis=0),
+            violation_counts=np.concatenate([r[2] for r in results], axis=0),
+        )
+        rows_pruned = sum(result[4] for result in results)
+        return columns, kept, rows_pruned
 
     def close(self) -> None:
         """Shut the pool down and unlink the shared table arena."""

@@ -54,6 +54,13 @@ class EngineStats:
         rows_skipped_cached: batch rows the cached-row mask protocol let the
             columnar paths skip — memoised rows never reach the column
             gather (see ``WbsnVectorizedKernel.evaluate_columns``).
+        rows_pruned_in_workers: batch rows dominated inside their own shard
+            and pruned by the worker-side-pruning protocol
+            (``ShardedVectorizedBackend.evaluate_front_columns_sharded``):
+            they were evaluated (counted in ``model_evaluations`` /
+            ``sharded_designs``) but never shipped back to the parent, so
+            the parent-side archive merge of a pruned batch sees only
+            Σ(shard front sizes) rows, not the batch size.
         designs_materialised: ``EvaluatedDesign`` objects built from raw
             column rows on the columnar result path
             (``EvaluationEngine.evaluate_many_columnar`` /
@@ -78,6 +85,7 @@ class EngineStats:
     vectorized_designs: int = 0
     sharded_designs: int = 0
     rows_skipped_cached: int = 0
+    rows_pruned_in_workers: int = 0
     designs_materialised: int = 0
     node_stage_requests: int = 0
     node_cache_hits: int = 0

@@ -18,7 +18,11 @@ import numpy as np
 import pytest
 
 from repro.dse.exhaustive import ExhaustiveSearch
-from repro.dse.pareto import pareto_front_indices, running_front_indices
+from repro.dse.pareto import (
+    pareto_front_indices,
+    running_front_indices,
+    use_skyline,
+)
 from repro.dse.problem import WbsnDseProblem, csma_mac_parameterisation
 from repro.dse.random_search import RandomSearch
 from repro.engine import ColumnarBatchResult, EvaluationEngine
@@ -128,6 +132,9 @@ class TestSweepParity:
             assert stats.designs_materialised == expected_materialised(
                 problem, sharded
             )
+            # The sweep's prune hint made the workers drop dominated rows
+            # before shipping — without moving the front.
+            assert stats.rows_pruned_in_workers > 0
         assert front_signature(serial) == front_signature(sharded)
 
     def test_columnar_flag_needs_columnar_support(self):
@@ -192,6 +199,9 @@ class Test8192CaseStudyParity:
             assert engine.stats.designs_materialised == expected_materialised(
                 sharded_problem, sharded
             )
+            # On 8192 designs the shard fronts are tiny: almost every
+            # evaluated row is pruned worker-side.
+            assert engine.stats.rows_pruned_in_workers > 7000
 
         random_objects = RandomSearch(
             sweep_problem(scenario), samples=1500, seed=8, columnar=False
@@ -394,6 +404,50 @@ class TestRunningFrontIndices:
     def test_dimension_mismatch_rejected(self):
         with pytest.raises(ValueError):
             running_front_indices([(0.0, 1.0)], [(0.0, 1.0, 2.0)])
+
+
+class TestSkylineToggleParity:
+    """The skyline kernels are a drop-in for the blockwise dominance
+    matrices: sweeping with them disabled must reproduce the exact same
+    fronts, membership and ordering, on every backend that prunes."""
+
+    @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+    def test_columnar_sweep_fronts_identical_with_skyline_off(self, scenario):
+        build = SCENARIOS[scenario]
+        with use_skyline(True):
+            skyline = ExhaustiveSearch(build(), columnar=True).run()
+        with use_skyline(False):
+            blockwise = ExhaustiveSearch(build(), columnar=True).run()
+        assert front_signature(skyline) == front_signature(blockwise)
+        assert skyline
+
+    @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+    def test_sharded_worker_pruning_fronts_identical_with_skyline_off(
+        self, scenario
+    ):
+        """Workers prune with whatever kernel the toggle selects (the flag
+        is read in each worker process too) — fronts must not move."""
+        build = SCENARIOS[scenario]
+        fronts = {}
+        for enabled in (True, False):
+            with use_skyline(enabled):
+                with EvaluationEngine(backend="sharded", max_workers=2) as engine:
+                    fronts[enabled] = front_signature(
+                        ExhaustiveSearch(build(engine), columnar=True).run()
+                    )
+                    assert engine.stats.rows_pruned_in_workers > 0
+        assert fronts[True] == fronts[False]
+
+    def test_random_search_front_identical_with_skyline_off(self):
+        with use_skyline(True):
+            skyline = RandomSearch(
+                beacon_problem(), samples=150, seed=5, columnar=True
+            ).run()
+        with use_skyline(False):
+            blockwise = RandomSearch(
+                beacon_problem(), samples=150, seed=5, columnar=True
+            ).run()
+        assert front_signature(skyline) == front_signature(blockwise)
 
 
 class TestExhaustiveCap:

@@ -1,4 +1,14 @@
-"""Tests of the Pareto-dominance utilities."""
+"""Tests of the Pareto-dominance utilities.
+
+The skyline kernel equivalence suite is the differential harness of the
+sort-based front-extraction kernels: every randomized/adversarial input is
+pruned with the skyline dispatch on and off (:func:`use_skyline`), asserting
+identical membership *and* ordering against the blockwise dominance-matrix
+reference — including duplicate rows, all-equal columns, NaN rows and
+pre-sorted/reversed inputs.  The hypervolume and coverage suites compare the
+restructured implementations against verbatim copies of the originals they
+replaced, asserting exact float equality on random fronts.
+"""
 
 from __future__ import annotations
 
@@ -8,6 +18,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.dse.pareto import (
+    _points_matrix,
     crowding_distance,
     dominates,
     front_contribution,
@@ -15,6 +26,9 @@ from repro.dse.pareto import (
     hypervolume,
     non_dominated_sort,
     pareto_front_indices,
+    prune_kernel_counts,
+    running_front_indices,
+    use_skyline,
 )
 
 _points = st.lists(
@@ -156,3 +170,252 @@ class TestFrontComparison:
             front_coverage([], [(1.0, 1.0)])
         with pytest.raises(ValueError):
             front_contribution([], [])
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            front_coverage([(1.0, 1.0)], [(1.0, 1.0, 1.0)])
+        with pytest.raises(ValueError):
+            front_coverage([(1.0, 1.0), (1.0,)], [(1.0, 1.0)])
+
+
+def _both_kernels(points) -> tuple[list[int], list[int]]:
+    """Front indices with the skyline dispatch on and off."""
+    with use_skyline(True):
+        skyline = pareto_front_indices(points)
+    with use_skyline(False):
+        blockwise = pareto_front_indices(points)
+    return skyline, blockwise
+
+
+#: Sizes straddling every dispatch boundary: the trivial cases, the k-D
+#: blockwise small-n region (<= 128), the divide-and-conquer region, and the
+#: blockwise hierarchical threshold (2 * 512).
+_SKYLINE_SIZES = (0, 1, 2, 3, 5, 17, 64, 129, 500, 1333, 5000)
+
+
+class TestSkylineKernelEquivalence:
+    """Sort-based kernels vs the blockwise reference: same mask, bit for bit."""
+
+    @pytest.mark.parametrize("width", [1, 2, 3, 4])
+    @pytest.mark.parametrize("count", _SKYLINE_SIZES)
+    def test_random_points_agree(self, count, width):
+        rng = np.random.default_rng(97 * count + width)
+        points = rng.random((count, width)) * 10.0
+        if count >= 4:
+            # Inject exact duplicates (first occurrence must survive).
+            points[count // 2] = points[0]
+            points[-1] = points[1]
+        skyline, blockwise = _both_kernels(points)
+        assert skyline == blockwise, (count, width)
+
+    @pytest.mark.parametrize("width", [1, 2, 3, 4])
+    @pytest.mark.parametrize("count", _SKYLINE_SIZES)
+    def test_low_cardinality_duplicates_agree(self, count, width):
+        """Integer grids maximise duplicate and tied-component cases."""
+        rng = np.random.default_rng(31 * count + width)
+        points = rng.integers(0, 3, size=(count, width)).astype(float)
+        skyline, blockwise = _both_kernels(points)
+        assert skyline == blockwise, (count, width)
+
+    @pytest.mark.parametrize("width", [2, 3, 4])
+    def test_all_equal_columns_agree(self, width):
+        rng = np.random.default_rng(width)
+        points = rng.random((700, width)) * 5.0
+        points[:, 1] = 2.5  # one constant objective: massive tie surface
+        skyline, blockwise = _both_kernels(points)
+        assert skyline == blockwise
+        constant = np.full((300, width), 1.25)
+        skyline, blockwise = _both_kernels(constant)
+        assert skyline == blockwise == [0]
+
+    @pytest.mark.parametrize("width", [1, 2, 3, 4])
+    def test_nan_rows_survive_and_never_eliminate(self, width):
+        """NaN rows are inert: permanent survivors that beat nothing."""
+        rng = np.random.default_rng(5 + width)
+        points = rng.random((400, width)) * 10.0
+        nan_rows = rng.choice(400, size=25, replace=False)
+        for row in nan_rows:
+            points[row, rng.integers(0, width)] = np.nan
+        skyline, blockwise = _both_kernels(points)
+        assert skyline == blockwise
+        assert set(nan_rows).issubset(skyline)
+        # Identical NaN rows are not duplicates of each other (NaN != NaN,
+        # the same convention as the pairwise `dominates` equality check).
+        twins = np.asarray([[np.nan] * width, [np.nan] * width, [0.5] * width])
+        skyline, blockwise = _both_kernels(twins)
+        assert skyline == blockwise == [0, 1, 2]
+
+    @pytest.mark.parametrize("width", [2, 3, 4])
+    @pytest.mark.parametrize("order", ["sorted", "reversed"])
+    def test_adversarial_presorted_inputs_agree(self, width, order):
+        """Pre-sorted and reverse-sorted inputs hit the recursion's worst
+        splits (every cross-filter is one-sided)."""
+        rng = np.random.default_rng(11 * width)
+        points = rng.random((1500, width)) * 10.0
+        keys = tuple(points[:, column] for column in range(width - 1, -1, -1))
+        points = points[np.lexsort(keys)]
+        if order == "reversed":
+            points = points[::-1].copy()
+        skyline, blockwise = _both_kernels(points)
+        assert skyline == blockwise
+
+    @pytest.mark.parametrize("width", [2, 3])
+    def test_running_front_updates_agree(self, width):
+        """Chunked archive updates are toggle-invariant too."""
+        rng = np.random.default_rng(23 + width)
+        chunks = [rng.random((600, width)) * 10.0 for _ in range(4)]
+
+        def sweep() -> list[np.ndarray]:
+            archive = np.empty((0, width))
+            fronts = []
+            for chunk in chunks:
+                indices = running_front_indices(archive, chunk)
+                archive = np.concatenate([archive, chunk], axis=0)[indices]
+                fronts.append(archive.copy())
+            return fronts
+
+        with use_skyline(True):
+            fast = sweep()
+        with use_skyline(False):
+            slow = sweep()
+        for fast_front, slow_front in zip(fast, slow):
+            assert np.array_equal(fast_front, slow_front)
+
+    def test_dispatch_counters_track_the_kernel_families(self):
+        before = prune_kernel_counts()
+        rng = np.random.default_rng(0)
+        with use_skyline(True):
+            pareto_front_indices(rng.random((50, 1)))
+            pareto_front_indices(rng.random((50, 2)))
+            pareto_front_indices(rng.random((200, 3)))
+            pareto_front_indices(rng.random((50, 3)))  # small k-D: blockwise
+        with use_skyline(False):
+            pareto_front_indices(rng.random((50, 2)))
+        after = prune_kernel_counts()
+        assert after["skyline_1d"] == before["skyline_1d"] + 1
+        assert after["skyline_2d"] == before["skyline_2d"] + 1
+        assert after["skyline_kd"] == before["skyline_kd"] + 1
+        assert after["blockwise"] == before["blockwise"] + 2
+
+    @settings(max_examples=60, deadline=None)
+    @given(points=_points)
+    def test_hypothesis_points_agree(self, points):
+        skyline, blockwise = _both_kernels(points)
+        assert skyline == blockwise
+
+
+def _reference_hypervolume(objectives, reference) -> float:
+    """Verbatim copy of the slice-by-slice recursion the staircase replaced:
+    the exact-equality reference of ``TestHypervolumeEquality``."""
+    if len(objectives) == 0:
+        return 0.0
+    points = _points_matrix(objectives)
+    reference_point = np.asarray(reference, dtype=float)
+    dimension = len(reference_point)
+    if points.shape[1] != dimension:
+        raise ValueError("points and reference must have the same dimension")
+    points = points[(points < reference_point).all(axis=1)]
+    if len(points) == 0:
+        return 0.0
+    front = points[pareto_front_indices(points)]
+    if dimension == 1:
+        return float(reference_point[0] - front[:, 0].min())
+    front = front[np.argsort(front[:, -1], kind="stable")]
+    volume = 0.0
+    previous_last = reference_point[-1]
+    for index in range(len(front) - 1, -1, -1):
+        point = front[index]
+        slab_height = previous_last - point[-1]
+        if slab_height > 0:
+            volume += slab_height * _reference_hypervolume(
+                front[: index + 1, :-1], reference_point[:-1]
+            )
+            previous_last = point[-1]
+    return float(volume)
+
+
+class TestHypervolumeEquality:
+    """The staircase fast path equals the recursion it replaced, exactly."""
+
+    @pytest.mark.parametrize("width", [1, 2, 3, 4])
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_fronts_match_exactly(self, width, seed):
+        rng = np.random.default_rng(1000 * width + seed)
+        count = int(rng.integers(1, 40))
+        points = (rng.random((count, width)) * 3.0).round(3)
+        reference = np.full(width, 2.5)
+        assert hypervolume(points, reference) == _reference_hypervolume(
+            points, reference
+        )
+
+    @pytest.mark.parametrize("width", [2, 3])
+    def test_duplicate_and_boundary_points_match_exactly(self, width):
+        rng = np.random.default_rng(width)
+        points = rng.integers(0, 4, size=(30, width)).astype(float)
+        reference = np.full(width, 3.0)  # some points sit on the boundary
+        assert hypervolume(points, reference) == _reference_hypervolume(
+            points, reference
+        )
+
+
+def _reference_front_coverage(
+    reference_front, candidate_front, relative_tolerance=1e-3
+) -> float:
+    """Verbatim copy of the per-pair loops vectorized ``front_coverage``
+    replaced: the bit-for-bit reference of ``TestFrontCoverageVectorized``."""
+    reference = [tuple(float(v) for v in point) for point in reference_front]
+    candidates = [tuple(float(v) for v in point) for point in candidate_front]
+    if not reference:
+        raise ValueError("the reference front must not be empty")
+    if not candidates:
+        return 0.0
+
+    def recovered(point) -> bool:
+        for candidate in candidates:
+            if len(candidate) != len(point):
+                raise ValueError("fronts must share the objective dimension")
+            close = all(
+                abs(c - p) <= relative_tolerance * max(abs(p), 1e-12)
+                for c, p in zip(candidate, point)
+            )
+            if close or dominates(candidate, point):
+                return True
+        return False
+
+    found = sum(1 for point in reference if recovered(point))
+    return found / len(reference)
+
+
+class TestFrontCoverageVectorized:
+    """The broadcasted coverage equals the per-pair loops it replaced."""
+
+    @pytest.mark.parametrize("width", [1, 2, 3])
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_fronts_match_exactly(self, width, seed):
+        rng = np.random.default_rng(100 * width + seed)
+        reference = (rng.random((12, width)) * 4.0).round(2)
+        candidates = (rng.random((15, width)) * 4.0).round(2)
+        assert front_coverage(reference, candidates) == _reference_front_coverage(
+            reference, candidates
+        )
+
+    def test_tolerance_semantics_match_exactly(self):
+        # Candidates exactly on, just inside and just outside the relative
+        # tolerance band — the boundary comparisons must not drift.
+        reference = [(1.0, 2.0), (0.0, 3.0), (4.0, 0.0)]
+        tolerance = 1e-3
+        candidates = [
+            (1.0 * (1 + tolerance), 2.0),
+            (0.0, 3.0 * (1 + 2 * tolerance)),
+            (4.0 + 5e-13, 0.0),
+        ]
+        assert front_coverage(
+            reference, candidates, tolerance
+        ) == _reference_front_coverage(reference, candidates, tolerance)
+
+    @settings(max_examples=40, deadline=None)
+    @given(reference=_points, candidates=_points)
+    def test_hypothesis_fronts_match_exactly(self, reference, candidates):
+        assert front_coverage(reference, candidates) == _reference_front_coverage(
+            reference, candidates
+        )

@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.dse.pareto import pareto_front_indices, use_skyline
 from repro.dse.problem import WbsnDseProblem, csma_mac_parameterisation
 from repro.engine import EvaluationEngine
 from repro.experiments.casestudy import (
@@ -215,3 +216,58 @@ def test_fuzz_exercises_both_feasibility_outcomes():
             for design in vectorized.compute_designs_batch(genotypes)
         }
         assert flags == {True, False}, scenario
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+@pytest.mark.parametrize("seed", FUZZ_SEEDS)
+def test_skyline_fronts_match_blockwise_fronts(scenario, seed):
+    """Front extraction over fuzzed objective rows is kernel-invariant:
+    the sort-based skyline kernels and the blockwise dominance matrices
+    pick the same rows in the same order, bit for bit."""
+    vectorized, _ = build_pair(scenario)
+    rng = np.random.default_rng(seed)
+    genotypes = [vectorized.space.random_genotype(rng) for _ in range(BATCH)]
+    batch = vectorized.evaluate_batch_columns(genotypes)
+    pools = [batch.objectives, batch.objectives[batch.feasible]]
+    for pool in pools:
+        with use_skyline(True):
+            skyline = pareto_front_indices(pool)
+        with use_skyline(False):
+            blockwise = pareto_front_indices(pool)
+        assert skyline == blockwise, (scenario, seed)
+
+
+@pytest.mark.parametrize("scenario", ["beacon-full", "csma-full"])
+def test_worker_pruned_fronts_match_the_scalar_full_batch_front(scenario):
+    """A worker-pruned columnar batch yields the exact front of the scalar
+    full batch: every row the workers dropped had a surviving witness."""
+    build, mac_parameterisation = SCENARIOS[scenario]
+    kwargs = {}
+    if mac_parameterisation is not None:
+        kwargs["mac_parameterisation"] = mac_parameterisation()
+    scalar = WbsnDseProblem(
+        build(), engine=EvaluationEngine(), vectorized=False, **kwargs
+    )
+    with EvaluationEngine(backend="sharded", max_workers=2) as engine:
+        sharded = WbsnDseProblem(build(), engine=engine, **kwargs)
+        rng = np.random.default_rng(FUZZ_SEEDS[2])
+        genotypes = [sharded.space.random_genotype(rng) for _ in range(BATCH)]
+        pruned = sharded.evaluate_batch_columns(genotypes, prune_to_front=True)
+        assert engine.stats.rows_pruned_in_workers > 0
+        assert len(pruned) + engine.stats.rows_pruned_in_workers >= BATCH
+
+    slow = scalar.evaluate_batch(genotypes)
+    feasible = [d for d in slow if d.feasible] or slow
+    front = pareto_front_indices([d.objectives for d in feasible])
+    want = [(feasible[i].genotype, feasible[i].objectives) for i in front]
+
+    rows = np.flatnonzero(pruned.feasible)
+    pool = pruned.take(rows) if rows.size else pruned
+    got_front = pool.take(pareto_front_indices(pool.objectives))
+    got = [
+        (tuple(genotype), tuple(objectives))
+        for genotype, objectives in zip(
+            got_front.genotypes.tolist(), got_front.objectives.tolist()
+        )
+    ]
+    assert got == want, scenario

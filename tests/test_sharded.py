@@ -376,3 +376,143 @@ class TestMakeBackend:
     def test_invalid_min_rows_per_shard_rejected(self):
         with pytest.raises(ValueError):
             ShardedVectorizedBackend(min_rows_per_shard=0)
+
+
+class TestWorkerSidePruning:
+    """The worker-side-pruning protocol: dominated rows never cross the
+    process boundary, and the fronts stay bitwise identical anyway."""
+
+    @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+    def test_columnar_sweep_prunes_in_workers_with_identical_fronts(
+        self, scenario
+    ):
+        build = SCENARIOS[scenario]
+        want = front_signature(
+            ExhaustiveSearch(build(EvaluationEngine()), columnar=True).run()
+        )
+        with sharded_engine() as engine:
+            front = ExhaustiveSearch(
+                build(engine), chunk_size=16, columnar=True
+            ).run()
+            assert front_signature(front) == want, scenario
+            stats = engine.stats
+            assert stats.rows_pruned_in_workers > 0
+            # Pruned rows were still evaluated — pruning changes what is
+            # shipped, not what is computed.
+            assert stats.sharded_designs > stats.rows_pruned_in_workers
+
+    def test_parent_merge_input_is_bounded_by_shard_front_sizes(self):
+        """The accounting identity behind the protocol: per batch, the rows
+        the parent receives plus the rows pruned in workers equal the rows
+        the workers computed — so the parent-side prune input is exactly
+        Σ(shard front sizes)."""
+        with sharded_engine() as engine:
+            problem = beacon_problem(engine)
+            genotypes = list(problem.space.enumerate_genotypes())
+            before = engine.stats.snapshot()
+            batch = problem.evaluate_batch_columns(genotypes, prune_to_front=True)
+            delta = engine.stats - before
+            assert delta.rows_pruned_in_workers > 0
+            assert len(batch) + delta.rows_pruned_in_workers == len(genotypes)
+            assert len(batch) < len(genotypes)
+
+    def test_pruned_batch_front_matches_the_full_batch_front(self):
+        """front(batch) == front(worker-pruned batch): every dropped row has
+        a surviving witness, so downstream pruning cannot tell the paths
+        apart — membership and ordering alike."""
+        from repro.dse.pareto import pareto_front_indices
+
+        with sharded_engine() as engine:
+            problem = beacon_problem(engine)
+            genotypes = list(problem.space.enumerate_genotypes())
+            full = problem.evaluate_batch_columns(genotypes)
+            engine.clear_caches()
+            pruned = problem.evaluate_batch_columns(genotypes, prune_to_front=True)
+        for batch in (full, pruned):
+            rows = np.flatnonzero(batch.feasible)
+            pool = batch.take(rows) if rows.size else batch
+            front = pool.take(pareto_front_indices(pool.objectives))
+            if batch is full:
+                want = front
+            else:
+                assert front.objectives.tolist() == want.objectives.tolist()
+                assert front.genotypes.tolist() == want.genotypes.tolist()
+                assert front.feasible.tolist() == want.feasible.tolist()
+
+    def test_include_infeasible_false_drops_infeasible_rows(self):
+        with sharded_engine() as engine:
+            problem = beacon_problem(engine)
+            genotypes = list(problem.space.enumerate_genotypes())
+            batch = problem.evaluate_batch_columns(
+                genotypes, prune_to_front=True, include_infeasible=False
+            )
+            assert len(batch) > 0
+            assert bool(batch.feasible.all())
+
+    def test_feasibility_classes_are_pruned_separately(self):
+        """An infeasible row must never eliminate a feasible one inside a
+        worker, even when its objectives dominate."""
+        from repro.engine.sharded import _local_front_rows
+
+        objectives = np.asarray(
+            [
+                [0.0, 0.0],  # infeasible, dominates everything
+                [1.0, 2.0],  # feasible front
+                [2.0, 1.0],  # feasible front
+                [3.0, 3.0],  # feasible, dominated by both feasible rows
+                [5.0, 5.0],  # infeasible, dominated by row 0
+            ]
+        )
+        feasible = np.asarray([False, True, True, True, False])
+        kept = _local_front_rows(objectives, feasible, include_infeasible=True)
+        # Feasible rows 1 and 2 survive despite the dominating infeasible
+        # row 0; row 0 survives as the infeasible-class front.
+        assert kept.tolist() == [0, 1, 2]
+        dropped_feasible_only = _local_front_rows(
+            objectives, feasible, include_infeasible=False
+        )
+        assert dropped_feasible_only.tolist() == [1, 2]
+
+    def test_serial_backend_ignores_the_prune_hint(self):
+        """On non-worker-pruning backends the hint is a no-op: the full
+        batch contract (one row per genotype, in order) holds."""
+        problem = beacon_problem(EvaluationEngine())
+        genotypes = list(problem.space.enumerate_genotypes())
+        batch = problem.evaluate_batch_columns(genotypes, prune_to_front=True)
+        assert len(batch) == len(genotypes)
+        assert problem.engine.stats.rows_pruned_in_workers == 0
+
+    def test_cached_rows_pass_through_unpruned(self):
+        """A warm re-sweep serves memoised rows as-is: cached rows are never
+        pruned away (only freshly computed shard rows are)."""
+        with sharded_engine() as engine:
+            problem = beacon_problem(engine)
+            genotypes = list(problem.space.enumerate_genotypes())
+            first = problem.evaluate_batch_columns(genotypes, prune_to_front=True)
+            before = engine.stats.snapshot()
+            second = problem.evaluate_batch_columns(genotypes, prune_to_front=True)
+            delta = engine.stats - before
+            # Survivors were memoised; the re-sweep recomputes only the rows
+            # the workers pruned away (they never reached the column memo).
+            assert delta.rows_skipped_cached == len(first)
+            assert first.objectives.tolist() == [
+                row
+                for row, key in zip(
+                    second.objectives.tolist(),
+                    second.genotypes.tolist(),
+                )
+                if tuple(key) in {tuple(k) for k in first.genotypes.tolist()}
+            ]
+
+    def test_run_algorithm_reports_worker_pruned_rows(self):
+        from repro.dse.runner import run_algorithm
+
+        with sharded_engine() as engine:
+            problem = beacon_problem(engine)
+            result = run_algorithm(
+                ExhaustiveSearch(problem, chunk_size=16, columnar=True)
+            )
+            assert result.rows_pruned_in_workers > 0
+            assert result.rows_pruned_in_workers == (
+                engine.stats.rows_pruned_in_workers
+            )
