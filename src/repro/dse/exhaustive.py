@@ -10,13 +10,77 @@ large parts of the front.
 from __future__ import annotations
 
 from itertools import islice
+from pathlib import Path
 
 import numpy as np
 
 from repro.dse.pareto import running_front_indices
 from repro.dse.problem import EvaluatedDesign, OptimizationProblem
+from repro.engine import faults
+from repro.engine.checkpoint import (
+    SweepCheckpoint,
+    load_checkpoint_if_valid,
+    save_checkpoint,
+)
 
 __all__ = ["ExhaustiveSearch"]
+
+
+def _archive_checkpoint(
+    algorithm: str,
+    problem: OptimizationProblem,
+    archive,
+    any_feasible: bool,
+    cursor: int,
+    rng_state=None,
+    extra: dict | None = None,
+) -> SweepCheckpoint:
+    """Snapshot a running columnar archive into a checkpoint record.
+
+    Shared by the exhaustive and random sweeps: the archive travels as raw
+    column arrays (the design objects are rebuilt from the problem's
+    phenotype tables on resume, bitwise identically), plus the cursor into
+    the sweep's deterministic genotype stream and the archive-reset flag.
+    """
+    if archive is None:
+        genotypes = np.empty((0, 0), dtype=np.int64)
+        objectives = np.empty((0, 0))
+        feasible = np.empty(0, dtype=bool)
+        violations = np.empty(0, dtype=np.int64)
+    else:
+        genotypes = archive.genotypes
+        objectives = archive.objectives
+        feasible = archive.feasible
+        violations = archive.violation_counts
+    fingerprint_hook = getattr(problem, "evaluation_fingerprint", None)
+    return SweepCheckpoint(
+        algorithm=algorithm,
+        space_size=problem.space.size,
+        cursor=cursor,
+        any_feasible=any_feasible,
+        genotypes=genotypes,
+        objectives=objectives,
+        feasible=feasible,
+        violation_counts=violations,
+        rng_state=rng_state,
+        fingerprint=fingerprint_hook() if callable(fingerprint_hook) else None,
+        extra=extra or {},
+    )
+
+
+def _restore_archive(problem: OptimizationProblem, checkpoint: SweepCheckpoint):
+    """Rebuild the running ``ColumnarBatchResult`` archive of a checkpoint."""
+    if not len(checkpoint.genotypes):
+        return None
+    from repro.engine.engine import ColumnarBatchResult
+
+    return ColumnarBatchResult(
+        genotypes=checkpoint.genotypes,
+        objectives=checkpoint.objectives,
+        feasible=checkpoint.feasible,
+        violation_counts=checkpoint.violation_counts,
+        _engine=problem.engine,
+    )
 
 
 class ExhaustiveSearch:
@@ -48,7 +112,22 @@ class ExhaustiveSearch:
             with ``supports_columnar``) or off (``False``, always
             materialise per chunk); ``None`` picks columnar whenever the
             problem supports it.
+        checkpoint_path: when set, the columnar sweep periodically persists
+            its running state (front columns, chunk cursor, archive flags)
+            to this file — atomic, versioned, checksummed (see
+            :mod:`repro.engine.checkpoint`) — and a later run with the same
+            path resumes where the interrupted one stopped, producing a
+            front bitwise identical to an uninterrupted sweep.  An
+            unusable checkpoint (corrupt, version-mismatched, written for a
+            different space/evaluator) is ignored with a warning and the
+            sweep starts cold.  Requires the columnar path.
+        checkpoint_every: chunks between checkpoint writes (the final state
+            is always written, so a completed sweep resumes as a no-op).
     """
+
+    #: name stamped into checkpoints; a resume under a different algorithm
+    #: is rejected as a context mismatch
+    checkpoint_algorithm = "exhaustive"
 
     def __init__(
         self,
@@ -56,20 +135,30 @@ class ExhaustiveSearch:
         max_configurations: int = 200_000,
         chunk_size: int = 1024,
         columnar: bool | None = None,
+        checkpoint_path: str | Path | None = None,
+        checkpoint_every: int = 8,
     ) -> None:
         if max_configurations <= 0:
             raise ValueError("max_configurations must be positive")
         if chunk_size <= 0:
             raise ValueError("chunk_size must be positive")
+        if checkpoint_every <= 0:
+            raise ValueError("checkpoint_every must be positive")
         if columnar and not getattr(problem, "supports_columnar", False):
             raise ValueError(
                 "columnar=True needs a problem with columnar batch support "
                 "(an engine-backed problem not recording its evaluations)"
             )
+        if columnar is False and checkpoint_path is not None:
+            raise ValueError(
+                "checkpointing is only supported by the columnar sweep"
+            )
         self.problem = problem
         self.max_configurations = max_configurations
         self.chunk_size = chunk_size
         self.columnar = columnar
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_every = checkpoint_every
 
     def run(self) -> list[EvaluatedDesign]:
         """Enumerate the space and return the feasible non-dominated designs."""
@@ -84,6 +173,10 @@ class ExhaustiveSearch:
         columnar = self.columnar
         if columnar is None:
             columnar = getattr(self.problem, "supports_columnar", False)
+        if self.checkpoint_path is not None and not columnar:
+            raise ValueError(
+                "checkpointing is only supported by the columnar sweep"
+            )
         if columnar:
             return self._run_columnar()
         return self._run_objects()
@@ -94,7 +187,25 @@ class ExhaustiveSearch:
         """Prune on raw objective columns; materialise only the final front."""
         archive = None  # ColumnarBatchResult of the running front
         any_feasible = False
+        cursor = 0  # genotypes consumed from the deterministic enumeration
+        chunks_done = 0
         genotypes = self.problem.space.enumerate_genotypes()
+        if self.checkpoint_path is not None:
+            restored = load_checkpoint_if_valid(
+                self.checkpoint_path,
+                algorithm=self.checkpoint_algorithm,
+                space_size=self.problem.space.size,
+                fingerprint=self._fingerprint(),
+            )
+            if restored is not None:
+                # Enumeration order is deterministic, so skipping the
+                # checkpoint's cursor replays the sweep exactly: the rows
+                # already absorbed are in the restored archive, the rest
+                # still come out of the stream in the original order.
+                archive = _restore_archive(self.problem, restored)
+                any_feasible = restored.any_feasible
+                cursor = restored.cursor
+                next(islice(genotypes, cursor, cursor), None)
         while chunk := list(islice(genotypes, self.chunk_size)):
             # ``prune_to_front`` lets a worker-pruning backend drop each
             # shard's dominated rows before they ever reach this process —
@@ -124,9 +235,39 @@ class ExhaustiveSearch:
                 pool = archive.concatenate([archive, candidates])
             indices = running_front_indices(front_objectives, candidates.objectives)
             archive = pool.take(indices)
+            cursor += len(chunk)
+            chunks_done += 1
+            if (
+                self.checkpoint_path is not None
+                and chunks_done % self.checkpoint_every == 0
+            ):
+                self._save_checkpoint(archive, any_feasible, cursor)
+        if self.checkpoint_path is not None:
+            # Always persist the terminal state: a resume of a completed
+            # sweep then rebuilds the front without re-evaluating anything.
+            self._save_checkpoint(archive, any_feasible, cursor)
         if archive is None or len(archive) == 0:
             return []
         return archive.materialise()
+
+    def _fingerprint(self) -> bytes | None:
+        hook = getattr(self.problem, "evaluation_fingerprint", None)
+        return hook() if callable(hook) else None
+
+    def _save_checkpoint(self, archive, any_feasible: bool, cursor: int) -> None:
+        save_checkpoint(
+            self.checkpoint_path,
+            _archive_checkpoint(
+                self.checkpoint_algorithm,
+                self.problem,
+                archive,
+                any_feasible,
+                cursor,
+            ),
+        )
+        # Fault-injection seam: resumable-sweep tests SIGKILL (or abort)
+        # the run here, at a known persisted state.
+        faults.maybe_fire("checkpoint-saved")
 
     # --------------------------------------------------------- object sweep
 

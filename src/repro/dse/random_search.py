@@ -2,10 +2,20 @@
 
 from __future__ import annotations
 
+import warnings
+from pathlib import Path
+
 import numpy as np
 
-from repro.dse.pareto import pareto_front_indices
+from repro.dse.exhaustive import _archive_checkpoint, _restore_archive
+from repro.dse.pareto import pareto_front_indices, running_front_indices
 from repro.dse.problem import EvaluatedDesign, OptimizationProblem
+from repro.engine import faults
+from repro.engine.checkpoint import (
+    CheckpointWarning,
+    load_checkpoint_if_valid,
+    save_checkpoint,
+)
 
 __all__ = ["RandomSearch"]
 
@@ -30,7 +40,24 @@ class RandomSearch:
         columnar: force the columnar path on (``True``, requires a problem
             with ``supports_columnar``) or off (``False``); ``None`` picks
             columnar whenever the problem supports it.
+        checkpoint_path: when set, the columnar sweep runs chunked (see
+            ``chunk_size``) and periodically persists its running state —
+            including the RNG state needed to redraw the identical sample
+            stream — so an interrupted run resumed with the same path
+            produces a front bitwise identical to an uninterrupted one
+            (see :mod:`repro.engine.checkpoint`).  Requires the columnar
+            path.
+        checkpoint_every: chunks between checkpoint writes.
+        chunk_size: samples per evaluated block of the checkpointed sweep
+            (the default one-shot batch is used when no checkpoint path is
+            set — the chunked running-front pruning and the one-shot front
+            extraction are provably order-identical, but the one-shot batch
+            gives worker-pruning backends the most rows per dispatch).
     """
+
+    #: name stamped into checkpoints; a resume under a different algorithm
+    #: is rejected as a context mismatch
+    checkpoint_algorithm = "random-search"
 
     def __init__(
         self,
@@ -38,18 +65,36 @@ class RandomSearch:
         samples: int = 2000,
         seed: int = 0,
         columnar: bool | None = None,
+        checkpoint_path: str | Path | None = None,
+        checkpoint_every: int = 8,
+        chunk_size: int = 1024,
     ) -> None:
         if samples <= 0:
             raise ValueError("samples must be positive")
+        if checkpoint_every <= 0:
+            raise ValueError("checkpoint_every must be positive")
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
         if columnar and not getattr(problem, "supports_columnar", False):
             raise ValueError(
                 "columnar=True needs a problem with columnar batch support "
                 "(an engine-backed problem not recording its evaluations)"
             )
+        if columnar is False and checkpoint_path is not None:
+            raise ValueError(
+                "checkpointing is only supported by the columnar sweep"
+            )
         self.problem = problem
         self.samples = samples
         self.columnar = columnar
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_every = checkpoint_every
+        self.chunk_size = chunk_size
         self._rng = np.random.default_rng(seed)
+        # Captured before any draw: a resumed run restores this state and
+        # redraws the identical sample stream (draws are pure RNG
+        # consumption, so the stream is a function of the state alone).
+        self._initial_rng_state = self._rng.bit_generator.state
 
     def run(self) -> list[EvaluatedDesign]:
         """Sample the space and return the feasible non-dominated designs.
@@ -59,17 +104,16 @@ class RandomSearch:
         deduplicated preserving first-draw order, and evaluated as one batch
         so an evaluation engine can cache and parallelise the sweep.
         """
-        seen: set[tuple[int, ...]] = set()
-        genotypes: list[tuple[int, ...]] = []
-        for _ in range(self.samples):
-            genotype = self.problem.space.random_genotype(self._rng)
-            if genotype in seen:
-                continue
-            seen.add(genotype)
-            genotypes.append(genotype)
         columnar = self.columnar
         if columnar is None:
             columnar = getattr(self.problem, "supports_columnar", False)
+        if self.checkpoint_path is not None and not columnar:
+            raise ValueError(
+                "checkpointing is only supported by the columnar sweep"
+            )
+        genotypes = self._draw()
+        if columnar and self.checkpoint_path is not None:
+            return self._run_checkpointed(genotypes)
         if columnar:
             # The sampled genotypes are already distinct, so the pruned
             # result's duplicates-collapse contract is vacuous; a
@@ -87,3 +131,101 @@ class RandomSearch:
         feasible = [design for design in evaluated if design.feasible] or evaluated
         front = pareto_front_indices([design.objectives for design in feasible])
         return [feasible[index] for index in front]
+
+    # ------------------------------------------------------------ internals
+
+    def _draw(self) -> list[tuple[int, ...]]:
+        """Draw the sample stream: distinct genotypes in first-draw order."""
+        seen: set[tuple[int, ...]] = set()
+        genotypes: list[tuple[int, ...]] = []
+        for _ in range(self.samples):
+            genotype = self.problem.space.random_genotype(self._rng)
+            if genotype in seen:
+                continue
+            seen.add(genotype)
+            genotypes.append(genotype)
+        return genotypes
+
+    def _run_checkpointed(
+        self, genotypes: list[tuple[int, ...]]
+    ) -> list[EvaluatedDesign]:
+        """Chunked running-front sweep persisting resumable state.
+
+        The chunked running-front pruning keeps first-occurrence order and
+        mirrors the archive-reset semantics of the one-shot path (infeasible
+        rows compete only until the first feasible design appears), so its
+        final front is identical to the one-shot extraction — the parity
+        suite pins this.
+        """
+        fingerprint_hook = getattr(self.problem, "evaluation_fingerprint", None)
+        restored = load_checkpoint_if_valid(
+            self.checkpoint_path,
+            algorithm=self.checkpoint_algorithm,
+            space_size=self.problem.space.size,
+            fingerprint=(
+                fingerprint_hook() if callable(fingerprint_hook) else None
+            ),
+        )
+        archive = None
+        any_feasible = False
+        cursor = 0
+        if restored is not None:
+            if (
+                restored.rng_state != self._initial_rng_state
+                or restored.extra.get("samples") != self.samples
+            ):
+                warnings.warn(
+                    "ignoring checkpoint: it was written by a random search "
+                    "with a different seed or sample budget; starting cold",
+                    CheckpointWarning,
+                    stacklevel=2,
+                )
+            else:
+                archive = _restore_archive(self.problem, restored)
+                any_feasible = restored.any_feasible
+                cursor = restored.cursor
+        chunks_done = 0
+        position = cursor
+        while position < len(genotypes):
+            chunk = genotypes[position : position + self.chunk_size]
+            position += len(chunk)
+            batch = self.problem.evaluate_batch_columns(
+                chunk,
+                prune_to_front=True,
+                include_infeasible=not any_feasible,
+            )
+            feasible_rows = np.flatnonzero(batch.feasible)
+            if feasible_rows.size and not any_feasible:
+                archive = None
+                any_feasible = True
+            candidates = batch.take(feasible_rows) if any_feasible else batch
+            if archive is None:
+                front_objectives = candidates.objectives[:0]
+                pool = candidates
+            else:
+                front_objectives = archive.objectives
+                pool = archive.concatenate([archive, candidates])
+            indices = running_front_indices(front_objectives, candidates.objectives)
+            archive = pool.take(indices)
+            chunks_done += 1
+            if chunks_done % self.checkpoint_every == 0:
+                self._save_checkpoint(archive, any_feasible, position)
+        self._save_checkpoint(archive, any_feasible, position)
+        if archive is None or len(archive) == 0:
+            return []
+        return archive.materialise()
+
+    def _save_checkpoint(self, archive, any_feasible: bool, cursor: int) -> None:
+        save_checkpoint(
+            self.checkpoint_path,
+            _archive_checkpoint(
+                self.checkpoint_algorithm,
+                self.problem,
+                archive,
+                any_feasible,
+                cursor,
+                rng_state=self._initial_rng_state,
+                extra={"samples": self.samples},
+            ),
+        )
+        faults.maybe_fire("checkpoint-saved")

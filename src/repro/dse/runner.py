@@ -116,6 +116,36 @@ class DseResult:
         return self.engine_stats.designs_materialised
 
     @property
+    def worker_failures(self) -> int:
+        """Worker-pool failures (crashes, timeouts, escaped exceptions)
+        observed — and recovered from or degraded around — during the run."""
+        if self.engine_stats is None:
+            return 0
+        return self.engine_stats.worker_failures
+
+    @property
+    def batches_retried(self) -> int:
+        """Batch attempts re-dispatched onto a fresh pool after a failure."""
+        if self.engine_stats is None:
+            return 0
+        return self.engine_stats.batches_retried
+
+    @property
+    def degraded_batches(self) -> int:
+        """Batches served by the in-process degradation ladder after their
+        backend exhausted its retry policy (results identical either way)."""
+        if self.engine_stats is None:
+            return 0
+        return self.engine_stats.degraded_batches
+
+    @property
+    def retry_wait_seconds(self) -> float:
+        """Wall-clock time spent in exponential backoff between retries."""
+        if self.engine_stats is None:
+            return 0.0
+        return self.engine_stats.retry_wait_seconds
+
+    @property
     def genotype_cache_hit_rate(self) -> float:
         """Fraction of served designs answered by the genotype memo cache."""
         if self.engine_stats is None:
@@ -136,7 +166,10 @@ class DseResult:
 
 
 def run_algorithm(
-    algorithm: SearchAlgorithm, *, close_engine: bool = False
+    algorithm: SearchAlgorithm,
+    *,
+    close_engine: bool = False,
+    checkpoint_path: str | None = None,
 ) -> DseResult:
     """Run a search algorithm and record its cost.
 
@@ -146,7 +179,21 @@ def run_algorithm(
     against that engine.  The default leaves the engine open so several
     runs can share its warm caches; close it yourself afterwards (engines
     are context managers).
+
+    ``checkpoint_path`` routes to the algorithm's checkpoint/resume support
+    (today the columnar exhaustive and random sweeps): the run periodically
+    persists its resumable state to that file and a later call with the
+    same path continues an interrupted run bitwise identically (see
+    :mod:`repro.engine.checkpoint`).  Algorithms without checkpoint support
+    reject the argument with a ``TypeError``.
     """
+    if checkpoint_path is not None:
+        if not hasattr(algorithm, "checkpoint_path"):
+            raise TypeError(
+                f"{type(algorithm).__name__} does not support "
+                "checkpoint/resume sweeps"
+            )
+        algorithm.checkpoint_path = checkpoint_path
     problem = algorithm.problem
     engine = problem.engine
     stats_before = engine.stats.snapshot() if engine is not None else None

@@ -29,7 +29,22 @@ serving component every search algorithm shares:
 * :mod:`repro.engine.stats` — :class:`EngineStats`, separating designs served
   from raw model work (and scalar from vectorized from sharded work, plus
   the rows the cached-row mask let the kernels skip) so cache-aware
-  throughput can be reported honestly.
+  throughput can be reported honestly;
+* :mod:`repro.engine.faults` — the deterministic fault-injection harness
+  (:class:`FaultPlan`/:class:`FaultSpec`): seedable worker kills, hangs,
+  in-kernel raises and checkpoint corruption, driven through explicit hooks
+  so every recovery path is exercised by tests;
+* :mod:`repro.engine.checkpoint` — atomic, versioned, checksummed sweep
+  checkpoints (:class:`SweepCheckpoint`) behind the columnar sweeps'
+  checkpoint/resume support.
+
+Failure semantics: pool-dispatching backends retry failed batches on fresh
+pools under a configurable :class:`RetryPolicy` (exponential backoff,
+optional per-batch deadline raising :class:`EngineTimeoutError`); a batch
+that exhausts its attempts (:class:`WorkerRecoveryExhausted`) degrades to
+the engine's in-process ladder — serial kernel, then scalar — with bitwise
+identical results, announced by an :class:`EngineDegradationWarning` and
+counted in :class:`EngineStats`.
 
 Three evaluation paths, one contract: batch misses go to the problem's
 compiled columnar kernel (:mod:`repro.core.vectorized`) when it offers one —
@@ -52,9 +67,32 @@ large batches of expensive evaluations; the analytical model is usually too
 cheap for IPC to win (see :mod:`repro.engine.backends`).
 """
 
-from repro.engine.backends import ProcessBackend, SerialBackend, make_backend
+from repro.engine.backends import (
+    EngineDegradationWarning,
+    EngineTimeoutError,
+    ProcessBackend,
+    RetryPolicy,
+    SerialBackend,
+    WorkerRecoveryExhausted,
+    make_backend,
+)
 from repro.engine.cache import CachedNetworkEvaluator, SharedGenotypeCache
+from repro.engine.checkpoint import (
+    CheckpointError,
+    CheckpointWarning,
+    SweepCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.engine.engine import ColumnarBatchResult, EvaluationEngine
+from repro.engine.faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    clear_fault_plan,
+    inject_faults,
+    install_fault_plan,
+)
 from repro.engine.sharded import ShardedVectorizedBackend
 from repro.engine.stats import EngineStats
 
@@ -68,4 +106,19 @@ __all__ = [
     "ProcessBackend",
     "ShardedVectorizedBackend",
     "make_backend",
+    "RetryPolicy",
+    "EngineTimeoutError",
+    "WorkerRecoveryExhausted",
+    "EngineDegradationWarning",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "install_fault_plan",
+    "clear_fault_plan",
+    "inject_faults",
+    "SweepCheckpoint",
+    "CheckpointError",
+    "CheckpointWarning",
+    "save_checkpoint",
+    "load_checkpoint",
 ]

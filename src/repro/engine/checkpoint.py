@@ -1,0 +1,240 @@
+"""Atomic, versioned, checksummed checkpoints for resumable sweeps.
+
+A long exhaustive/random sweep that dies — OOM-killed worker host, SIGKILL,
+power loss — should not lose hours of evaluation.  The columnar sweeps
+periodically persist their running state through this module and
+``run_algorithm(checkpoint_path=...)`` resumes an interrupted sweep to a
+front *bitwise identical* to an uninterrupted run.
+
+The on-disk format is deliberately paranoid, the validation pattern the
+ROADMAP wants for the persistent cache tier:
+
+* **atomic** — the blob is written to a sibling temporary file and
+  ``os.replace``'d over the target, so a crash mid-write leaves either the
+  previous checkpoint or none, never a torn one;
+* **versioned** — an 8-byte magic plus a little-endian format version; a
+  mismatch (foreign file, incompatible writer) is rejected before any
+  payload byte is touched;
+* **checksummed** — a SHA-256 digest over the payload; a single flipped or
+  missing byte fails validation.
+
+Every validation failure raises :class:`CheckpointError`;
+:func:`load_checkpoint_if_valid` converts it (and stale-context mismatches:
+wrong algorithm, wrong space size, wrong evaluator fingerprint) into a
+:class:`CheckpointWarning` plus a ``None`` return, so sweeps degrade to a
+cold start instead of resuming from a lie.
+
+The serialized blob passes through the ``"checkpoint"`` mangle site of
+:mod:`repro.engine.faults` on its way to disk, so the corruption handling
+above is driven end to end by the fault-injection suite.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.engine import faults
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "CheckpointWarning",
+    "SweepCheckpoint",
+    "save_checkpoint",
+    "load_checkpoint",
+    "load_checkpoint_if_valid",
+]
+
+#: File magic — identifies a WBSN sweep checkpoint before any parsing.
+MAGIC = b"WBSNCKPT"
+#: On-disk format version; bump on any incompatible layout change.
+CHECKPOINT_VERSION = 1
+_DIGEST = hashlib.sha256
+_DIGEST_SIZE = _DIGEST().digest_size
+_HEADER_SIZE = len(MAGIC) + 4 + _DIGEST_SIZE
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file failed validation (corrupt, truncated, foreign)."""
+
+
+class CheckpointWarning(UserWarning):
+    """An unusable checkpoint was ignored and the sweep cold-started."""
+
+
+@dataclass
+class SweepCheckpoint:
+    """Resumable state of a chunked columnar sweep.
+
+    Attributes:
+        algorithm: name of the writing algorithm (``"exhaustive"`` /
+            ``"random-search"``); a resume under a different algorithm is a
+            context mismatch, not a corruption.
+        space_size: design-space size the sweep iterates — genotype
+            enumeration order is deterministic, so together with ``cursor``
+            it pins exactly which genotypes are already absorbed.
+        cursor: number of genotypes already consumed from the sweep's
+            deterministic genotype stream.
+        any_feasible: whether the running archive has seen a feasible
+            design (the archive-reset flag of the sweeps' semantics).
+        genotypes: archive gene-index rows, shape ``(front, genes)``.
+        objectives: archive objective matrix, shape ``(front, n_obj)``.
+        feasible: archive per-row feasibility flags.
+        violation_counts: archive per-row violation counts.
+        rng_state: the RNG state a stochastic sweep must restore to redraw
+            its sample stream identically (``None`` for exhaustive sweeps).
+        fingerprint: the problem's evaluation fingerprint at save time
+            (``None`` when the problem offers none) — resuming against a
+            problem that evaluates differently would splice incompatible
+            fronts.
+        extra: algorithm-specific context (validated by the algorithm).
+    """
+
+    algorithm: str
+    space_size: int
+    cursor: int
+    any_feasible: bool
+    genotypes: np.ndarray
+    objectives: np.ndarray
+    feasible: np.ndarray
+    violation_counts: np.ndarray
+    rng_state: Any = None
+    fingerprint: bytes | None = None
+    extra: dict[str, Any] = field(default_factory=dict)
+
+
+def save_checkpoint(path: str | Path, checkpoint: SweepCheckpoint) -> None:
+    """Persist a checkpoint atomically (write-temporary, then rename).
+
+    The temporary file lives next to the target so the ``os.replace`` is a
+    same-filesystem atomic rename; on any write failure the temporary is
+    removed and the previous checkpoint (if any) is left untouched.
+    """
+    path = Path(path)
+    payload = pickle.dumps(checkpoint, protocol=pickle.HIGHEST_PROTOCOL)
+    blob = (
+        MAGIC
+        + CHECKPOINT_VERSION.to_bytes(4, "little")
+        + _DIGEST(payload).digest()
+        + payload
+    )
+    # Fault-injection seam: tests corrupt/truncate the blob here to prove
+    # the load-side validation catches it.
+    blob = faults.maybe_mangle("checkpoint", blob)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except FileNotFoundError:
+            pass
+        raise
+
+
+def load_checkpoint(path: str | Path) -> SweepCheckpoint:
+    """Load and validate a checkpoint, raising :class:`CheckpointError`.
+
+    Validation order: length, magic, version, checksum, payload unpickle —
+    each failure names what went wrong; none of them can crash the caller
+    with anything but :class:`CheckpointError`.
+    """
+    path = Path(path)
+    try:
+        blob = path.read_bytes()
+    except OSError as exc:
+        raise CheckpointError(f"checkpoint '{path}' is unreadable: {exc}") from exc
+    if len(blob) < _HEADER_SIZE:
+        raise CheckpointError(
+            f"checkpoint '{path}' is truncated "
+            f"({len(blob)} bytes < {_HEADER_SIZE}-byte header)"
+        )
+    if blob[: len(MAGIC)] != MAGIC:
+        raise CheckpointError(f"checkpoint '{path}' has a foreign file magic")
+    version = int.from_bytes(blob[len(MAGIC) : len(MAGIC) + 4], "little")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint '{path}' has format version {version}, "
+            f"this reader expects {CHECKPOINT_VERSION}"
+        )
+    digest = blob[len(MAGIC) + 4 : _HEADER_SIZE]
+    payload = blob[_HEADER_SIZE:]
+    if _DIGEST(payload).digest() != digest:
+        raise CheckpointError(
+            f"checkpoint '{path}' failed its integrity check "
+            "(payload does not match the stored checksum)"
+        )
+    try:
+        checkpoint = pickle.loads(payload)
+    except Exception as exc:  # pickle raises a zoo of types
+        raise CheckpointError(
+            f"checkpoint '{path}' payload does not deserialize: {exc}"
+        ) from exc
+    if not isinstance(checkpoint, SweepCheckpoint):
+        raise CheckpointError(
+            f"checkpoint '{path}' holds a {type(checkpoint).__name__}, "
+            "not a SweepCheckpoint"
+        )
+    return checkpoint
+
+
+def load_checkpoint_if_valid(
+    path: str | Path,
+    *,
+    algorithm: str,
+    space_size: int,
+    fingerprint: bytes | None,
+) -> SweepCheckpoint | None:
+    """Resume-side loader: a usable checkpoint or ``None`` (cold start).
+
+    A missing file is a silent ``None`` (first run of a checkpointed
+    sweep).  A file that fails validation, or that was written by a
+    different algorithm / for a different design space / under a different
+    evaluator fingerprint, emits a :class:`CheckpointWarning` and returns
+    ``None`` — resuming from it would poison the front.
+    """
+    path = Path(path)
+    if not path.exists():
+        return None
+    try:
+        checkpoint = load_checkpoint(path)
+    except CheckpointError as exc:
+        warnings.warn(
+            f"ignoring unusable checkpoint: {exc}; starting cold",
+            CheckpointWarning,
+            stacklevel=2,
+        )
+        return None
+    mismatch: str | None = None
+    if checkpoint.algorithm != algorithm:
+        mismatch = (
+            f"written by algorithm '{checkpoint.algorithm}', "
+            f"resuming '{algorithm}'"
+        )
+    elif checkpoint.space_size != space_size:
+        mismatch = (
+            f"written for a {checkpoint.space_size}-design space, "
+            f"this sweep iterates {space_size}"
+        )
+    elif checkpoint.fingerprint != fingerprint:
+        mismatch = "evaluator fingerprint changed since it was written"
+    if mismatch is not None:
+        warnings.warn(
+            f"ignoring checkpoint '{path}': {mismatch}; starting cold",
+            CheckpointWarning,
+            stacklevel=2,
+        )
+        return None
+    return checkpoint

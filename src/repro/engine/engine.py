@@ -56,6 +56,13 @@ Three compute paths serve a batch of genotype-cache misses:
 Both paths are floating-point-identical by construction (the parity suite
 enforces it), so switching between them is a pure performance decision.
 
+Pool failures never change results either: a batch whose backend exhausts
+its :class:`~repro.engine.backends.RetryPolicy` is served by the in-process
+**degradation ladder** (serial kernel, then scalar path — see
+``degrade_on_failure``), and backend recovery counters are drained into the
+engine's stats after every dispatch, so worker crashes, retries and
+degradations all surface in ``EngineStats``/``DseResult``.
+
 The engine computes raw designs through ``problem.compute_design`` /
 ``problem.compute_designs_batch``, which must be *pure* genotype evaluations
 (no history, no counters) — run accounting stays in the problem layer, which
@@ -65,13 +72,21 @@ is what keeps cached and uncached runs bitwise identical.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
 
 from repro.core.vectorized import WbsnBatchColumns, as_row_indices
-from repro.engine.backends import ExecutionBackend, make_backend
+from repro.engine import faults
+from repro.engine.backends import (
+    EngineDegradationWarning,
+    ExecutionBackend,
+    RetryPolicy,
+    WorkerRecoveryExhausted,
+    make_backend,
+)
 from repro.engine.cache import SharedGenotypeCache
 from repro.engine.stats import EngineStats
 
@@ -177,6 +192,18 @@ class EvaluationEngine:
         backend: ``"serial"``, ``"process"``, ``"sharded"`` or a backend
             instance (``max_workers`` must be ``None`` with an instance).
         max_workers: pool size for the ``"process"``/``"sharded"`` backends.
+        retry_policy: recovery budget of the pool-dispatching backends (see
+            :class:`~repro.engine.backends.RetryPolicy`); ``None`` keeps the
+            backend default.  Like ``max_workers``, only valid when the
+            engine constructs the backend from a name.
+        degrade_on_failure: when a batch exhausts the backend's retry policy
+            (:class:`~repro.engine.backends.WorkerRecoveryExhausted`), serve
+            it on the in-process degradation ladder — serial kernel, then
+            scalar path — instead of propagating.  Results are bitwise
+            identical on every rung; each degraded batch is counted in
+            ``EngineStats.degraded_batches`` and announced with an
+            :class:`~repro.engine.backends.EngineDegradationWarning`.
+            ``False`` propagates the failure to the caller.
         chunk_size: genotypes per backend work unit in ``evaluate_many``.
         stats: counters to feed; a private instance is created if omitted.
         shared_cache: a :class:`~repro.engine.cache.SharedGenotypeCache`
@@ -197,6 +224,8 @@ class EvaluationEngine:
         vectorized: bool = True,
         backend: str | ExecutionBackend = "serial",
         max_workers: int | None = None,
+        retry_policy: RetryPolicy | None = None,
+        degrade_on_failure: bool = True,
         chunk_size: int = 64,
         stats: EngineStats | None = None,
         shared_cache: SharedGenotypeCache | None = None,
@@ -209,8 +238,11 @@ class EvaluationEngine:
         self.node_cache_enabled = bool(node_cache)
         self.node_cache_max_entries = node_cache_max_entries
         self.vectorized_enabled = bool(vectorized)
+        self.degrade_on_failure = bool(degrade_on_failure)
         self.chunk_size = chunk_size
-        self.backend = make_backend(backend, max_workers=max_workers)
+        self.backend = make_backend(
+            backend, max_workers=max_workers, retry_policy=retry_policy
+        )
         self.stats = stats if stats is not None else EngineStats()
         self.shared_cache = shared_cache
         self._memo: dict[tuple[int, ...], "EvaluatedDesign"] = {}
@@ -469,6 +501,11 @@ class EvaluationEngine:
             and getattr(self.backend, "supports_worker_pruning", False)
         )
         kept_pending: np.ndarray | None = None
+        # ``pruned_result`` is set only by a *successful* worker-pruned call:
+        # a batch degraded after recovery exhaustion comes back as full
+        # (unpruned) columns and must be assembled under the full-batch
+        # contract even though the caller asked for pruning.
+        pruned_result = False
         if prune_capable and pending:
             # Worker-side pruning: shards ship back only their local
             # per-feasibility-class fronts, so the parent never touches a
@@ -476,17 +513,27 @@ class EvaluationEngine:
             # sharded branch (prune_capable implies that dispatch).
             if cached_rows:
                 stats.rows_skipped_cached += len(cached_rows)
-            columns, kept_pending, rows_pruned = (
-                self.backend.evaluate_front_columns_sharded(
-                    problem,
-                    pending_matrix,
-                    include_infeasible=include_infeasible,
+            try:
+                columns, kept_pending, rows_pruned = (
+                    self.backend.evaluate_front_columns_sharded(
+                        problem,
+                        pending_matrix,
+                        include_infeasible=include_infeasible,
+                    )
                 )
-            )
-            stats.model_evaluations += len(pending)
-            stats.vectorized_designs += len(pending)
-            stats.sharded_designs += len(pending)
-            stats.rows_pruned_in_workers += int(rows_pruned)
+            except WorkerRecoveryExhausted as exc:
+                if not self.degrade_on_failure:
+                    raise
+                columns = self._degraded_columns(pending, pending_matrix, exc)
+                stats.model_evaluations += len(pending)
+            else:
+                pruned_result = True
+                stats.model_evaluations += len(pending)
+                stats.vectorized_designs += len(pending)
+                stats.sharded_designs += len(pending)
+                stats.rows_pruned_in_workers += int(rows_pruned)
+            finally:
+                self._drain_backend_faults()
         else:
             columns = self._compute_columns(
                 pending, pending_matrix, n_cached=len(cached_rows)
@@ -534,7 +581,7 @@ class EvaluationEngine:
             objectives[rows] = columns.objectives
             feasible[rows] = columns.feasible
             violations[rows] = columns.violation_counts
-        if prune_capable:
+        if pruned_result:
             # Pruned result: only the candidate rows — cached rows (passed
             # through unpruned) plus the shard fronts — in distinct-genotype
             # first-occurrence order; the duplicate expansion below never
@@ -692,6 +739,7 @@ class EvaluationEngine:
             # Columnar fast path: the whole miss set in one kernel call,
             # handing the kernel the cached-row mask so memoised rows skip
             # even the column gather.
+            faults.maybe_fire("kernel")
             if masked:
                 designs = list(
                     self._problem.compute_designs_batch(
@@ -707,14 +755,28 @@ class EvaluationEngine:
             # Sharded columnar path: the batch matrix goes to shared memory,
             # the miss rows are sharded across the backend's workers, and
             # the reassembled columns are materialised in submission order.
-            if masked:
-                designs = list(
-                    self.backend.run_columns(
-                        self._problem, unique, cached_mask=cached_mask
+            try:
+                if masked:
+                    designs = list(
+                        self.backend.run_columns(
+                            self._problem, unique, cached_mask=cached_mask
+                        )
                     )
-                )
-            else:
-                designs = list(self.backend.run_columns(self._problem, genotypes))
+                else:
+                    designs = list(
+                        self.backend.run_columns(self._problem, genotypes)
+                    )
+            except WorkerRecoveryExhausted as exc:
+                if not self.degrade_on_failure:
+                    raise
+                # ``genotypes`` holds exactly the miss rows the pool was
+                # asked for (with a mask, ``run_columns`` evaluates the
+                # mask's false rows — the same set, in the same order).
+                designs = self._degraded_designs(genotypes, exc)
+                self.stats.model_evaluations += len(designs)
+                return designs
+            finally:
+                self._drain_backend_faults()
             self.stats.model_evaluations += len(designs)
             self.stats.vectorized_designs += len(designs)
             self.stats.sharded_designs += len(designs)
@@ -731,12 +793,118 @@ class EvaluationEngine:
             genotypes[start : start + self.chunk_size]
             for start in range(0, len(genotypes), self.chunk_size)
         ]
+        try:
+            chunk_results = self.backend.run_chunks(self._problem, chunks)
+        except WorkerRecoveryExhausted as exc:
+            if not self.degrade_on_failure:
+                raise
+            return self._degraded_designs(genotypes, exc)
+        finally:
+            self._drain_backend_faults()
         designs: list["EvaluatedDesign"] = []
-        for chunk_designs, delta in self.backend.run_chunks(self._problem, chunks):
+        for chunk_designs, delta in chunk_results:
             designs.extend(chunk_designs)
             if delta is not None:
                 self.stats.merge(delta)
         return designs
+
+    def _drain_backend_faults(self) -> None:
+        """Merge the backend's failure/recovery counters into the stats.
+
+        Called after every pool dispatch (success or not), so retries that
+        eventually succeeded are counted too.  Serial backends have no
+        counters to drain.
+        """
+        drain = getattr(self.backend, "drain_fault_counters", None)
+        if drain is None:
+            return
+        counters = drain()
+        self.stats.worker_failures += counters.worker_failures
+        self.stats.batches_retried += counters.batches_retried
+        self.stats.retry_wait_seconds += counters.retry_wait_seconds
+
+    def _warn_degraded(self, path: str, cause: BaseException) -> None:
+        warnings.warn(
+            f"worker recovery exhausted — batch degraded to the {path} "
+            f"(results identical, throughput reduced): {cause}",
+            EngineDegradationWarning,
+            stacklevel=4,
+        )
+
+    def _degraded_designs(
+        self, pending: Sequence[tuple[int, ...]], cause: BaseException
+    ) -> list["EvaluatedDesign"]:
+        """Serve a batch the worker pool could not, on the in-process ladder.
+
+        First rung: the in-process serial kernel (the same compiled column
+        kernel the pool would have run, so columns are bitwise identical).
+        Second rung, when the kernel itself fails or the problem has none:
+        the in-process scalar path — one ``compute_design`` per genotype,
+        never through a pool.  The caller counts ``model_evaluations``;
+        kernel-rung work is counted here as ``vectorized_designs``.
+        """
+        self.stats.degraded_batches += 1
+        problem = self._problem
+        if self.vectorized_enabled and getattr(problem, "supports_vectorized", False):
+            try:
+                faults.maybe_fire("kernel")
+                designs = list(problem.compute_designs_batch(pending))
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception:
+                pass
+            else:
+                self._warn_degraded("in-process serial kernel", cause)
+                self.stats.vectorized_designs += len(designs)
+                return designs
+        self._warn_degraded("in-process scalar path", cause)
+        return [problem.compute_design(key) for key in pending]
+
+    def _degraded_columns(
+        self,
+        pending: Sequence[tuple[int, ...]],
+        pending_matrix: np.ndarray,
+        cause: BaseException,
+    ) -> WbsnBatchColumns:
+        """Columnar sibling of :meth:`_degraded_designs` (same ladder).
+
+        Returns *full* (unpruned) columns for every pending row — a caller
+        that asked for worker-side pruning must fall back to the full-batch
+        contract.  The scalar rung memoises its computed designs exactly
+        like the scalar branch of :meth:`_compute_columns`, so later
+        materialisation of survivors stays free.  The caller counts
+        ``model_evaluations``.
+        """
+        self.stats.degraded_batches += 1
+        problem = self._problem
+        if (
+            self.vectorized_enabled
+            and getattr(problem, "supports_vectorized", False)
+            and hasattr(problem, "compute_columns_batch")
+        ):
+            try:
+                faults.maybe_fire("kernel")
+                columns = problem.compute_columns_batch(pending_matrix)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception:
+                pass
+            else:
+                self._warn_degraded("in-process serial kernel", cause)
+                self.stats.vectorized_designs += len(pending)
+                return columns
+        self._warn_degraded("in-process scalar path", cause)
+        designs = [problem.compute_design(key) for key in pending]
+        if self.genotype_cache_enabled:
+            self._memo.update(zip(pending, designs))
+        for key, design in zip(pending, designs):
+            self._shared_store(key, design)
+        rows = [_design_row(design) for design in designs]
+        return WbsnBatchColumns(
+            objectives=np.asarray([row[0] for row in rows], dtype=float),
+            feasible=np.asarray([row[1] for row in rows], dtype=bool),
+            violation_counts=np.asarray([row[2] for row in rows], dtype=np.int64),
+        )
 
     def _materialise_column_keys(
         self, keys: Sequence[tuple[int, ...]]
@@ -780,12 +948,23 @@ class EvaluationEngine:
         if not pending:
             return WbsnBatchColumns.empty(0)
         if vectorizable and in_process and hasattr(problem, "compute_columns_batch"):
+            faults.maybe_fire("kernel")
             columns = problem.compute_columns_batch(pending_matrix)
             stats.vectorized_designs += len(pending)
         elif vectorizable and sharded:
-            columns = self.backend.evaluate_columns_sharded(problem, pending_matrix)
-            stats.vectorized_designs += len(pending)
-            stats.sharded_designs += len(pending)
+            try:
+                columns = self.backend.evaluate_columns_sharded(
+                    problem, pending_matrix
+                )
+            except WorkerRecoveryExhausted as exc:
+                if not self.degrade_on_failure:
+                    raise
+                columns = self._degraded_columns(pending, pending_matrix, exc)
+            else:
+                stats.vectorized_designs += len(pending)
+                stats.sharded_designs += len(pending)
+            finally:
+                self._drain_backend_faults()
         else:
             designs = self._compute_scalar_chunks(pending)
             if self.genotype_cache_enabled:

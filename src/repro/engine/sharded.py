@@ -53,7 +53,8 @@ from typing import Any, Mapping, Sequence
 import numpy as np
 
 from repro.engine import backends as _backends
-from repro.engine.backends import ProcessBackend
+from repro.engine import faults
+from repro.engine.backends import ProcessBackend, RetryPolicy
 
 __all__ = ["SharedArrayArena", "ShardedVectorizedBackend"]
 
@@ -82,6 +83,7 @@ class SharedArrayArena:
     """
 
     def __init__(self, arrays: Mapping[str, np.ndarray]) -> None:
+        self._closed = False
         slots: dict[str, _ArenaSlot] = {}
         offset = 0
         materialised = {
@@ -106,7 +108,14 @@ class SharedArrayArena:
         return self._shm.name
 
     def close(self) -> None:
-        """Release and unlink the backing segment (creator side)."""
+        """Release and unlink the backing segment (creator side).
+
+        Idempotent: error-path ``finally`` blocks and pool-teardown hooks may
+        both reach the same arena; only the first call touches the segment.
+        """
+        if self._closed:
+            return
+        self._closed = True
         self._shm.close()
         try:
             self._shm.unlink()
@@ -169,8 +178,11 @@ def _init_sharded_worker(
     payload: bytes,
     arena_name: str | None,
     manifest: Mapping[str, _ArenaSlot] | None,
+    fault_plan: "faults.FaultPlan | None" = None,
 ) -> None:
     global _WORKER_KERNEL, _WORKER_ARENA
+    if fault_plan is not None:
+        faults.install_fault_plan(fault_plan)
     problem = pickle.loads(payload)
     # The scalar chunk path (kernel-less problems) reuses the plain process
     # machinery, so its worker global must point at the same problem.
@@ -186,8 +198,13 @@ def _evaluate_shard(
     shape: tuple[int, ...],
     dtype: str,
     rows: np.ndarray,
+    submission: int = 0,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Evaluate one shard of miss rows against the shared index matrix."""
+    # The fault hook fires on the parent's submission id: retried shards are
+    # resubmitted under fresh ids, so a fault pinned to one submission fires
+    # exactly once even across recovery attempts.
+    faults.maybe_fire("shard", submission)
     kernel = _WORKER_KERNEL
     if kernel is None:  # pragma: no cover - guarded by the engine
         raise RuntimeError("worker has no compiled vectorized kernel")
@@ -239,6 +256,7 @@ def _evaluate_shard_front(
     dtype: str,
     rows: np.ndarray,
     include_infeasible: bool,
+    submission: int = 0,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]:
     """Evaluate one shard and prune it to its local fronts, worker-side.
 
@@ -248,7 +266,7 @@ def _evaluate_shard_front(
     rows it pruned away.
     """
     objectives, feasible, violations = _evaluate_shard(
-        matrix_name, shape, dtype, rows
+        matrix_name, shape, dtype, rows, submission
     )
     kept = _local_front_rows(objectives, feasible, include_infeasible)
     pruned = int(len(rows) - kept.size)
@@ -263,6 +281,11 @@ class ShardedVectorizedBackend(ProcessBackend):
         min_rows_per_shard: lower bound on shard size.  Small batches are
             given to fewer workers (down to one) so dispatch overhead never
             exceeds the kernel work it parallelises.
+        retry_policy: recovery budget for batch dispatches, inherited from
+            :class:`~repro.engine.backends.ProcessBackend`; a failed shard
+            tears the pool (and its shared-table arena) down and is retried
+            on a fresh pool, the batch's shared matrix segment surviving
+            across attempts.
     """
 
     name = "sharded"
@@ -277,9 +300,12 @@ class ShardedVectorizedBackend(ProcessBackend):
     supports_worker_pruning = True
 
     def __init__(
-        self, max_workers: int | None = None, min_rows_per_shard: int = 256
+        self,
+        max_workers: int | None = None,
+        min_rows_per_shard: int = 256,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
-        super().__init__(max_workers=max_workers)
+        super().__init__(max_workers=max_workers, retry_policy=retry_policy)
         if min_rows_per_shard <= 0:
             raise ValueError("min_rows_per_shard must be positive")
         self.min_rows_per_shard = min_rows_per_shard
@@ -339,29 +365,37 @@ class ShardedVectorizedBackend(ProcessBackend):
             # shared-memory segment cannot even be created).
             kernel = getattr(problem, "vectorized_kernel", None)
             return WbsnBatchColumns.empty(getattr(kernel, "n_objectives", 0))
-        executor = self._ensure_executor(problem)
         shards = [
             shard
             for shard in np.array_split(miss_rows, self._shard_count(miss_rows.size))
             if shard.size
         ]
+        # The batch matrix segment is created once and survives recovery
+        # attempts (workers re-attach it by name on every dispatch); the
+        # ``finally`` guarantees it is released even when recovery is
+        # exhausted mid-batch, so a dying worker cannot leak the segment.
         shm = shared_memory.SharedMemory(create=True, size=matrix.nbytes)
         try:
             view = np.ndarray(matrix.shape, dtype=matrix.dtype, buffer=shm.buf)
             view[...] = matrix
-            futures = [
-                executor.submit(
-                    _evaluate_shard, shm.name, matrix.shape, matrix.dtype.str, shard
-                )
-                for shard in shards
-            ]
             # Submission order == miss-row order, so plain concatenation
             # reassembles the batch exactly as the serial kernel would have
             # produced it.
-            results = [future.result() for future in futures]
+            results = self._dispatch_with_recovery(
+                problem,
+                _evaluate_shard,
+                [
+                    (shm.name, matrix.shape, matrix.dtype.str, shard)
+                    for shard in shards
+                ],
+                batch_label="sharded column batch",
+            )
         finally:
             shm.close()
-            shm.unlink()
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
         return WbsnBatchColumns(
             objectives=np.concatenate([r[0] for r in results], axis=0),
             feasible=np.concatenate([r[1] for r in results], axis=0),
@@ -409,7 +443,6 @@ class ShardedVectorizedBackend(ProcessBackend):
             kernel = getattr(problem, "vectorized_kernel", None)
             empty = WbsnBatchColumns.empty(getattr(kernel, "n_objectives", 0))
             return empty, np.empty(0, dtype=np.int64), 0
-        executor = self._ensure_executor(problem)
         shards = [
             shard
             for shard in np.array_split(miss_rows, self._shard_count(miss_rows.size))
@@ -419,21 +452,21 @@ class ShardedVectorizedBackend(ProcessBackend):
         try:
             view = np.ndarray(matrix.shape, dtype=matrix.dtype, buffer=shm.buf)
             view[...] = matrix
-            futures = [
-                executor.submit(
-                    _evaluate_shard_front,
-                    shm.name,
-                    matrix.shape,
-                    matrix.dtype.str,
-                    shard,
-                    include_infeasible,
-                )
-                for shard in shards
-            ]
-            results = [future.result() for future in futures]
+            results = self._dispatch_with_recovery(
+                problem,
+                _evaluate_shard_front,
+                [
+                    (shm.name, matrix.shape, matrix.dtype.str, shard, include_infeasible)
+                    for shard in shards
+                ],
+                batch_label="sharded front batch",
+            )
         finally:
             shm.close()
-            shm.unlink()
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
         offsets = np.cumsum([0] + [len(shard) for shard in shards[:-1]])
         kept = np.concatenate(
             [offset + result[3] for offset, result in zip(offsets, results)]
@@ -459,6 +492,15 @@ class ShardedVectorizedBackend(ProcessBackend):
         by_floor = math.ceil(rows / self.min_rows_per_shard)
         return max(1, min(self.max_workers, by_floor))
 
+    def _terminate_pool(self) -> None:
+        # ``_ensure_executor`` builds a fresh arena alongside the fresh pool;
+        # the old segment must be unlinked here or every recovery attempt
+        # would leak one arena-sized shared-memory segment.
+        super()._terminate_pool()
+        if self._arena is not None:
+            self._arena.close()
+            self._arena = None
+
     def _ensure_executor(self, problem: Any):
         self._check_pinned(problem)
         if self._executor is None:
@@ -475,7 +517,7 @@ class ShardedVectorizedBackend(ProcessBackend):
             self._executor = ProcessPoolExecutor(
                 max_workers=self.max_workers,
                 initializer=_init_sharded_worker,
-                initargs=(payload, arena_name, manifest),
+                initargs=(payload, arena_name, manifest, faults.installed_fault_plan()),
             )
         return self._executor
 

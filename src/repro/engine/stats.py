@@ -69,6 +69,21 @@ class EngineStats:
             counter should track the front size, not the batch size; rows
             served from the design memo are not re-materialised and are not
             counted.
+        worker_failures: worker-pool failures observed by the execution
+            backends (a worker crash breaking the pool, a batch future
+            timing out, an exception escaping a worker task).  Each failure
+            tears the pool down; whether the batch is retried or degraded is
+            reported by the two counters below.
+        batches_retried: batch attempts re-dispatched onto a fresh pool by
+            the backend's :class:`~repro.engine.backends.RetryPolicy` after
+            a worker failure (one count per retry attempt, so a batch that
+            needed two fresh pools counts twice).
+        degraded_batches: batches that exhausted their retry policy and were
+            served by the engine's in-process degradation ladder instead
+            (sharded → in-process serial kernel → scalar path) — results
+            stay bitwise identical, only the compute path changes.
+        retry_wait_seconds: total wall-clock time spent sleeping in
+            exponential backoff between retry attempts.
         node_stage_requests: per-node stage evaluations requested.
         node_cache_hits: per-node stage requests answered by the node cache.
         node_model_calls: raw per-node model executions (node-cache misses).
@@ -87,6 +102,10 @@ class EngineStats:
     rows_skipped_cached: int = 0
     rows_pruned_in_workers: int = 0
     designs_materialised: int = 0
+    worker_failures: int = 0
+    batches_retried: int = 0
+    degraded_batches: int = 0
+    retry_wait_seconds: float = 0.0
     node_stage_requests: int = 0
     node_cache_hits: int = 0
     node_model_calls: int = 0
