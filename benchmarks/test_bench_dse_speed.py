@@ -541,6 +541,68 @@ def test_sharded_exhaustive_sweep_never_falls_back(reporter):
 
 
 @pytest.mark.paper_figure("dse-speed")
+def test_warm_start_sweep(reporter, tmp_path):
+    """Persistent cache tier: cold vs warm 8192-design sweep.
+
+    The cold sweep runs with ``EvaluationEngine(cache_dir=...)`` and spills
+    its column rows to the fingerprint's segment on close; the warm sweep is
+    the same run against a fresh engine bulk-memoising that segment.  Both
+    wall clocks land in ``BENCH_dse_speed.json`` (``warm_start_sweep``),
+    and the entry carries a **hard gate**: the warm run must perform zero
+    model evaluations — engine lifetime, construction probe included — and
+    return a front identical to the cold run's, or the job fails.
+    """
+    cache_dir = tmp_path / "segments"
+
+    def sweep_run():
+        with EvaluationEngine(cache_dir=cache_dir) as engine:
+            problem = WbsnDseProblem(
+                build_case_study_evaluator(), **SWEEP_DOMAINS, engine=engine
+            )
+            started = time.perf_counter()
+            front = ExhaustiveSearch(problem, chunk_size=2048).run()
+            elapsed = time.perf_counter() - started
+            stats = engine.stats.snapshot()  # lifetime, incl. bind-time load
+            return front, elapsed, problem, stats
+
+    cold_front, cold_s, cold_problem, cold_stats = sweep_run()
+    warm_front, warm_s, _, warm_stats = sweep_run()
+
+    space_size = cold_problem.space.size
+    assert _front_signature(cold_front) == _front_signature(warm_front)
+
+    # The hard gate: a warm-started sweep never touches the model.
+    assert cold_stats.model_evaluations == space_size
+    assert warm_stats.model_evaluations == 0
+    assert warm_stats.rows_loaded_from_disk == space_size
+    assert warm_stats.persistent_cache_hits >= space_size
+
+    speedup = cold_s / warm_s if warm_s > 0 else 0.0
+    _merge_artifact(
+        {
+            "warm_start_sweep": {
+                "space_size": space_size,
+                "cold_wall_clock_s": cold_s,
+                "warm_wall_clock_s": warm_s,
+                "speedup": speedup,
+                "rows_loaded_from_disk": int(warm_stats.rows_loaded_from_disk),
+                "persistent_cache_hits": int(warm_stats.persistent_cache_hits),
+                "warm_model_evaluations": int(warm_stats.model_evaluations),
+            }
+        }
+    )
+    reporter(
+        "Persistent cache tier: warm-start sweep",
+        [
+            f"exhaustive sweep ({space_size} designs): {cold_s:.3f} s cold vs "
+            f"{warm_s:.3f} s warm ({speedup:.2f}x)",
+            f"rows bulk-memoised from disk: {warm_stats.rows_loaded_from_disk}",
+            "warm model evaluations: 0 (hard gate)",
+        ],
+    )
+
+
+@pytest.mark.paper_figure("dse-speed")
 def test_artifact_writer_rejects_non_finite_numbers(tmp_path, monkeypatch):
     """The bench writer fails loudly on ``inf``/``nan`` instead of emitting
     the invalid-JSON literal ``Infinity`` (regression for the zero-duration

@@ -146,6 +146,22 @@ class DseResult:
         return self.engine_stats.retry_wait_seconds
 
     @property
+    def rows_loaded_from_disk(self) -> int:
+        """Column rows bulk-memoised from a persistent cache segment before
+        the sweep ran (``run_algorithm(cache_dir=...)`` warm starts)."""
+        if self.engine_stats is None:
+            return 0
+        return self.engine_stats.rows_loaded_from_disk
+
+    @property
+    def persistent_cache_hits(self) -> int:
+        """Genotype requests answered by rows that came off disk — the
+        warm-start evidence that no model was touched for them."""
+        if self.engine_stats is None:
+            return 0
+        return self.engine_stats.persistent_cache_hits
+
+    @property
     def genotype_cache_hit_rate(self) -> float:
         """Fraction of served designs answered by the genotype memo cache."""
         if self.engine_stats is None:
@@ -170,6 +186,7 @@ def run_algorithm(
     *,
     close_engine: bool = False,
     checkpoint_path: str | None = None,
+    cache_dir: str | None = None,
 ) -> DseResult:
     """Run a search algorithm and record its cost.
 
@@ -186,6 +203,16 @@ def run_algorithm(
     same path continues an interrupted run bitwise identically (see
     :mod:`repro.engine.checkpoint`).  Algorithms without checkpoint support
     reject the argument with a ``TypeError``.
+
+    ``cache_dir`` routes to the engine's persistent cache tier
+    (:mod:`repro.engine.persist`): before the run the engine bulk-memoises
+    the problem's on-disk column segment (warm start — a sweep the segment
+    fully covers performs zero model evaluations and returns a front
+    bitwise identical to a cold run), and after a successful run the
+    engine's memos are spilled back, merged into the segment, for the next
+    process.  Requires an engine-backed problem (``TypeError`` otherwise);
+    an unusable segment warns (:class:`~repro.engine.CacheTierWarning`)
+    and the run starts cold.
     """
     if checkpoint_path is not None:
         if not hasattr(algorithm, "checkpoint_path"):
@@ -196,12 +223,25 @@ def run_algorithm(
         algorithm.checkpoint_path = checkpoint_path
     problem = algorithm.problem
     engine = problem.engine
+    if cache_dir is not None and engine is None:
+        raise TypeError(
+            "cache_dir needs an engine-backed problem (the persistent cache "
+            "tier lives in the evaluation engine)"
+        )
     stats_before = engine.stats.snapshot() if engine is not None else None
     evaluations_before = problem.evaluations
     started = time.perf_counter()
     try:
+        if cache_dir is not None:
+            # Warm-start the engine before the timed run consumes designs
+            # (a no-op when the engine already loaded this segment at bind).
+            engine.load_persistent_cache(cache_dir)
         front = algorithm.run()
         wall_clock = time.perf_counter() - started
+        if cache_dir is not None:
+            # Spill outside the timed window: persistence cost benefits the
+            # *next* run, not this one.  Only successful runs spill.
+            engine.spill_persistent_cache(cache_dir)
     finally:
         if close_engine and engine is not None:
             engine.close()

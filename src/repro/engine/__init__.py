@@ -36,7 +36,12 @@ serving component every search algorithm shares:
   so every recovery path is exercised by tests;
 * :mod:`repro.engine.checkpoint` — atomic, versioned, checksummed sweep
   checkpoints (:class:`SweepCheckpoint`) behind the columnar sweeps'
-  checkpoint/resume support.
+  checkpoint/resume support;
+* :mod:`repro.engine.persist` — the persistent cache tier: per-fingerprint
+  on-disk column segments (``EvaluationEngine(cache_dir=...)`` /
+  ``run_algorithm(cache_dir=...)``) spilled and bulk-memoised with the
+  checkpoint module's atomic-write and validation discipline, so repeated
+  campaigns warm-start across processes with bitwise-identical fronts.
 
 Failure semantics: pool-dispatching backends retry failed batches on fresh
 pools under a configurable :class:`RetryPolicy` (exponential backoff,
@@ -93,6 +98,16 @@ from repro.engine.faults import (
     inject_faults,
     install_fault_plan,
 )
+from repro.engine.persist import (
+    CacheSegment,
+    CacheSegmentError,
+    CacheTierWarning,
+    load_segment,
+    load_segment_if_valid,
+    save_segment,
+    segment_path,
+    spill_shared_cache,
+)
 from repro.engine.sharded import ShardedVectorizedBackend
 from repro.engine.stats import EngineStats
 
@@ -121,4 +136,12 @@ __all__ = [
     "CheckpointWarning",
     "save_checkpoint",
     "load_checkpoint",
+    "CacheSegment",
+    "CacheSegmentError",
+    "CacheTierWarning",
+    "segment_path",
+    "save_segment",
+    "load_segment",
+    "load_segment_if_valid",
+    "spill_shared_cache",
 ]

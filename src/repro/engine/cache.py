@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import replace
-from typing import TYPE_CHECKING, Any, Sequence
+from typing import TYPE_CHECKING, Any, Iterator, Sequence
 
 from repro.core.baseline import EnergyDelayBaselineEvaluator
 from repro.core.evaluator import (
@@ -63,7 +63,10 @@ class SharedGenotypeCache:
 
     Instances are plain dictionaries shared by reference between engines;
     they are intentionally not pickled to worker processes (workers only
-    compute, the parent owns the caches).
+    compute, the parent owns the caches).  Records outlive the process
+    through the persistent cache tier:
+    :func:`repro.engine.persist.spill_shared_cache` flattens them into
+    per-fingerprint column segments a fresh engine warm-starts from.
 
     Args:
         max_entries: optional bound on the number of shared records.  The
@@ -142,6 +145,19 @@ class SharedGenotypeCache:
             if len(self._records) > self.max_entries:
                 self._records.popitem(last=False)
                 self.evictions += 1
+
+    def iter_records(
+        self,
+    ) -> "Iterator[tuple[bytes, tuple[int, ...], tuple[str, ...], EvaluatedDesign]]":
+        """Iterate ``(fingerprint, genotype, components, design)`` records.
+
+        The spill path of the persistent cache tier
+        (:func:`repro.engine.persist.spill_shared_cache`) flattens these
+        into per-fingerprint column segments; iteration does not refresh
+        LRU recency (a spill is a snapshot, not a use).
+        """
+        for (fingerprint, genotype), (components, design) in self._records.items():
+            yield fingerprint, genotype, components, design
 
     def clear(self) -> None:
         """Drop every shared record."""

@@ -9,9 +9,12 @@ front *bitwise identical* to an uninterrupted run.
 The on-disk format is deliberately paranoid, the validation pattern the
 ROADMAP wants for the persistent cache tier:
 
-* **atomic** — the blob is written to a sibling temporary file and
-  ``os.replace``'d over the target, so a crash mid-write leaves either the
-  previous checkpoint or none, never a torn one;
+* **atomic** — the blob is written to a uniquely named sibling temporary
+  file (pid + counter, so concurrent writers to one path cannot clobber
+  each other's tmp) and ``os.replace``'d over the target, so a crash
+  mid-write leaves either the previous checkpoint or none, never a torn
+  one; the parent directory is fsynced after the rename (best effort) so
+  the new entry survives a crash;
 * **versioned** — an 8-byte magic plus a little-endian format version; a
   mismatch (foreign file, incompatible writer) is rejected before any
   payload byte is touched;
@@ -27,11 +30,18 @@ cold start instead of resuming from a lie.
 The serialized blob passes through the ``"checkpoint"`` mangle site of
 :mod:`repro.engine.faults` on its way to disk, so the corruption handling
 above is driven end to end by the fault-injection suite.
+
+The atomic-write and header framing primitives are exposed as
+:func:`atomic_write_bytes` / :func:`pack_blob` / :func:`unpack_blob`;
+the persistent cache tier (:mod:`repro.engine.persist`) writes its
+segments through the same helpers, so both file formats share one
+durability and validation discipline.
 """
 
 from __future__ import annotations
 
 import hashlib
+import itertools
 import os
 import pickle
 import warnings
@@ -51,6 +61,9 @@ __all__ = [
     "save_checkpoint",
     "load_checkpoint",
     "load_checkpoint_if_valid",
+    "atomic_write_bytes",
+    "pack_blob",
+    "unpack_blob",
 ]
 
 #: File magic — identifies a WBSN sweep checkpoint before any parsing.
@@ -60,6 +73,119 @@ CHECKPOINT_VERSION = 1
 _DIGEST = hashlib.sha256
 _DIGEST_SIZE = _DIGEST().digest_size
 _HEADER_SIZE = len(MAGIC) + 4 + _DIGEST_SIZE
+
+#: Process-wide counter making concurrent temporary names distinct (two
+#: sweeps checkpointing to the same path must not clobber each other's
+#: tmp file mid-write; see :func:`atomic_write_bytes`).
+_TMP_COUNTER = itertools.count()
+
+
+def _tmp_sibling(path: Path) -> Path:
+    """A unique same-directory temporary name for an atomic write.
+
+    Uniqueness combines the writer's pid (two *processes* targeting one
+    path) with a process-wide counter (two *threads*, or interleaved saves,
+    within one process) — a fixed sibling name would let concurrent writers
+    truncate each other's half-written blob before the rename.
+    """
+    return path.with_name(f"{path.name}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp")
+
+
+def _fsync_directory(path: Path) -> None:
+    """Best-effort fsync of a directory after a rename into it.
+
+    ``os.replace`` makes the rename atomic, but on journaled-metadata-lazy
+    filesystems the *directory entry* may not be durable until the directory
+    itself is synced — without this, a crash right after a checkpoint save
+    can lose the file the caller was told is safely on disk.  Platforms (or
+    filesystems) that cannot fsync a directory fd are tolerated silently:
+    the write is still atomic, just not durably ordered.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str | Path, blob: bytes) -> None:
+    """Write a blob atomically: unique tmp sibling, fsync, rename, dir fsync.
+
+    The temporary file lives next to the target so the ``os.replace`` is a
+    same-filesystem atomic rename; its name is unique per (pid, write) so
+    concurrent writers to one target path cannot clobber each other's
+    tmp mid-write.  On any failure the temporary is removed and the previous
+    file (if any) is left untouched.  After the rename the parent directory
+    is fsynced (best effort) so the new entry survives a crash.
+    """
+    path = Path(path)
+    tmp = _tmp_sibling(path)
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except FileNotFoundError:
+            pass
+        raise
+    _fsync_directory(path.parent)
+
+
+def pack_blob(magic: bytes, version: int, payload: bytes) -> bytes:
+    """Frame a payload with the shared header discipline.
+
+    Layout: ``magic + version (4 bytes little-endian) + SHA-256(payload) +
+    payload`` — the format both the checkpoint files and the persistent
+    cache segments share, so one validator (:func:`unpack_blob`) covers
+    both.
+    """
+    return magic + version.to_bytes(4, "little") + _DIGEST(payload).digest() + payload
+
+
+def unpack_blob(
+    blob: bytes,
+    *,
+    magic: bytes,
+    version: int,
+    what: str,
+    error: type[Exception],
+) -> bytes:
+    """Validate a framed blob and return its payload.
+
+    Validation order: length, magic, version, checksum — each failure names
+    what went wrong through ``error`` (worded with ``what``, e.g.
+    ``"checkpoint 'path'"``), so callers surface one exception type no
+    matter how the file was damaged.
+    """
+    header_size = len(magic) + 4 + _DIGEST_SIZE
+    if len(blob) < header_size:
+        raise error(
+            f"{what} is truncated ({len(blob)} bytes < {header_size}-byte header)"
+        )
+    if blob[: len(magic)] != magic:
+        raise error(f"{what} has a foreign file magic")
+    found = int.from_bytes(blob[len(magic) : len(magic) + 4], "little")
+    if found != version:
+        raise error(
+            f"{what} has format version {found}, this reader expects {version}"
+        )
+    digest = blob[len(magic) + 4 : header_size]
+    payload = blob[header_size:]
+    if _DIGEST(payload).digest() != digest:
+        raise error(
+            f"{what} failed its integrity check "
+            "(payload does not match the stored checksum)"
+        )
+    return payload
 
 
 class CheckpointError(RuntimeError):
@@ -114,34 +240,18 @@ class SweepCheckpoint:
 def save_checkpoint(path: str | Path, checkpoint: SweepCheckpoint) -> None:
     """Persist a checkpoint atomically (write-temporary, then rename).
 
-    The temporary file lives next to the target so the ``os.replace`` is a
-    same-filesystem atomic rename; on any write failure the temporary is
-    removed and the previous checkpoint (if any) is left untouched.
+    The write goes through :func:`atomic_write_bytes`: unique temporary
+    sibling, fsync, atomic rename, best-effort directory fsync — a crash
+    mid-write leaves either the previous checkpoint or none, never a torn
+    one, and a crash right after the save cannot lose the rename.
     """
     path = Path(path)
     payload = pickle.dumps(checkpoint, protocol=pickle.HIGHEST_PROTOCOL)
-    blob = (
-        MAGIC
-        + CHECKPOINT_VERSION.to_bytes(4, "little")
-        + _DIGEST(payload).digest()
-        + payload
-    )
+    blob = pack_blob(MAGIC, CHECKPOINT_VERSION, payload)
     # Fault-injection seam: tests corrupt/truncate the blob here to prove
     # the load-side validation catches it.
     blob = faults.maybe_mangle("checkpoint", blob)
-    tmp = path.with_name(path.name + ".tmp")
-    try:
-        with open(tmp, "wb") as handle:
-            handle.write(blob)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, path)
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except FileNotFoundError:
-            pass
-        raise
+    atomic_write_bytes(path, blob)
 
 
 def load_checkpoint(path: str | Path) -> SweepCheckpoint:
@@ -156,26 +266,13 @@ def load_checkpoint(path: str | Path) -> SweepCheckpoint:
         blob = path.read_bytes()
     except OSError as exc:
         raise CheckpointError(f"checkpoint '{path}' is unreadable: {exc}") from exc
-    if len(blob) < _HEADER_SIZE:
-        raise CheckpointError(
-            f"checkpoint '{path}' is truncated "
-            f"({len(blob)} bytes < {_HEADER_SIZE}-byte header)"
-        )
-    if blob[: len(MAGIC)] != MAGIC:
-        raise CheckpointError(f"checkpoint '{path}' has a foreign file magic")
-    version = int.from_bytes(blob[len(MAGIC) : len(MAGIC) + 4], "little")
-    if version != CHECKPOINT_VERSION:
-        raise CheckpointError(
-            f"checkpoint '{path}' has format version {version}, "
-            f"this reader expects {CHECKPOINT_VERSION}"
-        )
-    digest = blob[len(MAGIC) + 4 : _HEADER_SIZE]
-    payload = blob[_HEADER_SIZE:]
-    if _DIGEST(payload).digest() != digest:
-        raise CheckpointError(
-            f"checkpoint '{path}' failed its integrity check "
-            "(payload does not match the stored checksum)"
-        )
+    payload = unpack_blob(
+        blob,
+        magic=MAGIC,
+        version=CHECKPOINT_VERSION,
+        what=f"checkpoint '{path}'",
+        error=CheckpointError,
+    )
     try:
         checkpoint = pickle.loads(payload)
     except Exception as exc:  # pickle raises a zoo of types
@@ -200,10 +297,12 @@ def load_checkpoint_if_valid(
     """Resume-side loader: a usable checkpoint or ``None`` (cold start).
 
     A missing file is a silent ``None`` (first run of a checkpointed
-    sweep).  A file that fails validation, or that was written by a
-    different algorithm / for a different design space / under a different
-    evaluator fingerprint, emits a :class:`CheckpointWarning` and returns
-    ``None`` — resuming from it would poison the front.
+    sweep).  A file that fails validation, that was written by a different
+    algorithm / for a different design space / under a different evaluator
+    fingerprint, or whose state is internally inconsistent (a cursor past
+    the space, archive columns with mismatched row counts), emits a
+    :class:`CheckpointWarning` and returns ``None`` — resuming from it
+    would poison the front.
     """
     path = Path(path)
     if not path.exists():
@@ -230,6 +329,8 @@ def load_checkpoint_if_valid(
         )
     elif checkpoint.fingerprint != fingerprint:
         mismatch = "evaluator fingerprint changed since it was written"
+    else:
+        mismatch = _consistency_error(checkpoint)
     if mismatch is not None:
         warnings.warn(
             f"ignoring checkpoint '{path}': {mismatch}; starting cold",
@@ -238,3 +339,29 @@ def load_checkpoint_if_valid(
         )
         return None
     return checkpoint
+
+
+def _consistency_error(checkpoint: SweepCheckpoint) -> str | None:
+    """Internal sanity check of a structurally valid checkpoint.
+
+    A checksum only proves the file holds what its writer serialized — it
+    cannot catch a writer that serialized nonsense (or a hand-edited
+    pickle).  Resuming from a cursor past the space would silently skip
+    genotypes; archive columns of different lengths would splice rows from
+    different designs.  Both cold-start instead.
+    """
+    if checkpoint.cursor < 0 or checkpoint.cursor > checkpoint.space_size:
+        return (
+            f"its cursor ({checkpoint.cursor}) lies outside the "
+            f"{checkpoint.space_size}-design space"
+        )
+    lengths = {
+        "genotypes": len(checkpoint.genotypes),
+        "objectives": len(checkpoint.objectives),
+        "feasible": len(checkpoint.feasible),
+        "violation_counts": len(checkpoint.violation_counts),
+    }
+    if len(set(lengths.values())) > 1:
+        described = ", ".join(f"{name}={count}" for name, count in lengths.items())
+        return f"its archive columns have mismatched row counts ({described})"
+    return None

@@ -12,6 +12,12 @@ owns every cross-cutting evaluation concern:
   fingerprint, with objective vectors projected onto each problem's
   component set (the Figure-5 full/baseline pair shares one cache this
   way);
+* **persistent cache tier** (optional) — an engine given a ``cache_dir``
+  bulk-memoises the on-disk column segment of its problem's evaluation
+  fingerprint at bind time and spills its memos back on close
+  (:mod:`repro.engine.persist`), so repeated campaigns warm-start across
+  processes — a fully covered sweep re-runs without any model evaluation,
+  bitwise identical to its cold run;
 * **node-level cache** — below a genotype miss, the pure per-node stage of
   the evaluator is memoised by the problem's
   :class:`~repro.engine.cache.CachedNetworkEvaluator` (optionally bounded by
@@ -73,7 +79,9 @@ from __future__ import annotations
 
 import time
 import warnings
+from collections import OrderedDict
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
@@ -88,6 +96,12 @@ from repro.engine.backends import (
     make_backend,
 )
 from repro.engine.cache import SharedGenotypeCache
+from repro.engine.persist import (
+    CacheTierWarning,
+    load_segment_if_valid,
+    segment_path,
+    spill_rows,
+)
 from repro.engine.stats import EngineStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a runtime cycle
@@ -213,6 +227,21 @@ class EvaluationEngine:
             components.  Requires the genotype cache and a problem exposing
             ``evaluation_fingerprint`` / ``objective_components``; silently
             inactive otherwise.
+        column_memo_max_entries: optional LRU bound on the column-row memo
+            (the columnar twin of the design memo); when set, the
+            least-recently-used row is evicted on overflow, counted in
+            ``EngineStats.column_memo_evictions`` (an eviction only costs a
+            future recompute — it can never change results).  ``None``
+            keeps the memo unbounded.
+        cache_dir: directory of the persistent cache tier
+            (:mod:`repro.engine.persist`).  At :meth:`bind` the engine
+            bulk-memoises the problem's fingerprint segment (if one exists)
+            into the column memo, so sweeps warm-start without a single
+            model evaluation; at :meth:`close` (and through
+            ``run_algorithm(cache_dir=...)``) the memos are spilled back.
+            Unusable segments warn (:class:`CacheTierWarning`) and the
+            engine starts cold.  Requires the genotype cache and a
+            fingerprintable problem; inactive (with a warning) otherwise.
     """
 
     def __init__(
@@ -229,17 +258,23 @@ class EvaluationEngine:
         chunk_size: int = 64,
         stats: EngineStats | None = None,
         shared_cache: SharedGenotypeCache | None = None,
+        column_memo_max_entries: int | None = None,
+        cache_dir: str | Path | None = None,
     ) -> None:
         if chunk_size <= 0:
             raise ValueError("chunk_size must be positive")
         if node_cache_max_entries is not None and node_cache_max_entries <= 0:
             raise ValueError("node_cache_max_entries must be positive (or None)")
+        if column_memo_max_entries is not None and column_memo_max_entries <= 0:
+            raise ValueError("column_memo_max_entries must be positive (or None)")
         self.genotype_cache_enabled = bool(genotype_cache)
         self.node_cache_enabled = bool(node_cache)
         self.node_cache_max_entries = node_cache_max_entries
+        self.column_memo_max_entries = column_memo_max_entries
         self.vectorized_enabled = bool(vectorized)
         self.degrade_on_failure = bool(degrade_on_failure)
         self.chunk_size = chunk_size
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.backend = make_backend(
             backend, max_workers=max_workers, retry_policy=retry_policy
         )
@@ -248,8 +283,16 @@ class EvaluationEngine:
         self._memo: dict[tuple[int, ...], "EvaluatedDesign"] = {}
         # Columnar twin of the design memo: raw column rows keyed by
         # genotype, so cached rows re-enter pruning as columns without an
-        # object round-trip (see :meth:`evaluate_many_columnar`).
-        self._column_memo: dict[tuple[int, ...], _ColumnRow] = {}
+        # object round-trip (see :meth:`evaluate_many_columnar`).  An
+        # OrderedDict so the optional ``column_memo_max_entries`` bound can
+        # evict in LRU order.
+        self._column_memo: OrderedDict[tuple[int, ...], _ColumnRow] = OrderedDict()
+        # Keys whose rows were bulk-memoised off a persistent cache segment
+        # — their first hit counts as a ``persistent_cache_hits``.
+        self._disk_keys: set[tuple[int, ...]] = set()
+        # Segment paths already consumed, so repeated warm-start requests
+        # (constructor cache_dir plus runner cache_dir) load once.
+        self._segments_loaded: set[Path] = set()
         self._problem: Any = None
         self._fingerprint: bytes | None = None
         self._objective_components: tuple[str, ...] | None = None
@@ -265,12 +308,18 @@ class EvaluationEngine:
                 "the problem must expose a pure 'compute_design(genotype)' method"
             )
         self._problem = problem
-        if self.shared_cache is not None and self.genotype_cache_enabled:
+        if self.genotype_cache_enabled and (
+            self.shared_cache is not None or self.cache_dir is not None
+        ):
             fingerprint_hook = getattr(problem, "evaluation_fingerprint", None)
             components = getattr(problem, "objective_components", None)
             if callable(fingerprint_hook) and components:
                 self._fingerprint = fingerprint_hook()
                 self._objective_components = tuple(components)
+        if self.cache_dir is not None:
+            # Warm-start from the persistent tier as soon as the problem is
+            # known; an unusable/missing segment leaves the engine cold.
+            self.load_persistent_cache()
         return self
 
     @property
@@ -294,7 +343,7 @@ class EvaluationEngine:
         self.stats.genotype_requests += 1
         design = self._memo.get(key) if self.genotype_cache_enabled else None
         if design is None and self.genotype_cache_enabled and (
-            key in self._column_memo
+            self._column_memo_hit(key) is not None
         ):
             # Columnar sweeps memoise raw column rows; serve the object path
             # from them too (materialised on demand, then memoised).
@@ -352,7 +401,7 @@ class EvaluationEngine:
                     unique.append(key)
                     cached_mask.append(True)
                     continue
-                if key in self._column_memo:
+                if self._column_memo_hit(key) is not None:
                     # Rows memoised as raw columns by a columnar sweep serve
                     # the object path too — materialised below, in one batch.
                     self.stats.genotype_cache_hits += 1
@@ -458,7 +507,7 @@ class EvaluationEngine:
                 row_index = len(unique)
                 positions[key] = row_index
                 unique.append(key)
-                row = self._column_memo.get(key)
+                row = self._column_memo_hit(key)
                 if row is not None:
                     stats.genotype_cache_hits += 1
                     cached_rows[row_index] = row
@@ -552,10 +601,13 @@ class EvaluationEngine:
                 columns.feasible.tolist(),
                 columns.violation_counts.tolist(),
             ):
-                self._column_memo[key] = (
-                    tuple(row_objectives),
-                    bool(row_feasible),
-                    int(row_violations),
+                self._column_memo_put(
+                    key,
+                    (
+                        tuple(row_objectives),
+                        bool(row_feasible),
+                        int(row_violations),
+                    ),
                 )
 
         if pending:
@@ -666,7 +718,23 @@ class EvaluationEngine:
         return results
 
     def close(self) -> None:
-        """Release backend resources (worker pools, shared memory)."""
+        """Release backend resources (worker pools, shared memory).
+
+        An engine configured with ``cache_dir`` spills its memos to the
+        persistent tier first, so everything the engine computed survives
+        the process (spill failures warn — closing must not mask results).
+        """
+        if self.cache_dir is not None and self._problem is not None:
+            try:
+                self.spill_persistent_cache()
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:
+                warnings.warn(
+                    f"failed to spill the persistent cache on close: {exc}",
+                    CacheTierWarning,
+                    stacklevel=2,
+                )
         self.backend.close()
 
     def __enter__(self) -> "EvaluationEngine":
@@ -681,8 +749,162 @@ class EvaluationEngine:
         """Drop the genotype memos (the node cache lives with the problem)."""
         self._memo.clear()
         self._column_memo.clear()
+        self._disk_keys.clear()
+        self._segments_loaded.clear()
+
+    # -------------------------------------------------- persistent cache tier
+
+    def load_persistent_cache(self, cache_dir: str | Path | None = None) -> int:
+        """Bulk-memoise the bound problem's segment from the persistent tier.
+
+        Loads the segment keyed by the problem's evaluation fingerprint
+        from ``cache_dir`` (default: the engine's configured ``cache_dir``)
+        and inserts its rows into the column-row memo, projected onto the
+        problem's objective components — the cached-row mask protocol then
+        serves them to every evaluation path, so a fully covered sweep
+        re-runs without a single model evaluation.  Rows already memoised
+        locally are left untouched (fresher or identical).  Returns the
+        number of rows loaded, also counted in
+        ``EngineStats.rows_loaded_from_disk``.
+
+        A missing segment is a silent cold start; an unusable one (corrupt,
+        foreign fingerprint, incompatible components) warns with
+        :class:`CacheTierWarning` and starts cold.  Each segment file is
+        consumed at most once per engine (until :meth:`clear_caches`).
+        """
+        directory = Path(cache_dir) if cache_dir is not None else self.cache_dir
+        if directory is None:
+            raise ValueError("no cache_dir configured nor passed")
+        if self._problem is None:
+            raise RuntimeError("the engine must be bound to a problem first")
+        if not self._persistence_active():
+            return 0
+        assert self._fingerprint is not None
+        assert self._objective_components is not None
+        path = segment_path(directory, self._fingerprint)
+        if path in self._segments_loaded:
+            return 0
+        self._segments_loaded.add(path)
+        segment = load_segment_if_valid(path, fingerprint=self._fingerprint)
+        if segment is None:
+            return 0
+        objectives = segment.project(self._objective_components)
+        if objectives is None:
+            warnings.warn(
+                f"ignoring cache segment '{path}': its objective components "
+                f"{segment.components} cannot serve "
+                f"{self._objective_components}; starting cold",
+                CacheTierWarning,
+                stacklevel=2,
+            )
+            return 0
+        loaded = 0
+        for genotype, row_objectives, row_feasible, row_violations in zip(
+            segment.genotypes.tolist(),
+            objectives.tolist(),
+            segment.feasible.tolist(),
+            segment.violation_counts.tolist(),
+        ):
+            key = tuple(genotype)
+            if key in self._column_memo or key in self._memo:
+                continue
+            self._column_memo_put(
+                key,
+                (tuple(row_objectives), bool(row_feasible), int(row_violations)),
+            )
+            self._disk_keys.add(key)
+            loaded += 1
+        self.stats.rows_loaded_from_disk += loaded
+        return loaded
+
+    def spill_persistent_cache(
+        self, cache_dir: str | Path | None = None
+    ) -> Path | None:
+        """Spill the engine's memos to the persistent tier's segment.
+
+        Flattens the design memo into column rows, overlays the column-row
+        memo, and merges the union into the fingerprint's segment under
+        ``cache_dir`` (default: the engine's configured ``cache_dir``) —
+        see :func:`repro.engine.persist.spill_rows` for the merge rules.
+        Returns the segment path, or ``None`` when the tier is inactive or
+        there is nothing to write.
+        """
+        directory = Path(cache_dir) if cache_dir is not None else self.cache_dir
+        if directory is None:
+            raise ValueError("no cache_dir configured nor passed")
+        if self._problem is None:
+            raise RuntimeError("the engine must be bound to a problem first")
+        if not self._persistence_active():
+            return None
+        assert self._fingerprint is not None
+        assert self._objective_components is not None
+        rows: dict[tuple[int, ...], _ColumnRow] = {
+            key: _design_row(design) for key, design in self._memo.items()
+        }
+        rows.update(self._column_memo)
+        if not rows:
+            return None
+        return spill_rows(
+            directory,
+            fingerprint=self._fingerprint,
+            components=self._objective_components,
+            rows=rows,
+        )
+
+    def _persistence_active(self) -> bool:
+        """Whether the persistent tier can serve/spill this engine (warns why
+        not, once per reason site)."""
+        if not self.genotype_cache_enabled:
+            warnings.warn(
+                "the persistent cache tier needs the genotype cache; "
+                "cache_dir is inactive on this engine",
+                CacheTierWarning,
+                stacklevel=3,
+            )
+            return False
+        if self._fingerprint is None and self._problem is not None:
+            # Engines without a shared cache or constructor cache_dir only
+            # learn their fingerprint when the tier is first used (e.g.
+            # ``run_algorithm(cache_dir=...)`` on a plain engine).
+            fingerprint_hook = getattr(self._problem, "evaluation_fingerprint", None)
+            components = getattr(self._problem, "objective_components", None)
+            if callable(fingerprint_hook) and components:
+                self._fingerprint = fingerprint_hook()
+                self._objective_components = tuple(components)
+        if self._fingerprint is None or self._objective_components is None:
+            warnings.warn(
+                "the bound problem offers no evaluation fingerprint; "
+                "the persistent cache tier is inactive",
+                CacheTierWarning,
+                stacklevel=3,
+            )
+            return False
+        return True
 
     # ------------------------------------------------------------ internals
+
+    def _column_memo_hit(self, key: tuple[int, ...]) -> _ColumnRow | None:
+        """Column-memo lookup with LRU touch and persistent-hit accounting."""
+        row = self._column_memo.get(key)
+        if row is None:
+            return None
+        if self.column_memo_max_entries is not None:
+            self._column_memo.move_to_end(key)
+        if key in self._disk_keys:
+            self.stats.persistent_cache_hits += 1
+        return row
+
+    def _column_memo_put(self, key: tuple[int, ...], row: _ColumnRow) -> None:
+        """Column-memo insert, evicting the LRU row past the optional bound."""
+        memo = self._column_memo
+        memo[key] = row
+        bound = self.column_memo_max_entries
+        if bound is not None:
+            memo.move_to_end(key)
+            if len(memo) > bound:
+                evicted, _ = memo.popitem(last=False)
+                self._disk_keys.discard(evicted)
+                self.stats.column_memo_evictions += 1
 
     def _shared_lookup(self, key: tuple[int, ...]) -> "EvaluatedDesign | None":
         """Consult the cross-problem shared cache, when active."""
@@ -988,8 +1210,13 @@ class EvaluationEngine:
         # stay home.
         state = self.__dict__.copy()
         state["_memo"] = {}
-        state["_column_memo"] = {}
+        state["_column_memo"] = OrderedDict()
+        state["_disk_keys"] = set()
+        state["_segments_loaded"] = set()
         state["shared_cache"] = None
+        # Workers must never write segments of their own (the parent owns
+        # the persistent tier, exactly like the in-memory caches).
+        state["cache_dir"] = None
         return state
 
 

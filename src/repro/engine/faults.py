@@ -35,7 +35,16 @@ Sites wired into the stack:
 ``"checkpoint-saved"``
     fired by the sweeps right after every successful checkpoint write — the hook
     resumable-sweep tests use to SIGKILL (or abort) a run at a known
-    persisted state.
+    persisted state;
+``"cache-segment"``
+    the persistent cache tier's *mangle* site: a serialized cache segment
+    (:mod:`repro.engine.persist`) passes through :func:`maybe_mangle` right
+    before hitting disk, so the warm-start path's corrupted-segment
+    fallback to a cold start is tested end to end;
+``"cache-segment-saved"``
+    fired right after every successful cache-segment write — the hook the
+    persistence tests use to SIGKILL a run at a known spilled state (and to
+    assert no temporary file survives the kill).
 
 Plans travel to worker processes through the pool initialisers, so
 worker-side sites fire deterministically regardless of the start method.

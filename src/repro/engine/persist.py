@@ -1,0 +1,453 @@
+"""Persistent cache tier: on-disk column segments for warm-start sweeps.
+
+The engine's caches make repeated campaigns cheap *within* a process; this
+module makes them cheap *across* processes.  Everything the engine knows
+about a problem's evaluations — the column-row memo of the columnar sweeps,
+the design memo, the cross-problem :class:`~repro.engine.cache.SharedGenotypeCache`
+records — can be spilled to disk as one **segment per evaluation
+fingerprint** and bulk-memoised back into a fresh engine, so a re-run of a
+sweep prunes cached columns without a single model evaluation.
+
+Segment contents are the raw column arrays the engine already speaks —
+a genotype-index matrix, the penalised objective matrix, the feasibility and
+violation-count columns — never pickled ``EvaluatedDesign`` objects: loading
+is array deserialization plus dictionary inserts, and materialisation (when
+a caller wants objects at all) runs through the usual phenotype lookup
+tables.
+
+On-disk layout, sharing the checkpoint module's framing and durability
+discipline (:func:`~repro.engine.checkpoint.pack_blob` /
+:func:`~repro.engine.checkpoint.atomic_write_bytes` — unique tmp sibling,
+fsync, atomic rename, directory fsync)::
+
+    magic "WBSNCSEG" | version (4 LE) | SHA-256(payload) | payload
+    payload = header length (4 LE) | header JSON | pad | array data
+
+The JSON header records the evaluator fingerprint, the objective component
+names, and per-array dtype/shape/offset; array data is raw little-endian
+C-contiguous bytes at 64-byte-aligned offsets, so :func:`load_segment`
+memory-maps the file and serves the arrays as zero-copy views.
+
+Validation mirrors the checkpoint rules: length, magic, version, checksum,
+header parse, array bounds, cross-array row counts — every failure raises
+:class:`CacheSegmentError`, which the warm-start path
+(:func:`load_segment_if_valid`, and the engine's ``load_persistent_cache``)
+converts into a :class:`CacheTierWarning` plus a cold start.  A segment can
+accelerate a sweep or be ignored; it can never poison a front.
+
+The serialized blob passes through the ``"cache-segment"`` mangle site of
+:mod:`repro.engine.faults` on its way to disk (and fires
+``"cache-segment-saved"`` after a successful write), so segment corruption
+and kill-during-spill recovery are driven end to end by the fault-injection
+suite.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import warnings
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Mapping
+
+import numpy as np
+
+from repro.engine import faults
+from repro.engine.checkpoint import atomic_write_bytes, pack_blob, unpack_blob
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a runtime cycle
+    from repro.engine.cache import SharedGenotypeCache
+
+__all__ = [
+    "SEGMENT_VERSION",
+    "CacheSegmentError",
+    "CacheTierWarning",
+    "CacheSegment",
+    "segment_path",
+    "save_segment",
+    "load_segment",
+    "load_segment_if_valid",
+    "spill_rows",
+    "spill_shared_cache",
+]
+
+#: File magic — identifies a WBSN cache segment before any parsing.
+SEGMENT_MAGIC = b"WBSNCSEG"
+#: On-disk format version; bump on any incompatible layout change.
+SEGMENT_VERSION = 1
+#: Segment file extension (the stem is the full evaluation fingerprint hex).
+SEGMENT_SUFFIX = ".wbsncache"
+#: Array data is laid out at offsets aligned to this many bytes, so the
+#: memory-mapped views are alignment-friendly for every stored dtype.
+_ALIGN = 64
+
+#: (name, canonical little-endian dtype, expected rank) of the stored
+#: columns, in on-disk order.
+_COLUMNS = (
+    ("genotypes", "<i8", 2),
+    ("objectives", "<f8", 2),
+    ("feasible", "|b1", 1),
+    ("violation_counts", "<i8", 1),
+)
+
+#: The engine's column-row record: ``(objectives, feasible, violations)``.
+_Row = tuple[tuple[float, ...], bool, int]
+
+
+class CacheSegmentError(RuntimeError):
+    """A cache segment failed validation (corrupt, truncated, foreign)."""
+
+
+class CacheTierWarning(UserWarning):
+    """An unusable cache segment was ignored and the sweep started cold."""
+
+
+@dataclass(frozen=True)
+class CacheSegment:
+    """One fingerprint's worth of persisted column rows.
+
+    Attributes:
+        fingerprint: the evaluation fingerprint the rows were computed
+            under (see ``WbsnDseProblem.evaluation_fingerprint``).
+        components: objective component names of the stored matrix columns.
+        genotypes: gene-index rows, shape ``(rows, genes)``, ``int64``.
+        objectives: penalised objective matrix, shape ``(rows, n_obj)``.
+        feasible: per-row feasibility flags.
+        violation_counts: violated model constraints per row.
+
+    Arrays loaded from disk are read-only views into the segment's memory
+    map; copy before mutating.
+    """
+
+    fingerprint: bytes
+    components: tuple[str, ...]
+    genotypes: np.ndarray
+    objectives: np.ndarray
+    feasible: np.ndarray
+    violation_counts: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.genotypes)
+
+    def project(self, components: tuple[str, ...]) -> np.ndarray | None:
+        """The objective matrix projected onto a requested component order.
+
+        The persistent tier follows the shared cache's keying rule: stored
+        rows may serve a problem whose components are a subset of the
+        stored ones, as a pure column selection/reordering of already
+        computed floats (the infeasibility penalty is per-component, so
+        penalised vectors project exactly).  Returns ``None`` when the
+        request is not a subset — a miss is always safe.
+        """
+        if components == self.components:
+            return self.objectives
+        if not set(components) <= set(self.components):
+            return None
+        columns = [self.components.index(name) for name in components]
+        return self.objectives[:, columns]
+
+    def rows(self) -> dict[tuple[int, ...], _Row]:
+        """The segment as a ``genotype key -> column row`` mapping."""
+        return {
+            tuple(genotype): (tuple(objectives), bool(feasible), int(violations))
+            for genotype, objectives, feasible, violations in zip(
+                self.genotypes.tolist(),
+                self.objectives.tolist(),
+                self.feasible.tolist(),
+                self.violation_counts.tolist(),
+            )
+        }
+
+
+def segment_path(cache_dir: str | Path, fingerprint: bytes) -> Path:
+    """The segment file a fingerprint maps to inside a cache directory."""
+    return Path(cache_dir) / f"{fingerprint.hex()}{SEGMENT_SUFFIX}"
+
+
+def save_segment(
+    cache_dir: str | Path,
+    *,
+    fingerprint: bytes,
+    components: tuple[str, ...],
+    genotypes: np.ndarray,
+    objectives: np.ndarray,
+    feasible: np.ndarray,
+    violation_counts: np.ndarray,
+) -> Path:
+    """Serialize column arrays into a fingerprint's segment file.
+
+    The write is atomic and durably ordered (see
+    :func:`~repro.engine.checkpoint.atomic_write_bytes`); the cache
+    directory is created on demand.  Rows are sorted by genotype before
+    serialization, so equal row sets produce byte-identical segments
+    regardless of insertion order.
+    """
+    arrays = {
+        "genotypes": np.ascontiguousarray(genotypes, dtype="<i8"),
+        "objectives": np.ascontiguousarray(objectives, dtype="<f8"),
+        "feasible": np.ascontiguousarray(feasible, dtype="|b1"),
+        "violation_counts": np.ascontiguousarray(violation_counts, dtype="<i8"),
+    }
+    counts = {name: len(array) for name, array in arrays.items()}
+    if len(set(counts.values())) > 1:
+        raise ValueError(f"column arrays disagree on the row count: {counts}")
+    if len(arrays["objectives"]) and arrays["objectives"].shape[1] != len(components):
+        raise ValueError(
+            f"objective matrix has {arrays['objectives'].shape[1]} columns "
+            f"for {len(components)} components"
+        )
+    order = np.lexsort(arrays["genotypes"].T[::-1]) if counts["genotypes"] else None
+    if order is not None:
+        arrays = {name: array[order] for name, array in arrays.items()}
+
+    header = {
+        "fingerprint": fingerprint.hex(),
+        "components": list(components),
+        "rows": counts["genotypes"],
+        "arrays": {},
+    }
+    offset = 0
+    for name, _, _ in _COLUMNS:
+        array = arrays[name]
+        header["arrays"][name] = {
+            "dtype": array.dtype.str,
+            "shape": list(array.shape),
+            "offset": offset,
+        }
+        offset += array.nbytes + (-array.nbytes) % _ALIGN
+    header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+    prefix = len(header_bytes).to_bytes(4, "little") + header_bytes
+    chunks = [prefix, b"\x00" * ((-len(prefix)) % _ALIGN)]
+    for name, _, _ in _COLUMNS:
+        data = arrays[name].tobytes()
+        chunks.append(data)
+        chunks.append(b"\x00" * ((-len(data)) % _ALIGN))
+    payload = b"".join(chunks)
+
+    blob = pack_blob(SEGMENT_MAGIC, SEGMENT_VERSION, payload)
+    # Fault-injection seam: tests corrupt/truncate the blob here to prove
+    # the warm-start path falls back to a cold start.
+    blob = faults.maybe_mangle("cache-segment", blob)
+    directory = Path(cache_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = segment_path(directory, fingerprint)
+    atomic_write_bytes(path, blob)
+    faults.maybe_fire("cache-segment-saved")
+    return path
+
+
+def load_segment(path: str | Path) -> CacheSegment:
+    """Memory-map and validate a segment, raising :class:`CacheSegmentError`.
+
+    Validation order: length, magic, version, checksum, header parse, array
+    bounds, cross-array row counts — each failure names what went wrong.
+    The returned arrays are read-only zero-copy views into the file's
+    memory map (the map stays alive as long as the arrays do).
+    """
+    path = Path(path)
+    what = f"cache segment '{path}'"
+    try:
+        with open(path, "rb") as handle:
+            try:
+                buffer: memoryview | bytes = memoryview(
+                    mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+                )
+            except (OSError, ValueError):
+                # Empty or unmappable files still get the full validation
+                # story (an empty file is "truncated", not a crash).
+                buffer = handle.read()
+    except OSError as exc:
+        raise CacheSegmentError(f"{what} is unreadable: {exc}") from exc
+    payload = unpack_blob(
+        buffer,
+        magic=SEGMENT_MAGIC,
+        version=SEGMENT_VERSION,
+        what=what,
+        error=CacheSegmentError,
+    )
+    try:
+        header_size = int.from_bytes(payload[:4], "little")
+        header = json.loads(bytes(payload[4 : 4 + header_size]).decode("utf-8"))
+        fingerprint = bytes.fromhex(header["fingerprint"])
+        components = tuple(str(name) for name in header["components"])
+        described = header["arrays"]
+    except Exception as exc:
+        raise CacheSegmentError(f"{what} has an unparseable header: {exc}") from exc
+
+    data_start = 4 + header_size + (-(4 + header_size)) % _ALIGN
+    arrays: dict[str, np.ndarray] = {}
+    for name, expected_dtype, expected_rank in _COLUMNS:
+        try:
+            entry = described[name]
+            dtype = np.dtype(entry["dtype"])
+            shape = tuple(int(dim) for dim in entry["shape"])
+            offset = data_start + int(entry["offset"])
+        except Exception as exc:
+            raise CacheSegmentError(
+                f"{what} describes no usable '{name}' array: {exc}"
+            ) from exc
+        if dtype.str != expected_dtype or len(shape) != expected_rank:
+            raise CacheSegmentError(
+                f"{what} stores '{name}' as {entry['dtype']}{list(shape)}, "
+                f"expected {expected_dtype} of rank {expected_rank}"
+            )
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 0
+        if offset < 0 or offset + count * dtype.itemsize > len(payload):
+            raise CacheSegmentError(
+                f"{what}'s '{name}' array lies outside the payload"
+            )
+        array = np.frombuffer(payload, dtype=dtype, count=count, offset=offset)
+        array = array.reshape(shape)
+        array.flags.writeable = False
+        arrays[name] = array
+
+    rows = {name: len(array) for name, array in arrays.items()}
+    if len(set(rows.values())) > 1:
+        raise CacheSegmentError(
+            f"{what}'s columns have mismatched row counts ({rows})"
+        )
+    if len(arrays["objectives"]) and arrays["objectives"].shape[1] != len(
+        components
+    ):
+        raise CacheSegmentError(
+            f"{what} stores {arrays['objectives'].shape[1]} objective columns "
+            f"for {len(components)} components"
+        )
+    return CacheSegment(
+        fingerprint=fingerprint,
+        components=components,
+        genotypes=arrays["genotypes"],
+        objectives=arrays["objectives"],
+        feasible=arrays["feasible"],
+        violation_counts=arrays["violation_counts"],
+    )
+
+
+def load_segment_if_valid(
+    path: str | Path, *, fingerprint: bytes | None
+) -> CacheSegment | None:
+    """Warm-start-side loader: a usable segment or ``None`` (cold start).
+
+    A missing file is a silent ``None`` (first run against this cache
+    directory).  A file that fails validation, or whose stored fingerprint
+    differs from the requesting problem's, emits a
+    :class:`CacheTierWarning` and returns ``None`` — serving rows computed
+    under different evaluation semantics would poison the front.
+    """
+    path = Path(path)
+    if not path.exists():
+        return None
+    try:
+        segment = load_segment(path)
+    except CacheSegmentError as exc:
+        warnings.warn(
+            f"ignoring unusable cache segment: {exc}; starting cold",
+            CacheTierWarning,
+            stacklevel=2,
+        )
+        return None
+    if fingerprint is None or segment.fingerprint != fingerprint:
+        warnings.warn(
+            f"ignoring cache segment '{path}': evaluator fingerprint does "
+            "not match the requesting problem; starting cold",
+            CacheTierWarning,
+            stacklevel=2,
+        )
+        return None
+    return segment
+
+
+def spill_rows(
+    cache_dir: str | Path,
+    *,
+    fingerprint: bytes,
+    components: tuple[str, ...],
+    rows: Mapping[tuple[int, ...], _Row],
+) -> Path | None:
+    """Spill column rows into a fingerprint's segment, merging what's there.
+
+    An existing valid segment with the same component set is unioned in
+    (the new rows win on conflicts — both sides computed the same floats,
+    so the choice is cosmetic).  Component sets follow the shared cache's
+    richest-record rule: a spill *wider* than the stored segment replaces
+    it outright (narrow rows cannot be widened), a spill *narrower* than
+    (or incomparable with) the stored segment is a no-op — the richer
+    segment keeps serving both problems by projection.  An existing
+    invalid segment is warned about (:class:`CacheTierWarning`) and
+    overwritten.
+
+    Returns the segment path, or ``None`` when there was nothing to write.
+    """
+    if not rows:
+        return None
+    path = segment_path(cache_dir, fingerprint)
+    existing = None
+    if path.exists():
+        existing = load_segment_if_valid(path, fingerprint=fingerprint)
+        if existing is not None and existing.components != components:
+            if set(components) > set(existing.components):
+                # A richer spill replaces the narrow segment outright (its
+                # rows cannot be widened, and a miss is always safe).
+                existing = None
+            else:
+                # Narrower or incomparable: the stored segment keeps serving
+                # both problems (by projection, or first writer wins).
+                return path
+    merged: dict[tuple[int, ...], _Row] = existing.rows() if existing else {}
+    merged.update(rows)
+    n_objectives = len(components)
+    keys = list(merged)
+    return save_segment(
+        cache_dir,
+        fingerprint=fingerprint,
+        components=components,
+        genotypes=np.asarray(keys, dtype=np.int64).reshape(len(keys), -1),
+        objectives=np.asarray(
+            [merged[key][0] for key in keys], dtype=np.float64
+        ).reshape(len(keys), n_objectives),
+        feasible=np.asarray([merged[key][1] for key in keys], dtype=bool),
+        violation_counts=np.asarray(
+            [merged[key][2] for key in keys], dtype=np.int64
+        ),
+    )
+
+
+def spill_shared_cache(
+    cache: "SharedGenotypeCache", cache_dir: str | Path
+) -> list[Path]:
+    """Spill a shared cache's records into one segment per fingerprint.
+
+    A segment stores a single objective matrix, so for each fingerprint the
+    richest component set present is chosen and every record whose
+    components are a superset of it is flattened in, projected onto the
+    chosen order.  Records with narrower (or incomparable) component sets
+    are skipped — a miss is always safe, and with the shipped problems'
+    nested objective sets (full ⊃ baseline) the richest records dominate.
+    """
+    grouped: dict[bytes, dict[tuple[int, ...], tuple[tuple[str, ...], object]]] = {}
+    for fingerprint, genotype, components, design in cache.iter_records():
+        grouped.setdefault(fingerprint, {})[genotype] = (components, design)
+    paths: list[Path] = []
+    for fingerprint, records in grouped.items():
+        chosen = max(
+            {components for components, _ in records.values()},
+            key=lambda components: (len(components), components),
+        )
+        rows: dict[tuple[int, ...], _Row] = {}
+        for genotype, (components, design) in records.items():
+            if not set(chosen) <= set(components):
+                continue
+            objectives = tuple(
+                design.objectives[components.index(name)] for name in chosen
+            )
+            violations = getattr(design, "violation_count", None)
+            if violations is None:
+                violations = 0 if design.feasible else 1
+            rows[genotype] = (objectives, bool(design.feasible), int(violations))
+        path = spill_rows(
+            cache_dir, fingerprint=fingerprint, components=chosen, rows=rows
+        )
+        if path is not None:
+            paths.append(path)
+    return paths

@@ -89,6 +89,14 @@ class EngineStats:
         node_model_calls: raw per-node model executions (node-cache misses).
         node_cache_evictions: per-node stage results evicted by the LRU
             bound of the node cache.
+        column_memo_evictions: column rows evicted by the LRU bound of the
+            engine's column-row memo (``column_memo_max_entries``).
+        rows_loaded_from_disk: column rows bulk-memoised from a persistent
+            cache segment (:mod:`repro.engine.persist`) — warm-start
+            capacity loaded, whether or not a sweep ever requests it.
+        persistent_cache_hits: genotype requests answered by a column row
+            that came off disk (a subset of ``genotype_cache_hits``; the
+            warm-start sweep's "no model was touched" evidence).
         batches: number of ``evaluate_many`` invocations.
         wall_time_s: wall-clock time spent inside the engine.
     """
@@ -110,6 +118,9 @@ class EngineStats:
     node_cache_hits: int = 0
     node_model_calls: int = 0
     node_cache_evictions: int = 0
+    column_memo_evictions: int = 0
+    rows_loaded_from_disk: int = 0
+    persistent_cache_hits: int = 0
     batches: int = 0
     wall_time_s: float = 0.0
 

@@ -495,6 +495,63 @@ class TestCheckpointFormat:
             )
         assert restored is None
 
+    @pytest.mark.parametrize(
+        "overrides, fragment",
+        [
+            (dict(cursor=65), "cursor"),  # past the 64-design space
+            (dict(cursor=-1), "cursor"),
+            (dict(feasible=np.array([True])), "mismatched row counts"),
+            (
+                dict(objectives=np.zeros((5, 3)), violation_counts=np.zeros(5)),
+                "mismatched row counts",
+            ),
+        ],
+    )
+    def test_inconsistent_state_warns_and_cold_starts(
+        self, tmp_path, overrides, fragment
+    ):
+        # The checksum only proves the writer's bytes survived; a writer
+        # that serialized nonsense (cursor outside the space, archive
+        # columns of different lengths) must still cold-start the resume.
+        path = tmp_path / "sweep.ckpt"
+        save_checkpoint(path, _checkpoint(tmp_path, **overrides))
+        with pytest.warns(CheckpointWarning, match=fragment):
+            restored = load_checkpoint_if_valid(
+                path, algorithm="exhaustive", space_size=64, fingerprint=b"fp"
+            )
+        assert restored is None
+
+    def test_tmp_sibling_names_are_unique_per_write(self, tmp_path):
+        from repro.engine.checkpoint import _tmp_sibling
+
+        path = tmp_path / "sweep.ckpt"
+        names = {_tmp_sibling(path).name for _ in range(4)}
+        assert len(names) == 4  # the counter makes every write distinct
+        for name in names:
+            assert name.startswith("sweep.ckpt.")
+            assert name.endswith(".tmp")
+            assert f".{os.getpid()}." in name  # and the pid separates processes
+
+    def test_failed_write_keeps_the_previous_file_and_no_tmp(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.engine.checkpoint import atomic_write_bytes
+
+        path = tmp_path / "sweep.ckpt"
+        save_checkpoint(path, _checkpoint(tmp_path))
+        before = path.read_bytes()
+
+        def refuse(fd):
+            raise OSError("injected: disk full")
+
+        monkeypatch.setattr(os, "fsync", refuse)
+        with pytest.raises(OSError, match="disk full"):
+            atomic_write_bytes(path, b"half-written")
+        monkeypatch.undo()
+        # The previous checkpoint is untouched and the tmp file is gone.
+        assert path.read_bytes() == before
+        assert list(tmp_path.iterdir()) == [path]
+
 
 # --------------------------------------------------------------------------
 # Checkpoint/resume sweeps: interrupted runs finish bitwise identically.

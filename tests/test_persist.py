@@ -1,0 +1,563 @@
+"""Persistent cache tier: segment format, warm-start sweeps, fault injection.
+
+Three layers are covered.  The *format* tests pin the on-disk segment
+contract (framing, checksum, byte-determinism, projection, merge rules).
+The *warm-start* tests are the tier's acceptance criteria: a sweep re-run
+against a spilled segment — in the same process, through the runner, or in
+a genuinely fresh process — must produce a front bitwise identical to the
+cold run with **zero** model evaluations.  The *fault* tests drive the
+``"cache-segment"`` mangle site and the ``"cache-segment-saved"`` fire site
+of :mod:`repro.engine.faults`: a corrupted/truncated/foreign segment warns
+(:class:`CacheTierWarning`) and cold-starts, and a SIGKILL during the spill
+leaves no temporary file behind.
+
+Problems are the small two-node/64-configuration spaces of the fault suite
+(:mod:`test_faults`), so the file stays well inside the CI budget.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import textwrap
+import warnings
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.baseline import EnergyDelayBaselineEvaluator
+from repro.dse.exhaustive import ExhaustiveSearch
+from repro.dse.problem import WbsnDseProblem
+from repro.dse.runner import run_algorithm
+from repro.engine import (
+    CacheSegmentError,
+    CacheTierWarning,
+    EvaluationEngine,
+    FaultPlan,
+    FaultSpec,
+    inject_faults,
+    load_segment,
+    load_segment_if_valid,
+    save_segment,
+    segment_path,
+)
+from repro.engine.checkpoint import pack_blob
+from repro.engine.persist import SEGMENT_MAGIC, SEGMENT_VERSION, spill_rows
+from repro.experiments.casestudy import build_case_study_evaluator
+
+from test_faults import (
+    NODE_DOMAINS,
+    beacon_problem,
+    front_signature,
+    reference_front,
+)
+
+FP = bytes(range(32))
+OTHER_FP = bytes(range(32, 64))
+COMPONENTS = ("energy", "quality", "delay")
+
+#: A small hand-written row set: {genotype key: (objectives, feasible, violations)}.
+ROWS = {
+    (1, 0): ((4.0, 5.0, 6.0), False, 2),
+    (0, 1): ((1.0, 2.0, 3.0), True, 0),
+    (0, 0): ((7.0, 8.0, 9.0), True, 0),
+}
+
+
+def column_arrays(rows, components=COMPONENTS):
+    """Flatten a row mapping into ``save_segment``'s column arrays."""
+    keys = list(rows)
+    return dict(
+        genotypes=np.asarray(keys, dtype=np.int64).reshape(len(keys), -1),
+        objectives=np.asarray(
+            [rows[key][0] for key in keys], dtype=np.float64
+        ).reshape(len(keys), len(components)),
+        feasible=np.asarray([rows[key][1] for key in keys], dtype=bool),
+        violation_counts=np.asarray(
+            [rows[key][2] for key in keys], dtype=np.int64
+        ),
+    )
+
+
+def baseline_problem(engine: EvaluationEngine) -> WbsnDseProblem:
+    """The two-node space under the (energy, delay) baseline evaluator.
+
+    Same network model as :func:`test_faults.beacon_problem` — the two
+    problems share one evaluation fingerprint and differ only in objective
+    components, exactly like the Figure-5 pair.
+    """
+    return WbsnDseProblem(
+        EnergyDelayBaselineEvaluator(
+            build_case_study_evaluator(n_nodes=2, applications=("dwt", "cs"))
+        ),
+        **NODE_DOMAINS,
+        payload_bytes=(60, 80),
+        order_pairs=((4, 4), (4, 6)),
+        engine=engine,
+    )
+
+
+def sweep(engine: EvaluationEngine, problem_factory=beacon_problem):
+    """Exhaustive sweep on a problem bound to ``engine``, then close it."""
+    with engine:
+        return run_algorithm(
+            ExhaustiveSearch(problem_factory(engine), chunk_size=16)
+        )
+
+
+def subprocess_env() -> dict[str, str]:
+    """Environment for a fresh-process run: src and tests on PYTHONPATH."""
+    env = dict(os.environ)
+    here = os.path.dirname(os.path.abspath(__file__))
+    src = os.path.join(os.path.dirname(here), "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src, here, env.get("PYTHONPATH")) if p
+    )
+    return env
+
+
+# --------------------------------------------------------------------------
+# Segment format: atomic, versioned, checksummed, byte-deterministic.
+
+
+class TestSegmentFormat:
+    def test_roundtrip_sorts_rows_by_genotype(self, tmp_path):
+        path = save_segment(
+            tmp_path, fingerprint=FP, components=COMPONENTS, **column_arrays(ROWS)
+        )
+        assert path == segment_path(tmp_path, FP)
+        loaded = load_segment(path)
+        assert loaded.fingerprint == FP
+        assert loaded.components == COMPONENTS
+        assert len(loaded) == len(ROWS)
+        assert loaded.rows() == ROWS
+        # Rows are lexsorted by genotype regardless of insertion order.
+        assert loaded.genotypes.tolist() == [[0, 0], [0, 1], [1, 0]]
+        # The loaded arrays are read-only views into the file's memory map.
+        with pytest.raises(ValueError):
+            loaded.objectives[0, 0] = 0.0
+        # Atomicity: no temporary file left behind.
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_equal_row_sets_produce_identical_bytes(self, tmp_path):
+        reordered = dict(reversed(list(ROWS.items())))
+        a = save_segment(
+            tmp_path / "a", fingerprint=FP, components=COMPONENTS,
+            **column_arrays(ROWS),
+        )
+        b = save_segment(
+            tmp_path / "b", fingerprint=FP, components=COMPONENTS,
+            **column_arrays(reordered),
+        )
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_rejects_mismatched_column_lengths(self, tmp_path):
+        arrays = column_arrays(ROWS)
+        arrays["feasible"] = arrays["feasible"][:1]
+        with pytest.raises(ValueError, match="row count"):
+            save_segment(
+                tmp_path, fingerprint=FP, components=COMPONENTS, **arrays
+            )
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CacheSegmentError, match="unreadable"):
+            load_segment(tmp_path / "absent.wbsncache")
+        # The warm-start loader treats a missing segment as a silent cold
+        # start (first run against the cache directory), not a warning.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert (
+                load_segment_if_valid(
+                    tmp_path / "absent.wbsncache", fingerprint=FP
+                )
+                is None
+            )
+
+    def test_empty_file_is_truncated_not_a_crash(self, tmp_path):
+        path = tmp_path / "empty.wbsncache"
+        path.write_bytes(b"")
+        with pytest.raises(CacheSegmentError, match="truncated"):
+            load_segment(path)
+        with pytest.warns(CacheTierWarning, match="truncated"):
+            assert load_segment_if_valid(path, fingerprint=FP) is None
+
+    def test_flipped_payload_byte_fails_the_checksum(self, tmp_path):
+        path = save_segment(
+            tmp_path, fingerprint=FP, components=COMPONENTS, **column_arrays(ROWS)
+        )
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0x01
+        path.write_bytes(bytes(blob))
+        with pytest.raises(CacheSegmentError, match="integrity"):
+            load_segment(path)
+
+    def test_foreign_magic_and_future_version(self, tmp_path):
+        path = save_segment(
+            tmp_path, fingerprint=FP, components=COMPONENTS, **column_arrays(ROWS)
+        )
+        blob = bytearray(path.read_bytes())
+        mangled = bytearray(blob)
+        mangled[0] ^= 0xFF
+        path.write_bytes(bytes(mangled))
+        with pytest.raises(CacheSegmentError, match="magic"):
+            load_segment(path)
+        future = SEGMENT_VERSION + 1
+        blob[len(SEGMENT_MAGIC) : len(SEGMENT_MAGIC) + 4] = future.to_bytes(
+            4, "little"
+        )
+        path.write_bytes(bytes(blob))
+        with pytest.raises(CacheSegmentError, match="version"):
+            load_segment(path)
+
+    def test_unparseable_header_is_rejected(self, tmp_path):
+        # A correctly framed blob whose payload is not a segment header.
+        path = tmp_path / "junk.wbsncache"
+        payload = (64).to_bytes(4, "little") + b"\xff" * 64
+        path.write_bytes(pack_blob(SEGMENT_MAGIC, SEGMENT_VERSION, payload))
+        with pytest.raises(CacheSegmentError, match="header"):
+            load_segment(path)
+
+    def test_fingerprint_mismatch_warns_and_cold_starts(self, tmp_path):
+        path = save_segment(
+            tmp_path, fingerprint=FP, components=COMPONENTS, **column_arrays(ROWS)
+        )
+        with pytest.warns(CacheTierWarning, match="fingerprint"):
+            assert load_segment_if_valid(path, fingerprint=OTHER_FP) is None
+        with pytest.warns(CacheTierWarning, match="fingerprint"):
+            assert load_segment_if_valid(path, fingerprint=None) is None
+
+    def test_projection_is_a_column_selection(self, tmp_path):
+        path = save_segment(
+            tmp_path, fingerprint=FP, components=COMPONENTS, **column_arrays(ROWS)
+        )
+        segment = load_segment(path)
+        assert segment.project(COMPONENTS) is segment.objectives
+        projected = segment.project(("energy", "delay"))
+        np.testing.assert_array_equal(projected, segment.objectives[:, [0, 2]])
+        reordered = segment.project(("delay", "energy"))
+        np.testing.assert_array_equal(reordered, segment.objectives[:, [2, 0]])
+        # Not a subset: a miss, never a guess.
+        assert segment.project(("energy", "latency")) is None
+
+
+class TestSpillMergeRules:
+    def test_empty_rows_write_nothing(self, tmp_path):
+        assert (
+            spill_rows(tmp_path, fingerprint=FP, components=COMPONENTS, rows={})
+            is None
+        )
+        assert not list(tmp_path.iterdir())
+
+    def test_same_components_union_new_rows_win(self, tmp_path):
+        spill_rows(tmp_path, fingerprint=FP, components=COMPONENTS, rows=ROWS)
+        update = {
+            (0, 1): ((9.0, 9.0, 9.0), True, 0),  # conflicting key
+            (2, 2): ((0.5, 0.5, 0.5), True, 0),  # fresh key
+        }
+        path = spill_rows(
+            tmp_path, fingerprint=FP, components=COMPONENTS, rows=update
+        )
+        merged = load_segment(path).rows()
+        assert len(merged) == 4
+        assert merged[(0, 1)] == update[(0, 1)]
+        assert merged[(0, 0)] == ROWS[(0, 0)]
+
+    def test_richer_spill_replaces_a_narrow_segment(self, tmp_path):
+        narrow = {(0, 0): ((1.0, 3.0), True, 0)}
+        spill_rows(
+            tmp_path, fingerprint=FP, components=("energy", "delay"), rows=narrow
+        )
+        path = spill_rows(
+            tmp_path, fingerprint=FP, components=COMPONENTS, rows=ROWS
+        )
+        segment = load_segment(path)
+        assert segment.components == COMPONENTS
+        # Narrow rows cannot be widened: they are dropped with the segment.
+        assert segment.rows() == ROWS
+
+    def test_narrower_spill_is_a_noop(self, tmp_path):
+        spill_rows(tmp_path, fingerprint=FP, components=COMPONENTS, rows=ROWS)
+        narrow = {(5, 5): ((1.0, 3.0), True, 0)}
+        path = spill_rows(
+            tmp_path, fingerprint=FP, components=("energy", "delay"), rows=narrow
+        )
+        segment = load_segment(path)
+        assert segment.components == COMPONENTS
+        assert segment.rows() == ROWS
+
+    def test_incomparable_spill_is_a_noop(self, tmp_path):
+        first = {(0, 0): ((1.0, 3.0), True, 0)}
+        spill_rows(
+            tmp_path, fingerprint=FP, components=("energy", "delay"), rows=first
+        )
+        other = {(1, 1): ((2.0, 4.0), True, 0)}
+        path = spill_rows(
+            tmp_path, fingerprint=FP, components=("energy", "quality"), rows=other
+        )
+        segment = load_segment(path)
+        assert segment.components == ("energy", "delay")
+        assert segment.rows() == first
+
+
+# --------------------------------------------------------------------------
+# Warm-start sweeps: bitwise-identical fronts, zero model evaluations.
+
+
+class TestWarmStartSweeps:
+    def test_warm_engine_reruns_without_model_evaluations(self, tmp_path):
+        cold = sweep(EvaluationEngine(cache_dir=tmp_path))
+        assert cold.model_evaluations > 0
+        assert front_signature(cold.front) == reference_front("beacon")
+        segments = list(tmp_path.iterdir())
+        assert [p.suffix for p in segments] == [".wbsncache"]
+        assert len(load_segment(segments[0])) == 64
+
+        warm_engine = EvaluationEngine(cache_dir=tmp_path)
+        warm = sweep(warm_engine)
+        assert front_signature(warm.front) == front_signature(cold.front)
+        # The acceptance criterion: the warm engine never touched the model
+        # — not even for the problem's construction probe.
+        assert warm_engine.stats.model_evaluations == 0
+        assert warm_engine.stats.rows_loaded_from_disk == 64
+        assert warm_engine.stats.persistent_cache_hits >= 64
+
+    def test_runner_cache_dir_plumbs_the_tier(self, tmp_path):
+        cold = run_algorithm(
+            ExhaustiveSearch(beacon_problem(EvaluationEngine()), chunk_size=16),
+            cache_dir=str(tmp_path),
+        )
+        assert cold.model_evaluations > 0
+        assert list(tmp_path.glob("*.wbsncache"))
+        warm = run_algorithm(
+            ExhaustiveSearch(beacon_problem(EvaluationEngine()), chunk_size=16),
+            cache_dir=str(tmp_path),
+        )
+        assert front_signature(warm.front) == front_signature(cold.front)
+        assert warm.model_evaluations == 0
+        # The construction probe (computed before the run, outside the tier)
+        # is already memoised, so 63 of the 64 rows come off disk.
+        assert warm.rows_loaded_from_disk == 63
+        assert warm.persistent_cache_hits == 63
+
+    def test_runner_rejects_engineless_problems(self):
+        class EnginelessProblem:
+            engine = None
+
+        class Algorithm:
+            problem = EnginelessProblem()
+
+            def run(self):  # pragma: no cover - never reached
+                return []
+
+        with pytest.raises(TypeError, match="cache_dir"):
+            run_algorithm(Algorithm(), cache_dir="anywhere")
+
+    def test_cross_process_warm_start(self, tmp_path):
+        # The cold sweep runs — and spills — in a genuinely fresh process;
+        # this process then warm-starts from nothing but the segment file.
+        script = textwrap.dedent(
+            f"""
+            from test_faults import beacon_problem
+            from repro.dse.exhaustive import ExhaustiveSearch
+            from repro.dse.runner import run_algorithm
+            from repro.engine import EvaluationEngine
+
+            engine = EvaluationEngine(cache_dir={str(tmp_path)!r})
+            with engine:
+                result = run_algorithm(
+                    ExhaustiveSearch(beacon_problem(engine), chunk_size=16)
+                )
+            assert result.model_evaluations > 0
+            """
+        )
+        completed = subprocess.run(
+            [sys.executable, "-c", script],
+            env=subprocess_env(),
+            capture_output=True,
+            text=True,
+        )
+        assert completed.returncode == 0, completed.stderr
+
+        warm_engine = EvaluationEngine(cache_dir=tmp_path)
+        warm = sweep(warm_engine)
+        assert front_signature(warm.front) == reference_front("beacon")
+        assert warm_engine.stats.model_evaluations == 0
+        assert warm_engine.stats.rows_loaded_from_disk == 64
+
+    def test_baseline_warm_starts_from_the_full_models_segment(self, tmp_path):
+        # The Figure-5 cross-problem flow, across processes: the full model
+        # spills its three-component segment, and the (energy, delay)
+        # baseline — same fingerprint — is served column projections of the
+        # same floats, without a single model evaluation.
+        cold_baseline = run_algorithm(
+            ExhaustiveSearch(baseline_problem(EvaluationEngine()), chunk_size=16)
+        )
+        assert cold_baseline.model_evaluations > 0
+
+        sweep(EvaluationEngine(cache_dir=tmp_path))  # full model spills
+
+        warm_engine = EvaluationEngine(cache_dir=tmp_path)
+        warm = sweep(warm_engine, baseline_problem)
+        assert front_signature(warm.front) == front_signature(
+            cold_baseline.front
+        )
+        assert warm_engine.stats.model_evaluations == 0
+
+        # The baseline's narrower close-time spill must not have clobbered
+        # the richer stored segment (merge rule: narrower is a no-op).
+        segment = load_segment(next(tmp_path.glob("*.wbsncache")))
+        assert segment.components == COMPONENTS
+        assert len(segment) == 64
+
+
+# --------------------------------------------------------------------------
+# Fault injection: corrupted segments cold-start, kills leak no tmp files.
+
+
+class TestSegmentFaultInjection:
+    @pytest.mark.parametrize(
+        "action, kwargs, fragment",
+        [
+            ("flip-byte", {}, "integrity"),
+            ("truncate", dict(offset=6), "truncated"),
+        ],
+    )
+    def test_mangled_segment_falls_back_to_cold_start(
+        self, tmp_path, action, kwargs, fragment
+    ):
+        plan = FaultPlan([FaultSpec(site="cache-segment", action=action, **kwargs)])
+        with inject_faults(plan):
+            cold = sweep(EvaluationEngine(cache_dir=tmp_path))
+        assert front_signature(cold.front) == reference_front("beacon")
+
+        warm_engine = EvaluationEngine(cache_dir=tmp_path)
+        with pytest.warns(CacheTierWarning, match=fragment):
+            problem = beacon_problem(warm_engine)  # bind-time load warns
+        warm = run_algorithm(ExhaustiveSearch(problem, chunk_size=16))
+        assert front_signature(warm.front) == reference_front("beacon")
+        # The unusable segment was ignored: a full cold sweep.
+        assert warm_engine.stats.model_evaluations == 64
+        assert warm_engine.stats.rows_loaded_from_disk == 0
+        # Closing spills over the corrupt segment (warning again), healing
+        # the cache directory for the next process.
+        with pytest.warns(CacheTierWarning, match=fragment):
+            warm_engine.close()
+        healed_engine = EvaluationEngine(cache_dir=tmp_path)
+        healed = sweep(healed_engine)
+        assert front_signature(healed.front) == reference_front("beacon")
+        assert healed_engine.stats.model_evaluations == 0
+
+    def test_foreign_fingerprint_segment_is_ignored(self, tmp_path):
+        probe = beacon_problem(EvaluationEngine())
+        fingerprint = probe.evaluation_fingerprint()
+        rows = {(0,) * len(probe.space.domains): ((1.0, 2.0, 3.0), True, 0)}
+        foreign = spill_rows(
+            tmp_path / "other", fingerprint=OTHER_FP, components=COMPONENTS,
+            rows=rows,
+        )
+        os.replace(foreign, segment_path(tmp_path, fingerprint))
+
+        engine = EvaluationEngine(cache_dir=tmp_path)
+        with pytest.warns(CacheTierWarning, match="fingerprint"):
+            beacon_problem(engine)
+        assert engine.stats.rows_loaded_from_disk == 0
+
+    def test_unservable_components_cold_start(self, tmp_path):
+        probe = beacon_problem(EvaluationEngine())
+        fingerprint = probe.evaluation_fingerprint()
+        genes = len(probe.space.domains)
+        save_segment(
+            tmp_path,
+            fingerprint=fingerprint,
+            components=("foo", "bar"),
+            genotypes=np.zeros((1, genes), dtype=np.int64),
+            objectives=np.zeros((1, 2)),
+            feasible=np.ones(1, dtype=bool),
+            violation_counts=np.zeros(1, dtype=np.int64),
+        )
+        engine = EvaluationEngine(cache_dir=tmp_path)
+        with pytest.warns(CacheTierWarning, match="cannot serve"):
+            beacon_problem(engine)
+        assert engine.stats.rows_loaded_from_disk == 0
+
+    def test_sigkill_during_spill_leaks_no_tmp_file(self, tmp_path):
+        # The writer is SIGKILL'd right after the segment write; the cache
+        # directory must hold exactly the (valid) segment — the atomic-write
+        # discipline never leaves a temporary behind.
+        script = textwrap.dedent(
+            f"""
+            from test_faults import beacon_problem
+            from repro.dse.exhaustive import ExhaustiveSearch
+            from repro.dse.runner import run_algorithm
+            from repro.engine import EvaluationEngine, FaultPlan, FaultSpec
+            from repro.engine import install_fault_plan
+
+            install_fault_plan(
+                FaultPlan([FaultSpec(site="cache-segment-saved", action="kill")])
+            )
+            engine = EvaluationEngine(cache_dir={str(tmp_path)!r})
+            with engine:
+                run_algorithm(
+                    ExhaustiveSearch(beacon_problem(engine), chunk_size=16)
+                )
+            raise SystemExit("the spill survived its SIGKILL")
+            """
+        )
+        completed = subprocess.run(
+            [sys.executable, "-c", script],
+            env=subprocess_env(),
+            capture_output=True,
+            text=True,
+        )
+        assert completed.returncode == -9, completed.stderr
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert len(names) == 1 and names[0].endswith(".wbsncache"), names
+        assert not list(tmp_path.glob("*.tmp"))
+        # And the segment the kill raced is whole: a warm start serves it.
+        warm_engine = EvaluationEngine(cache_dir=tmp_path)
+        warm = sweep(warm_engine)
+        assert front_signature(warm.front) == reference_front("beacon")
+        assert warm_engine.stats.model_evaluations == 0
+
+
+# --------------------------------------------------------------------------
+# Column-memo LRU bound (bugfix): bounded memory, unchanged results.
+
+
+class TestColumnMemoBound:
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="column_memo_max_entries"):
+            EvaluationEngine(column_memo_max_entries=0)
+        with pytest.raises(ValueError, match="column_memo_max_entries"):
+            EvaluationEngine(column_memo_max_entries=-1)
+
+    def test_eviction_is_least_recently_used(self):
+        engine = EvaluationEngine(column_memo_max_entries=2)
+        row = ((1.0,), True, 0)
+        engine._column_memo_put((1,), row)
+        engine._column_memo_put((2,), row)
+        assert engine._column_memo_hit((1,)) is row  # touch (1,)
+        engine._column_memo_put((3,), row)  # evicts (2,), the LRU entry
+        assert set(engine._column_memo) == {(1,), (3,)}
+        assert engine.stats.column_memo_evictions == 1
+
+    def test_bounded_sweep_keeps_the_front(self):
+        engine = EvaluationEngine(column_memo_max_entries=8)
+        result = run_algorithm(
+            ExhaustiveSearch(beacon_problem(engine), chunk_size=16)
+        )
+        assert front_signature(result.front) == reference_front("beacon")
+        assert len(engine._column_memo) <= 8
+        assert engine.stats.column_memo_evictions > 0
+
+    def test_bounded_warm_start_recomputes_evicted_rows(self, tmp_path):
+        sweep(EvaluationEngine(cache_dir=tmp_path))
+        engine = EvaluationEngine(cache_dir=tmp_path, column_memo_max_entries=8)
+        result = sweep(engine)
+        # Most loaded rows were evicted before the sweep reached them — the
+        # bound trades recomputation for memory, never correctness.
+        assert front_signature(result.front) == reference_front("beacon")
+        assert engine.stats.column_memo_evictions > 0
+        assert engine.stats.model_evaluations > 0
