@@ -21,13 +21,18 @@ cross-problem hit-rate improvement is recorded).  The
 ``columnar_exhaustive_uncached`` entry tracks the columnar result path:
 object-path vs columnar-path sweep wall clock, with a hard gate on lazy
 materialisation (the columnar sweep must materialise exactly its front —
-``EngineStats.designs_materialised``).
+``EngineStats.designs_materialised``).  The ``streaming_sweep`` entry
+records peak RSS and wall clock of million-design sweeps run in child
+interpreters, hard-failing if memory scales with the space size or any
+design beyond the front is materialised.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import subprocess
+import sys
 import time
 from pathlib import Path
 
@@ -834,3 +839,207 @@ def test_pruning_kernel_speedup_and_dispatch(reporter):
     # Archive updates run on mostly-prefiltered candidates; the win is
     # smaller but must stay a win.
     assert archive_speedup >= 1.2
+
+
+SRC_ROOT = Path(__file__).resolve().parent.parent / "src"
+
+#: Child process of the streaming-sweep bench.  Peak RSS must come from the
+#: sweep alone, so each run lives in its own interpreter and self-reports
+#: ``getrusage(RUSAGE_SELF).ru_maxrss`` — the parent's high-water mark
+#: carries every previously run test and would swamp the measurement.
+_STREAMING_WORKER = '''\
+import json
+import resource
+import sys
+import warnings
+from itertools import islice
+
+
+def main() -> None:
+    spec = json.loads(sys.argv[1])
+    from repro.dse.exhaustive import ExhaustiveCapWarning, ExhaustiveSearch
+    from repro.dse.problem import WbsnDseProblem
+    from repro.dse.random_search import RandomSearch
+    from repro.dse.runner import run_algorithm
+    from repro.engine import EvaluationEngine
+
+    from repro.experiments.casestudy import build_case_study_evaluator
+
+    # Uncached on purpose: a genotype memo over a million-design sweep IS
+    # O(space) memory, which is exactly what this bench must rule out.
+    problem = WbsnDseProblem(
+        build_case_study_evaluator(n_nodes=spec["n_nodes"]),
+        engine=EvaluationEngine(genotype_cache=False, node_cache=False),
+    )
+    report = {"mode": spec["mode"], "space_size": problem.space.size}
+    if spec["mode"] == "baseline":
+        # Interpreter + kernel compile + one evaluated chunk: everything a
+        # flat-memory sweep legitimately keeps resident, nothing it iterates.
+        chunk = list(
+            islice(problem.space.enumerate_genotypes(), spec["chunk_size"])
+        )
+        report["rows"] = int(len(problem.evaluate_batch_columns(chunk).feasible))
+    else:
+        if spec["mode"] == "exhaustive":
+            algorithm = ExhaustiveSearch(problem, chunk_size=spec["chunk_size"])
+        else:
+            algorithm = RandomSearch(
+                problem,
+                samples=spec["samples"],
+                seed=spec["seed"],
+                chunk_size=spec["chunk_size"],
+            )
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = run_algorithm(algorithm)
+        report.update(
+            cap_warned=any(
+                issubclass(entry.category, ExhaustiveCapWarning)
+                for entry in caught
+            ),
+            front_size=len(result.front),
+            designs_materialised=int(result.designs_materialised),
+            model_evaluations=int(result.model_evaluations),
+            wall_clock_s=result.wall_clock_s,
+        )
+    # Linux reports ru_maxrss in kilobytes.
+    report["peak_rss_kb"] = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    print(json.dumps(report))
+
+
+main()
+'''
+
+
+def _run_streaming_child(tmp_path: Path, spec: dict) -> dict:
+    script = tmp_path / "streaming_worker.py"
+    script.write_text(_STREAMING_WORKER)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_ROOT)
+    completed = subprocess.run(
+        [sys.executable, str(script), json.dumps(spec)],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return json.loads(completed.stdout.strip().splitlines()[-1])
+
+
+@pytest.mark.paper_figure("dse-speed")
+def test_streaming_sweep_flat_memory(reporter, tmp_path):
+    """Million-design sweeps without O(space) memory (``streaming_sweep``).
+
+    Each sweep runs in a child interpreter that self-reports its own peak
+    RSS; three hard gates back the entry in ``BENCH_dse_speed.json``:
+
+    * an **exhaustive sweep of a 1,048,576-design space** (the full 3-node
+      case-study domains — past the old hard ``max_configurations`` ceiling,
+      so the soft-cap warning must fire) completes with a peak RSS bounded
+      by the baseline child (interpreter + compiled kernel + one evaluated
+      chunk) plus fixed headroom far below the footprint of any
+      materialised million-genotype structure;
+    * **no design beyond the front is materialised** — the job fails if
+      ``designs_materialised`` exceeds the front size on any sweep;
+    * the **streaming random sweep's memory does not scale with the space**:
+      the same draw count over a 32x larger space (4-node, 33.5M designs)
+      must hold peak RSS within a flat-ratio bound of the 1M-space run.
+    """
+    chunk_size = 8192
+    samples = 24_000
+
+    baseline = _run_streaming_child(
+        tmp_path, {"mode": "baseline", "n_nodes": 3, "chunk_size": chunk_size}
+    )
+    exhaustive = _run_streaming_child(
+        tmp_path,
+        {"mode": "exhaustive", "n_nodes": 3, "chunk_size": chunk_size},
+    )
+    random_million = _run_streaming_child(
+        tmp_path,
+        {
+            "mode": "random",
+            "n_nodes": 3,
+            "chunk_size": 4096,
+            "samples": samples,
+            "seed": 5,
+        },
+    )
+    random_control = _run_streaming_child(
+        tmp_path,
+        {
+            "mode": "random",
+            "n_nodes": 4,
+            "chunk_size": 4096,
+            "samples": samples,
+            "seed": 5,
+        },
+    )
+
+    space_size = exhaustive["space_size"]
+    assert space_size >= 1_000_000
+    assert baseline["space_size"] == space_size
+    assert random_control["space_size"] == 32 * space_size
+
+    # The old hard ceiling is gone: the sweep warns and proceeds to the end
+    # (an uncached engine evaluates every configuration exactly once).
+    assert exhaustive["cap_warned"]
+    assert exhaustive["model_evaluations"] == space_size
+
+    # Hard gate: no design beyond the front is ever materialised.
+    assert 0 < exhaustive["front_size"] == exhaustive["designs_materialised"]
+    for run in (random_million, random_control):
+        assert 0 < run["front_size"] == run["designs_materialised"]
+        assert run["model_evaluations"] <= samples
+
+    # Hard gate: the million-design sweep's peak RSS sits on the baseline
+    # child's footprint.  The headroom is generous against allocator noise
+    # yet far below any O(space) structure — a million materialised
+    # genotype tuples alone exceed it.
+    rss_headroom_kb = 100 * 1024
+    assert exhaustive["peak_rss_kb"] <= baseline["peak_rss_kb"] + rss_headroom_kb
+
+    # Hard gate: peak RSS must not scale with the space.  The spaces differ
+    # 32x; a streaming sweep holds the seen-set (O(samples)) and one chunk,
+    # so the control run stays within a flat ratio of the million-run.
+    rss_ratio = random_control["peak_rss_kb"] / random_million["peak_rss_kb"]
+    assert rss_ratio <= 1.25 + 32 * 1024 / random_million["peak_rss_kb"]
+
+    _merge_artifact(
+        {
+            "streaming_sweep": {
+                "space_size": space_size,
+                "exhaustive_wall_clock_s": exhaustive["wall_clock_s"],
+                "exhaustive_designs_per_second": space_size
+                / exhaustive["wall_clock_s"],
+                "exhaustive_peak_rss_kb": exhaustive["peak_rss_kb"],
+                "baseline_peak_rss_kb": baseline["peak_rss_kb"],
+                "front_size": exhaustive["front_size"],
+                "designs_materialised": exhaustive["designs_materialised"],
+                "random_samples": samples,
+                "random_wall_clock_s": random_million["wall_clock_s"],
+                "random_peak_rss_kb": random_million["peak_rss_kb"],
+                "control_space_size": random_control["space_size"],
+                "control_peak_rss_kb": random_control["peak_rss_kb"],
+                "control_rss_ratio": rss_ratio,
+            }
+        }
+    )
+    reporter(
+        "Streaming sweep: million-design space, flat memory",
+        [
+            f"exhaustive sweep ({space_size} designs, soft cap warned): "
+            f"{exhaustive['wall_clock_s']:.1f} s "
+            f"({space_size / exhaustive['wall_clock_s']:.0f}/s), peak RSS "
+            f"{exhaustive['peak_rss_kb'] / 1024:.0f} MB (baseline child "
+            f"{baseline['peak_rss_kb'] / 1024:.0f} MB)",
+            f"designs materialised: {exhaustive['designs_materialised']} "
+            f"(front size {exhaustive['front_size']}; hard gate)",
+            f"random sweep ({samples} draws): peak RSS "
+            f"{random_million['peak_rss_kb'] / 1024:.0f} MB on {space_size} "
+            f"designs vs {random_control['peak_rss_kb'] / 1024:.0f} MB on "
+            f"{random_control['space_size']} designs "
+            f"(ratio {rss_ratio:.2f}, spaces differ 32x)",
+        ],
+    )

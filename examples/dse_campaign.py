@@ -17,6 +17,16 @@ when the engine closes — a re-run of the campaign serves those designs
 without touching the model, with a bitwise-identical front::
 
     python examples/dse_campaign.py .dse-cache
+
+Sweeping far past the old exhaustive ceiling is fine now: generation is
+streaming end to end, so ``ExhaustiveSearch`` on the full 33.5M-design
+six-node space (or ``RandomSearch``, which draws its distinct genotypes
+lazily) holds only the running front plus one chunk in memory —
+``max_configurations`` is a soft threshold that warns
+(``ExhaustiveCapWarning``) and proceeds, a time-cost reminder rather
+than a memory guard.  Pass ``run_algorithm(..., array_backend="cupy")``
+(or any ``repro.core.array_backend.register_backend``-ed name) to
+compute the column kernels on another array library.
 """
 
 from __future__ import annotations

@@ -1,0 +1,139 @@
+"""Array-backend seam for the column-kernel layers.
+
+Every column kernel in the stack — the compiled design-space kernel
+(:mod:`repro.core.vectorized`), the per-stage column kernels in
+:mod:`repro.core` and :mod:`repro.mac802154`, and the skyline/dominance
+pruning kernels in :mod:`repro.dse.pareto` — obtains its array namespace
+here instead of importing NumPy directly.  The namespace follows the
+``xp`` convention shared by the NumPy/CuPy ecosystem: a module-like
+object exposing the array API the kernels consume (``asarray``,
+``where``, ``maximum``, ``ceil``, ufuncs, ...).
+
+The seam makes an accelerator backend a *constructor argument*, not a
+fork:
+
+* ``resolve_backend(None)`` returns the default namespace (NumPy), so
+  nothing changes for existing callers;
+* ``resolve_backend("cupy")`` (or any :func:`register_backend`-ed name)
+  returns that backend's namespace, resolved **once per kernel compile**
+  — :meth:`repro.core.vectorized.WbsnVectorizedKernel.compile` stores
+  the resolved namespace and threads it through every column kernel it
+  drives;
+* the resolved backend's name is surfaced through
+  :attr:`repro.engine.EngineStats.array_backend` so runs record which
+  namespace computed their columns.
+
+What the parity matrix demands of a backend
+-------------------------------------------
+
+The repository's invariant is *bitwise-identical fronts* for a given
+seed (``tests/test_parity_fuzz.py``, ``tests/test_golden_fronts.py``).
+A registered backend therefore must either be IEEE-754 bit-compatible
+with NumPy for the operations the kernels use (CuPy generally is, for
+the element-wise ops used here), or be validated against the golden
+fixtures before being used where bitwise parity is asserted.  Register
+a backend with::
+
+    from repro.core import array_backend
+
+    array_backend.register_backend("mylib", lambda: import_module("mylib"))
+    kernel = WbsnVectorizedKernel.compile(problem, backend="mylib")
+
+Dtype constants (``float64``, ``int64``, ...) are deliberately *not*
+part of the seam: they are backend-neutral descriptors, and kernel
+modules keep referencing them through the default namespace.
+"""
+
+from __future__ import annotations
+
+import importlib
+from types import ModuleType
+from typing import Callable
+
+import numpy
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "available_backends",
+    "backend_name",
+    "numpy",
+    "register_backend",
+    "resolve_backend",
+    "xp",
+]
+
+#: Name of the backend used when none is requested.
+DEFAULT_BACKEND = "numpy"
+
+#: The default array namespace.  Kernel modules import this as ``np`` —
+#: their module-level references (dtype constants, type annotations)
+#: always point at the default backend, while per-kernel code paths use
+#: the namespace resolved at compile time.
+xp: ModuleType = numpy
+
+#: Registered backends: name -> zero-argument loader returning the
+#: namespace.  Loaders run lazily so optional accelerator libraries are
+#: only imported when a kernel actually asks for them.
+_REGISTRY: dict[str, Callable[[], ModuleType]] = {
+    "numpy": lambda: numpy,
+    # CuPy mirrors the NumPy namespace; registered out of the box so a
+    # GPU run is `backend="cupy"` away on hosts that have it installed.
+    "cupy": lambda: importlib.import_module("cupy"),
+}
+
+
+def register_backend(name: str, loader: Callable[[], ModuleType]) -> None:
+    """Register (or replace) a named array backend.
+
+    Args:
+        name: the name kernels pass as ``backend=...``.
+        loader: zero-argument callable returning the ``xp`` namespace;
+            called lazily, at most once per :func:`resolve_backend` call.
+    """
+    if not name:
+        raise ValueError("backend name must be non-empty")
+    if not callable(loader):
+        raise TypeError("backend loader must be callable")
+    _REGISTRY[name] = loader
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names accepted by :func:`resolve_backend` (loaders may still fail
+    if their library is not installed)."""
+    return tuple(_REGISTRY)
+
+
+def resolve_backend(backend: str | ModuleType | None = None) -> ModuleType:
+    """Resolve a backend request to its array namespace.
+
+    Args:
+        backend: ``None`` for the default (NumPy), a registered name, or
+            an already-resolved namespace object (returned as-is, so
+            callers can thread a resolved namespace through without
+            re-resolving).
+
+    Raises:
+        KeyError: on an unregistered name.
+        ImportError: when the named backend's library is unavailable.
+    """
+    if backend is None:
+        return xp
+    if isinstance(backend, str):
+        try:
+            loader = _REGISTRY[backend]
+        except KeyError:
+            raise KeyError(
+                f"unknown array backend {backend!r}; registered: "
+                f"{', '.join(sorted(_REGISTRY))} "
+                "(register_backend() adds more)"
+            ) from None
+        return loader()
+    return backend
+
+
+def backend_name(namespace: ModuleType) -> str:
+    """Short name of a resolved namespace (``'numpy'``, ``'cupy'``, ...)."""
+    name = getattr(namespace, "__name__", None)
+    if name:
+        return name.partition(".")[0]
+    return type(namespace).__name__

@@ -12,9 +12,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from types import ModuleType
 from typing import Literal, Sequence
 
-import numpy as np
+from repro.core.array_backend import xp as np
 
 __all__ = [
     "balanced_aggregate",
@@ -54,7 +55,10 @@ def balanced_aggregate(values: Sequence[float], theta: float = 1.0) -> float:
 
 
 def balanced_aggregate_columns(
-    value_columns: Sequence[np.ndarray], theta: float = 1.0
+    value_columns: Sequence[np.ndarray],
+    theta: float = 1.0,
+    *,
+    xp: ModuleType = np,
 ) -> np.ndarray:
     """Column-wise :func:`balanced_aggregate` over per-node value columns.
 
@@ -62,6 +66,8 @@ def balanced_aggregate_columns(
         value_columns: one column per node, each holding one value per
             candidate of the batch.
         theta: non-negative weight of the balance term.
+        xp: array namespace resolved through the backend seam
+            (:mod:`repro.core.array_backend`); defaults to NumPy.
 
     The accumulation order matches the scalar aggregate exactly (left-to-right
     over nodes), so the result column is floating-point-identical to
@@ -73,18 +79,18 @@ def balanced_aggregate_columns(
     if not columns:
         raise ValueError("value_columns must not be empty")
     count = len(columns)
-    total = np.zeros_like(columns[0])
+    total = xp.zeros_like(columns[0])
     for column in columns:
         total = total + column
     mean = total / count
     if count == 1 or theta == 0.0:
         return mean
-    squares = np.zeros_like(mean)
+    squares = xp.zeros_like(mean)
     for column in columns:
         delta = column - mean
         squares = squares + delta * delta
     variance = squares / (count - 1)
-    return mean + theta * np.sqrt(variance)
+    return mean + theta * xp.sqrt(variance)
 
 
 def network_delay_metric(
@@ -102,7 +108,10 @@ def network_delay_metric(
 
 
 def network_delay_metric_columns(
-    delay_columns: Sequence[np.ndarray], mode: Literal["max", "mean"] = "max"
+    delay_columns: Sequence[np.ndarray],
+    mode: Literal["max", "mean"] = "max",
+    *,
+    xp: ModuleType = np,
 ) -> np.ndarray:
     """Column-wise :func:`network_delay_metric` over per-node delay columns."""
     columns = list(delay_columns)
@@ -111,10 +120,10 @@ def network_delay_metric_columns(
     if mode == "max":
         result = columns[0]
         for column in columns[1:]:
-            result = np.maximum(result, column)
+            result = xp.maximum(result, column)
         return result
     if mode == "mean":
-        total = np.zeros_like(columns[0])
+        total = xp.zeros_like(columns[0])
         for column in columns:
             total = total + column
         return total / len(columns)

@@ -38,7 +38,7 @@ from repro.dse.simulated_annealing import (
     SimulatedAnnealingSettings,
 )
 from repro.dse.random_search import RandomSearch
-from repro.dse.exhaustive import ExhaustiveSearch
+from repro.dse.exhaustive import ExhaustiveCapWarning, ExhaustiveSearch
 from repro.dse.runner import DseResult, run_algorithm
 from repro.engine import EngineStats, EvaluationEngine
 
@@ -58,6 +58,7 @@ __all__ = [
     "MultiObjectiveSimulatedAnnealing",
     "SimulatedAnnealingSettings",
     "RandomSearch",
+    "ExhaustiveCapWarning",
     "ExhaustiveSearch",
     "DseResult",
     "run_algorithm",

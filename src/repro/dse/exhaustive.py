@@ -9,6 +9,7 @@ large parts of the front.
 
 from __future__ import annotations
 
+import warnings
 from itertools import islice
 from pathlib import Path
 
@@ -23,7 +24,16 @@ from repro.engine.checkpoint import (
     save_checkpoint,
 )
 
-__all__ = ["ExhaustiveSearch"]
+__all__ = ["ExhaustiveCapWarning", "ExhaustiveSearch"]
+
+
+class ExhaustiveCapWarning(UserWarning):
+    """An exhaustive sweep exceeds its soft ``max_configurations`` threshold.
+
+    The sweep proceeds anyway — enumeration is lazy and the running archive
+    is bounded by the front size plus one chunk, so large spaces cost time,
+    not memory.  The warning exists so sweeping tens of millions of
+    configurations by accident is loud rather than silent."""
 
 
 def _archive_checkpoint(
@@ -105,8 +115,11 @@ class ExhaustiveSearch:
 
     Args:
         problem: the optimisation problem to enumerate.
-        max_configurations: refuse spaces larger than this (sweeping tens of
-            millions of configurations by accident is rarely intended).
+        max_configurations: soft threshold on the space size — sweeping a
+            larger space warns (:class:`ExhaustiveCapWarning`) and
+            proceeds.  Enumeration is lazy and memory stays bounded by the
+            front plus one chunk, so the threshold guards against
+            accidental long runs, not against memory exhaustion.
         chunk_size: genotypes per evaluated block.
         columnar: force the columnar sweep on (``True``, requires a problem
             with ``supports_columnar``) or off (``False``, always
@@ -164,11 +177,15 @@ class ExhaustiveSearch:
         """Enumerate the space and return the feasible non-dominated designs."""
         size = self.problem.space.size
         if size > self.max_configurations:
-            raise ValueError(
+            warnings.warn(
                 f"the design space holds {size} configurations, above the "
-                f"exhaustive-search cap of {self.max_configurations}; pass "
+                f"exhaustive-search threshold of {self.max_configurations}; "
+                "sweeping it anyway (memory stays bounded by the front plus "
+                "one chunk, but expect a long run — pass "
                 f"ExhaustiveSearch(problem, max_configurations={size}) or "
-                "higher to sweep it anyway"
+                "higher to silence this warning)",
+                ExhaustiveCapWarning,
+                stacklevel=2,
             )
         columnar = self.columnar
         if columnar is None:

@@ -35,7 +35,10 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator, Sequence
 
-import numpy as np
+# The skyline/dominance kernels draw their namespace from the array-backend
+# seam: on the default backend this *is* NumPy, and the objective matrices
+# handed over by the engine live wherever the compiled kernel put them.
+from repro.core.array_backend import xp as np
 
 #: Candidate-block size bounding the memory of the pairwise comparisons.
 _DOMINANCE_BLOCK = 512

@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 import warnings
+from itertools import islice
 from pathlib import Path
+from typing import Iterator
 
 import numpy as np
 
@@ -48,11 +50,17 @@ class RandomSearch:
             (see :mod:`repro.engine.checkpoint`).  Requires the columnar
             path.
         checkpoint_every: chunks between checkpoint writes.
-        chunk_size: samples per evaluated block of the checkpointed sweep
-            (the default one-shot batch is used when no checkpoint path is
-            set — the chunked running-front pruning and the one-shot front
-            extraction are provably order-identical, but the one-shot batch
-            gives worker-pruning backends the most rows per dispatch).
+        chunk_size: distinct samples per evaluated block of the streaming
+            (and checkpointed) columnar sweep.
+        streaming: stream the columnar sweep (the default): distinct
+            genotypes are drawn lazily in chunk-sized blocks and pruned
+            into a running front, so peak memory holds one chunk, the
+            dedup seen-set and the running front — never the full sample
+            list.  ``False`` restores the materialised one-shot batch
+            (the parity reference, and the most rows per dispatch for
+            worker-pruning backends).  Fronts are bitwise identical either
+            way: the draw stream is shared and the chunked running-front
+            pruning is order-identical to the one-shot extraction.
     """
 
     #: name stamped into checkpoints; a resume under a different algorithm
@@ -68,6 +76,7 @@ class RandomSearch:
         checkpoint_path: str | Path | None = None,
         checkpoint_every: int = 8,
         chunk_size: int = 1024,
+        streaming: bool = True,
     ) -> None:
         if samples <= 0:
             raise ValueError("samples must be positive")
@@ -90,6 +99,7 @@ class RandomSearch:
         self.checkpoint_path = checkpoint_path
         self.checkpoint_every = checkpoint_every
         self.chunk_size = chunk_size
+        self.streaming = streaming
         self._rng = np.random.default_rng(seed)
         # Captured before any draw: a resumed run restores this state and
         # redraws the identical sample stream (draws are pure RNG
@@ -99,10 +109,10 @@ class RandomSearch:
     def run(self) -> list[EvaluatedDesign]:
         """Sample the space and return the feasible non-dominated designs.
 
-        All genotypes are drawn up front (evaluation consumes no randomness,
-        so the stream of draws is identical to a sample-then-evaluate loop),
-        deduplicated preserving first-draw order, and evaluated as one batch
-        so an evaluation engine can cache and parallelise the sweep.
+        Evaluation consumes no randomness, so the draw stream is a function
+        of the initial RNG state alone — streaming, one-shot and resumed
+        runs all see the identical sequence of distinct genotypes and
+        return bitwise-identical fronts.
         """
         columnar = self.columnar
         if columnar is None:
@@ -111,9 +121,9 @@ class RandomSearch:
             raise ValueError(
                 "checkpointing is only supported by the columnar sweep"
             )
-        genotypes = self._draw()
-        if columnar and self.checkpoint_path is not None:
-            return self._run_checkpointed(genotypes)
+        if columnar and (self.streaming or self.checkpoint_path is not None):
+            return self._run_streaming()
+        genotypes = list(self._draw_stream())
         if columnar:
             # The sampled genotypes are already distinct, so the pruned
             # result's duplicates-collapse contract is vacuous; a
@@ -134,60 +144,82 @@ class RandomSearch:
 
     # ------------------------------------------------------------ internals
 
-    def _draw(self) -> list[tuple[int, ...]]:
-        """Draw the sample stream: distinct genotypes in first-draw order."""
+    def _draw_stream(self) -> Iterator[tuple[int, ...]]:
+        """Stream the sample draws: distinct genotypes in first-draw order.
+
+        Lazy on purpose: only the dedup seen-set survives across chunks of
+        the streaming sweep — the full distinct-genotype list is never
+        materialised, so drawing is O(distinct draws) memory for the set of
+        keys but O(1) for the stream itself.  Consuming the stream advances
+        ``self._rng`` draw by draw, exactly like the eager loop it
+        replaces, so the sequence is identical for a given initial state.
+        """
         seen: set[tuple[int, ...]] = set()
-        genotypes: list[tuple[int, ...]] = []
         for _ in range(self.samples):
             genotype = self.problem.space.random_genotype(self._rng)
             if genotype in seen:
                 continue
             seen.add(genotype)
-            genotypes.append(genotype)
-        return genotypes
+            yield genotype
 
-    def _run_checkpointed(
-        self, genotypes: list[tuple[int, ...]]
-    ) -> list[EvaluatedDesign]:
-        """Chunked running-front sweep persisting resumable state.
+    def _run_streaming(self) -> list[EvaluatedDesign]:
+        """Chunked running-front sweep over the lazy draw stream.
 
         The chunked running-front pruning keeps first-occurrence order and
         mirrors the archive-reset semantics of the one-shot path (infeasible
         rows compete only until the first feasible design appears), so its
         final front is identical to the one-shot extraction — the parity
-        suite pins this.
+        suite pins this.  With a ``checkpoint_path`` the sweep periodically
+        persists its resumable state; the checkpoint cursor counts *distinct*
+        genotypes consumed, and a resume replays the draw stream from the
+        initial RNG state, skipping the consumed prefix while rebuilding the
+        dedup seen-set.
         """
-        fingerprint_hook = getattr(self.problem, "evaluation_fingerprint", None)
-        restored = load_checkpoint_if_valid(
-            self.checkpoint_path,
-            algorithm=self.checkpoint_algorithm,
-            space_size=self.problem.space.size,
-            fingerprint=(
-                fingerprint_hook() if callable(fingerprint_hook) else None
-            ),
-        )
         archive = None
         any_feasible = False
         cursor = 0
-        if restored is not None:
-            if (
-                restored.rng_state != self._initial_rng_state
-                or restored.extra.get("samples") != self.samples
-            ):
-                warnings.warn(
-                    "ignoring checkpoint: it was written by a random search "
-                    "with a different seed or sample budget; starting cold",
-                    CheckpointWarning,
-                    stacklevel=2,
-                )
-            else:
-                archive = _restore_archive(self.problem, restored)
-                any_feasible = restored.any_feasible
-                cursor = restored.cursor
+        if self.checkpoint_path is not None:
+            fingerprint_hook = getattr(
+                self.problem, "evaluation_fingerprint", None
+            )
+            restored = load_checkpoint_if_valid(
+                self.checkpoint_path,
+                algorithm=self.checkpoint_algorithm,
+                space_size=self.problem.space.size,
+                fingerprint=(
+                    fingerprint_hook() if callable(fingerprint_hook) else None
+                ),
+            )
+            if restored is not None:
+                if (
+                    restored.rng_state != self._initial_rng_state
+                    or restored.extra.get("samples") != self.samples
+                ):
+                    warnings.warn(
+                        "ignoring checkpoint: it was written by a random "
+                        "search with a different seed or sample budget; "
+                        "starting cold",
+                        CheckpointWarning,
+                        stacklevel=2,
+                    )
+                else:
+                    archive = _restore_archive(self.problem, restored)
+                    any_feasible = restored.any_feasible
+                    cursor = restored.cursor
+        stream = self._draw_stream()
+        if cursor:
+            # Replay the consumed prefix: raw draws are redrawn from the
+            # initial RNG state and the distinct ones discarded, which both
+            # rebuilds the dedup seen-set and positions the stream exactly
+            # where the interrupted run stopped.
+            for _ in islice(stream, cursor):
+                pass
         chunks_done = 0
         position = cursor
-        while position < len(genotypes):
-            chunk = genotypes[position : position + self.chunk_size]
+        while True:
+            chunk = list(islice(stream, self.chunk_size))
+            if not chunk:
+                break
             position += len(chunk)
             batch = self.problem.evaluate_batch_columns(
                 chunk,
@@ -208,9 +240,13 @@ class RandomSearch:
             indices = running_front_indices(front_objectives, candidates.objectives)
             archive = pool.take(indices)
             chunks_done += 1
-            if chunks_done % self.checkpoint_every == 0:
+            if (
+                self.checkpoint_path is not None
+                and chunks_done % self.checkpoint_every == 0
+            ):
                 self._save_checkpoint(archive, any_feasible, position)
-        self._save_checkpoint(archive, any_feasible, position)
+        if self.checkpoint_path is not None:
+            self._save_checkpoint(archive, any_feasible, position)
         if archive is None or len(archive) == 0:
             return []
         return archive.materialise()

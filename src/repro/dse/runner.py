@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from types import ModuleType
 from typing import Protocol
 
 from repro.dse.problem import EvaluatedDesign, OptimizationProblem
@@ -176,6 +177,14 @@ class DseResult:
         return self.engine_stats.node_cache_hit_rate
 
     @property
+    def array_backend(self) -> str:
+        """Array-backend namespace that computed the columnar kernels'
+        columns during the run (``""`` for scalar/object-path runs)."""
+        if self.engine_stats is None:
+            return ""
+        return self.engine_stats.array_backend
+
+    @property
     def objective_vectors(self) -> list[tuple[float, ...]]:
         """Objective vectors of the returned front."""
         return [design.objectives for design in self.front]
@@ -187,6 +196,7 @@ def run_algorithm(
     close_engine: bool = False,
     checkpoint_path: str | None = None,
     cache_dir: str | None = None,
+    array_backend: str | ModuleType | None = None,
 ) -> DseResult:
     """Run a search algorithm and record its cost.
 
@@ -213,7 +223,22 @@ def run_algorithm(
     process.  Requires an engine-backed problem (``TypeError`` otherwise);
     an unusable segment warns (:class:`~repro.engine.CacheTierWarning`)
     and the run starts cold.
+
+    ``array_backend`` recompiles the problem's columnar kernel onto the
+    named array backend (a registered name or an ``xp``-style namespace
+    module, see :mod:`repro.core.array_backend`) before the timed run —
+    the backend seam's runner-level entry point.  Requires a problem with
+    a compiled vectorized kernel (``TypeError`` otherwise); the resolved
+    backend name is surfaced on the result's engine-stats delta.
     """
+    if array_backend is not None:
+        rebind = getattr(algorithm.problem, "set_array_backend", None)
+        if not callable(rebind):
+            raise TypeError(
+                f"{type(algorithm.problem).__name__} does not support "
+                "array-backend selection (no vectorized kernel seam)"
+            )
+        rebind(array_backend)
     if checkpoint_path is not None:
         if not hasattr(algorithm, "checkpoint_path"):
             raise TypeError(

@@ -102,8 +102,10 @@ from repro.engine.persist import (
     CacheSegment,
     CacheSegmentError,
     CacheTierWarning,
+    list_segments,
     load_segment,
     load_segment_if_valid,
+    remove_orphaned_tmp_siblings,
     save_segment,
     segment_path,
     spill_shared_cache,
@@ -141,7 +143,9 @@ __all__ = [
     "CacheTierWarning",
     "segment_path",
     "save_segment",
+    "list_segments",
     "load_segment",
     "load_segment_if_valid",
+    "remove_orphaned_tmp_siblings",
     "spill_shared_cache",
 ]

@@ -308,6 +308,11 @@ class EvaluationEngine:
                 "the problem must expose a pure 'compute_design(genotype)' method"
             )
         self._problem = problem
+        kernel = getattr(problem, "vectorized_kernel", None)
+        if kernel is not None:
+            # Surface which array-backend namespace computes the columns so
+            # throughput reports can attribute runs to a backend.
+            self.stats.array_backend = getattr(kernel, "backend_name", "")
         if self.genotype_cache_enabled and (
             self.shared_cache is not None or self.cache_dir is not None
         ):

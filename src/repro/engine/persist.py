@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import json
 import mmap
+import os
 import warnings
 from dataclasses import dataclass
 from pathlib import Path
@@ -64,6 +65,8 @@ __all__ = [
     "CacheSegmentError",
     "CacheTierWarning",
     "CacheSegment",
+    "list_segments",
+    "remove_orphaned_tmp_siblings",
     "segment_path",
     "save_segment",
     "load_segment",
@@ -163,6 +166,74 @@ class CacheSegment:
 def segment_path(cache_dir: str | Path, fingerprint: bytes) -> Path:
     """The segment file a fingerprint maps to inside a cache directory."""
     return Path(cache_dir) / f"{fingerprint.hex()}{SEGMENT_SUFFIX}"
+
+
+def list_segments(cache_dir: str | Path) -> list[Path]:
+    """The segment files present in a cache directory, sorted by name.
+
+    Only well-formed segment names count — a hex fingerprint stem plus the
+    segment suffix; temporaries, foreign files and subdirectories are
+    ignored.  A missing directory is an empty listing, not an error (the
+    first run against a cache directory has nothing to list).
+    """
+    directory = Path(cache_dir)
+    if not directory.is_dir():
+        return []
+    segments = []
+    for path in sorted(directory.iterdir()):
+        if not path.is_file() or path.suffix != SEGMENT_SUFFIX:
+            continue
+        try:
+            bytes.fromhex(path.stem)
+        except ValueError:
+            continue
+        segments.append(path)
+    return segments
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether a pid names a running process (signal-0 probe)."""
+    if pid == os.getpid():
+        return True
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):
+        # Exists but isn't ours (or the probe is unsupported): assume alive.
+        return True
+    return True
+
+
+def remove_orphaned_tmp_siblings(path: str | Path) -> list[Path]:
+    """Remove a segment's orphaned ``*.tmp`` siblings; returns what went.
+
+    The atomic-write protocol names its temporaries
+    ``<segment>.<pid>.<counter>.tmp`` and always unlinks them — except when
+    the writing process dies between the tmp write and the rename.  Those
+    orphans are dead bytes (the unique-name scheme never reuses them), so
+    the load path sweeps them out.  A temporary whose embedded pid still
+    names a live process is left alone: that is a concurrent writer's
+    in-flight file, not an orphan.  Unlink races are tolerated (two loaders
+    may sweep the same directory).
+    """
+    path = Path(path)
+    removed: list[Path] = []
+    for tmp in path.parent.glob(f"{path.name}.*.tmp"):
+        middle = tmp.name[len(path.name) + 1 : -len(".tmp")]
+        pid_text, _, counter = middle.partition(".")
+        if not (pid_text.isdigit() and counter.isdigit()):
+            continue  # not the atomic-write naming scheme; leave it be
+        if _pid_alive(int(pid_text)):
+            continue
+        try:
+            tmp.unlink()
+        except FileNotFoundError:
+            continue  # a concurrent sweep got there first
+        except OSError:
+            continue  # hygiene is best-effort, never a load failure
+        removed.append(tmp)
+    return removed
 
 
 def save_segment(
@@ -334,8 +405,13 @@ def load_segment_if_valid(
     differs from the requesting problem's, emits a
     :class:`CacheTierWarning` and returns ``None`` — serving rows computed
     under different evaluation semantics would poison the front.
+
+    Cache-dir hygiene rides along: orphaned ``*.tmp`` siblings left by
+    writers that died mid-atomic-write are removed before the segment is
+    touched (see :func:`remove_orphaned_tmp_siblings`).
     """
     path = Path(path)
+    remove_orphaned_tmp_siblings(path)
     if not path.exists():
         return None
     try:

@@ -1,0 +1,172 @@
+"""Static guard: kernel modules reach NumPy only through the backend seam.
+
+The array-backend seam (:mod:`repro.core.array_backend`) is only airtight if
+every column-kernel module resolves its array namespace through it — one
+stray ``import numpy`` pins a kernel to the host backend and silently breaks
+an alternative backend's sweep.  This test walks the ASTs of the guarded
+module trees and fails on any direct NumPy import, so the seam cannot erode
+without CI noticing.
+
+Allowlisted:
+
+* the seam module itself (``repro/core/array_backend.py``) — the one place
+  the NumPy dependency is supposed to live;
+* ``from numpy import`` statements that bind **dtype constants only**
+  (``int64``, ``float64``, ``bool_``, ``inf``, ``nan``...) — dtype objects
+  are backend-portable tokens, not array kernels (CuPy accepts NumPy
+  dtypes), so pinning them to the host module is harmless and keeps
+  annotations cheap.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+from repro.core import array_backend
+
+SRC_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: module trees (and single modules) holding column kernels — everything
+#: here must draw its array namespace from the seam
+GUARDED = [
+    SRC_ROOT / "core",
+    SRC_ROOT / "dse" / "pareto.py",
+    SRC_ROOT / "mac802154",
+]
+
+#: the seam module — the single allowed home of the direct NumPy import
+SEAM_MODULE = SRC_ROOT / "core" / "array_backend.py"
+
+#: names importable straight from ``numpy``: dtype/scalar constants only
+ALLOWED_FROM_NUMPY = {
+    "int8",
+    "int16",
+    "int32",
+    "int64",
+    "uint8",
+    "uint16",
+    "uint32",
+    "uint64",
+    "float32",
+    "float64",
+    "bool_",
+    "inf",
+    "nan",
+}
+
+
+def guarded_modules() -> list[Path]:
+    modules: list[Path] = []
+    for entry in GUARDED:
+        if entry.is_file():
+            modules.append(entry)
+        else:
+            modules.extend(sorted(entry.rglob("*.py")))
+    return modules
+
+
+def numpy_import_violations(path: Path) -> list[str]:
+    """Direct-NumPy-import violations of one module, as readable strings."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    label = (
+        path.relative_to(SRC_ROOT.parent)
+        if path.is_relative_to(SRC_ROOT.parent)
+        else path.name
+    )
+    violations: list[str] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy" or alias.name.startswith("numpy."):
+                    violations.append(
+                        f"{label}:{node.lineno}: import {alias.name}"
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module != "numpy" and not (
+                node.module or ""
+            ).startswith("numpy."):
+                continue
+            if node.module == "numpy" and all(
+                alias.name in ALLOWED_FROM_NUMPY for alias in node.names
+            ):
+                continue  # dtype constants are backend-portable
+            names = ", ".join(alias.name for alias in node.names)
+            violations.append(
+                f"{label}:{node.lineno}: from {node.module} import {names}"
+            )
+    return violations
+
+
+class TestBackendSeamGuard:
+    def test_guarded_trees_exist_and_are_nonempty(self):
+        modules = guarded_modules()
+        assert SEAM_MODULE in modules
+        # The guard is vacuous if the walk finds nothing; pin a floor.
+        assert len(modules) >= 10
+
+    def test_no_kernel_module_imports_numpy_directly(self):
+        violations: list[str] = []
+        for path in guarded_modules():
+            if path == SEAM_MODULE:
+                continue
+            violations.extend(numpy_import_violations(path))
+        assert not violations, (
+            "kernel modules must import their array namespace through "
+            "repro.core.array_backend (the seam), not NumPy directly:\n"
+            + "\n".join(violations)
+        )
+
+    def test_seam_module_is_the_numpy_home(self):
+        # The allowlisted exception really does import NumPy — if it ever
+        # stops, the seam default silently changed and this guard should ask
+        # questions.
+        assert numpy_import_violations(SEAM_MODULE)
+
+    def test_guard_catches_a_planted_violation(self, tmp_path):
+        planted = tmp_path / "rogue.py"
+        planted.write_text(
+            "import numpy as np\n"
+            "from numpy import asarray\n"
+            "from numpy import int64\n"  # dtype-only: allowed
+            "from numpy.linalg import norm\n"
+        )
+        assert len(numpy_import_violations(planted)) == 3
+
+
+class TestBackendRegistry:
+    def test_default_backend_is_numpy(self):
+        import numpy
+
+        assert array_backend.resolve_backend(None) is numpy
+        assert array_backend.resolve_backend("numpy") is numpy
+        assert array_backend.backend_name(numpy) == "numpy"
+
+    def test_module_namespace_passes_through(self):
+        import numpy
+
+        assert array_backend.resolve_backend(numpy) is numpy
+
+    def test_unknown_backend_names_the_registry(self):
+        with pytest.raises(KeyError) as excinfo:
+            array_backend.resolve_backend("no-such-backend")
+        assert "numpy" in str(excinfo.value)
+
+    def test_register_backend_round_trips(self):
+        import numpy
+
+        name = "test-seam-alias"
+        try:
+            array_backend.register_backend(name, lambda: numpy)
+            assert name in array_backend.available_backends()
+            assert array_backend.resolve_backend(name) is numpy
+        finally:
+            array_backend._REGISTRY.pop(name, None)
+
+    def test_register_backend_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            array_backend.register_backend("", lambda: None)
+        with pytest.raises(TypeError):
+            array_backend.register_backend("x", None)

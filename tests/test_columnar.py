@@ -17,7 +17,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.dse.exhaustive import ExhaustiveSearch
+from repro.dse.exhaustive import ExhaustiveCapWarning, ExhaustiveSearch
 from repro.dse.pareto import (
     pareto_front_indices,
     running_front_indices,
@@ -451,11 +451,14 @@ class TestSkylineToggleParity:
 
 
 class TestExhaustiveCap:
-    def test_oversized_space_error_names_size_cap_and_remedy(self):
+    def test_oversized_space_warns_names_size_cap_and_proceeds(self):
         problem = beacon_problem()
-        with pytest.raises(ValueError) as excinfo:
-            ExhaustiveSearch(problem, max_configurations=10).run()
-        message = str(excinfo.value)
+        reference = ExhaustiveSearch(problem).run()
+        with pytest.warns(ExhaustiveCapWarning) as record:
+            front = ExhaustiveSearch(problem, max_configurations=10).run()
+        message = str(record[0].message)
         assert str(problem.space.size) in message
         assert "10" in message
         assert "max_configurations" in message
+        # The soft threshold warns but never truncates the sweep.
+        assert front_signature(front) == front_signature(reference)

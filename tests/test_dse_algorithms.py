@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.dse.exhaustive import ExhaustiveSearch
+from repro.dse.exhaustive import ExhaustiveCapWarning, ExhaustiveSearch
 from repro.dse.nsga2 import Nsga2, Nsga2Settings
 from repro.dse.pareto import front_coverage, pareto_front_indices
 from repro.dse.problem import EvaluatedDesign, OptimizationProblem
@@ -77,9 +77,11 @@ class TestExhaustiveSearch:
         assert objectives == sorted(_true_front(toy_problem))
         assert all(design.feasible for design in front)
 
-    def test_refuses_oversized_spaces(self, toy_problem):
-        with pytest.raises(ValueError):
-            ExhaustiveSearch(toy_problem, max_configurations=10).run()
+    def test_warns_on_oversized_spaces_and_proceeds(self, toy_problem):
+        with pytest.warns(ExhaustiveCapWarning):
+            front = ExhaustiveSearch(toy_problem, max_configurations=10).run()
+        objectives = sorted(design.objectives for design in front)
+        assert objectives == sorted(_true_front(toy_problem))
 
 
 class TestNsga2:

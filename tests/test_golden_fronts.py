@@ -41,17 +41,22 @@ NODE_DOMAINS = dict(
 NSGA2_SETTINGS = Nsga2Settings(population_size=16, generations=6, seed=9)
 
 
-def beacon_problem(engine: EvaluationEngine | None = None) -> WbsnDseProblem:
+def beacon_problem(
+    engine: EvaluationEngine | None = None, **kwargs
+) -> WbsnDseProblem:
     return WbsnDseProblem(
         build_case_study_evaluator(n_nodes=2, applications=("dwt", "cs")),
         **NODE_DOMAINS,
         payload_bytes=(60, 80),
         order_pairs=((4, 4), (4, 6)),
         engine=engine if engine is not None else EvaluationEngine(),
+        **kwargs,
     )
 
 
-def csma_problem(engine: EvaluationEngine | None = None) -> WbsnDseProblem:
+def csma_problem(
+    engine: EvaluationEngine | None = None, **kwargs
+) -> WbsnDseProblem:
     return WbsnDseProblem(
         build_csma_case_study_evaluator(n_nodes=2, applications=("dwt", "cs")),
         **NODE_DOMAINS,
@@ -60,6 +65,7 @@ def csma_problem(engine: EvaluationEngine | None = None) -> WbsnDseProblem:
             backoff_exponent_pairs=((3, 5), (4, 6)),
         ),
         engine=engine if engine is not None else EvaluationEngine(),
+        **kwargs,
     )
 
 
@@ -225,6 +231,27 @@ def test_skyline_toggle_reproduces_the_golden_fixture(scenario, skyline):
                 position,
             )
             assert got["feasible"] == want["feasible"]
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_explicit_backend_seam_matches_the_golden_fixture(scenario):
+    """Kernels compiled through an explicitly named array backend (the
+    seam's non-default entry point) reproduce the committed fronts —
+    membership and ordering — proving the seam is a bitwise drop-in; the
+    fixtures predate it and never need regeneration."""
+    golden = json.loads((GOLDEN_DIR / f"fronts_{scenario}.json").read_text())
+    problem = SCENARIOS[scenario](array_backend="numpy")
+    assert problem.engine.stats.array_backend == "numpy"
+    front = ExhaustiveSearch(problem).run()
+    expected = golden["exhaustive"]
+    assert len(front) == len(expected), scenario
+    for position, (design, want) in enumerate(zip(front, expected)):
+        assert list(design.genotype) == want["genotype"], (scenario, position)
+        assert list(design.objectives) == want["objectives"], (
+            scenario,
+            position,
+        )
+        assert design.feasible == want["feasible"]
 
 
 @pytest.mark.parametrize("scenario", sorted(SCENARIOS))

@@ -44,7 +44,14 @@ from repro.engine import (
     segment_path,
 )
 from repro.engine.checkpoint import pack_blob
-from repro.engine.persist import SEGMENT_MAGIC, SEGMENT_VERSION, spill_rows
+from repro.engine.persist import (
+    SEGMENT_MAGIC,
+    SEGMENT_SUFFIX,
+    SEGMENT_VERSION,
+    list_segments,
+    remove_orphaned_tmp_siblings,
+    spill_rows,
+)
 from repro.experiments.casestudy import build_case_study_evaluator
 
 from test_faults import (
@@ -520,6 +527,104 @@ class TestSegmentFaultInjection:
         warm = sweep(warm_engine)
         assert front_signature(warm.front) == reference_front("beacon")
         assert warm_engine.stats.model_evaluations == 0
+
+
+# --------------------------------------------------------------------------
+# Cache-dir hygiene: segment listing, orphaned-tmp removal at load.
+
+
+class TestCacheDirHygiene:
+    def test_list_segments_filters_foreign_files(self, tmp_path):
+        segment = save_segment(
+            tmp_path, fingerprint=FP, components=COMPONENTS, **column_arrays(ROWS)
+        )
+        other = save_segment(
+            tmp_path,
+            fingerprint=OTHER_FP,
+            components=COMPONENTS,
+            **column_arrays(ROWS),
+        )
+        (tmp_path / "notes.txt").write_text("not a segment")
+        (tmp_path / f"nothex{SEGMENT_SUFFIX}").write_text("bad stem")
+        (tmp_path / f"{FP.hex()}{SEGMENT_SUFFIX}.123.0.tmp").write_bytes(b"x")
+        (tmp_path / "sub").mkdir()
+        assert list_segments(tmp_path) == sorted([segment, other])
+
+    def test_list_segments_of_a_missing_directory_is_empty(self, tmp_path):
+        assert list_segments(tmp_path / "nowhere") == []
+
+    def test_orphaned_tmp_of_a_dead_writer_is_removed_at_load(self, tmp_path):
+        path = save_segment(
+            tmp_path, fingerprint=FP, components=COMPONENTS, **column_arrays(ROWS)
+        )
+        # A pid that existed and is gone: a subprocess that already exited.
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()
+        orphan = tmp_path / f"{path.name}.{proc.pid}.7.tmp"
+        orphan.write_bytes(b"half-written segment bytes")
+        segment = load_segment_if_valid(path, fingerprint=FP)
+        assert segment is not None and len(segment) == len(ROWS)
+        assert not orphan.exists()
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_live_writers_tmp_is_left_alone(self, tmp_path):
+        path = save_segment(
+            tmp_path, fingerprint=FP, components=COMPONENTS, **column_arrays(ROWS)
+        )
+        in_flight = tmp_path / f"{path.name}.{os.getpid()}.3.tmp"
+        in_flight.write_bytes(b"concurrent writer's bytes")
+        misnamed = tmp_path / f"{path.name}.not-a-pid.tmp"
+        misnamed.write_bytes(b"foreign tmp")
+        assert load_segment_if_valid(path, fingerprint=FP) is not None
+        assert in_flight.exists()  # its writer (this process) is alive
+        assert misnamed.exists()  # not the atomic-write naming scheme
+        assert remove_orphaned_tmp_siblings(path) == []
+
+    def test_sigkill_mid_write_leaves_an_orphan_the_next_load_sweeps(
+        self, tmp_path
+    ):
+        # The writer dies *between* the tmp write and the rename — the one
+        # window the atomic protocol cannot clean up after.  The next load
+        # must sweep the orphan and still serve the previous segment.
+        save_segment(
+            tmp_path, fingerprint=FP, components=COMPONENTS, **column_arrays(ROWS)
+        )
+        script = textwrap.dedent(
+            f"""
+            import os, signal
+            import numpy as np
+            from repro.engine import checkpoint, save_segment
+
+            def die_before_rename(src, dst):
+                os.kill(os.getpid(), signal.SIGKILL)
+
+            checkpoint.os.replace = die_before_rename
+            save_segment(
+                {str(tmp_path)!r},
+                fingerprint=bytes(range(32)),
+                components=("energy", "quality", "delay"),
+                genotypes=np.zeros((1, 2), dtype=np.int64),
+                objectives=np.ones((1, 3)),
+                feasible=np.ones(1, dtype=bool),
+                violation_counts=np.zeros(1, dtype=np.int64),
+            )
+            raise SystemExit("the write survived its SIGKILL")
+            """
+        )
+        completed = subprocess.run(
+            [sys.executable, "-c", script],
+            env=subprocess_env(),
+            capture_output=True,
+            text=True,
+        )
+        assert completed.returncode == -9, completed.stderr
+        orphans = list(tmp_path.glob("*.tmp"))
+        assert len(orphans) == 1  # the crash really left one behind
+        path = segment_path(tmp_path, FP)
+        segment = load_segment_if_valid(path, fingerprint=FP)
+        assert segment is not None and len(segment) == len(ROWS)
+        assert not list(tmp_path.glob("*.tmp"))
+        assert list_segments(tmp_path) == [path]
 
 
 # --------------------------------------------------------------------------
