@@ -1043,3 +1043,128 @@ def test_streaming_sweep_flat_memory(reporter, tmp_path):
             f"(ratio {rss_ratio:.2f}, spaces differ 32x)",
         ],
     )
+
+
+@pytest.mark.paper_figure("dse-speed")
+def test_service_coalescing(reporter):
+    """Service front-end: shared-cache sweeps and coalesced evaluate bursts.
+
+    Two concurrent clients sweep the same fingerprint through one
+    :class:`~repro.service.DseService`; the engine lane serializes them, so
+    whichever runs second is served entirely from the first one's memoised
+    rows.  The entry (``service_coalescing``) records the solo in-process
+    sweep against the two-client service run and carries the **hard gate**:
+    the second client's sweep must perform **zero model evaluations** while
+    both served fronts stay bitwise identical to the solo run's — or the
+    job fails.  A follow-up two-client evaluate burst over the full space
+    must coalesce into shared columnar batches and add zero evaluations.
+    """
+    import asyncio
+
+    from repro.service import DseService, DseServiceClient
+
+    def solo_run():
+        problem = WbsnDseProblem(
+            build_case_study_evaluator(),
+            **SWEEP_DOMAINS,
+            engine=EvaluationEngine(),
+        )
+        started = time.perf_counter()
+        result = run_algorithm(ExhaustiveSearch(problem, chunk_size=2048))
+        return result, time.perf_counter() - started, problem.space.size
+
+    solo, solo_s, space_size = solo_run()
+    solo_front = _front_signature(solo.front)
+
+    async def service_run():
+        problem = WbsnDseProblem(
+            build_case_study_evaluator(),
+            **SWEEP_DOMAINS,
+            engine=EvaluationEngine(),
+        )
+        genotypes = list(problem.space.enumerate_genotypes())
+        service = DseService(problem, close_engine=True, batch_window_s=0.05)
+        await service.start()
+        try:
+            alice = await DseServiceClient.connect(
+                host=service.host, port=service.port, client_id="alice"
+            )
+            bob = await DseServiceClient.connect(
+                host=service.host, port=service.port, client_id="bob"
+            )
+            try:
+                started = time.perf_counter()
+                sweep_a, sweep_b = await asyncio.gather(
+                    alice.sweep("exhaustive", params={"chunk_size": 2048}),
+                    bob.sweep("exhaustive", params={"chunk_size": 2048}),
+                )
+                sweeps_s = time.perf_counter() - started
+                # The burst: both clients ask for the whole (now-memoised)
+                # space at once; the window coalesces the requests into
+                # shared batches that touch no model.
+                before = service.lane.engine.stats.model_evaluations
+                started = time.perf_counter()
+                await asyncio.gather(
+                    alice.evaluate(genotypes), bob.evaluate(genotypes)
+                )
+                burst_s = time.perf_counter() - started
+                burst_new_evals = (
+                    service.lane.engine.stats.model_evaluations - before
+                )
+                snapshot = service.snapshot()
+            finally:
+                await alice.close()
+                await bob.close()
+        finally:
+            await service.stop()
+        return sweep_a, sweep_b, sweeps_s, burst_s, burst_new_evals, snapshot
+
+    sweep_a, sweep_b, sweeps_s, burst_s, burst_new_evals, snapshot = (
+        asyncio.run(service_run())
+    )
+
+    def served_signature(front):
+        return sorted((row.genotype, row.objectives) for row in front)
+
+    # Both served fronts are bitwise identical to the solo in-process run.
+    assert served_signature(sweep_a.front) == solo_front
+    assert served_signature(sweep_b.front) == solo_front
+
+    # The hard gate: one sweep computed the space (minus the problem
+    # constructor's probe row), the other performed zero model evaluations.
+    sweep_evals = sorted(
+        reply.engine_stats["model_evaluations"] for reply in (sweep_a, sweep_b)
+    )
+    assert sweep_evals == [0, space_size - 1]
+
+    # The evaluate burst coalesced and was served entirely from the memos.
+    assert snapshot["lane"]["batches_coalesced"] >= 1
+    assert burst_new_evals == 0
+
+    _merge_artifact(
+        {
+            "service_coalescing": {
+                "space_size": space_size,
+                "solo_wall_clock_s": solo_s,
+                "service_two_sweeps_wall_clock_s": sweeps_s,
+                "first_sweep_model_evaluations": sweep_evals[1],
+                "second_sweep_model_evaluations": sweep_evals[0],
+                "evaluate_burst_wall_clock_s": burst_s,
+                "evaluate_burst_new_evaluations": int(burst_new_evals),
+                "batches_coalesced": snapshot["lane"]["batches_coalesced"],
+                "requests_admitted": snapshot["admission"]["admitted"],
+            }
+        }
+    )
+    reporter(
+        "DSE service: shared-cache sweeps + coalesced bursts",
+        [
+            f"solo in-process sweep ({space_size} designs): {solo_s:.3f} s",
+            f"two concurrent clients through the service: {sweeps_s:.3f} s, "
+            f"model evaluations split {sweep_evals[1]} / {sweep_evals[0]} "
+            "(hard gate: second client computes nothing)",
+            f"two-client evaluate burst over the full space: {burst_s:.3f} s, "
+            f"{snapshot['lane']['batches_coalesced']} coalesced batch(es), "
+            "0 new model evaluations",
+        ],
+    )

@@ -18,6 +18,13 @@ without touching the model, with a bitwise-identical front::
 
     python examples/dse_campaign.py .dse-cache
 
+A second argument bounds the cache directory's size in megabytes: after the
+run, the oldest segments beyond the budget are garbage-collected
+(:func:`repro.engine.prune_cache_dir`), never touching the segment this
+campaign's engine loaded::
+
+    python examples/dse_campaign.py .dse-cache 64
+
 Sweeping far past the old exhaustive ceiling is fine now: generation is
 streaming end to end, so ``ExhaustiveSearch`` on the full 33.5M-design
 six-node space (or ``RandomSearch``, which draws its distinct genotypes
@@ -34,12 +41,12 @@ from __future__ import annotations
 import sys
 
 from repro.dse import Nsga2, Nsga2Settings, WbsnDseProblem, run_algorithm
-from repro.engine import EvaluationEngine
+from repro.engine import EvaluationEngine, prune_cache_dir
 from repro.experiments.casestudy import build_case_study_evaluator
 from repro.shimmer import BatteryModel
 
 
-def main(cache_dir: str | None = None) -> None:
+def main(cache_dir: str | None = None, cache_budget_mb: float | None = None) -> None:
     evaluator = build_case_study_evaluator()
     # Engines own real resources (worker pools, shared-memory segments with
     # the "process"/"sharded" backends); run_algorithm(close_engine=True)
@@ -74,6 +81,16 @@ def main(cache_dir: str | None = None) -> None:
             f"{engine.stats.rows_loaded_from_disk} rows warm-started from disk, "
             f"{engine.stats.persistent_cache_hits} designs served from them"
         )
+        if cache_budget_mb is not None:
+            removed = prune_cache_dir(
+                cache_dir,
+                max_bytes=int(cache_budget_mb * 1024 * 1024),
+                keep=engine.loaded_segments,
+            )
+            print(
+                f"cache directory pruned to {cache_budget_mb:g} MB: "
+                f"{len(removed)} stale segment(s) removed"
+            )
     front = sorted(result.front, key=lambda design: design.objectives[0])
     print(f"non-dominated designs found: {len(front)}")
 
@@ -118,4 +135,7 @@ def main(cache_dir: str | None = None) -> None:
 
 
 if __name__ == "__main__":
-    main(cache_dir=sys.argv[1] if len(sys.argv) > 1 else None)
+    main(
+        cache_dir=sys.argv[1] if len(sys.argv) > 1 else None,
+        cache_budget_mb=float(sys.argv[2]) if len(sys.argv) > 2 else None,
+    )

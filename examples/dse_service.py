@@ -1,0 +1,152 @@
+"""Serve a design-space exploration campaign to concurrent clients.
+
+The in-process examples each own their engine; this one runs the **async DSE
+service** (:mod:`repro.service`) instead: one warm engine behind a Unix
+socket, many clients sharing its caches.  The demo starts a service over a
+two-node WBSN problem and drives it with three concurrent clients:
+
+* ``alice`` sweeps the space exhaustively, streaming front updates as the
+  sweep's chunks land;
+* ``bob`` requests the same sweep at the same time — the lane serializes
+  the two, and whichever runs second is served entirely from the first
+  one's memoised rows (zero model evaluations, bitwise-identical front);
+* ``carol`` evaluates a hand-picked batch of genotypes under a deadline
+  while the sweeps run, showing admission and per-request deadlines at
+  work next to long-running jobs.
+
+The service's observability shows who paid for what: the per-client
+``EngineStats`` ledgers split the shared engine's work by requester, and
+the admission/lane counters account for every request admitted, coalesced,
+or shed.
+
+Run with::
+
+    python examples/dse_service.py
+
+Pass a directory to keep the campaign warm across runs — the service loads
+it at boot and spills the engine's memos back on drain, so a re-run's
+sweeps cost zero model evaluations::
+
+    python examples/dse_service.py .dse-cache
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.dse import WbsnDseProblem
+from repro.engine import EvaluationEngine
+from repro.experiments.casestudy import build_case_study_evaluator
+from repro.service import DseService, DseServiceClient
+
+
+def build_problem(engine: EvaluationEngine) -> WbsnDseProblem:
+    """A two-node, 64-configuration problem — small enough to demo live."""
+    return WbsnDseProblem(
+        build_case_study_evaluator(n_nodes=2, applications=("dwt", "cs")),
+        compression_ratios=(0.2, 0.3),
+        frequencies_hz=(4e6, 8e6),
+        payload_bytes=(60, 80),
+        order_pairs=((4, 4), (4, 6)),
+        engine=engine,
+    )
+
+
+async def alice_sweeps(socket_path: str) -> None:
+    client = await DseServiceClient.connect(path=socket_path, client_id="alice")
+    try:
+        updates = []
+        reply = await client.sweep(
+            "exhaustive",
+            params={"chunk_size": 16},
+            on_front_update=updates.append,
+        )
+        print(
+            f"[alice] exhaustive sweep: {reply.evaluations} designs, "
+            f"front of {len(reply.front)}, "
+            f"{reply.engine_stats['model_evaluations']} model evaluations, "
+            f"{len(updates)} streamed front update(s)"
+        )
+    finally:
+        await client.close()
+
+
+async def bob_sweeps(socket_path: str) -> None:
+    client = await DseServiceClient.connect(path=socket_path, client_id="bob")
+    try:
+        reply = await client.sweep("exhaustive", params={"chunk_size": 16})
+        print(
+            f"[bob]   exhaustive sweep: {reply.evaluations} designs, "
+            f"front of {len(reply.front)}, "
+            f"{reply.engine_stats['model_evaluations']} model evaluations "
+            "(the lane serialized the sweeps; the second is served from "
+            "the first one's cache)"
+        )
+    finally:
+        await client.close()
+
+
+async def carol_evaluates(socket_path: str) -> None:
+    client = await DseServiceClient.connect(path=socket_path, client_id="carol")
+    try:
+        genotypes = [(0, 0, 0, 0, 0, 0), (1, 1, 1, 1, 1, 1), (0, 1, 0, 1, 0, 1)]
+        reply = await client.evaluate(genotypes, deadline_s=30.0)
+        for row in reply.rows:
+            state = "feasible" if row.feasible else "infeasible"
+            print(
+                f"[carol] genotype {row.genotype}: objectives "
+                f"{tuple(round(value, 4) for value in row.objectives)} "
+                f"({state})"
+            )
+    finally:
+        await client.close()
+
+
+async def main(cache_dir: str | None) -> None:
+    with tempfile.TemporaryDirectory() as rundir:
+        socket_path = str(Path(rundir) / "dse.sock")
+        service = DseService(
+            build_problem(EvaluationEngine()),
+            socket_path=socket_path,
+            cache_dir=cache_dir,
+            close_engine=True,
+        )
+        await service.start()
+        if cache_dir is not None:
+            print(
+                f"warm boot: {service.rows_warm_started} design row(s) "
+                f"loaded from {cache_dir}"
+            )
+        try:
+            await asyncio.gather(
+                alice_sweeps(socket_path),
+                bob_sweeps(socket_path),
+                carol_evaluates(socket_path),
+            )
+            snapshot = service.snapshot()
+            admission = snapshot["admission"]
+            print(
+                f"\nadmission ledger: {admission['admitted']} admitted, "
+                f"{admission['completed']} completed, "
+                f"{admission['rejected_overload']} shed"
+            )
+            print("per-client attribution:")
+            for name, ledger in snapshot["lane"]["clients"].items():
+                print(
+                    f"  {name}: {ledger['genotype_requests']} requested, "
+                    f"{ledger['model_evaluations']} computed, "
+                    f"{ledger['genotype_cache_hits']} from cache"
+                )
+        finally:
+            # Graceful drain: finish in-flight work, then spill the engine's
+            # memos so the next run of this script warm-starts.
+            await service.stop()
+        if cache_dir is not None:
+            print(f"engine memos spilled to {cache_dir}")
+
+
+if __name__ == "__main__":
+    asyncio.run(main(sys.argv[1] if len(sys.argv) > 1 else None))

@@ -12,6 +12,7 @@ from __future__ import annotations
 import warnings
 from itertools import islice
 from pathlib import Path
+from typing import Callable
 
 import numpy as np
 
@@ -136,6 +137,16 @@ class ExhaustiveSearch:
             sweep starts cold.  Requires the columnar path.
         checkpoint_every: chunks between checkpoint writes (the final state
             is always written, so a completed sweep resumes as a no-op).
+        front_callback: when set, called after every absorbed chunk with the
+            running archive (a ``ColumnarBatchResult`` of the current
+            non-dominated rows, or ``None`` while the archive is empty) and
+            the cursor of genotypes consumed so far.  The hook serves two
+            jobs for streaming consumers (the DSE service): progress — a
+            front update can be shipped per chunk instead of only at the
+            end — and cancellation — an exception raised by the callback
+            aborts the sweep between chunks and propagates to the caller
+            (the engine stays healthy; no partial chunk is in flight).
+            Requires the columnar path.
     """
 
     #: name stamped into checkpoints; a resume under a different algorithm
@@ -150,6 +161,7 @@ class ExhaustiveSearch:
         columnar: bool | None = None,
         checkpoint_path: str | Path | None = None,
         checkpoint_every: int = 8,
+        front_callback: Callable[[object, int], None] | None = None,
     ) -> None:
         if max_configurations <= 0:
             raise ValueError("max_configurations must be positive")
@@ -166,12 +178,17 @@ class ExhaustiveSearch:
             raise ValueError(
                 "checkpointing is only supported by the columnar sweep"
             )
+        if columnar is False and front_callback is not None:
+            raise ValueError(
+                "front streaming is only supported by the columnar sweep"
+            )
         self.problem = problem
         self.max_configurations = max_configurations
         self.chunk_size = chunk_size
         self.columnar = columnar
         self.checkpoint_path = checkpoint_path
         self.checkpoint_every = checkpoint_every
+        self.front_callback = front_callback
 
     def run(self) -> list[EvaluatedDesign]:
         """Enumerate the space and return the feasible non-dominated designs."""
@@ -193,6 +210,10 @@ class ExhaustiveSearch:
         if self.checkpoint_path is not None and not columnar:
             raise ValueError(
                 "checkpointing is only supported by the columnar sweep"
+            )
+        if self.front_callback is not None and not columnar:
+            raise ValueError(
+                "front streaming is only supported by the columnar sweep"
             )
         if columnar:
             return self._run_columnar()
@@ -254,6 +275,8 @@ class ExhaustiveSearch:
             archive = pool.take(indices)
             cursor += len(chunk)
             chunks_done += 1
+            if self.front_callback is not None:
+                self.front_callback(archive, cursor)
             if (
                 self.checkpoint_path is not None
                 and chunks_done % self.checkpoint_every == 0

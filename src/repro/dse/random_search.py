@@ -5,7 +5,7 @@ from __future__ import annotations
 import warnings
 from itertools import islice
 from pathlib import Path
-from typing import Iterator
+from typing import Callable, Iterator
 
 import numpy as np
 
@@ -61,6 +61,13 @@ class RandomSearch:
             worker-pruning backends).  Fronts are bitwise identical either
             way: the draw stream is shared and the chunked running-front
             pruning is order-identical to the one-shot extraction.
+        front_callback: when set, called after every absorbed chunk of the
+            streaming sweep with the running archive (a
+            ``ColumnarBatchResult``, or ``None`` while empty) and the count
+            of distinct genotypes consumed — the same progress/cancellation
+            hook as :class:`~repro.dse.exhaustive.ExhaustiveSearch`: an
+            exception raised by the callback aborts the sweep between
+            chunks.  Requires the streaming columnar path.
     """
 
     #: name stamped into checkpoints; a resume under a different algorithm
@@ -77,6 +84,7 @@ class RandomSearch:
         checkpoint_every: int = 8,
         chunk_size: int = 1024,
         streaming: bool = True,
+        front_callback: Callable[[object, int], None] | None = None,
     ) -> None:
         if samples <= 0:
             raise ValueError("samples must be positive")
@@ -93,6 +101,11 @@ class RandomSearch:
             raise ValueError(
                 "checkpointing is only supported by the columnar sweep"
             )
+        if front_callback is not None and (columnar is False or not streaming):
+            raise ValueError(
+                "front streaming is only supported by the streaming "
+                "columnar sweep"
+            )
         self.problem = problem
         self.samples = samples
         self.columnar = columnar
@@ -100,6 +113,7 @@ class RandomSearch:
         self.checkpoint_every = checkpoint_every
         self.chunk_size = chunk_size
         self.streaming = streaming
+        self.front_callback = front_callback
         self._rng = np.random.default_rng(seed)
         # Captured before any draw: a resumed run restores this state and
         # redraws the identical sample stream (draws are pure RNG
@@ -120,6 +134,11 @@ class RandomSearch:
         if self.checkpoint_path is not None and not columnar:
             raise ValueError(
                 "checkpointing is only supported by the columnar sweep"
+            )
+        if self.front_callback is not None and not columnar:
+            raise ValueError(
+                "front streaming is only supported by the streaming "
+                "columnar sweep"
             )
         if columnar and (self.streaming or self.checkpoint_path is not None):
             return self._run_streaming()
@@ -240,6 +259,8 @@ class RandomSearch:
             indices = running_front_indices(front_objectives, candidates.objectives)
             archive = pool.take(indices)
             chunks_done += 1
+            if self.front_callback is not None:
+                self.front_callback(archive, position)
             if (
                 self.checkpoint_path is not None
                 and chunks_done % self.checkpoint_every == 0

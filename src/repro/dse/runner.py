@@ -14,7 +14,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 from types import ModuleType
-from typing import Protocol
+from typing import Callable, Protocol
 
 from repro.dse.problem import EvaluatedDesign, OptimizationProblem
 from repro.engine import EngineStats
@@ -197,6 +197,7 @@ def run_algorithm(
     checkpoint_path: str | None = None,
     cache_dir: str | None = None,
     array_backend: str | ModuleType | None = None,
+    front_callback: Callable[[object, int], None] | None = None,
 ) -> DseResult:
     """Run a search algorithm and record its cost.
 
@@ -230,6 +231,13 @@ def run_algorithm(
     the backend seam's runner-level entry point.  Requires a problem with
     a compiled vectorized kernel (``TypeError`` otherwise); the resolved
     backend name is surfaced on the result's engine-stats delta.
+
+    ``front_callback`` routes to the algorithm's streaming-front support
+    (the columnar exhaustive and random sweeps): the callable receives the
+    running archive and the consumed-genotype cursor after every absorbed
+    chunk — the DSE service's per-chunk progress and cancellation hook (an
+    exception raised by the callback aborts the run between chunks).
+    Algorithms without the hook reject the argument with a ``TypeError``.
     """
     if array_backend is not None:
         rebind = getattr(algorithm.problem, "set_array_backend", None)
@@ -246,6 +254,13 @@ def run_algorithm(
                 "checkpoint/resume sweeps"
             )
         algorithm.checkpoint_path = checkpoint_path
+    if front_callback is not None:
+        if not hasattr(algorithm, "front_callback"):
+            raise TypeError(
+                f"{type(algorithm).__name__} does not support streaming "
+                "front callbacks"
+            )
+        algorithm.front_callback = front_callback
     problem = algorithm.problem
     engine = problem.engine
     if cache_dir is not None and engine is None:

@@ -105,6 +105,7 @@ from repro.engine.persist import (
     list_segments,
     load_segment,
     load_segment_if_valid,
+    prune_cache_dir,
     remove_orphaned_tmp_siblings,
     save_segment,
     segment_path,
@@ -146,6 +147,7 @@ __all__ = [
     "list_segments",
     "load_segment",
     "load_segment_if_valid",
+    "prune_cache_dir",
     "remove_orphaned_tmp_siblings",
     "spill_shared_cache",
 ]

@@ -62,14 +62,15 @@ and forward :meth:`EvaluationEngine.close` to :meth:`ExecutionBackend.close`.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import pickle
 import time
 import weakref
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
-from dataclasses import dataclass
-from typing import Any, Callable, Protocol, Sequence
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Iterator, Protocol, Sequence
 
 from repro.engine import faults
 from repro.engine.stats import EngineStats
@@ -287,6 +288,41 @@ class ProcessBackend:
         self.fault_counters = FaultCounters()
         return drained
 
+    @contextlib.contextmanager
+    def deadline_scope(self, seconds: float | None) -> Iterator[None]:
+        """Clamp the retry policy so a whole dispatch fits one outer deadline.
+
+        Deadline propagation: a caller holding a deadline (e.g. the DSE
+        service serving a client request) cannot afford a hung worker
+        blocking a dispatch past it.  Inside the scope the policy's
+        ``batch_timeout_s`` is clamped so the deadline budget — minus the
+        exponential backoff between attempts — is split across every pool
+        attempt the policy allows **plus one slot reserved for the engine's
+        in-process degradation rung**: if every attempt times out, the
+        ladder still has a full attempt's worth of budget to serve the
+        batch *before* the outer deadline, so a hung pool degrades on time
+        instead of timing out late.  ``None`` leaves the policy untouched;
+        the previous policy is restored on exit.
+        """
+        if seconds is None:
+            yield
+            return
+        policy = self.retry_policy
+        backoff = sum(
+            policy.backoff_s(attempt)
+            for attempt in range(1, policy.max_attempts)
+        )
+        per_attempt = max(
+            (seconds - backoff) / (policy.max_attempts + 1), 1e-3
+        )
+        if policy.batch_timeout_s is not None:
+            per_attempt = min(per_attempt, policy.batch_timeout_s)
+        self.retry_policy = replace(policy, batch_timeout_s=per_attempt)
+        try:
+            yield
+        finally:
+            self.retry_policy = policy
+
     def close(self) -> None:
         """Shut the pool down; a later call will spawn a fresh one.
 
@@ -371,8 +407,17 @@ class ProcessBackend:
                 return [results[index] for index in range(len(tasks))]
             # A failed unit poisons the attempt: terminate the pool (hung or
             # crashed workers included) and re-dispatch what is still
-            # missing.  Units that completed before the failure keep their
-            # results — evaluation is pure, so partial retry is safe.
+            # missing.  Units that completed keep their results — evaluation
+            # is pure, so partial retry is safe — including units *after*
+            # the failed one in collection order: results are collected in
+            # ``pending`` order, so without this harvest a unit that
+            # finished while an earlier unit was failing would be thrown
+            # away and recomputed on the retry pool.
+            for index, future in futures.items():
+                if index in results or not future.done() or future.cancelled():
+                    continue
+                if future.exception() is None:
+                    results[index] = future.result()
             self.fault_counters.worker_failures += 1
             self._terminate_pool()
             if attempt >= policy.max_attempts:

@@ -77,6 +77,7 @@ is what keeps cached and uncached runs bitwise identical.
 
 from __future__ import annotations
 
+import contextlib
 import time
 import warnings
 from collections import OrderedDict
@@ -757,7 +758,61 @@ class EvaluationEngine:
         self._disk_keys.clear()
         self._segments_loaded.clear()
 
+    def cached_row_flags(self, genotypes: Sequence[Sequence[int]]) -> list[bool]:
+        """Which rows of a batch the engine's local memos would serve.
+
+        A pure read: no counters move, no LRU entry is touched, and the
+        cross-problem shared cache is not consulted (a shared-cache hit
+        still avoids model work, but it is not *this* engine's memo).  The
+        DSE service uses this to attribute a coalesced batch's raw work and
+        cache hits to individual clients before dispatching it; callers
+        must not treat the flags as a promise across intervening
+        evaluations (an LRU bound may evict between the check and the
+        dispatch — costing a recompute, never correctness).
+        """
+        if not self.genotype_cache_enabled:
+            return [False] * len(genotypes)
+        flags = []
+        for genotype in genotypes:
+            key = tuple(int(gene) for gene in genotype)
+            flags.append(key in self._memo or key in self._column_memo)
+        return flags
+
+    @contextlib.contextmanager
+    def deadline_scope(self, seconds: float | None) -> Any:
+        """Propagate an outer deadline into the backend's retry policy.
+
+        Inside the scope, pool-dispatching backends clamp their
+        ``RetryPolicy.batch_timeout_s`` so every allowed attempt (timeouts
+        plus backoff) fits within ``seconds`` — a hung worker then surfaces
+        as an :class:`~repro.engine.backends.EngineTimeoutError` and (with
+        ``degrade_on_failure``) degrades to the in-process ladder *before*
+        the deadline instead of blocking past it.  In-process backends have
+        no pool to interrupt, so the scope is a no-op there — callers
+        enforce their deadline at dispatch boundaries instead (the DSE
+        service checks before and after every batch and between sweep
+        chunks).
+        """
+        scope = getattr(self.backend, "deadline_scope", None)
+        if seconds is None or scope is None:
+            yield
+            return
+        with scope(seconds):
+            yield
+
     # -------------------------------------------------- persistent cache tier
+
+    @property
+    def loaded_segments(self) -> tuple[Path, ...]:
+        """Segment files this engine has consumed from the persistent tier.
+
+        Cache-directory garbage collection
+        (:func:`repro.engine.persist.prune_cache_dir`) must never unlink a
+        segment a live engine loaded — its column views may be zero-copy
+        maps into the file — so callers pass this as the pruner's ``keep``
+        set.
+        """
+        return tuple(sorted(self._segments_loaded))
 
     def load_persistent_cache(self, cache_dir: str | Path | None = None) -> int:
         """Bulk-memoise the bound problem's segment from the persistent tier.

@@ -44,7 +44,24 @@ Sites wired into the stack:
 ``"cache-segment-saved"``
     fired right after every successful cache-segment write — the hook the
     persistence tests use to SIGKILL a run at a known spilled state (and to
-    assert no temporary file survives the kill).
+    assert no temporary file survives the kill);
+``"service-request"``
+    fired by the DSE service (:mod:`repro.service`) for every admitted
+    client request, right before it is queued for the engine lane — a
+    ``"raise"`` here drives the poisoned-request path (typed internal error
+    to that client, service stays healthy);
+``"service-batch"``
+    fired on the service's engine lane immediately before a coalesced
+    evaluation batch or a sweep is dispatched to the engine — a ``"hang"``
+    here drives the deadline-expiry path (the client's deadline passes
+    while the lane is stuck; affected requests get typed deadline errors),
+    a ``"raise"`` the batch-failure path (typed internal errors, engine
+    still healthy for the next batch);
+``"service-response"``
+    fired right before a response event is written back to a client — a
+    ``"hang"`` simulates a slow consumer (intermediate front updates
+    conflate while the final result is preserved), a ``"raise"`` a
+    connection that broke mid-write (the disconnect path).
 
 Plans travel to worker processes through the pool initialisers, so
 worker-side sites fire deterministically regardless of the start method.

@@ -47,6 +47,7 @@ from __future__ import annotations
 import json
 import mmap
 import os
+import time
 import warnings
 from dataclasses import dataclass
 from pathlib import Path
@@ -66,6 +67,7 @@ __all__ = [
     "CacheTierWarning",
     "CacheSegment",
     "list_segments",
+    "prune_cache_dir",
     "remove_orphaned_tmp_siblings",
     "segment_path",
     "save_segment",
@@ -189,6 +191,88 @@ def list_segments(cache_dir: str | Path) -> list[Path]:
             continue
         segments.append(path)
     return segments
+
+
+def prune_cache_dir(
+    cache_dir: str | Path,
+    *,
+    max_bytes: int | None = None,
+    max_age_s: float | None = None,
+    keep: tuple[str | Path, ...] | list[str | Path] = (),
+) -> list[Path]:
+    """Garbage-collect a cache directory down to a size/age budget.
+
+    Long-running campaigns accrete one segment per evaluation fingerprint;
+    this removes the stalest ones (oldest modification time first) until the
+    directory fits the budget:
+
+    * ``max_age_s`` — segments whose mtime is older than this many seconds
+      are removed outright;
+    * ``max_bytes`` — after the age pass, the oldest remaining segments are
+      removed until the directory's total segment bytes fit the budget;
+    * ``keep`` — segment paths that are never removed, whatever the budget:
+      callers pass the segments a live engine has loaded (its arrays may be
+      zero-copy views into those files).  Kept segments still count toward
+      ``max_bytes``, so a budget smaller than the kept set removes every
+      unkept segment but no more.
+
+    Orphaned atomic-write temporaries are swept first (they are dead bytes
+    either way).  Unlink races with concurrent pruners are tolerated; a
+    missing directory is a no-op.  Returns the removed segment paths.
+    """
+    if max_bytes is not None and max_bytes < 0:
+        raise ValueError("max_bytes must be non-negative")
+    if max_age_s is not None and max_age_s < 0:
+        raise ValueError("max_age_s must be non-negative")
+    directory = Path(cache_dir)
+    if not directory.is_dir():
+        return []
+    for path in list_segments(directory):
+        remove_orphaned_tmp_siblings(path)
+    kept = {Path(path).resolve() for path in keep}
+
+    entries: list[tuple[float, int, Path]] = []  # (mtime, size, path)
+    total = 0
+    for path in list_segments(directory):
+        try:
+            stat = path.stat()
+        except OSError:
+            continue  # unlinked (or unreadable) under us: nothing to budget
+        total += stat.st_size
+        if path.resolve() not in kept:
+            entries.append((stat.st_mtime, stat.st_size, path))
+    entries.sort()  # oldest first
+
+    removed: list[Path] = []
+
+    def _remove(size: int, path: Path) -> None:
+        nonlocal total
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            pass  # a concurrent pruner got there first; budget it gone too
+        except OSError:
+            return  # hygiene is best-effort, never a failure
+        total -= size
+        removed.append(path)
+
+    if max_age_s is not None:
+        cutoff = time.time() - max_age_s
+        survivors = []
+        for mtime, size, path in entries:
+            if mtime < cutoff:
+                _remove(size, path)
+            else:
+                survivors.append((mtime, size, path))
+        entries = survivors
+
+    if max_bytes is not None:
+        for mtime, size, path in entries:
+            if total <= max_bytes:
+                break
+            _remove(size, path)
+
+    return removed
 
 
 def _pid_alive(pid: int) -> bool:

@@ -149,6 +149,15 @@ class EngineStats:
 
     # ---------------------------------------------------------- operations
 
+    def as_dict(self) -> dict:
+        """The counters as a plain JSON-serialisable mapping.
+
+        The wire/report form: the DSE service's stats endpoint and the
+        benchmark artifacts serialize counters through this, so every field
+        travels as a plain ``int``/``float``/``str``.
+        """
+        return {field.name: getattr(self, field.name) for field in fields(self)}
+
     def snapshot(self) -> "EngineStats":
         """An independent copy of the current counter values."""
         return EngineStats(

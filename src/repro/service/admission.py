@@ -1,0 +1,146 @@
+"""Bounded admission control with watermark hysteresis for the DSE service.
+
+The service's failure mode under burst load must be *typed rejection*, never
+an unbounded queue or a silent drop: a client that cannot be served promptly
+is told so immediately (:class:`~repro.service.protocol.ServiceOverloadError`
+on the wire), keeps its connection, and can retry with backoff — while the
+requests already admitted keep their latency and complete normally.
+
+The controller tracks one number — requests admitted and not yet completed —
+against three thresholds:
+
+* ``max_pending``: the hard bound; admission above it is refused outright.
+* ``high_watermark``: entering load shedding.  Once pending work reaches the
+  high mark the controller rejects *all* new work until the backlog falls
+  back to the low mark.
+* ``low_watermark``: leaving load shedding.  The gap between the marks is
+  the hysteresis band: without it, a service hovering at the boundary would
+  flap between accepting and shedding on every completion, serving bursts
+  exactly one request at a time.
+
+Draining (graceful shutdown) is a separate, one-way state: new work is
+refused with the ``shutting-down`` code so clients can distinguish "retry
+here later" from "this instance is going away", while everything already
+admitted runs to completion (:meth:`AdmissionController.wait_idle`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.service.protocol import (
+    ServiceOverloadError,
+    ServiceShuttingDownError,
+)
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Hysteresis-banded admission gate over the service's pending work.
+
+    Not thread-safe: all calls must come from the service's event loop
+    (asyncio concurrency is cooperative, so the count-check-update sequences
+    below are atomic between awaits).
+
+    Args:
+        max_pending: hard bound on admitted-but-uncompleted requests.
+        high_watermark: backlog level that enters load shedding; defaults
+            to ``max_pending``.
+        low_watermark: backlog level that leaves load shedding; defaults to
+            half the high watermark.
+    """
+
+    def __init__(
+        self,
+        max_pending: int = 64,
+        high_watermark: int | None = None,
+        low_watermark: int | None = None,
+    ) -> None:
+        if max_pending <= 0:
+            raise ValueError("max_pending must be positive")
+        if high_watermark is None:
+            high_watermark = max_pending
+        if low_watermark is None:
+            low_watermark = max(1, high_watermark // 2)
+        if not 1 <= low_watermark <= high_watermark <= max_pending:
+            raise ValueError(
+                "watermarks must satisfy "
+                "1 <= low_watermark <= high_watermark <= max_pending "
+                f"(got low={low_watermark}, high={high_watermark}, "
+                f"max={max_pending})"
+            )
+        self.max_pending = max_pending
+        self.high_watermark = high_watermark
+        self.low_watermark = low_watermark
+        self.pending = 0
+        self.shedding = False
+        self.draining = False
+        # Counters for the stats endpoint (and the chaos suite's ledger:
+        # admitted == completed + in-flight, rejected requests got errors).
+        self.admitted = 0
+        self.completed = 0
+        self.rejected_overload = 0
+        self.rejected_draining = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+
+    # ------------------------------------------------------------------ API
+
+    def try_admit(self) -> None:
+        """Admit one request or raise the matching typed rejection.
+
+        Draining rejects before overload: during shutdown the right client
+        behaviour is "go elsewhere", not "retry here with backoff".
+        """
+        if self.draining:
+            self.rejected_draining += 1
+            raise ServiceShuttingDownError(
+                "the service is draining for shutdown and admits no new work"
+            )
+        if self.shedding or self.pending >= self.max_pending:
+            self.rejected_overload += 1
+            raise ServiceOverloadError(
+                f"the service is shedding load ({self.pending} requests "
+                f"pending, high watermark {self.high_watermark}); retry "
+                "with backoff"
+            )
+        self.pending += 1
+        self.admitted += 1
+        self._idle.clear()
+        if self.pending >= self.high_watermark:
+            self.shedding = True
+
+    def release(self) -> None:
+        """Mark one admitted request completed (served or failed)."""
+        if self.pending <= 0:
+            raise RuntimeError("release() without a matching try_admit()")
+        self.pending -= 1
+        self.completed += 1
+        if self.shedding and self.pending <= self.low_watermark:
+            self.shedding = False
+        if self.pending == 0:
+            self._idle.set()
+
+    def start_drain(self) -> None:
+        """Enter the one-way draining state: refuse all new admissions."""
+        self.draining = True
+
+    async def wait_idle(self) -> None:
+        """Block until every admitted request has been released."""
+        await self._idle.wait()
+
+    def snapshot(self) -> dict:
+        """The controller's state and counters, JSON-ready."""
+        return {
+            "pending": self.pending,
+            "shedding": self.shedding,
+            "draining": self.draining,
+            "max_pending": self.max_pending,
+            "high_watermark": self.high_watermark,
+            "low_watermark": self.low_watermark,
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "rejected_overload": self.rejected_overload,
+            "rejected_draining": self.rejected_draining,
+        }

@@ -1,0 +1,530 @@
+"""The engine lane: one serialized consumer coalescing clients onto batches.
+
+The :class:`~repro.engine.EvaluationEngine` is not thread-safe — its memos,
+stats and backend pools assume a single caller — so the service funnels all
+engine work through one **lane**: an asyncio consumer task that drains a
+queue of client work items and executes each engine call in a dedicated
+single-thread executor (the event loop stays responsive for admission,
+deadline bookkeeping and response I/O while the engine computes).
+
+The lane is where concurrent clients become one workload:
+
+* **Coalescing** — evaluate requests arriving within ``batch_window_s`` of
+  each other are concatenated into a single columnar batch.  The engine's
+  own dedup then does the sharing: two clients asking for overlapping
+  genotypes cost one model evaluation per distinct genotype, and a client
+  sweeping a fingerprint another client already swept is served entirely
+  from the memo caches.
+* **Deadline enforcement** — a request's deadline is checked before
+  dispatch (expired requests are answered without occupying the engine),
+  propagated *into* the engine for the call itself
+  (:meth:`~repro.engine.EvaluationEngine.deadline_scope` clamps the
+  backend's retry policy so a hung worker cannot block past the deadline),
+  checked again after the call, and — for sweeps — checked between chunks
+  through the sweep's ``front_callback``.  A missed deadline is a typed
+  :class:`~repro.service.protocol.DeadlineExceededError` for that client
+  only; the engine and the other clients in the batch are unaffected.
+* **Attribution** — per-client :class:`~repro.engine.EngineStats` ledgers
+  split a coalesced batch's work: every requested row counts toward the
+  requester's ``genotype_requests``; rows the engine's memos already held
+  (or that another client in the same batch requested first) count as that
+  client's ``genotype_cache_hits``; the first requester of an uncached
+  genotype owns its ``model_evaluations``.  Sweeps run lane-exclusive, so
+  their attribution is exact: the engine-stats delta of the run is merged
+  into the requesting client's ledger.
+* **Degradation surfacing** — engine calls run under a warning trap; an
+  :class:`~repro.engine.EngineDegradationWarning` (or a
+  ``degraded_batches`` stats delta) sets the ``degraded`` flag on every
+  affected client's response, so clients learn their results took the
+  slow path without scraping the server's stderr.
+
+The lane fires the ``"service-batch"`` fault-injection site inside the
+executor thread immediately before each engine dispatch, so the chaos suite
+can hang the lane (driving the deadline path) or fail a batch (driving the
+typed-internal-error path) deterministically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+import warnings
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.dse import ExhaustiveSearch, RandomSearch, run_algorithm
+from repro.engine import EngineDegradationWarning, EngineStats, faults
+from repro.service.protocol import (
+    BadRequestError,
+    DeadlineExceededError,
+    DesignRow,
+)
+
+__all__ = ["EngineLane", "EvaluateOutcome", "SweepOutcome"]
+
+
+@dataclass(frozen=True)
+class EvaluateOutcome:
+    """One client's slice of a coalesced evaluate batch."""
+
+    rows: tuple[DesignRow, ...]
+    cached_flags: tuple[bool, ...]
+    degraded: bool
+
+
+@dataclass(frozen=True)
+class SweepOutcome:
+    """A completed sweep: the final front plus the run's attributed cost."""
+
+    front: tuple[DesignRow, ...]
+    evaluations: int
+    engine_stats: dict
+    degraded: bool
+
+
+@dataclass
+class _EvaluateItem:
+    client_id: str
+    genotypes: list[tuple[int, ...]]
+    deadline: float | None
+    future: asyncio.Future
+
+
+@dataclass
+class _SweepItem:
+    client_id: str
+    algorithm: str
+    params: dict
+    deadline: float | None
+    future: asyncio.Future
+    # Called on the event loop with (front_rows, cursor) after absorbed
+    # chunks; the connection layer conflates them per request.
+    on_update: Callable[[list, int], None] | None = None
+    # Flipped by the connection layer on disconnect: updates stop, but the
+    # sweep itself completes (its designs are shared cache capacity).
+    client_gone: Callable[[], bool] = field(default=lambda: False)
+
+
+#: Constructor arguments a sweep request may set, per algorithm.  A strict
+#: allow-list: the lane builds real algorithm objects, so letting the wire
+#: name arbitrary kwargs would be an injection surface.
+_SWEEP_PARAMS = {
+    "exhaustive": ("chunk_size", "max_configurations", "checkpoint_every"),
+    "random": ("samples", "seed", "chunk_size", "checkpoint_every"),
+}
+
+_SWEEP_FACTORIES = {
+    "exhaustive": ExhaustiveSearch,
+    "random": RandomSearch,
+}
+
+
+def _front_rows(designs: Sequence[Any]) -> tuple[DesignRow, ...]:
+    """Materialised designs as wire rows, order preserved."""
+    return tuple(
+        DesignRow(
+            genotype=tuple(design.genotype),
+            objectives=tuple(design.objectives),
+            feasible=bool(design.feasible),
+            violation_count=int(design.violation_count),
+        )
+        for design in designs
+    )
+
+
+def _batch_rows(batch: Any, start: int, stop: int) -> tuple[DesignRow, ...]:
+    """A columnar batch slice as wire rows (no design objects built)."""
+    return tuple(
+        DesignRow(
+            genotype=tuple(genotype),
+            objectives=tuple(objectives),
+            feasible=bool(feasible),
+            violation_count=int(violations),
+        )
+        for genotype, objectives, feasible, violations in zip(
+            batch.genotypes[start:stop].tolist(),
+            batch.objectives[start:stop].tolist(),
+            batch.feasible[start:stop].tolist(),
+            batch.violation_counts[start:stop].tolist(),
+        )
+    )
+
+
+class EngineLane:
+    """Serialized executor of all engine work, one service instance each.
+
+    Args:
+        problem: the engine-backed problem every client request runs
+            against (``supports_columnar`` required — the service's whole
+            point is columnar coalescing).
+        batch_window_s: how long the lane lingers after the first evaluate
+            item of a batch, absorbing further evaluate items into the same
+            columnar dispatch.  ``0`` disables coalescing (every item is
+            its own batch) without changing any result.
+    """
+
+    def __init__(self, problem: Any, *, batch_window_s: float = 0.01) -> None:
+        if not getattr(problem, "supports_columnar", False):
+            raise TypeError(
+                "the DSE service needs an engine-backed problem with "
+                "columnar batch support (WbsnDseProblem(engine=...) without "
+                "record_evaluations)"
+            )
+        if batch_window_s < 0:
+            raise ValueError("batch_window_s must be non-negative")
+        self.problem = problem
+        self.engine = problem.engine
+        self.batch_window_s = batch_window_s
+        self.client_stats: dict[str, EngineStats] = {}
+        self.batches_coalesced = 0
+        self.items_coalesced = 0
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._backlog: list = []
+        self._task: asyncio.Task | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._stopping = False
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        """Start the consumer task and its single-thread engine executor."""
+        if self._task is not None:
+            raise RuntimeError("the engine lane is already running")
+        self._stopping = False
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="dse-engine-lane"
+        )
+        self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def stop(self) -> None:
+        """Finish queued work, then stop the consumer and its executor.
+
+        The lane never abandons admitted work: everything already queued is
+        served before the task exits (graceful drain relies on this —
+        admission stops the *inflow*, the lane finishes the backlog).
+        """
+        if self._task is None:
+            return
+        self._stopping = True
+        await self._queue.put(None)  # sentinel: drain, then exit
+        await self._task
+        self._task = None
+        assert self._executor is not None
+        self._executor.shutdown(wait=True)
+        self._executor = None
+
+    # --------------------------------------------------------------- intake
+
+    def submit_evaluate(
+        self,
+        client_id: str,
+        genotypes: Sequence[Sequence[int]],
+        deadline: float | None,
+    ) -> asyncio.Future:
+        """Queue an evaluate request; resolves to an :class:`EvaluateOutcome`."""
+        keys = [tuple(int(gene) for gene in genotype) for genotype in genotypes]
+        future = asyncio.get_running_loop().create_future()
+        self._queue.put_nowait(
+            _EvaluateItem(
+                client_id=client_id,
+                genotypes=keys,
+                deadline=deadline,
+                future=future,
+            )
+        )
+        return future
+
+    def submit_sweep(
+        self,
+        client_id: str,
+        algorithm: str,
+        params: dict,
+        deadline: float | None,
+        *,
+        on_update: Callable[[list, int], None] | None = None,
+        client_gone: Callable[[], bool] = lambda: False,
+    ) -> asyncio.Future:
+        """Queue a sweep request; resolves to a :class:`SweepOutcome`.
+
+        The algorithm spec is validated *here*, at intake, so a bad request
+        costs a typed error immediately instead of a lane slot.
+        """
+        self._validate_sweep(algorithm, params)
+        future = asyncio.get_running_loop().create_future()
+        self._queue.put_nowait(
+            _SweepItem(
+                client_id=client_id,
+                algorithm=algorithm,
+                params=dict(params),
+                deadline=deadline,
+                future=future,
+                on_update=on_update,
+                client_gone=client_gone,
+            )
+        )
+        return future
+
+    @staticmethod
+    def _validate_sweep(algorithm: str, params: dict) -> None:
+        allowed = _SWEEP_PARAMS.get(algorithm)
+        if allowed is None:
+            raise BadRequestError(
+                f"unknown sweep algorithm '{algorithm}' "
+                f"(supported: {', '.join(sorted(_SWEEP_PARAMS))})"
+            )
+        unknown = set(params) - set(allowed)
+        if unknown:
+            raise BadRequestError(
+                f"unsupported {algorithm}-sweep parameter(s): "
+                f"{', '.join(sorted(unknown))}"
+            )
+        for name, value in params.items():
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise BadRequestError(
+                    f"sweep parameter '{name}' must be an integer"
+                )
+
+    # ------------------------------------------------------------- consumer
+
+    async def _run(self) -> None:
+        while True:
+            item = self._backlog.pop(0) if self._backlog else await self._queue.get()
+            if item is None:
+                if self._backlog or not self._queue.empty():
+                    # Work is still queued behind the stop sentinel: push
+                    # the sentinel to the back and keep draining.
+                    self._queue.put_nowait(None)
+                    continue
+                return
+            if isinstance(item, _SweepItem):
+                await self._serve_sweep(item)
+                continue
+            batch = [item]
+            batch.extend(await self._absorb_window())
+            await self._serve_evaluates(batch)
+
+    async def _absorb_window(self) -> list:
+        """Collect further evaluate items arriving within the batch window.
+
+        A sweep (or the stop sentinel) ends the window early and goes to the
+        backlog — sweeps are lane-exclusive and never join an evaluate
+        batch.
+        """
+        absorbed: list = []
+        if self.batch_window_s <= 0:
+            return absorbed
+        window_end = time.monotonic() + self.batch_window_s
+        while True:
+            remaining = window_end - time.monotonic()
+            if remaining <= 0:
+                return absorbed
+            try:
+                nxt = await asyncio.wait_for(self._queue.get(), remaining)
+            except asyncio.TimeoutError:
+                return absorbed
+            if nxt is None or isinstance(nxt, _SweepItem):
+                self._backlog.append(nxt)
+                return absorbed
+            absorbed.append(nxt)
+
+    # ------------------------------------------------------ evaluate batches
+
+    async def _serve_evaluates(self, items: list) -> None:
+        now = time.monotonic()
+        live: list[_EvaluateItem] = []
+        for item in items:
+            if item.future.cancelled():
+                continue
+            if item.deadline is not None and now >= item.deadline:
+                item.future.set_exception(
+                    DeadlineExceededError(
+                        "deadline expired while the request was queued"
+                    )
+                )
+                continue
+            live.append(item)
+        if not live:
+            return
+        if len(live) > 1:
+            self.batches_coalesced += 1
+            self.items_coalesced += len(live)
+
+        combined: list[tuple[int, ...]] = []
+        slices: list[tuple[int, int]] = []
+        for item in live:
+            slices.append((len(combined), len(combined) + len(item.genotypes)))
+            combined.extend(item.genotypes)
+
+        # Attribution pre-pass, against the memo state the batch will meet.
+        flags = self.engine.cached_row_flags(combined)
+        owners: dict[tuple[int, ...], str] = {}
+        for item, (start, stop) in zip(live, slices):
+            ledger = self.client_stats.setdefault(item.client_id, EngineStats())
+            for key, cached in zip(item.genotypes, flags[start:stop]):
+                ledger.genotype_requests += 1
+                if cached or key in owners:
+                    # Served by the memos, or riding on a batch-mate's
+                    # compute: cache-hit economics either way.
+                    ledger.genotype_cache_hits += 1
+                else:
+                    owners[key] = item.client_id
+                    ledger.model_evaluations += 1
+
+        deadlines = [item.deadline for item in live if item.deadline is not None]
+        remaining = min(deadlines) - now if deadlines else None
+
+        def work():
+            # Fired here, in the executor thread, so a "hang" stalls the
+            # engine lane while the event loop keeps answering clients —
+            # exactly the slow-engine shape the deadline path exists for.
+            faults.maybe_fire("service-batch")
+            before = self.engine.stats.snapshot()
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always", EngineDegradationWarning)
+                with self.engine.deadline_scope(remaining):
+                    batch = self.problem.evaluate_batch_columns(combined)
+            delta = self.engine.stats.snapshot() - before
+            degraded = delta.degraded_batches > 0 or any(
+                issubclass(entry.category, EngineDegradationWarning)
+                for entry in caught
+            )
+            return batch, degraded
+
+        loop = asyncio.get_running_loop()
+        try:
+            batch, degraded = await loop.run_in_executor(self._executor, work)
+        except BaseException as exc:  # noqa: BLE001 - every item gets the error
+            for item in live:
+                if not item.future.done():
+                    item.future.set_exception(exc)
+            return
+
+        now = time.monotonic()
+        for item, (start, stop) in zip(live, slices):
+            if item.future.done():
+                continue
+            if item.deadline is not None and now >= item.deadline:
+                item.future.set_exception(
+                    DeadlineExceededError(
+                        "deadline expired while the batch was computing"
+                    )
+                )
+                continue
+            item.future.set_result(
+                EvaluateOutcome(
+                    rows=_batch_rows(batch, start, stop),
+                    cached_flags=tuple(flags[start:stop]),
+                    degraded=degraded,
+                )
+            )
+
+    # --------------------------------------------------------------- sweeps
+
+    async def _serve_sweep(self, item: _SweepItem) -> None:
+        now = time.monotonic()
+        if item.future.cancelled():
+            return
+        if item.deadline is not None and now >= item.deadline:
+            item.future.set_exception(
+                DeadlineExceededError(
+                    "deadline expired while the sweep was queued"
+                )
+            )
+            return
+        remaining = item.deadline - now if item.deadline is not None else None
+        loop = asyncio.get_running_loop()
+
+        def post_update(archive: Any, cursor: int) -> None:
+            # Lane-thread side of the streaming hook: abort on deadline or
+            # a vanished client *between* chunks (the engine is idle here),
+            # otherwise ship a conflatable front snapshot to the loop.
+            if item.deadline is not None and time.monotonic() >= item.deadline:
+                raise DeadlineExceededError(
+                    "deadline expired between sweep chunks"
+                )
+            if item.on_update is None or item.client_gone():
+                return
+            if archive is None or not len(archive):
+                rows: list = []
+            else:
+                rows = [
+                    row.as_wire() for row in _batch_rows(archive, 0, len(archive))
+                ]
+            loop.call_soon_threadsafe(item.on_update, rows, cursor)
+
+        def work():
+            faults.maybe_fire("service-batch")
+            algorithm = _SWEEP_FACTORIES[item.algorithm](
+                self.problem, **item.params
+            )
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always", EngineDegradationWarning)
+                with self.engine.deadline_scope(remaining):
+                    result = run_algorithm(
+                        algorithm, front_callback=post_update
+                    )
+            degraded = (
+                result.engine_stats is not None
+                and result.engine_stats.degraded_batches > 0
+            ) or any(
+                issubclass(entry.category, EngineDegradationWarning)
+                for entry in caught
+            )
+            return result, degraded
+
+        try:
+            result, degraded = await loop.run_in_executor(self._executor, work)
+        except (TypeError, ValueError) as exc:
+            # Algorithm constructors validate their arguments; surface those
+            # as bad requests, not internal failures.
+            if not item.future.done():
+                item.future.set_exception(BadRequestError(str(exc)))
+            return
+        except BaseException as exc:  # noqa: BLE001 - typed by the server layer
+            if not item.future.done():
+                item.future.set_exception(exc)
+            return
+
+        # The lane is exclusive during a sweep, so the run's stats delta is
+        # exactly this client's work — merge it into their ledger.
+        ledger = self.client_stats.setdefault(item.client_id, EngineStats())
+        if result.engine_stats is not None:
+            ledger.merge(result.engine_stats)
+
+        if item.future.done():
+            return
+        now = time.monotonic()
+        if item.deadline is not None and now >= item.deadline:
+            item.future.set_exception(
+                DeadlineExceededError(
+                    "deadline expired while the sweep was finishing"
+                )
+            )
+            return
+        item.future.set_result(
+            SweepOutcome(
+                front=_front_rows(result.front),
+                evaluations=result.evaluations,
+                engine_stats=(
+                    result.engine_stats.as_dict()
+                    if result.engine_stats is not None
+                    else {}
+                ),
+                degraded=degraded,
+            )
+        )
+
+    # ---------------------------------------------------------------- stats
+
+    def snapshot(self) -> dict:
+        """Lane counters plus the per-client attribution ledgers."""
+        return {
+            "batches_coalesced": self.batches_coalesced,
+            "items_coalesced": self.items_coalesced,
+            "queued": self._queue.qsize() + len(self._backlog),
+            "clients": {
+                client: ledger.as_dict()
+                for client, ledger in sorted(self.client_stats.items())
+            },
+        }

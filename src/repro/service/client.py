@@ -1,0 +1,297 @@
+"""Async client for the DSE service.
+
+:class:`DseServiceClient` speaks the service's newline-delimited JSON
+protocol (:mod:`repro.service.protocol`) and maps wire errors back onto the
+same typed exceptions the server raised — a shed request raises
+:class:`~repro.service.protocol.ServiceOverloadError` in the caller, a
+missed deadline :class:`~repro.service.protocol.DeadlineExceededError`, and
+so on — so client-side retry/backoff logic can branch on exception types
+instead of string-matching messages.
+
+One connection multiplexes any number of in-flight requests: each request
+carries a client-assigned id, a background reader task routes response
+events to the matching caller, and a sweep's streaming ``front-update``
+events are delivered to the caller's ``on_front_update`` callback as they
+arrive (conflated server-side if this client reads slowly).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.service.protocol import (
+    WIRE_LINE_LIMIT,
+    DesignRow,
+    ServiceError,
+    encode_message,
+    error_for_code,
+)
+
+__all__ = ["DseServiceClient", "EvaluateReply", "SweepReply", "FrontUpdate"]
+
+
+@dataclass(frozen=True)
+class EvaluateReply:
+    """An evaluate request's result.
+
+    Attributes:
+        rows: one :class:`~repro.service.protocol.DesignRow` per requested
+            genotype, in request order.
+        cached: per-row flags — ``True`` where the service's engine memos
+            already held the row when the batch dispatched (this client's
+            request did no model work for it).
+        degraded: the batch was computed while the engine ran on its
+            in-process degradation ladder (results identical, path slower).
+    """
+
+    rows: tuple[DesignRow, ...]
+    cached: tuple[bool, ...]
+    degraded: bool
+
+
+@dataclass(frozen=True)
+class SweepReply:
+    """A sweep request's terminal result.
+
+    Attributes:
+        front: the final non-dominated front, bitwise identical to an
+            in-process :func:`~repro.dse.run_algorithm` run of the same
+            algorithm on the same problem.
+        evaluations: designs served to the sweep (cache hits included).
+        engine_stats: the run's engine-counter delta, as a plain mapping
+            (see :meth:`~repro.engine.EngineStats.as_dict`).
+        degraded: the sweep ran (at least partly) on the degradation ladder.
+    """
+
+    front: tuple[DesignRow, ...]
+    evaluations: int
+    engine_stats: dict
+    degraded: bool
+
+
+@dataclass(frozen=True)
+class FrontUpdate:
+    """One streamed front snapshot: the running front after a chunk."""
+
+    front: tuple[DesignRow, ...]
+    cursor: int
+
+
+class DseServiceClient:
+    """One connection to a :class:`~repro.service.server.DseService`.
+
+    Build with :meth:`connect`; the constructor is internal.  The client is
+    a context manager::
+
+        client = await DseServiceClient.connect(path=sock, client_id="alice")
+        try:
+            reply = await client.evaluate(genotypes, deadline_s=5.0)
+        finally:
+            await client.close()
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        client_id: str,
+    ) -> None:
+        self.client_id = client_id
+        self._reader = reader
+        self._writer = writer
+        self._pending: dict[int, asyncio.Future] = {}
+        self._update_callbacks: dict[int, Callable[[FrontUpdate], None]] = {}
+        self._next_id = 0
+        self._closed = False
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop()
+        )
+
+    # ----------------------------------------------------------- connection
+
+    @classmethod
+    async def connect(
+        cls,
+        *,
+        path: str | None = None,
+        host: str = "127.0.0.1",
+        port: int | None = None,
+        client_id: str | None = None,
+    ) -> "DseServiceClient":
+        """Open a connection and run the hello handshake."""
+        if path is not None:
+            reader, writer = await asyncio.open_unix_connection(
+                path, limit=WIRE_LINE_LIMIT
+            )
+        elif port is not None:
+            reader, writer = await asyncio.open_connection(
+                host, port, limit=WIRE_LINE_LIMIT
+            )
+        else:
+            raise ValueError("connect needs a socket path or a host/port")
+        client = cls(reader, writer, client_id or "anonymous")
+        try:
+            await client._request({"op": "hello", "client": client.client_id})
+        except BaseException:
+            await client.close()
+            raise
+        return client
+
+    async def close(self) -> None:
+        """Close the connection; in-flight requests fail with ConnectionError."""
+        if self._closed:
+            return
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+        self._fail_pending(ConnectionError("the client connection is closed"))
+
+    # ------------------------------------------------------------------ ops
+
+    async def ping(self) -> None:
+        """Round-trip liveness probe."""
+        await self._request({"op": "ping"})
+
+    async def stats(self) -> dict:
+        """The service's observability snapshot (admission, lane, engine)."""
+        reply = await self._request({"op": "stats"})
+        return reply["stats"]
+
+    async def evaluate(
+        self,
+        genotypes: Sequence[Sequence[int]],
+        *,
+        deadline_s: float | None = None,
+    ) -> EvaluateReply:
+        """Evaluate a batch of genotypes through the shared engine."""
+        reply = await self._request(
+            {
+                "op": "evaluate",
+                "genotypes": [
+                    [int(gene) for gene in genotype] for genotype in genotypes
+                ],
+                "deadline_s": deadline_s,
+            }
+        )
+        return EvaluateReply(
+            rows=tuple(DesignRow.from_wire(row) for row in reply["rows"]),
+            cached=tuple(bool(flag) for flag in reply["cached"]),
+            degraded=bool(reply["degraded"]),
+        )
+
+    async def sweep(
+        self,
+        algorithm: str = "exhaustive",
+        *,
+        params: dict | None = None,
+        deadline_s: float | None = None,
+        on_front_update: Callable[[FrontUpdate], None] | None = None,
+    ) -> SweepReply:
+        """Run a full sweep server-side, optionally streaming front updates."""
+        reply = await self._request(
+            {
+                "op": "sweep",
+                "algorithm": algorithm,
+                "params": params or {},
+                "deadline_s": deadline_s,
+                "stream": on_front_update is not None,
+            },
+            on_front_update=on_front_update,
+        )
+        return SweepReply(
+            front=tuple(DesignRow.from_wire(row) for row in reply["front"]),
+            evaluations=int(reply["evaluations"]),
+            engine_stats=dict(reply["engine_stats"]),
+            degraded=bool(reply["degraded"]),
+        )
+
+    # ------------------------------------------------------------ internals
+
+    async def _request(
+        self,
+        message: dict,
+        *,
+        on_front_update: Callable[[FrontUpdate], None] | None = None,
+    ) -> dict:
+        if self._closed:
+            raise ConnectionError("the client connection is closed")
+        self._next_id += 1
+        request_id = self._next_id
+        message = dict(message, id=request_id)
+        future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        if on_front_update is not None:
+            self._update_callbacks[request_id] = on_front_update
+        try:
+            self._writer.write(encode_message(message))
+            await self._writer.drain()
+            return await future
+        finally:
+            self._pending.pop(request_id, None)
+            self._update_callbacks.pop(request_id, None)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                self._handle_event(line)
+        except (ValueError, ConnectionError, OSError):
+            # ValueError: a server line past WIRE_LINE_LIMIT — the stream
+            # cannot be reframed, so the connection is as good as broken.
+            pass
+        self._fail_pending(
+            ConnectionError("the service closed the connection")
+        )
+
+    def _handle_event(self, line: bytes) -> None:
+        try:
+            message = json.loads(line)
+        except ValueError:
+            return  # a corrupt server line cannot be attributed to a request
+        request_id = message.get("id")
+        event = message.get("event")
+        if event == "front-update":
+            callback = self._update_callbacks.get(request_id)
+            if callback is not None:
+                callback(
+                    FrontUpdate(
+                        front=tuple(
+                            DesignRow.from_wire(row)
+                            for row in message.get("front", [])
+                        ),
+                        cursor=int(message.get("cursor", 0)),
+                    )
+                )
+            return
+        future = self._pending.get(request_id)
+        if future is None or future.done():
+            return
+        if event == "error":
+            future.set_exception(
+                error_for_code(
+                    str(message.get("code", "internal")),
+                    str(message.get("message", "unknown service error")),
+                )
+            )
+        else:
+            future.set_result(message)
+
+    def _fail_pending(self, exc: Exception) -> None:
+        for future in list(self._pending.values()):
+            if not future.done():
+                future.set_exception(exc)
+        self._pending.clear()
+        self._update_callbacks.clear()

@@ -1,0 +1,191 @@
+"""Wire protocol of the DSE service: newline-delimited JSON, typed errors.
+
+One request or response event per line, each line one JSON object.  The
+format is deliberately boring: JSON is debuggable with ``nc`` and a pair of
+eyes, newline framing needs no length prefixes, and Python's ``json`` module
+serializes floats with ``repr``'s shortest round-trip form — a float leaves
+the service, crosses the wire, and parses back **bitwise identical**, which
+is what lets the chaos suite demand fronts identical to an in-process
+:func:`~repro.dse.run_algorithm` run down to the last bit.
+
+Requests carry an ``op`` (``hello``, ``ping``, ``evaluate``, ``sweep``,
+``stats``) and a client-assigned ``id``; every response event echoes the
+``id`` and carries an ``event`` tag:
+
+``result``
+    the request's single terminal success event, with the op's payload;
+``error``
+    the terminal failure event, with a machine-readable ``code`` (see
+    :data:`ERRORS_BY_CODE`) and a human-readable ``message`` — overload
+    shedding, shutdown draining, deadline expiry, malformed requests and
+    internal failures are all *typed*, never silent drops or bare
+    disconnects;
+``front-update``
+    zero or more streaming events before a ``sweep``'s terminal event: the
+    running non-dominated front after an absorbed chunk, plus the cursor of
+    genotypes consumed.  Updates are conflated per request when the client
+    reads slowly — only the newest unsent update survives — so a slow
+    consumer can never wedge the service; terminal events are never
+    conflated or dropped.
+
+Design rows travel as ``[genotype, objectives, feasible, violation_count]``
+quadruples (:class:`DesignRow`), matching the engine's column-row record.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "WIRE_LINE_LIMIT",
+    "ServiceError",
+    "ServiceOverloadError",
+    "ServiceShuttingDownError",
+    "DeadlineExceededError",
+    "BadRequestError",
+    "RemoteInternalError",
+    "ERRORS_BY_CODE",
+    "error_for_code",
+    "DesignRow",
+    "encode_message",
+    "decode_line",
+]
+
+#: Bumped on any incompatible wire-format change; exchanged in the
+#: ``hello`` handshake so a mismatched client fails loudly, not subtly.
+PROTOCOL_VERSION = 1
+
+#: Stream-reader line limit on both ends of the connection.  A whole-space
+#: evaluate request (or its row-per-genotype reply) is one JSON line, so
+#: the asyncio default of 64 KiB is far too small: 16 MiB covers ~100k
+#: design rows per message while still bounding a misbehaving peer.
+WIRE_LINE_LIMIT = 16 * 1024 * 1024
+
+
+class ServiceError(RuntimeError):
+    """Base of the service's typed failures; ``code`` is the wire form."""
+
+    code = "internal"
+
+
+class ServiceOverloadError(ServiceError):
+    """Admission shed the request: the service is over its high watermark."""
+
+    code = "overload"
+
+
+class ServiceShuttingDownError(ServiceError):
+    """Admission refused the request: the service is draining for shutdown."""
+
+    code = "shutting-down"
+
+
+class DeadlineExceededError(ServiceError):
+    """The request's deadline passed before its result could be served."""
+
+    code = "deadline"
+
+
+class BadRequestError(ServiceError):
+    """The request was malformed (unparseable line, unknown op, bad args)."""
+
+    code = "bad-request"
+
+
+class RemoteInternalError(ServiceError):
+    """The service failed internally while serving the request."""
+
+    code = "internal"
+
+
+#: Wire code -> exception type, for the client-side mapping.  Unknown codes
+#: fall back to :class:`RemoteInternalError` (a newer server must still fail
+#: typed on an older client).
+ERRORS_BY_CODE: dict[str, type[ServiceError]] = {
+    cls.code: cls
+    for cls in (
+        ServiceOverloadError,
+        ServiceShuttingDownError,
+        DeadlineExceededError,
+        BadRequestError,
+        RemoteInternalError,
+    )
+}
+
+
+def error_for_code(code: str, message: str) -> ServiceError:
+    """Rebuild the typed exception a wire error event describes."""
+    return ERRORS_BY_CODE.get(code, RemoteInternalError)(message)
+
+
+@dataclass(frozen=True)
+class DesignRow:
+    """One evaluated design as it travels the wire (and as tests compare it).
+
+    The tuple shapes mirror ``EvaluatedDesign``'s front signature —
+    ``(genotype, objectives, feasible)`` plus the violation count — so a
+    served front can be compared field-for-field (and bit-for-bit on the
+    objective floats) with an in-process run's front.
+    """
+
+    genotype: tuple[int, ...]
+    objectives: tuple[float, ...]
+    feasible: bool
+    violation_count: int
+
+    def as_wire(self) -> list:
+        """The JSON array form of the row."""
+        return [
+            list(self.genotype),
+            list(self.objectives),
+            bool(self.feasible),
+            int(self.violation_count),
+        ]
+
+    @classmethod
+    def from_wire(cls, payload: Any) -> "DesignRow":
+        """Parse a row off the wire, :class:`BadRequestError` on junk."""
+        try:
+            genotype, objectives, feasible, violations = payload
+            return cls(
+                genotype=tuple(int(gene) for gene in genotype),
+                objectives=tuple(float(value) for value in objectives),
+                feasible=bool(feasible),
+                violation_count=int(violations),
+            )
+        except (TypeError, ValueError) as exc:
+            raise BadRequestError(f"malformed design row: {exc}") from exc
+
+
+def encode_message(message: dict) -> bytes:
+    """One protocol message as a newline-terminated JSON line.
+
+    ``allow_nan=False`` keeps the stream strict JSON — a NaN objective
+    would otherwise serialize as the non-standard ``NaN`` token and break
+    conforming parsers; the engine never produces one, so hitting this is a
+    bug worth an exception, not a quietly corrupt stream.
+    """
+    return (
+        json.dumps(message, separators=(",", ":"), allow_nan=False) + "\n"
+    ).encode("utf-8")
+
+
+def decode_line(line: bytes) -> dict:
+    """Parse one received line into a message dict.
+
+    Raises :class:`BadRequestError` on anything that is not a single JSON
+    object — the server answers those with a typed error event rather than
+    dropping the connection.
+    """
+    try:
+        message = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise BadRequestError(f"unparseable protocol line: {exc}") from exc
+    if not isinstance(message, dict):
+        raise BadRequestError(
+            f"protocol line must be a JSON object, got {type(message).__name__}"
+        )
+    return message

@@ -1,0 +1,514 @@
+"""The async DSE service: socket front-end over one shared evaluation engine.
+
+:class:`DseService` turns the repo's in-process exploration stack into a
+long-lived serving component: concurrent clients connect over a Unix socket
+(or TCP), submit evaluate batches and full sweeps against one shared
+engine-backed problem, and stream front updates back — while the service
+enforces the robustness contract the in-process stack cannot:
+
+* **admission control & backpressure** — a bounded pending-work gate with
+  watermark hysteresis (:class:`~repro.service.admission.AdmissionController`)
+  sheds burst overload with typed ``overload`` errors instead of queueing
+  without bound or silently dropping requests;
+* **deadline propagation** — a request's ``deadline_s`` travels into the
+  engine lane, which clamps the backend retry policy around it
+  (:meth:`~repro.engine.EvaluationEngine.deadline_scope`) and checks it at
+  every dispatch boundary, so a hung worker converts into a typed
+  ``deadline`` error instead of an unbounded stall;
+* **graceful drain** — :meth:`DseService.stop` stops admitting, lets every
+  admitted request complete, flushes connections, spills the persistent
+  cache tier, and only then tears the engine lane down;
+* **warm start** — with a ``cache_dir`` the engine bulk-memoises the
+  problem's on-disk segment at boot, so the first client of a fingerprint
+  another process already swept is served from disk rows;
+* **degradation surfacing** — responses computed while the engine degraded
+  to its in-process ladder carry ``"degraded": true``, mirroring the
+  in-process :class:`~repro.engine.EngineDegradationWarning`.
+
+Responses never block the engine on a slow reader: each connection owns a
+sender task with a per-request conflation slot for ``front-update`` events
+(only the newest unsent update survives; terminal events are never dropped),
+and a client that disconnects mid-stream simply stops receiving — its
+admitted work completes (the designs are shared cache capacity) and its
+admission slot is released, so the batcher can never wedge on a dead peer.
+
+Fault-injection sites (:mod:`repro.engine.faults`): ``"service-request"``
+fires per admitted request before queueing, ``"service-batch"`` on the lane
+before each engine dispatch, ``"service-response"`` before each response
+write.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Any
+
+from repro.engine import faults
+from repro.service.admission import AdmissionController
+from repro.service.batcher import EngineLane, EvaluateOutcome, SweepOutcome
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    WIRE_LINE_LIMIT,
+    BadRequestError,
+    RemoteInternalError,
+    ServiceError,
+    decode_line,
+    encode_message,
+)
+
+__all__ = ["DseService"]
+
+
+class _Connection:
+    """One client connection: identity, outbox, and the sender task.
+
+    The outbox is a deque of ready-to-send events plus one conflation slot
+    per request id for ``front-update`` events: posting an update while the
+    previous one is still unsent *replaces* it (counted in ``conflated``),
+    so a slow reader bounds the outbox by its in-flight request count, not
+    by the sweep's chunk count.  Terminal ``result``/``error`` events are
+    never conflated or dropped.
+    """
+
+    def __init__(self, name: str, writer: asyncio.StreamWriter) -> None:
+        self.name = name
+        self.client_id = name  # overwritten by the hello handshake
+        self.writer = writer
+        self.closed = False
+        self.conflated = 0
+        self._events: deque = deque()
+        self._update_slots: dict[Any, dict] = {}
+        self._wakeup = asyncio.Event()
+        self._flushed = asyncio.Event()
+        self._flushed.set()
+
+    # ---------------------------------------------------------------- posts
+
+    def post(self, message: dict) -> None:
+        """Queue a terminal event (result/error) for sending."""
+        if self.closed:
+            return
+        self._events.append(message)
+        self._flushed.clear()
+        self._wakeup.set()
+
+    def post_update(self, request_id: Any, message: dict) -> None:
+        """Queue a front-update, conflating with any unsent predecessor."""
+        if self.closed:
+            return
+        if request_id in self._update_slots:
+            self._update_slots[request_id] = message
+            self.conflated += 1
+            return
+        self._update_slots[request_id] = message
+        self._events.append(("update", request_id))
+        self._flushed.clear()
+        self._wakeup.set()
+
+    # --------------------------------------------------------------- sender
+
+    async def sender_loop(self) -> None:
+        while True:
+            await self._wakeup.wait()
+            self._wakeup.clear()
+            while self._events:
+                entry = self._events.popleft()
+                if isinstance(entry, tuple):
+                    # Conflation point: the slot holds the newest update
+                    # posted for this request by the time we got to send.
+                    message = self._update_slots.pop(entry[1])
+                else:
+                    message = entry
+                try:
+                    # Fault-injection seam: a "hang" here simulates a slow
+                    # consumer, a "raise" a connection broken mid-write.
+                    faults.maybe_fire("service-response")
+                    self.writer.write(encode_message(message))
+                    await self.writer.drain()
+                except (
+                    faults.InjectedFault,
+                    ConnectionError,
+                    RuntimeError,
+                    OSError,
+                ):
+                    self.mark_closed()
+                    break
+            if self.closed:
+                self._events.clear()
+                self._update_slots.clear()
+            if not self._events:
+                self._flushed.set()
+
+    async def wait_flushed(self, timeout: float = 1.0) -> None:
+        """Give the sender a bounded chance to drain the outbox."""
+        try:
+            await asyncio.wait_for(self._flushed.wait(), timeout)
+        except asyncio.TimeoutError:
+            pass
+
+    def mark_closed(self) -> None:
+        self.closed = True
+        self._flushed.set()
+        self._wakeup.set()
+
+
+class DseService:
+    """Asyncio DSE service over one engine-backed problem.
+
+    Args:
+        problem: the engine-backed ``WbsnDseProblem`` every client request
+            runs against (columnar support required).
+        socket_path: serve on this Unix socket; mutually exclusive with
+            ``host``/``port``.
+        host, port: serve on TCP instead (``port=0`` picks a free port,
+            reported by :attr:`address` after :meth:`start`).
+        batch_window_s: the engine lane's coalescing window (see
+            :class:`~repro.service.batcher.EngineLane`).
+        max_pending, high_watermark, low_watermark: admission bounds (see
+            :class:`~repro.service.admission.AdmissionController`).
+        cache_dir: persistent cache tier directory — loaded at
+            :meth:`start` (warm boot), spilled at :meth:`stop`.
+        close_engine: close the problem's engine when the service stops
+            (use when the service owns the engine's lifetime).
+    """
+
+    def __init__(
+        self,
+        problem: Any,
+        *,
+        socket_path: str | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        batch_window_s: float = 0.01,
+        max_pending: int = 64,
+        high_watermark: int | None = None,
+        low_watermark: int | None = None,
+        cache_dir: str | None = None,
+        close_engine: bool = False,
+    ) -> None:
+        self.lane = EngineLane(problem, batch_window_s=batch_window_s)
+        self.admission = AdmissionController(
+            max_pending=max_pending,
+            high_watermark=high_watermark,
+            low_watermark=low_watermark,
+        )
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self.cache_dir = cache_dir
+        self.close_engine = close_engine
+        self.rows_warm_started = 0
+        self._server: asyncio.base_events.Server | None = None
+        self._connections: set[_Connection] = set()
+        self._request_tasks: set[asyncio.Task] = set()
+        self._conn_counter = 0
+
+    # ------------------------------------------------------------ lifecycle
+
+    @property
+    def address(self) -> Any:
+        """Where the service listens: the socket path, or ``(host, port)``."""
+        if self.socket_path is not None:
+            return self.socket_path
+        return (self.host, self.port)
+
+    async def start(self) -> "DseService":
+        """Warm-start the engine, start the lane, and open the listener."""
+        if self._server is not None:
+            raise RuntimeError("the service is already running")
+        if self.cache_dir is not None:
+            # Warm boot: segments spilled by earlier processes serve this
+            # service's very first request from disk rows.
+            self.rows_warm_started = self.lane.engine.load_persistent_cache(
+                self.cache_dir
+            )
+        self.lane.start()
+        if self.socket_path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection,
+                path=self.socket_path,
+                limit=WIRE_LINE_LIMIT,
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection,
+                host=self.host,
+                port=self.port,
+                limit=WIRE_LINE_LIMIT,
+            )
+            self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def stop(self) -> None:
+        """Graceful drain: refuse new work, finish in-flight, spill, close.
+
+        Ordering matters: admission drains first (typed ``shutting-down``
+        rejections for late arrivals), then every admitted request runs to
+        completion and its response is flushed, then the lane stops, then
+        the persistent tier is spilled — so a clean shutdown loses neither
+        admitted work nor computed cache capacity.
+        """
+        if self._server is None:
+            return
+        self.admission.start_drain()
+        await self.admission.wait_idle()
+        for task in list(self._request_tasks):
+            await task
+        for connection in list(self._connections):
+            await connection.wait_flushed()
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+        for connection in list(self._connections):
+            connection.mark_closed()
+        await self.lane.stop()
+        engine = self.lane.engine
+        if self.cache_dir is not None:
+            engine.spill_persistent_cache(self.cache_dir)
+        if self.close_engine:
+            engine.close()
+
+    # ------------------------------------------------------------- handling
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._conn_counter += 1
+        connection = _Connection(f"conn-{self._conn_counter}", writer)
+        self._connections.add(connection)
+        sender = asyncio.get_running_loop().create_task(
+            connection.sender_loop()
+        )
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                self._dispatch(connection, line)
+        except ValueError as exc:
+            # A line past WIRE_LINE_LIMIT: answer typed (no request id can
+            # be attributed to an unframeable line) and drop the peer.
+            self._post_error(
+                connection,
+                None,
+                BadRequestError(f"protocol line too long: {exc}"),
+            )
+            await connection.wait_flushed()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            # Disconnect path: in-flight work this client admitted still
+            # completes (and releases admission) — only its responses stop.
+            connection.mark_closed()
+            sender.cancel()
+            try:
+                await sender
+            except asyncio.CancelledError:
+                pass
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._connections.discard(connection)
+
+    def _dispatch(self, connection: _Connection, line: bytes) -> None:
+        request_id = None
+        try:
+            message = decode_line(line)
+            request_id = message.get("id")
+            op = message.get("op")
+            if op == "hello":
+                client = message.get("client")
+                if client is not None:
+                    connection.client_id = str(client)
+                connection.post(
+                    {
+                        "id": request_id,
+                        "event": "result",
+                        "ok": True,
+                        "protocol": PROTOCOL_VERSION,
+                        "server": "wbsn-dse-service",
+                    }
+                )
+            elif op == "ping":
+                connection.post(
+                    {"id": request_id, "event": "result", "ok": True}
+                )
+            elif op == "stats":
+                connection.post(
+                    {
+                        "id": request_id,
+                        "event": "result",
+                        "ok": True,
+                        "stats": self.snapshot(),
+                    }
+                )
+            elif op == "evaluate":
+                self._admit_evaluate(connection, request_id, message)
+            elif op == "sweep":
+                self._admit_sweep(connection, request_id, message)
+            else:
+                raise BadRequestError(f"unknown op '{op}'")
+        except ServiceError as exc:
+            self._post_error(connection, request_id, exc)
+
+    # ------------------------------------------------------- request intake
+
+    def _deadline_from(self, message: dict) -> float | None:
+        deadline_s = message.get("deadline_s")
+        if deadline_s is None:
+            return None
+        if not isinstance(deadline_s, (int, float)) or deadline_s <= 0:
+            raise BadRequestError("deadline_s must be a positive number")
+        return asyncio.get_running_loop().time() + float(deadline_s)
+
+    def _admit_evaluate(
+        self, connection: _Connection, request_id: Any, message: dict
+    ) -> None:
+        genotypes = message.get("genotypes")
+        if not isinstance(genotypes, list) or not genotypes:
+            raise BadRequestError(
+                "evaluate needs a non-empty 'genotypes' list of gene-index "
+                "rows"
+            )
+        deadline = self._deadline_from(message)
+        self.admission.try_admit()
+        try:
+            # Fault-injection seam: a poisoned request fails *after*
+            # admission but before queueing — the typed-internal-error
+            # path, with the admission slot correctly released below.
+            faults.maybe_fire("service-request")
+            future = self.lane.submit_evaluate(
+                connection.client_id, genotypes, deadline
+            )
+        except BaseException as exc:
+            self.admission.release()
+            if isinstance(exc, ServiceError):
+                raise
+            raise RemoteInternalError(
+                f"failed to queue the request: {exc}"
+            ) from exc
+        self._track(self._complete_evaluate(connection, request_id, future))
+
+    def _admit_sweep(
+        self, connection: _Connection, request_id: Any, message: dict
+    ) -> None:
+        algorithm = message.get("algorithm")
+        if not isinstance(algorithm, str):
+            raise BadRequestError("sweep needs an 'algorithm' name")
+        params = message.get("params") or {}
+        if not isinstance(params, dict):
+            raise BadRequestError("sweep 'params' must be an object")
+        deadline = self._deadline_from(message)
+        stream = bool(message.get("stream", True))
+        self.admission.try_admit()
+        try:
+            faults.maybe_fire("service-request")
+
+            def on_update(rows: list, cursor: int) -> None:
+                connection.post_update(
+                    request_id,
+                    {
+                        "id": request_id,
+                        "event": "front-update",
+                        "front": rows,
+                        "cursor": cursor,
+                    },
+                )
+
+            future = self.lane.submit_sweep(
+                connection.client_id,
+                algorithm,
+                params,
+                deadline,
+                on_update=on_update if stream else None,
+                client_gone=lambda: connection.closed,
+            )
+        except BaseException as exc:
+            self.admission.release()
+            if isinstance(exc, ServiceError):
+                raise
+            raise RemoteInternalError(
+                f"failed to queue the request: {exc}"
+            ) from exc
+        self._track(self._complete_sweep(connection, request_id, future))
+
+    def _track(self, coroutine) -> None:
+        task = asyncio.get_running_loop().create_task(coroutine)
+        self._request_tasks.add(task)
+        task.add_done_callback(self._request_tasks.discard)
+
+    # ----------------------------------------------------------- completion
+
+    async def _complete_evaluate(
+        self, connection: _Connection, request_id: Any, future: asyncio.Future
+    ) -> None:
+        try:
+            outcome: EvaluateOutcome = await future
+            connection.post(
+                {
+                    "id": request_id,
+                    "event": "result",
+                    "ok": True,
+                    "rows": [row.as_wire() for row in outcome.rows],
+                    "cached": list(outcome.cached_flags),
+                    "degraded": outcome.degraded,
+                }
+            )
+        except Exception as exc:
+            self._post_error(connection, request_id, exc)
+        finally:
+            self.admission.release()
+
+    async def _complete_sweep(
+        self, connection: _Connection, request_id: Any, future: asyncio.Future
+    ) -> None:
+        try:
+            outcome: SweepOutcome = await future
+            connection.post(
+                {
+                    "id": request_id,
+                    "event": "result",
+                    "ok": True,
+                    "front": [row.as_wire() for row in outcome.front],
+                    "evaluations": outcome.evaluations,
+                    "engine_stats": outcome.engine_stats,
+                    "degraded": outcome.degraded,
+                }
+            )
+        except Exception as exc:
+            self._post_error(connection, request_id, exc)
+        finally:
+            self.admission.release()
+
+    def _post_error(
+        self, connection: _Connection, request_id: Any, exc: Exception
+    ) -> None:
+        if not isinstance(exc, ServiceError):
+            exc = RemoteInternalError(f"{type(exc).__name__}: {exc}")
+        connection.post(
+            {
+                "id": request_id,
+                "event": "error",
+                "ok": False,
+                "code": exc.code,
+                "message": str(exc),
+            }
+        )
+
+    # ---------------------------------------------------------------- stats
+
+    def snapshot(self) -> dict:
+        """Service-wide observability: admission, lane, engine, warm start."""
+        return {
+            "admission": self.admission.snapshot(),
+            "lane": self.lane.snapshot(),
+            "engine": self.lane.engine.stats.as_dict(),
+            "rows_warm_started": self.rows_warm_started,
+            "connections": len(self._connections),
+            "conflated_updates": sum(
+                connection.conflated for connection in self._connections
+            ),
+        }

@@ -293,6 +293,42 @@ class TestScalarBackendRecovery:
         assert engine.stats.worker_failures == 1
         assert engine.stats.batches_retried == 1
 
+    def test_completed_units_survive_a_failed_attempt(self):
+        # Four chunk units on two workers.  Unit 1 hangs long enough for
+        # units 0, 2 and 3 to finish, then raises: the recovery loop must
+        # harvest those completed futures before tearing the pool down and
+        # re-dispatch *only* unit 1.  Submission ids are monotonic (0-3 on
+        # the first attempt, 4 for the retried unit), so a fault armed on
+        # ids 5-6 is a tripwire that only fires if an already-completed
+        # unit is thrown away and re-dispatched.
+        serial = beacon_problem(EvaluationEngine())
+        genotypes = list(serial.space.enumerate_genotypes())[:32]
+        expected = [d.objectives for d in serial.evaluate_batch(genotypes)]
+        plan = FaultPlan(
+            [
+                FaultSpec(site="chunk", action="hang", delay_s=1.0, at=(1,)),
+                FaultSpec(site="chunk", action="raise", at=(1,)),
+                FaultSpec(site="chunk", action="raise", at=(5, 6)),
+            ]
+        )
+        with inject_faults(plan):
+            engine = EvaluationEngine(
+                backend="process",
+                max_workers=2,
+                vectorized=False,
+                chunk_size=8,
+                retry_policy=FAST_RETRIES,
+            )
+            with engine:
+                problem = beacon_problem(engine)
+                designs = problem.evaluate_batch(genotypes)
+        assert [d.objectives for d in designs] == expected
+        # One failure, one retry: the tripwire never fired, so the retry
+        # pool received exactly the one unfinished unit.
+        assert engine.stats.worker_failures == 1
+        assert engine.stats.batches_retried == 1
+        assert engine.stats.degraded_batches == 0
+
     def test_hung_worker_hits_the_batch_deadline(self):
         # The hang outlives the deadline by far; the recovery loop must cut
         # it off, name the batch and shard, and (degradation disabled)

@@ -40,6 +40,7 @@ from repro.engine import (
     inject_faults,
     load_segment,
     load_segment_if_valid,
+    prune_cache_dir,
     save_segment,
     segment_path,
 )
@@ -666,3 +667,90 @@ class TestColumnMemoBound:
         assert front_signature(result.front) == reference_front("beacon")
         assert engine.stats.column_memo_evictions > 0
         assert engine.stats.model_evaluations > 0
+
+
+class TestPruneCacheDir:
+    """Cache-directory garbage collection (:func:`prune_cache_dir`)."""
+
+    def _segment(self, directory, fingerprint, *, rows=None, mtime=None):
+        path = save_segment(
+            directory,
+            fingerprint=fingerprint,
+            components=COMPONENTS,
+            **column_arrays(rows or ROWS),
+        )
+        if mtime is not None:
+            os.utime(path, (mtime, mtime))
+        return path
+
+    def test_missing_directory_is_a_noop(self, tmp_path):
+        assert prune_cache_dir(tmp_path / "absent", max_bytes=0) == []
+
+    def test_no_budget_removes_nothing(self, tmp_path):
+        path = self._segment(tmp_path, FP)
+        assert prune_cache_dir(tmp_path) == []
+        assert path.exists()
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            prune_cache_dir(tmp_path, max_bytes=-1)
+        with pytest.raises(ValueError, match="max_age_s"):
+            prune_cache_dir(tmp_path, max_age_s=-1.0)
+
+    def test_size_budget_removes_oldest_first(self, tmp_path):
+        old = self._segment(tmp_path, FP, mtime=1_000)
+        new = self._segment(tmp_path, OTHER_FP, mtime=2_000)
+        budget = new.stat().st_size  # room for exactly one segment
+        removed = prune_cache_dir(tmp_path, max_bytes=budget)
+        assert removed == [old]
+        assert not old.exists() and new.exists()
+
+    def test_zero_budget_clears_the_directory(self, tmp_path):
+        self._segment(tmp_path, FP, mtime=1_000)
+        self._segment(tmp_path, OTHER_FP, mtime=2_000)
+        removed = prune_cache_dir(tmp_path, max_bytes=0)
+        assert len(removed) == 2
+        assert list_segments(tmp_path) == []
+
+    def test_age_budget_removes_stale_segments(self, tmp_path):
+        import time as _time
+
+        stale = self._segment(tmp_path, FP, mtime=_time.time() - 3_600)
+        fresh = self._segment(tmp_path, OTHER_FP)
+        removed = prune_cache_dir(tmp_path, max_age_s=60.0)
+        assert removed == [stale]
+        assert fresh.exists()
+
+    def test_kept_segments_survive_any_budget(self, tmp_path):
+        kept = self._segment(tmp_path, FP, mtime=1_000)  # oldest, but kept
+        other = self._segment(tmp_path, OTHER_FP, mtime=2_000)
+        removed = prune_cache_dir(
+            tmp_path, max_bytes=0, max_age_s=0.0, keep=(kept,)
+        )
+        assert removed == [other]
+        assert kept.exists()
+
+    def test_live_engines_loaded_segment_is_protectable(self, tmp_path):
+        sweep(EvaluationEngine(cache_dir=tmp_path))
+        engine = EvaluationEngine(cache_dir=tmp_path)
+        result = sweep(engine)
+        assert engine.loaded_segments  # the warm start consumed the segment
+        removed = prune_cache_dir(
+            tmp_path, max_bytes=0, keep=engine.loaded_segments
+        )
+        assert removed == []
+        # The engine's mapped rows stay servable after the prune.
+        assert front_signature(result.front) == reference_front("beacon")
+
+    def test_orphaned_tmp_siblings_are_swept(self, tmp_path):
+        path = self._segment(tmp_path, FP)
+        orphan = tmp_path / f"{path.name}.999999.0.tmp"
+        orphan.write_bytes(b"dead")
+        assert prune_cache_dir(tmp_path) == []
+        assert not orphan.exists() and path.exists()
+
+    def test_foreign_files_are_never_touched(self, tmp_path):
+        foreign = tmp_path / "README.txt"
+        foreign.write_text("not a segment")
+        assert prune_cache_dir(tmp_path, max_bytes=0) == []
+        assert foreign.exists()

@@ -1,0 +1,982 @@
+"""Chaos suite for the async DSE service front-end.
+
+The service's promises are robustness promises, so every one of them is
+tested by *making* the bad thing happen: burst overload against a tiny
+admission window, the engine lane hung by an injected fault while deadlines
+expire, workers hung past a client deadline, clients yanked mid-stream,
+responses failing mid-write, shutdown racing admitted work.  The invariant
+mirrors the rest of the chaos suite: results served through the service are
+bitwise identical to the in-process paths, and every failure is a *typed*
+error on the wire — never a silent drop, a wedged lane, or a leaked
+admission slot.
+
+All asyncio is driven through ``asyncio.run()`` inside synchronous tests
+(the suite has no async test plugin, and doesn't need one).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+import pytest
+
+from repro.dse.random_search import RandomSearch
+from repro.dse.runner import run_algorithm
+from repro.engine import (
+    EvaluationEngine,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    inject_faults,
+)
+from repro.service import (
+    WIRE_LINE_LIMIT,
+    AdmissionController,
+    BadRequestError,
+    DeadlineExceededError,
+    DesignRow,
+    DseService,
+    DseServiceClient,
+    RemoteInternalError,
+    ServiceOverloadError,
+    ServiceShuttingDownError,
+    decode_line,
+    encode_message,
+    error_for_code,
+)
+from repro.service.server import _Connection
+from test_faults import (
+    FAMILIES,
+    FAST_RETRIES,
+    beacon_problem,
+    front_signature,
+    reference_front,
+)
+
+#: Full design space of the two-node beacon family.  ``WbsnDseProblem``'s
+#: constructor probes the all-zeros genotype through the engine to size the
+#: objective vector, so a *fresh* service starts with exactly one memoised
+#: row — a cold exhaustive sweep therefore computes ``SPACE_SIZE - 1``
+#: models, and tests that count cold evaluations use the probe-free
+#: genotype list below.
+SPACE_SIZE = 64
+SWEEP_COLD_EVALS = SPACE_SIZE - 1
+
+_SPACE_GENOTYPES: list = []
+_EXPECTED_ROWS: dict = {}
+
+
+def space_genotypes() -> list:
+    """Every beacon-space genotype except the constructor probe."""
+    if not _SPACE_GENOTYPES:
+        problem = beacon_problem(EvaluationEngine())
+        probe = tuple(0 for _ in range(len(problem.space)))
+        for genotype in problem.space.enumerate_genotypes():
+            if genotype != probe:
+                _SPACE_GENOTYPES.append(genotype)
+        # The scalar path is bitwise identical to the columnar one (see
+        # test_columnar), so this map is a valid reference for rows served
+        # over the wire.
+        for genotype in (probe, *_SPACE_GENOTYPES):
+            design = problem.evaluate(genotype)
+            _EXPECTED_ROWS[genotype] = (design.objectives, design.feasible)
+    return list(_SPACE_GENOTYPES)
+
+
+def expected_rows() -> dict:
+    """genotype -> (objectives, feasible) for the whole beacon space."""
+    space_genotypes()
+    return dict(_EXPECTED_ROWS)
+
+
+def service_front_signature(rows) -> list:
+    """A served front in the same signature form as the in-process tests."""
+    return [(row.genotype, row.objectives, row.feasible) for row in rows]
+
+
+async def start_service(**kwargs) -> DseService:
+    """A TCP service over a fresh serial-engine beacon problem."""
+    engine = kwargs.pop("engine", None) or EvaluationEngine()
+    problem = kwargs.pop("problem", None) or beacon_problem(engine)
+    kwargs.setdefault("close_engine", True)
+    service = DseService(problem, **kwargs)
+    await service.start()
+    return service
+
+
+async def connect(service: DseService, client_id: str) -> DseServiceClient:
+    if service.socket_path is not None:
+        return await DseServiceClient.connect(
+            path=service.socket_path, client_id=client_id
+        )
+    return await DseServiceClient.connect(
+        host=service.host, port=service.port, client_id=client_id
+    )
+
+
+# --------------------------------------------------------------------------
+# Protocol layer
+# --------------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_message_roundtrip_is_bitwise(self):
+        awkward = [0.1 + 0.2, 1.0 / 3.0, 6.03e-7, 1e-300, -0.0]
+        message = {"op": "evaluate", "id": 7, "values": awkward}
+        line = encode_message(message)
+        assert line.endswith(b"\n")
+        decoded = decode_line(line)
+        assert decoded == message
+        # Bitwise float identity is what the front-parity tests lean on.
+        for sent, received in zip(awkward, decoded["values"]):
+            assert sent == received and str(sent) == str(received)
+
+    def test_design_row_wire_roundtrip(self):
+        row = DesignRow(
+            genotype=(3, 0, 1, 2),
+            objectives=(1.0 / 3.0, 6.123456789e-4),
+            feasible=True,
+            violation_count=0,
+        )
+        over_the_wire = json.loads(encode_message({"row": row.as_wire()}))
+        assert DesignRow.from_wire(over_the_wire["row"]) == row
+
+    def test_design_row_rejects_junk(self):
+        with pytest.raises(BadRequestError):
+            DesignRow.from_wire([1, 2])
+        with pytest.raises(BadRequestError):
+            DesignRow.from_wire([["x"], [1.0], True, 0])
+
+    def test_decode_rejects_non_objects(self):
+        with pytest.raises(BadRequestError):
+            decode_line(b"this is not json\n")
+        with pytest.raises(BadRequestError):
+            decode_line(b"[1, 2, 3]\n")
+
+    def test_encode_refuses_nan(self):
+        with pytest.raises(ValueError):
+            encode_message({"x": float("nan")})
+
+    def test_error_code_mapping(self):
+        for cls in (
+            ServiceOverloadError,
+            ServiceShuttingDownError,
+            DeadlineExceededError,
+            BadRequestError,
+            RemoteInternalError,
+        ):
+            rebuilt = error_for_code(cls.code, "why")
+            assert type(rebuilt) is cls
+            assert str(rebuilt) == "why"
+        assert isinstance(
+            error_for_code("from-the-future", "?"), RemoteInternalError
+        )
+
+
+# --------------------------------------------------------------------------
+# Admission control
+# --------------------------------------------------------------------------
+
+
+class TestAdmission:
+    def test_watermark_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_pending=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_pending=4, high_watermark=6)
+        with pytest.raises(ValueError):
+            AdmissionController(
+                max_pending=8, high_watermark=4, low_watermark=5
+            )
+
+    def test_hysteresis_band(self):
+        gate = AdmissionController(
+            max_pending=8, high_watermark=6, low_watermark=2
+        )
+        for _ in range(6):
+            gate.try_admit()
+        assert gate.shedding
+        with pytest.raises(ServiceOverloadError):
+            gate.try_admit()
+        # Falling below the high mark is not enough: the band holds until
+        # the backlog reaches the low mark.
+        for _ in range(3):
+            gate.release()
+        assert gate.pending == 3 and gate.shedding
+        with pytest.raises(ServiceOverloadError):
+            gate.try_admit()
+        gate.release()
+        assert gate.pending == 2 and not gate.shedding
+        gate.try_admit()
+        assert gate.pending == 3
+        assert gate.admitted == 7
+        assert gate.rejected_overload == 2
+
+    def test_hard_bound_without_a_band(self):
+        gate = AdmissionController(max_pending=3)
+        for _ in range(3):
+            gate.try_admit()
+        with pytest.raises(ServiceOverloadError):
+            gate.try_admit()
+
+    def test_draining_is_one_way_and_typed(self):
+        async def scenario():
+            gate = AdmissionController(max_pending=4)
+            gate.try_admit()
+            gate.start_drain()
+            with pytest.raises(ServiceShuttingDownError):
+                gate.try_admit()
+            assert gate.rejected_draining == 1
+            waiter = asyncio.create_task(gate.wait_idle())
+            await asyncio.sleep(0)
+            assert not waiter.done()
+            gate.release()
+            await asyncio.wait_for(waiter, 1.0)
+
+        asyncio.run(scenario())
+
+    def test_release_underflow_is_a_bug(self):
+        gate = AdmissionController(max_pending=2)
+        with pytest.raises(RuntimeError):
+            gate.release()
+
+
+# --------------------------------------------------------------------------
+# Service basics and request validation
+# --------------------------------------------------------------------------
+
+
+class TestServiceBasics:
+    def test_ping_stats_and_unknown_op(self):
+        async def scenario():
+            service = await start_service()
+            try:
+                client = await connect(service, "alice")
+                try:
+                    await client.ping()
+                    stats = await client.stats()
+                    assert stats["admission"]["pending"] == 0
+                    assert stats["connections"] == 1
+                    assert "model_evaluations" in stats["engine"]
+                    with pytest.raises(BadRequestError):
+                        await client._request({"op": "frobnicate"})
+                finally:
+                    await client.close()
+            finally:
+                await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_malformed_line_gets_a_typed_error_event(self):
+        async def scenario():
+            service = await start_service()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    service.host, service.port
+                )
+                try:
+                    writer.write(b"this is not a protocol line\n")
+                    await writer.drain()
+                    event = json.loads(await reader.readline())
+                    assert event["event"] == "error"
+                    assert event["code"] == "bad-request"
+                    assert event["id"] is None
+                finally:
+                    writer.close()
+                    await writer.wait_closed()
+            finally:
+                await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_oversized_line_is_rejected_typed(self):
+        async def scenario():
+            service = await start_service()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    service.host, service.port, limit=WIRE_LINE_LIMIT
+                )
+                try:
+                    # One unterminated line past the wire limit: the server
+                    # cannot reframe the stream, so it answers a typed
+                    # bad-request (id unattributable) and drops the peer.
+                    writer.write(b"x" * (WIRE_LINE_LIMIT + 4096))
+                    await writer.drain()
+                    event = json.loads(
+                        await asyncio.wait_for(reader.readline(), 10.0)
+                    )
+                    assert event["event"] == "error"
+                    assert event["code"] == "bad-request"
+                    assert event["id"] is None
+                finally:
+                    writer.close()
+                    try:
+                        await writer.wait_closed()
+                    except (ConnectionError, OSError):
+                        pass
+                # The service survived: a fresh client is served normally.
+                client = await connect(service, "alice")
+                try:
+                    await client.ping()
+                finally:
+                    await client.close()
+            finally:
+                await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_unix_socket_transport(self, tmp_path):
+        sock = str(tmp_path / "dse.sock")
+
+        async def scenario():
+            service = await start_service(socket_path=sock)
+            try:
+                assert service.address == sock
+                client = await connect(service, "alice")
+                try:
+                    genotypes = space_genotypes()[:4]
+                    reply = await client.evaluate(genotypes)
+                    expected = expected_rows()
+                    for genotype, row in zip(genotypes, reply.rows):
+                        assert row.genotype == tuple(genotype)
+                        assert row.objectives == expected[genotype][0]
+                finally:
+                    await client.close()
+            finally:
+                await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_bad_requests_are_typed_not_fatal(self):
+        async def scenario():
+            service = await start_service()
+            try:
+                client = await connect(service, "alice")
+                try:
+                    with pytest.raises(BadRequestError):
+                        await client.evaluate([])
+                    with pytest.raises(BadRequestError):
+                        await client.sweep("simulated-annealing")
+                    with pytest.raises(BadRequestError):
+                        await client.sweep(
+                            "exhaustive", params={"shell": "rm -rf /"}
+                        )
+                    with pytest.raises(BadRequestError):
+                        await client.sweep(
+                            "exhaustive", params={"chunk_size": "16"}
+                        )
+                    with pytest.raises(BadRequestError):
+                        await client.evaluate(
+                            [space_genotypes()[0]], deadline_s=-2.0
+                        )
+                    # The connection and the service survived all of it.
+                    await client.ping()
+                    stats = await client.stats()
+                    assert stats["admission"]["pending"] == 0
+                finally:
+                    await client.close()
+            finally:
+                await service.stop()
+
+        asyncio.run(scenario())
+
+
+# --------------------------------------------------------------------------
+# Coalescing, attribution, and front parity (the tentpole contract)
+# --------------------------------------------------------------------------
+
+
+class TestCoalescingAndParity:
+    def test_concurrent_evaluates_coalesce_into_one_batch(self):
+        genotypes = space_genotypes()
+        expected = expected_rows()
+
+        async def scenario():
+            # A generous window so both clients' requests land in the same
+            # columnar dispatch regardless of scheduling jitter.
+            service = await start_service(batch_window_s=0.25)
+            try:
+                alice = await connect(service, "alice")
+                bob = await connect(service, "bob")
+                try:
+                    reply_a, reply_b = await asyncio.gather(
+                        alice.evaluate(genotypes), bob.evaluate(genotypes)
+                    )
+                    for reply in (reply_a, reply_b):
+                        for genotype, row in zip(genotypes, reply.rows):
+                            assert row.genotype == tuple(genotype)
+                            assert row.objectives == expected[genotype][0]
+                            assert row.feasible == expected[genotype][1]
+                    # Bitwise identity between the two clients' replies.
+                    assert reply_a.rows == reply_b.rows
+                    stats = await alice.stats()
+                    assert stats["lane"]["batches_coalesced"] >= 1
+                    assert stats["lane"]["items_coalesced"] >= 2
+                    # The engine computed each distinct genotype once even
+                    # though two clients asked for all of them (the +1 is
+                    # the problem constructor's probe evaluation).
+                    assert (
+                        stats["engine"]["model_evaluations"]
+                        == len(genotypes) + 1
+                    )
+                    clients = stats["lane"]["clients"]
+                    assert set(clients) == {"alice", "bob"}
+                    for ledger in clients.values():
+                        assert ledger["genotype_requests"] == len(genotypes)
+                    # Every distinct genotype has exactly one owner; the
+                    # batch-mate rides on cache-hit economics.
+                    assert sum(
+                        ledger["model_evaluations"]
+                        for ledger in clients.values()
+                    ) == len(genotypes)
+                    assert sum(
+                        ledger["genotype_cache_hits"]
+                        for ledger in clients.values()
+                    ) == len(genotypes)
+                finally:
+                    await alice.close()
+                    await bob.close()
+            finally:
+                await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_concurrent_sweeps_share_one_sweeps_work(self):
+        expected = reference_front("beacon")
+
+        async def scenario():
+            service = await start_service()
+            try:
+                alice = await connect(service, "alice")
+                bob = await connect(service, "bob")
+                try:
+                    reply_a, reply_b = await asyncio.gather(
+                        alice.sweep("exhaustive", params={"chunk_size": 16}),
+                        bob.sweep("exhaustive", params={"chunk_size": 16}),
+                    )
+                    # Acceptance: both fronts bitwise identical to the solo
+                    # in-process run; the second sweep is served entirely
+                    # from the first one's cache capacity.
+                    assert service_front_signature(reply_a.front) == expected
+                    assert service_front_signature(reply_b.front) == expected
+                    assert reply_a.evaluations == SPACE_SIZE
+                    assert reply_b.evaluations == SPACE_SIZE
+                    evals = sorted(
+                        reply.engine_stats["model_evaluations"]
+                        for reply in (reply_a, reply_b)
+                    )
+                    assert evals == [0, SWEEP_COLD_EVALS]
+                    stats = await alice.stats()
+                    assert stats["engine"]["model_evaluations"] == SPACE_SIZE
+                finally:
+                    await alice.close()
+                    await bob.close()
+            finally:
+                await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_random_sweep_parity_with_in_process_run(self):
+        params = dict(samples=40, seed=7, chunk_size=16)
+        in_process = run_algorithm(
+            RandomSearch(beacon_problem(EvaluationEngine()), **params)
+        )
+
+        async def scenario():
+            service = await start_service()
+            try:
+                client = await connect(service, "alice")
+                try:
+                    reply = await client.sweep("random", params=params)
+                    assert service_front_signature(
+                        reply.front
+                    ) == front_signature(in_process.front)
+                    assert reply.evaluations == in_process.evaluations
+                finally:
+                    await client.close()
+            finally:
+                await service.stop()
+
+        asyncio.run(scenario())
+
+
+# --------------------------------------------------------------------------
+# Streaming front updates
+# --------------------------------------------------------------------------
+
+
+class TestStreaming:
+    def test_front_updates_stream_with_monotonic_cursors(self):
+        expected = reference_front("beacon")
+        updates = []
+
+        async def scenario():
+            service = await start_service()
+            try:
+                client = await connect(service, "alice")
+                try:
+                    reply = await client.sweep(
+                        "exhaustive",
+                        params={"chunk_size": 8},
+                        on_front_update=updates.append,
+                    )
+                    assert service_front_signature(reply.front) == expected
+                finally:
+                    await client.close()
+            finally:
+                await service.stop()
+
+        asyncio.run(scenario())
+        assert updates, "a streamed sweep must deliver at least one update"
+        cursors = [update.cursor for update in updates]
+        assert cursors == sorted(cursors)
+        assert all(0 < cursor <= SPACE_SIZE for cursor in cursors)
+        # Streamed snapshots are genuine front prefixes: non-empty rows of
+        # the same wire shape as the terminal front.
+        for update in updates:
+            for row in update.front:
+                assert isinstance(row, DesignRow)
+
+    def test_slow_consumer_conflation_keeps_newest_update(self):
+        async def scenario():
+            connection = _Connection("conn-test", writer=None)
+            connection.post_update(1, {"id": 1, "cursor": 8})
+            connection.post_update(1, {"id": 1, "cursor": 16})
+            connection.post_update(1, {"id": 1, "cursor": 24})
+            connection.post_update(2, {"id": 2, "cursor": 8})
+            connection.post({"id": 1, "event": "result"})
+            # Two updates were conflated away; one slot per request id
+            # remains, holding the newest payload, and the terminal event
+            # was queued untouched.
+            assert connection.conflated == 2
+            assert connection._update_slots[1]["cursor"] == 24
+            assert len(connection._events) == 3
+
+        asyncio.run(scenario())
+
+
+# --------------------------------------------------------------------------
+# Burst overload: typed shedding, admitted work unharmed
+# --------------------------------------------------------------------------
+
+
+class TestOverload:
+    def test_burst_sheds_typed_while_admitted_requests_complete(self):
+        genotypes = space_genotypes()
+        expected = expected_rows()
+        # The first batch hangs the lane long enough for the whole burst to
+        # hit admission while pending work is at its peak.
+        plan = FaultPlan(
+            [FaultSpec(site="service-batch", action="hang", delay_s=0.25, at=(0,))]
+        )
+
+        async def scenario():
+            service = await start_service(batch_window_s=0.0, max_pending=4)
+            try:
+                client = await connect(service, "alice")
+                try:
+                    with inject_faults(plan):
+                        outcomes = await asyncio.gather(
+                            *(
+                                client.evaluate([genotypes[i]])
+                                for i in range(10)
+                            ),
+                            return_exceptions=True,
+                        )
+                    served = [
+                        outcome
+                        for outcome in outcomes
+                        if not isinstance(outcome, BaseException)
+                    ]
+                    shed = [
+                        outcome
+                        for outcome in outcomes
+                        if isinstance(outcome, BaseException)
+                    ]
+                    # Exactly the admission bound was served; every shed
+                    # request got the typed overload error, nothing else.
+                    assert len(served) == 4
+                    assert len(shed) == 6
+                    assert all(
+                        isinstance(outcome, ServiceOverloadError)
+                        for outcome in shed
+                    )
+                    # Admitted requests completed unharmed and correct.
+                    for i, outcome in enumerate(outcomes):
+                        if isinstance(outcome, BaseException):
+                            continue
+                        (row,) = outcome.rows
+                        assert row.genotype == tuple(genotypes[i])
+                        assert row.objectives == expected[genotypes[i]][0]
+                    stats = await client.stats()
+                    admission = stats["admission"]
+                    assert admission["pending"] == 0
+                    assert not admission["shedding"]
+                    assert admission["rejected_overload"] == 6
+                    assert admission["admitted"] == admission["completed"] == 4
+                    # The service is healthy after the burst: shedding
+                    # cleared, new work admitted and served.
+                    reply = await client.evaluate([genotypes[-1]])
+                    assert reply.rows[0].objectives == expected[genotypes[-1]][0]
+                finally:
+                    await client.close()
+            finally:
+                await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_drain_rejects_shutting_down_but_finishes_in_flight(self):
+        genotypes = space_genotypes()
+        expected = expected_rows()
+        plan = FaultPlan(
+            [FaultSpec(site="service-batch", action="hang", delay_s=0.3, at=(0,))]
+        )
+
+        async def scenario():
+            service = await start_service(batch_window_s=0.0)
+            client = await connect(service, "alice")
+            try:
+                with inject_faults(plan):
+                    in_flight = asyncio.create_task(
+                        client.evaluate([genotypes[0]])
+                    )
+                    await asyncio.sleep(0.05)  # the lane is now hanging
+                    stopper = asyncio.create_task(service.stop())
+                    await asyncio.sleep(0.05)  # draining is in effect
+                    with pytest.raises(ServiceShuttingDownError):
+                        await client.evaluate([genotypes[1]])
+                    reply = await in_flight
+                    assert reply.rows[0].objectives == expected[genotypes[0]][0]
+                    await asyncio.wait_for(stopper, 5.0)
+                assert service.admission.rejected_draining == 1
+                assert service.admission.pending == 0
+            finally:
+                await client.close()
+
+        asyncio.run(scenario())
+
+
+# --------------------------------------------------------------------------
+# Deadlines
+# --------------------------------------------------------------------------
+
+
+class TestDeadlines:
+    def test_deadline_scope_reserves_a_degradation_slot(self):
+        policy = RetryPolicy(max_attempts=2, backoff_base_s=0.1)
+        engine = EvaluationEngine(
+            backend="process", max_workers=2, retry_policy=policy
+        )
+        with engine:
+            backend = engine.backend
+            assert backend.retry_policy.batch_timeout_s is None
+            with engine.deadline_scope(3.1):
+                # backoff between the two attempts is 0.1 s; the rest of
+                # the budget splits across two pool attempts plus one
+                # reserved slot for the in-process degradation rung.
+                clamped = backend.retry_policy.batch_timeout_s
+                assert clamped == pytest.approx((3.1 - 0.1) / 3)
+            assert backend.retry_policy.batch_timeout_s is None
+            with engine.deadline_scope(None):
+                assert backend.retry_policy.batch_timeout_s is None
+
+    def test_deadline_scope_is_a_noop_on_serial_engines(self):
+        engine = EvaluationEngine()
+        with engine.deadline_scope(0.5):
+            pass  # nothing to clamp; must not raise
+
+    def test_expiry_is_typed_and_the_engine_survives(self):
+        genotypes = space_genotypes()
+        expected = expected_rows()
+        plan = FaultPlan(
+            [FaultSpec(site="service-batch", action="hang", delay_s=0.4, at=(0,))]
+        )
+
+        async def scenario():
+            service = await start_service(batch_window_s=0.0)
+            try:
+                client = await connect(service, "alice")
+                try:
+                    with inject_faults(plan):
+                        outcomes = await asyncio.gather(
+                            # Expires while the hung batch computes.
+                            client.evaluate([genotypes[0]], deadline_s=0.15),
+                            # Expires while queued behind the hung batch.
+                            client.evaluate([genotypes[1]], deadline_s=0.15),
+                            return_exceptions=True,
+                        )
+                    assert all(
+                        isinstance(outcome, DeadlineExceededError)
+                        for outcome in outcomes
+                    )
+                    # Missed deadlines released their admission slots and
+                    # left the engine fully serviceable.
+                    stats = await client.stats()
+                    assert stats["admission"]["pending"] == 0
+                    reply = await client.evaluate([genotypes[2]], deadline_s=30.0)
+                    assert reply.rows[0].objectives == expected[genotypes[2]][0]
+                finally:
+                    await client.close()
+            finally:
+                await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_hung_workers_cannot_break_a_client_deadline(self):
+        genotypes = space_genotypes()
+        expected = expected_rows()
+        # Every pool dispatch hangs far past the deadline; only the clamped
+        # batch timeout and the in-process degradation rung can serve this.
+        plan = FaultPlan(
+            [FaultSpec(site="chunk", action="hang", delay_s=30.0)]
+        )
+        deadline_s = 2.5
+
+        async def scenario():
+            engine = EvaluationEngine(
+                backend="process",
+                max_workers=2,
+                vectorized=False,
+                chunk_size=8,
+                retry_policy=FAST_RETRIES,
+            )
+            service = await start_service(engine=engine, batch_window_s=0.0)
+            try:
+                client = await connect(service, "alice")
+                try:
+                    with inject_faults(plan):
+                        started = time.monotonic()
+                        reply = await client.evaluate(
+                            genotypes, deadline_s=deadline_s
+                        )
+                        elapsed = time.monotonic() - started
+                    # The reply beat the deadline despite 30 s worker hangs
+                    # (clamped retries, then the in-process ladder), is
+                    # flagged degraded, and is still bitwise correct.
+                    assert elapsed < deadline_s + 1.0
+                    assert reply.degraded
+                    for genotype, row in zip(genotypes, reply.rows):
+                        assert row.objectives == expected[genotype][0]
+                    stats = await client.stats()
+                    assert stats["engine"]["worker_failures"] >= 1
+                    assert stats["engine"]["degraded_batches"] >= 1
+                finally:
+                    await client.close()
+            finally:
+                await service.stop()
+
+        asyncio.run(scenario())
+
+
+# --------------------------------------------------------------------------
+# Client disconnects and broken response writes
+# --------------------------------------------------------------------------
+
+
+class TestDisconnects:
+    def test_disconnect_mid_stream_never_wedges_the_lane(self):
+        expected = reference_front("beacon")
+
+        async def scenario():
+            service = await start_service()
+            try:
+                alice = await connect(service, "alice")
+                dropped = asyncio.Event()
+
+                def on_update(update):
+                    # Yank the connection on the first streamed update.
+                    if not dropped.is_set():
+                        dropped.set()
+                        asyncio.get_running_loop().create_task(alice.close())
+
+                with pytest.raises(ConnectionError):
+                    await alice.sweep(
+                        "exhaustive",
+                        params={"chunk_size": 4},
+                        on_front_update=on_update,
+                    )
+                assert dropped.is_set()
+
+                # The abandoned sweep still runs to completion server-side
+                # and releases its admission slot.
+                bob = await connect(service, "bob")
+                try:
+                    for _ in range(100):
+                        stats = await bob.stats()
+                        if stats["admission"]["pending"] == 0:
+                            break
+                        await asyncio.sleep(0.05)
+                    assert stats["admission"]["pending"] == 0
+                    assert (
+                        stats["admission"]["admitted"]
+                        == stats["admission"]["completed"]
+                    )
+                    # ... and its designs are shared cache capacity: bob's
+                    # sweep of the same fingerprint costs zero evaluations.
+                    reply = await bob.sweep(
+                        "exhaustive", params={"chunk_size": 16}
+                    )
+                    assert service_front_signature(reply.front) == expected
+                    assert reply.engine_stats["model_evaluations"] == 0
+                finally:
+                    await bob.close()
+            finally:
+                await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_broken_response_write_does_not_leak_admission(self):
+        genotypes = space_genotypes()
+        expected = expected_rows()
+        plan = FaultPlan(
+            [FaultSpec(site="service-response", action="raise", at=(0,))]
+        )
+
+        async def scenario():
+            service = await start_service()
+            try:
+                alice = await connect(service, "alice")
+                # Armed only after the handshake: the next response write —
+                # alice's evaluate result — fails as if the socket broke.
+                with inject_faults(plan):
+                    with pytest.raises(asyncio.TimeoutError):
+                        await asyncio.wait_for(
+                            alice.evaluate([genotypes[0]]), 1.0
+                        )
+                await alice.close()
+
+                bob = await connect(service, "bob")
+                try:
+                    for _ in range(100):
+                        stats = await bob.stats()
+                        if stats["admission"]["pending"] == 0:
+                            break
+                        await asyncio.sleep(0.05)
+                    assert stats["admission"]["pending"] == 0
+                    reply = await bob.evaluate([genotypes[0]])
+                    assert reply.rows[0].objectives == expected[genotypes[0]][0]
+                finally:
+                    await bob.close()
+            finally:
+                await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_poisoned_request_is_a_typed_internal_error(self):
+        genotypes = space_genotypes()
+        expected = expected_rows()
+        plan = FaultPlan(
+            [FaultSpec(site="service-request", action="raise", at=(0,))]
+        )
+
+        async def scenario():
+            service = await start_service()
+            try:
+                client = await connect(service, "alice")
+                try:
+                    with inject_faults(plan):
+                        with pytest.raises(RemoteInternalError):
+                            await client.evaluate([genotypes[0]])
+                        # The admission slot was released on the failure
+                        # path; the very next request is served normally.
+                        reply = await client.evaluate([genotypes[0]])
+                    assert reply.rows[0].objectives == expected[genotypes[0]][0]
+                    stats = await client.stats()
+                    assert stats["admission"]["pending"] == 0
+                finally:
+                    await client.close()
+            finally:
+                await service.stop()
+
+        asyncio.run(scenario())
+
+
+# --------------------------------------------------------------------------
+# Degradation surfacing
+# --------------------------------------------------------------------------
+
+
+class TestDegradationSurfacing:
+    def test_degraded_batches_flag_their_responses(self):
+        genotypes = space_genotypes()
+        expected = expected_rows()
+        # Every pool dispatch raises; retries exhaust and the engine serves
+        # the batch from its in-process ladder.
+        plan = FaultPlan([FaultSpec(site="chunk", action="raise")])
+
+        async def scenario():
+            engine = EvaluationEngine(
+                backend="process",
+                max_workers=2,
+                vectorized=False,
+                chunk_size=16,
+                retry_policy=FAST_RETRIES,
+            )
+            service = await start_service(engine=engine, batch_window_s=0.0)
+            try:
+                client = await connect(service, "alice")
+                try:
+                    with inject_faults(plan):
+                        reply = await client.evaluate(genotypes)
+                    assert reply.degraded
+                    for genotype, row in zip(genotypes, reply.rows):
+                        assert row.objectives == expected[genotype][0]
+                    stats = await client.stats()
+                    assert stats["engine"]["degraded_batches"] >= 1
+                finally:
+                    await client.close()
+            finally:
+                await service.stop()
+
+        asyncio.run(scenario())
+
+
+# --------------------------------------------------------------------------
+# Graceful drain, persistent spill, warm reboot
+# --------------------------------------------------------------------------
+
+
+class TestDrainSpillWarmBoot:
+    def test_stop_spills_and_the_next_boot_warm_starts(self, tmp_path):
+        cache_dir = str(tmp_path / "tier")
+        expected = reference_front("beacon")
+
+        async def scenario():
+            first = await start_service(cache_dir=cache_dir)
+            try:
+                client = await connect(first, "alice")
+                try:
+                    reply = await client.sweep(
+                        "exhaustive", params={"chunk_size": 16}
+                    )
+                    assert service_front_signature(reply.front) == expected
+                    assert (
+                        reply.engine_stats["model_evaluations"]
+                        == SWEEP_COLD_EVALS
+                    )
+                finally:
+                    await client.close()
+            finally:
+                await first.stop()
+            assert first.rows_warm_started == 0
+            assert any((tmp_path / "tier").iterdir()), "stop() must spill"
+
+            second = await start_service(cache_dir=cache_dir)
+            try:
+                assert second.rows_warm_started >= SWEEP_COLD_EVALS
+                client = await connect(second, "bob")
+                try:
+                    reply = await client.sweep(
+                        "exhaustive", params={"chunk_size": 16}
+                    )
+                    assert service_front_signature(reply.front) == expected
+                    # The whole sweep was served from the warm-started rows.
+                    assert reply.engine_stats["model_evaluations"] == 0
+                finally:
+                    await client.close()
+            finally:
+                await second.stop()
+
+        asyncio.run(scenario())
